@@ -1,0 +1,50 @@
+# Development entry points for the CSS reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench bench-quick examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || (gofmt -l . && exit 1)
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Full experiment tables (EXPERIMENTS.md reference run). ~2 minutes.
+bench:
+	$(GO) run ./cmd/css-bench
+
+bench-quick:
+	$(GO) run ./cmd/css-bench -quick
+
+# testing.B micro-benchmarks, one per experiment.
+microbench:
+	$(GO) test -bench=. -benchmem .
+
+examples:
+	@for e in quickstart homecare statistics audittrail distributed phr monitoring accountability; do \
+		echo "=== $$e ==="; $(GO) run ./examples/$$e || exit 1; \
+	done
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeDetail -fuzztime=15s ./internal/event/
+	$(GO) test -fuzz=FuzzDecodeNotification -fuzztime=15s ./internal/event/
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=15s ./internal/store/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/xacml/
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,516 @@
+// Repository-level benchmarks: one testing.B benchmark per experiment of
+// EXPERIMENTS.md (the css-bench tool prints the corresponding full
+// tables). Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/index"
+	"repro/internal/policy"
+	"repro/internal/process"
+	"repro/internal/reporting"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/workload"
+	"repro/internal/xacml"
+)
+
+func benchController(b *testing.B) (*core.Controller, *workload.Platform) {
+	b.Helper()
+	c, err := core.New(core.Config{DefaultConsent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.Provision(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.StandardPolicies(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c, p
+}
+
+// BenchmarkE1_PublishRoute measures one publish through the full pipeline
+// (validate, assign id, encrypt+index, audit, route) with 16 subscribers.
+func BenchmarkE1_PublishRoute(b *testing.B) {
+	c, err := core.New(core.Config{DefaultConsent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RegisterProducer("hospital", "H"); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterConsumer("org", "O"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.DefinePolicy(&policy.Policy{
+		Producer: "hospital", Actor: "org", Class: schema.ClassBloodTest,
+		Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		if _, err := c.Subscribe(event.Actor(fmt.Sprintf("org/d%02d", i)), schema.ClassBloodTest,
+			func(*event.Notification) { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	wg.Add(b.N * 16)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Publish(&event.Notification{
+			SourceID: event.SourceID(fmt.Sprintf("s-%09d", i)), Class: schema.ClassBloodTest,
+			PersonID: "PRS-1", OccurredAt: time.Now(), Producer: "hospital",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkE2_DetailRequest measures one end-to-end request for details
+// (consent check, Algorithm 1, audit) against the standard policy set.
+func BenchmarkE2_DetailRequest(b *testing.B) {
+	c, p := benchController(b)
+	gen := workload.NewGenerator(workload.Config{Seed: 1, People: 100,
+		Classes: []*schema.Schema{schema.HomeCare()}})
+	n, d := gen.Next()
+	gid, err := p.Produce(n, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &event.DetailRequest{
+		Requester: "family-doctor", Class: schema.ClassHomeCare,
+		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RequestDetails(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_PDPEvaluate measures one PDP evaluation in a repository of
+// 10 000 policies over 10 classes.
+func BenchmarkE3_PDPEvaluate(b *testing.B) {
+	pdp, err := xacml.NewPDP(xacml.FirstApplicable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		x, err := xacml.Compile(&policy.Policy{
+			ID:       policy.ID(fmt.Sprintf("p-%06d", i)),
+			Producer: "prod",
+			Actor:    event.Actor(fmt.Sprintf("actor-%06d", i)),
+			Class:    event.ClassID(fmt.Sprintf("class.c%d", i%10)),
+			Purposes: []event.Purpose{"care"},
+			Fields:   []event.FieldName{"f1"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pdp.Add(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := xacml.CompileRequest(&event.DetailRequest{
+		Requester: "actor-009999", Class: "class.c9", EventID: "e", Purpose: "care",
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := pdp.Evaluate(req); r.Decision != xacml.Permit {
+			b.Fatal(r.Decision)
+		}
+	}
+}
+
+// BenchmarkE4_TwoPhaseEmit measures the producer-side cost of the
+// two-phase protocol: persist detail + publish notification.
+func BenchmarkE4_TwoPhaseEmit(b *testing.B) {
+	_, p := benchController(b)
+	gen := workload.NewGenerator(workload.Config{Seed: 2, People: 1000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, d := gen.Next()
+		if _, err := p.Produce(n, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_WarehouseLoad is the one-phase baseline of the same emit.
+func BenchmarkE4_WarehouseLoad(b *testing.B) {
+	wh := baseline.NewWarehouse()
+	gen := workload.NewGenerator(workload.Config{Seed: 2, People: 1000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, d := gen.Next()
+		wh.Load(d)
+	}
+}
+
+// BenchmarkE5_IndexPut measures one encrypted index insert.
+func BenchmarkE5_IndexPut(b *testing.B) {
+	keys, err := crypto.NewKeyring(bytes.Repeat([]byte{7}, crypto.KeySize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIndexPut(b, index.New(store.OpenMemory(), keys))
+}
+
+// BenchmarkE5_IndexPutPlaintext is the plaintext baseline.
+func BenchmarkE5_IndexPutPlaintext(b *testing.B) {
+	benchIndexPut(b, index.New(store.OpenMemory(), nil))
+}
+
+func benchIndexPut(b *testing.B, ix *index.Index) {
+	b.Helper()
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := ix.Put(&event.Notification{
+			ID:         event.GlobalID(fmt.Sprintf("evt-%09d", i)),
+			Class:      "class.c0",
+			PersonID:   fmt.Sprintf("PRS-%05d", i%1000),
+			OccurredAt: base.Add(time.Duration(i) * time.Second),
+			Producer:   "hospital",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_PersonInquiry measures a pseudonym-indexed person lookup in
+// a 50k-notification encrypted index.
+func BenchmarkE5_PersonInquiry(b *testing.B) {
+	keys, _ := crypto.NewKeyring(bytes.Repeat([]byte{7}, crypto.KeySize))
+	ix := index.New(store.OpenMemory(), keys)
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50000; i++ {
+		ix.Put(&event.Notification{
+			ID: event.GlobalID(fmt.Sprintf("evt-%09d", i)), Class: "class.c0",
+			PersonID:   fmt.Sprintf("PRS-%05d", i%2500),
+			OccurredAt: base.Add(time.Duration(i) * time.Second), Producer: "h",
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Inquire(index.Inquiry{PersonID: fmt.Sprintf("PRS-%05d", i%2500)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_AuditAppend measures one hash-chained audit append.
+func BenchmarkE6_AuditAppend(b *testing.B) {
+	l, err := audit.Open(store.OpenMemory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(audit.Record{
+			Kind: audit.KindDetailRequest, Actor: "doctor",
+			EventID: "evt-1", Class: "c.x", Purpose: "care", Outcome: "permit",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_AuditVerify measures full-chain verification of a 10k log.
+func BenchmarkE6_AuditVerify(b *testing.B) {
+	l, _ := audit.Open(store.OpenMemory())
+	for i := 0; i < 10000; i++ {
+		l.Append(audit.Record{Kind: audit.KindPublish, Actor: "p", Outcome: "ok"})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_FilterEvent measures the Algorithm 2 field filtering that
+// implements minimal usage, on a 9-field home-care event.
+func BenchmarkE7_FilterEvent(b *testing.B) {
+	gen := workload.NewGenerator(workload.Config{Seed: 3, People: 10,
+		Classes: []*schema.Schema{schema.HomeCare()}})
+	_, d := gen.Next()
+	allowed := []event.FieldName{"patient-id", "name", "surname"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := d.Filter(allowed); len(f.Fields) == 0 {
+			b.Fatal("empty filter result")
+		}
+	}
+}
+
+// BenchmarkE8_WindowInquiry measures a class+time-window inquiry in a
+// 100k index.
+func BenchmarkE8_WindowInquiry(b *testing.B) {
+	keys, _ := crypto.NewKeyring(bytes.Repeat([]byte{7}, crypto.KeySize))
+	ix := index.New(store.OpenMemory(), keys)
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100000; i++ {
+		ix.Put(&event.Notification{
+			ID: event.GlobalID(fmt.Sprintf("evt-%09d", i)), Class: event.ClassID(fmt.Sprintf("class.c%d", i%8)),
+			PersonID:   fmt.Sprintf("PRS-%05d", i%5000),
+			OccurredAt: base.Add(time.Duration(i) * time.Minute), Producer: "h",
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := base.Add(time.Duration(i%100000) * time.Minute)
+		if _, err := ix.Inquire(index.Inquiry{Class: "class.c0", From: from, To: from.Add(24 * time.Hour), Limit: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_OnboardProducer measures registering one more producer
+// (with one class and one policy) on a provisioned platform — the O(1)
+// hub onboarding step.
+func BenchmarkE9_OnboardProducer(b *testing.B) {
+	c, _ := benchController(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := event.ProducerID(fmt.Sprintf("clinic-%09d", i))
+		class := event.ClassID(fmt.Sprintf("clinic%09d.visit", i))
+		if err := c.RegisterProducer(id, "clinic"); err != nil {
+			b.Fatal(err)
+		}
+		s := schema.MustNew(class, 1, "visit",
+			schema.Field{Name: "patient-id", Type: schema.String, Required: true, Sensitivity: schema.Identifying})
+		if err := c.DeclareClass(id, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.DefinePolicy(&policy.Policy{
+			Producer: id, Actor: "family-doctor", Class: class,
+			Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_GatewayRetrieve measures one Algorithm 2 retrieval from a
+// gateway holding 10k persisted details (the temporal-decoupling path).
+func BenchmarkE10_GatewayRetrieve(b *testing.B) {
+	gw, err := gateway.New("hospital", store.OpenMemory(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		d := event.NewDetail("c.x", event.SourceID(fmt.Sprintf("s-%06d", i)), "hospital").
+			Set("patient-id", "PRS-1").Set("payload", "some sensitive content here")
+		if err := gw.Persist(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fields := []event.FieldName{"patient-id"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.GetResponse(event.SourceID(fmt.Sprintf("s-%06d", i%10000)), fields); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_SubscribeAuthorized measures one authorized subscribe +
+// cancel round.
+func BenchmarkE11_SubscribeAuthorized(b *testing.B) {
+	c, _ := benchController(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := c.Subscribe("family-doctor", schema.ClassHomeCare, func(*event.Notification) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub.Cancel()
+	}
+}
+
+// BenchmarkE11_SubscribeDenied measures one deny-by-default rejection.
+func BenchmarkE11_SubscribeDenied(b *testing.B) {
+	c, _ := benchController(b)
+	if err := c.RegisterConsumer("stranger", "S"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Subscribe("stranger", schema.ClassHomeCare, func(*event.Notification) {}); err == nil {
+			b.Fatal("unexpected grant")
+		}
+	}
+}
+
+// BenchmarkE12_Compile measures one Definition-2 → XACML compilation.
+func BenchmarkE12_Compile(b *testing.B) {
+	p := &policy.Policy{
+		ID: "p-1", Producer: "prod", Actor: "family-doctor",
+		Class:    schema.ClassBloodTest,
+		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
+		Fields:   schema.BloodTest().FieldNames(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xacml.Compile(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12_EncodeDecode measures the XACML XML round trip of one
+// compiled policy.
+func BenchmarkE12_EncodeDecode(b *testing.B) {
+	p := &policy.Policy{
+		ID: "p-1", Producer: "prod", Actor: "family-doctor",
+		Class:    schema.ClassBloodTest,
+		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
+		Fields:   schema.BloodTest().FieldNames(),
+	}
+	x, err := xacml.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := xacml.Encode(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xacml.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15_MonitorObserve measures one notification observation by
+// the process monitor tracking two pathways.
+func BenchmarkE15_MonitorObserve(b *testing.B) {
+	m, err := process.NewMonitor(
+		&process.Pathway{
+			Name:    "post-discharge care",
+			Trigger: schema.ClassDischarge,
+			Stages: []process.Stage{
+				{Name: "home care", Class: schema.ClassHomeCare, Within: 7 * 24 * time.Hour},
+				{Name: "nursing", Class: schema.ClassNursingService, Within: 14 * 24 * time.Hour},
+			},
+		},
+		&process.Pathway{
+			Name:    "telecare activation",
+			Trigger: schema.ClassAutonomyTest,
+			Stages:  []process.Stage{{Name: "telecare", Class: schema.ClassTelecare, Within: 30 * 24 * time.Hour}},
+		},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: 15, People: 2000})
+	notifications := make([]*event.Notification, 4096)
+	for i := range notifications {
+		n, _ := gen.Next()
+		n.ID = event.GlobalID(fmt.Sprintf("evt-%08d", i))
+		notifications[i] = n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(notifications[i%len(notifications)])
+	}
+}
+
+// BenchmarkE13_GatewayVsCache contrasts one D3-compliant gateway
+// retrieval with the ablated controller-side cache lookup.
+func BenchmarkE13_GatewayVsCache(b *testing.B) {
+	gw, err := gateway.New("hospital", store.OpenMemory(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wh := baseline.NewWarehouse()
+	wh.Grant("consumer", "c.x")
+	for i := 0; i < 1000; i++ {
+		d := event.NewDetail("c.x", event.SourceID(fmt.Sprintf("s-%04d", i)), "hospital").
+			Set("patient-id", "PRS-1").Set("diagnosis", "sensitive content")
+		if err := gw.Persist(d); err != nil {
+			b.Fatal(err)
+		}
+		wh.Load(d)
+	}
+	fields := []event.FieldName{"patient-id"}
+	b.Run("gateway", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gw.GetResponse(event.SourceID(fmt.Sprintf("s-%04d", i%1000)), fields); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("controller-cache(ablation)", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wh.Query("consumer", "c.x", event.SourceID(fmt.Sprintf("s-%04d", i%1000))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE14_WALPut measures one durable put in each durability mode.
+func BenchmarkE14_WALPut(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"buffered", false}, {"fsync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, err := store.Open(b.TempDir()+"/bench.wal", store.Options{SyncEvery: mode.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Put(fmt.Sprintf("k-%09d", i), []byte("a wal record payload")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE16_AggregatorObserve measures one accountability aggregation
+// step.
+func BenchmarkE16_AggregatorObserve(b *testing.B) {
+	agg := reporting.NewAggregator(reporting.Monthly)
+	gen := workload.NewGenerator(workload.Config{Seed: 16, People: 1000})
+	notifications := make([]*event.Notification, 4096)
+	for i := range notifications {
+		n, _ := gen.Next()
+		notifications[i] = n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Observe(notifications[i%len(notifications)])
+	}
+}

@@ -1,0 +1,86 @@
+// css-audit is the privacy guarantor's inquiry tool: it opens a data
+// controller's audit store directly (read-only access to the WAL file)
+// and answers who/what/when/why questions about data access, verifying
+// the hash chain first.
+//
+// Usage:
+//
+//	css-audit -data DIR [flags]
+//
+//	-data     controller data directory (required; reads audit.wal)
+//	-actor    filter by requesting actor
+//	-kind     filter by kind (publish|subscribe|detail-request|index-inquiry)
+//	-outcome  filter by outcome (permit|deny|ok)
+//	-event    filter by global event id
+//	-limit    max records (default 100)
+//	-verify   only verify chain integrity and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"repro/internal/audit"
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+func main() {
+	dataDir := flag.String("data", "", "controller data directory (required)")
+	actor := flag.String("actor", "", "filter: actor")
+	kind := flag.String("kind", "", "filter: kind")
+	outcome := flag.String("outcome", "", "filter: outcome")
+	eventID := flag.String("event", "", "filter: global event id")
+	limit := flag.Int("limit", 100, "max records")
+	verifyOnly := flag.Bool("verify", false, "verify chain integrity and exit")
+	flag.Parse()
+	if *dataDir == "" {
+		log.Fatal("-data is required")
+	}
+
+	st, err := store.Open(filepath.Join(*dataDir, "audit.wal"), store.Options{})
+	if err != nil {
+		log.Fatalf("open audit store: %v", err)
+	}
+	defer st.Close()
+	logch, err := audit.Open(st)
+	if err != nil {
+		log.Fatalf("open audit log: %v", err)
+	}
+
+	if err := logch.Verify(); err != nil {
+		log.Fatalf("AUDIT CHAIN BROKEN: %v", err)
+	}
+	fmt.Printf("audit chain verified: %d records intact\n", logch.Len())
+	if *verifyOnly {
+		return
+	}
+
+	recs, err := logch.Search(audit.Query{
+		Kind:    audit.Kind(*kind),
+		Actor:   *actor,
+		EventID: event.GlobalID(*eventID),
+		Outcome: *outcome,
+		Limit:   *limit,
+	})
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+	for _, r := range recs {
+		line := fmt.Sprintf("#%-6d %s  %-14s %-28s outcome=%-6s",
+			r.Seq, r.At.Format("2006-01-02 15:04:05"), r.Kind, r.Actor, r.Outcome)
+		if r.EventID != "" {
+			line += " event=" + string(r.EventID)
+		}
+		if r.Purpose != "" {
+			line += " purpose=" + string(r.Purpose)
+		}
+		if r.Note != "" {
+			line += fmt.Sprintf(" note=%q", r.Note)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("(%d records shown)\n", len(recs))
+}

@@ -1,0 +1,127 @@
+// css-controller runs the CSS data controller as a web service.
+//
+// Usage:
+//
+//	css-controller [flags]
+//
+//	-addr      listen address (default :8080)
+//	-data      data directory for durable state (default: in-memory)
+//	-key-file  file holding the 32-byte master key in hex; created with a
+//	           fresh random key if absent (requires -data to be useful)
+//	-deny-default-consent  treat citizens as opted out unless they opt in
+//	-scenario  provision the Trentino demo scenario (producers, consumers,
+//	           event classes, standard policies, in-process gateways)
+//
+// Without -scenario the controller starts empty; members join through
+// the web-service API (see internal/transport for the endpoints).
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "", "data directory (empty: in-memory)")
+	keyFile := flag.String("key-file", "", "master key file (hex); created if absent")
+	authKeyFile := flag.String("auth-key-file", "", "identity authority key file (hex); enables bearer-token authentication (mint tokens with css-token)")
+	denyDefault := flag.Bool("deny-default-consent", false, "deny flows without an opt-in directive")
+	scenario := flag.Bool("scenario", false, "provision the demo scenario")
+	flag.Parse()
+
+	cfg := core.Config{
+		DataDir:        *dataDir,
+		DefaultConsent: !*denyDefault,
+	}
+	if *keyFile != "" {
+		key, err := loadOrCreateKey(*keyFile)
+		if err != nil {
+			log.Fatalf("master key: %v", err)
+		}
+		cfg.MasterKey = key
+	}
+
+	ctrl, err := core.New(cfg)
+	if err != nil {
+		log.Fatalf("controller: %v", err)
+	}
+	defer ctrl.Close()
+
+	if *scenario {
+		platform, err := workload.Provision(ctrl)
+		if err != nil {
+			log.Fatalf("scenario: %v", err)
+		}
+		policies, err := platform.StandardPolicies()
+		if err != nil {
+			log.Fatalf("scenario policies: %v", err)
+		}
+		log.Printf("scenario provisioned: %d producers, %d consumers, %d classes, %d policies",
+			len(workload.Producers()), len(workload.Consumers()),
+			len(ctrl.Catalog().Classes()), len(policies))
+	}
+
+	srv := transport.NewServer(ctrl)
+	if *authKeyFile != "" {
+		key, err := loadOrCreateKey(*authKeyFile)
+		if err != nil {
+			log.Fatalf("auth key: %v", err)
+		}
+		authority, err := identity.NewAuthority(key)
+		if err != nil {
+			log.Fatalf("authority: %v", err)
+		}
+		srv.RequireAuth(authority)
+		log.Printf("bearer-token authentication enabled (key: %s)", *authKeyFile)
+	}
+	log.Printf("CSS data controller listening on %s (data=%s)", *addr, orMem(*dataDir))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func orMem(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}
+
+// loadOrCreateKey reads a hex key file, creating it with a fresh random
+// key when missing.
+func loadOrCreateKey(path string) ([]byte, error) {
+	if data, err := os.ReadFile(path); err == nil {
+		key, err := hex.DecodeString(strings.TrimSpace(string(data)))
+		if err != nil {
+			return nil, fmt.Errorf("decode %s: %w", path, err)
+		}
+		return key, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil && filepath.Dir(path) != "." {
+		return nil, err
+	}
+	if err := os.WriteFile(path, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+		return nil, err
+	}
+	log.Printf("generated new master key at %s", path)
+	return key, nil
+}

@@ -1,0 +1,115 @@
+// css-gateway runs a producer's local cooperation gateway as a web
+// service. The gateway persists every detail message the source system
+// hands it (POST /gw/persist) and answers the data controller's filtered
+// retrievals (POST /gw/get-response), so details remain available even
+// when the source system is offline.
+//
+// Usage:
+//
+//	css-gateway -producer hospital -data ./hospital-gw [flags]
+//
+//	-addr        listen address (default :8081)
+//	-producer    owning producer id (required)
+//	-data        data directory for the detail store (default: in-memory)
+//	-controller  controller base URL; when set, the gateway fetches the
+//	             event catalog and validates persisted details against it
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/identity"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// fetchedCatalog adapts a fetched schema list to gateway.SchemaSource.
+type fetchedCatalog map[event.ClassID]*schema.Schema
+
+func (c fetchedCatalog) Schema(id event.ClassID) (*schema.Schema, error) {
+	s, ok := c[id]
+	if !ok {
+		return nil, fmt.Errorf("class %s not in the fetched catalog", id)
+	}
+	return s, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	producer := flag.String("producer", "", "owning producer id (required)")
+	dataDir := flag.String("data", "", "data directory (empty: in-memory)")
+	controller := flag.String("controller", "", "controller base URL for catalog fetch")
+	token := flag.String("token", "", "bearer token for the catalog fetch (auth-enabled controller)")
+	authKeyFile := flag.String("auth-key-file", "", "identity authority key (hex); restricts get-response to the controller's token and persist to the producer's")
+	controllerActor := flag.String("controller-actor", "data-controller", "actor the data controller's tokens are issued for")
+	flag.Parse()
+	if *producer == "" {
+		log.Fatal("-producer is required")
+	}
+
+	var st *store.Store
+	var err error
+	if *dataDir == "" {
+		st = store.OpenMemory()
+	} else {
+		st, err = store.Open(filepath.Join(*dataDir, "gateway.wal"), store.Options{})
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+	}
+	defer st.Close()
+
+	var schemas gateway.SchemaSource
+	if *controller != "" {
+		client := transport.NewClient(*controller, nil)
+		if *token != "" {
+			client = client.WithToken(*token)
+		}
+		list, err := client.Catalog()
+		if err != nil {
+			log.Fatalf("fetch catalog: %v", err)
+		}
+		cat := fetchedCatalog{}
+		for _, s := range list {
+			cat[s.Class()] = s
+		}
+		schemas = cat
+		log.Printf("validating against %d catalog classes", len(cat))
+	}
+
+	gw, err := gateway.New(event.ProducerID(*producer), st, schemas)
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	srv := transport.NewGatewayServer(gw)
+	if *authKeyFile != "" {
+		raw, err := os.ReadFile(*authKeyFile)
+		if err != nil {
+			log.Fatalf("auth key: %v", err)
+		}
+		key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			log.Fatalf("auth key: %v", err)
+		}
+		authority, err := identity.NewAuthority(key)
+		if err != nil {
+			log.Fatalf("authority: %v", err)
+		}
+		srv.RequireAuth(authority, event.Actor(*controllerActor))
+		log.Printf("bearer-token authentication enabled (controller actor: %s)", *controllerActor)
+	}
+	log.Printf("local cooperation gateway for %s listening on %s", *producer, *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// css-policyctl is the command-line Privacy Requirements Elicitation
+// Tool (the paper's Figs 6-7, without the web UI): it lets a data
+// producer's privacy expert define policy rules in terms of event fields,
+// consumers and purposes — no XACML knowledge required — and inspect the
+// XACML the platform generates.
+//
+// Usage:
+//
+//	css-policyctl -controller URL <command> [flags]
+//
+// Commands:
+//
+//	fields -class C              list the selectable fields of a class
+//	pending -producer P          list access requests awaiting a policy
+//	export -producer P           export the producer's whole policy corpus
+//	                             as one XACML PolicySet
+//	define -producer P -class C -fields f1,f2 -consumers a,b
+//	       -purposes s1,s2 [-name N] [-until RFC3339]
+//	                             elicit and store rules (one per consumer)
+//	xacml  -producer P -class C -fields ... -consumers a -purposes ...
+//	                             print the generated XACML (Fig. 8 form)
+//	                             without storing it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/transport"
+	"repro/internal/xacml"
+)
+
+func main() {
+	controller := flag.String("controller", "http://localhost:8080", "controller base URL")
+	token := flag.String("token", "", "bearer token (for auth-enabled controllers)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client := transport.NewClient(*controller, nil)
+	if *token != "" {
+		client = client.WithToken(*token)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "fields":
+		runFields(client, args)
+	case "pending":
+		runPending(client, args)
+	case "export":
+		runExport(client, args)
+	case "define":
+		runDefine(client, args, false)
+	case "xacml":
+		runDefine(client, args, true)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func fetchSchema(client *transport.Client, class string) *schema.Schema {
+	schemas, err := client.Catalog()
+	if err != nil {
+		log.Fatalf("catalog: %v", err)
+	}
+	for _, s := range schemas {
+		if s.Class() == event.ClassID(class) {
+			return s
+		}
+	}
+	log.Fatalf("class %s not in the catalog", class)
+	return nil
+}
+
+func runFields(client *transport.Client, args []string) {
+	fs := flag.NewFlagSet("fields", flag.ExitOnError)
+	class := fs.String("class", "", "event class (required)")
+	fs.Parse(args)
+	if *class == "" {
+		log.Fatal("-class is required")
+	}
+	s := fetchSchema(client, *class)
+	fmt.Printf("fields of %s (v%d):\n", s.Class(), s.Version())
+	for _, f := range s.Fields() {
+		fmt.Printf("  %-20s %-9s %-11s %s\n", f.Name, f.Type, f.Sensitivity, f.Doc)
+	}
+}
+
+func runDefine(client *transport.Client, args []string, dryRunXACML bool) {
+	fs := flag.NewFlagSet("define", flag.ExitOnError)
+	producer := fs.String("producer", "", "data producer id (required)")
+	class := fs.String("class", "", "event class (required)")
+	fields := fs.String("fields", "", "comma-separated fields to release (required)")
+	consumers := fs.String("consumers", "", "comma-separated consumer actors (required)")
+	purposes := fs.String("purposes", "", "comma-separated purposes (required)")
+	name := fs.String("name", "", "rule label")
+	until := fs.String("until", "", "validity end (RFC 3339)")
+	fs.Parse(args)
+	for flagName, v := range map[string]string{
+		"producer": *producer, "class": *class, "fields": *fields,
+		"consumers": *consumers, "purposes": *purposes,
+	} {
+		if v == "" {
+			log.Fatalf("-%s is required", flagName)
+		}
+	}
+
+	s := fetchSchema(client, *class)
+	b := policy.NewBuilder(event.ProducerID(*producer), s)
+	for _, f := range strings.Split(*fields, ",") {
+		b.SelectFields(event.FieldName(strings.TrimSpace(f)))
+	}
+	for _, c := range strings.Split(*consumers, ",") {
+		b.SelectConsumers(event.Actor(strings.TrimSpace(c)))
+	}
+	for _, p := range strings.Split(*purposes, ",") {
+		b.SelectPurposes(event.Purpose(strings.TrimSpace(p)))
+	}
+	if *name != "" {
+		b.Label(*name, "")
+	}
+	if *until != "" {
+		t, err := time.Parse(time.RFC3339, *until)
+		if err != nil {
+			log.Fatalf("-until: %v", err)
+		}
+		b.ValidUntil(t)
+	}
+	policies, err := b.Build()
+	if err != nil {
+		log.Fatalf("elicitation: %v", err)
+	}
+
+	if dryRunXACML {
+		for i, p := range policies {
+			p.ID = policy.ID(fmt.Sprintf("preview-%03d", i+1))
+			compiled, err := xacml.Compile(p)
+			if err != nil {
+				log.Fatalf("compile: %v", err)
+			}
+			data, err := xacml.Encode(compiled)
+			if err != nil {
+				log.Fatalf("encode: %v", err)
+			}
+			fmt.Printf("%s\n", data)
+		}
+		return
+	}
+
+	for _, p := range policies {
+		stored, err := client.DefinePolicy(p)
+		if err != nil {
+			log.Fatalf("define (%s): %v", p.Actor, err)
+		}
+		fmt.Printf("stored %s: %s may access %d field(s) of %s for %s\n",
+			stored.ID, stored.Actor, len(stored.Fields), stored.Class,
+			strings.Join(purposeStrings(stored), ", "))
+	}
+}
+
+func purposeStrings(p *policy.Policy) []string {
+	out := make([]string, len(p.Purposes))
+	for i, s := range p.Purposes {
+		out[i] = string(s)
+	}
+	return out
+}
+
+func runPending(client *transport.Client, args []string) {
+	fs := flag.NewFlagSet("pending", flag.ExitOnError)
+	producer := fs.String("producer", "", "data producer id (required)")
+	fs.Parse(args)
+	if *producer == "" {
+		log.Fatal("-producer is required")
+	}
+	pending, err := client.PendingRequests(event.ProducerID(*producer))
+	if err != nil {
+		log.Fatalf("pending: %v", err)
+	}
+	if len(pending) == 0 {
+		fmt.Println("no pending access requests")
+		return
+	}
+	for _, p := range pending {
+		purpose := string(p.Purpose)
+		if purpose == "" {
+			purpose = "(subscription)"
+		}
+		fmt.Printf("%-28s %-32s %-22s ×%d last %s\n",
+			p.Actor, p.Class, purpose, p.Count, p.LastAt.Format(time.RFC3339))
+	}
+	fmt.Println("define a policy with 'css-policyctl define ...' to resolve an entry")
+}
+
+func runExport(client *transport.Client, args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	producer := fs.String("producer", "", "data producer id (required)")
+	fs.Parse(args)
+	if *producer == "" {
+		log.Fatal("-producer is required")
+	}
+	policies, err := client.Policies(event.ProducerID(*producer))
+	if err != nil {
+		log.Fatalf("policies: %v", err)
+	}
+	if len(policies) == 0 {
+		log.Fatalf("producer %s has no stored policies", *producer)
+	}
+	ps, err := xacml.CompileProducerSet(event.ProducerID(*producer), policies)
+	if err != nil {
+		log.Fatalf("compile set: %v", err)
+	}
+	data, err := xacml.EncodeSet(ps)
+	if err != nil {
+		log.Fatalf("encode set: %v", err)
+	}
+	fmt.Printf("%s\n", data)
+}

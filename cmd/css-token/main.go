@@ -1,0 +1,95 @@
+// css-token mints and revokes bearer tokens for an authentication-enabled
+// data controller (css-controller -auth-key-file). It stands in for the
+// national identity provider the paper defers to (§5).
+//
+// Usage:
+//
+//	css-token -key-file FILE issue -actor ACTOR [-roles r1,r2] [-ttl 24h]
+//	css-token -key-file FILE inspect -token TOKEN
+//
+// Revocation is a controller-side runtime operation (the authority keeps
+// the revocation list in memory with the controller process); inspect
+// verifies signature and validity window offline.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/identity"
+)
+
+func main() {
+	keyFile := flag.String("key-file", "", "authority key file (hex, required)")
+	flag.Parse()
+	if *keyFile == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*keyFile)
+	if err != nil {
+		log.Fatalf("read key: %v", err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		log.Fatalf("decode key: %v", err)
+	}
+	authority, err := identity.NewAuthority(key)
+	if err != nil {
+		log.Fatalf("authority: %v", err)
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "issue":
+		runIssue(authority, args)
+	case "inspect":
+		runInspect(authority, args)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func runIssue(a *identity.Authority, args []string) {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	actor := fs.String("actor", "", "actor path (required)")
+	roles := fs.String("roles", "", "comma-separated roles")
+	ttl := fs.Duration("ttl", 24*time.Hour, "time to live")
+	fs.Parse(args)
+	if *actor == "" {
+		log.Fatal("-actor is required")
+	}
+	var roleList []string
+	if *roles != "" {
+		roleList = strings.Split(*roles, ",")
+	}
+	token, claims, err := a.Issue(event.Actor(*actor), roleList, *ttl)
+	if err != nil {
+		log.Fatalf("issue: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "token %s for %s, expires %s\n",
+		claims.TokenID, claims.Actor, claims.ExpiresAt.Format(time.RFC3339))
+	fmt.Println(token)
+}
+
+func runInspect(a *identity.Authority, args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	token := fs.String("token", "", "token to inspect (required)")
+	fs.Parse(args)
+	if *token == "" {
+		log.Fatal("-token is required")
+	}
+	claims, err := a.Verify(*token, time.Time{})
+	if err != nil {
+		log.Fatalf("invalid: %v", err)
+	}
+	fmt.Printf("token-id: %s\nactor:    %s\nroles:    %s\nissued:   %s\nexpires:  %s\n",
+		claims.TokenID, claims.Actor, strings.Join(claims.Roles, ","),
+		claims.IssuedAt.Format(time.RFC3339), claims.ExpiresAt.Format(time.RFC3339))
+}

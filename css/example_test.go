@@ -1,0 +1,68 @@
+package css_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/css"
+)
+
+// Example walks the full summary-then-request protocol: declare a class,
+// elicit a policy that obfuscates a sensitive field, emit an event, and
+// request its details with a stated purpose.
+func Example() {
+	platform, err := css.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	exam := css.MustSchema("clinic.exam", 1, "Clinical exam",
+		css.Field{Name: "patient-id", Type: css.String, Required: true, Sensitivity: css.Identifying},
+		css.Field{Name: "result", Type: css.String, Sensitivity: css.Sensitive},
+		css.Field{Name: "notes", Type: css.String, Sensitivity: css.Sensitive},
+	)
+	clinic, err := platform.RegisterProducer("clinic", "The clinic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clinic.DeclareClass(exam); err != nil {
+		log.Fatal(err)
+	}
+	doctor, err := platform.RegisterConsumer("doctor", "The doctor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := clinic.Policy(exam).
+		SelectFields("patient-id", "result").
+		SelectConsumers("doctor").
+		SelectPurposes(css.PurposeHealthcareTreatment).
+		Apply(); err != nil {
+		log.Fatal(err)
+	}
+
+	id, err := clinic.Emit(
+		&css.Notification{
+			SourceID: "exam-1", Class: "clinic.exam", PersonID: "PRS-1",
+			Summary: "exam done", OccurredAt: time.Date(2010, 6, 1, 9, 0, 0, 0, time.UTC),
+			Producer: "clinic",
+		},
+		css.NewDetail("clinic.exam", "exam-1", "clinic").
+			Set("patient-id", "PRS-1").
+			Set("result", "all clear").
+			Set("notes", "internal remarks"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := doctor.RequestDetails(id, "clinic.exam", css.PurposeHealthcareTreatment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, _ := d.Get("result")
+	_, notesReleased := d.Get("notes")
+	fmt.Printf("result=%s notes-released=%v\n", result, notesReleased)
+	// Output: result=all clear notes-released=false
+}

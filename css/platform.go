@@ -1,0 +1,164 @@
+package css
+
+import (
+	"path/filepath"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/enforcer"
+	"repro/internal/gateway"
+	"repro/internal/store"
+)
+
+// Re-exported sentinel errors, so callers can errors.Is against the
+// public package only.
+var (
+	// ErrDenied reports a detail request refused by the privacy policies
+	// (deny-by-default included).
+	ErrDenied = enforcer.ErrDenied
+	// ErrConsentDenied reports a flow blocked by the data subject's
+	// consent.
+	ErrConsentDenied = core.ErrConsentDeny
+	// ErrSubscriptionDenied reports a subscription without an authorizing
+	// policy.
+	ErrSubscriptionDenied = core.ErrSubscriptionDeny
+	// ErrUnknownEvent reports a request for an event id the platform
+	// never assigned.
+	ErrUnknownEvent = enforcer.ErrUnknownEvent
+)
+
+// Option configures NewPlatform.
+type Option func(*core.Config)
+
+// WithDataDir persists the platform state under dir.
+func WithDataDir(dir string) Option {
+	return func(c *core.Config) { c.DataDir = dir }
+}
+
+// WithMasterKey supplies the 32-byte key protecting person identifiers.
+func WithMasterKey(key []byte) Option {
+	return func(c *core.Config) { c.MasterKey = key }
+}
+
+// WithDefaultConsent sets the decision with no recorded directive
+// (default: allow — opt-out model).
+func WithDefaultConsent(allow bool) Option {
+	return func(c *core.Config) { c.DefaultConsent = allow }
+}
+
+// WithClock injects a clock for simulated time.
+func WithClock(now func() time.Time) Option {
+	return func(c *core.Config) { c.Now = now }
+}
+
+// WithBusOptions tunes the event distribution fabric.
+func WithBusOptions(o bus.Options) Option {
+	return func(c *core.Config) { c.Bus = o }
+}
+
+// Platform is one CSS deployment: the data controller plus the producer
+// gateways created through it. Safe for concurrent use.
+type Platform struct {
+	ctrl    *core.Controller
+	dataDir string
+}
+
+// NewPlatform creates a platform. By default everything is in-memory
+// with a random master key and opt-out consent; see the Options.
+func NewPlatform(opts ...Option) (*Platform, error) {
+	cfg := core.Config{DefaultConsent: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctrl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{ctrl: ctrl, dataDir: cfg.DataDir}, nil
+}
+
+// Close shuts the platform down.
+func (p *Platform) Close() error { return p.ctrl.Close() }
+
+// Controller exposes the underlying data controller for advanced use
+// (transport binding, direct flows).
+func (p *Platform) Controller() *core.Controller { return p.ctrl }
+
+// RegisterProducer admits a data source and provisions its local
+// cooperation gateway (persistent when the platform has a data
+// directory).
+func (p *Platform) RegisterProducer(id ProducerID, name string) (*Producer, error) {
+	if err := p.ctrl.RegisterProducer(id, name); err != nil {
+		return nil, err
+	}
+	var st *store.Store
+	if p.dataDir == "" {
+		st = store.OpenMemory()
+	} else {
+		var err error
+		st, err = store.Open(filepath.Join(p.dataDir, "gateway-"+string(id)+".wal"), store.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	gw, err := gateway.New(id, st, p.ctrl.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ctrl.AttachGateway(id, gw); err != nil {
+		return nil, err
+	}
+	return &Producer{platform: p, id: id, gw: gw}, nil
+}
+
+// RegisterConsumer admits a consumer organization (and thereby its
+// departments).
+func (p *Platform) RegisterConsumer(actor Actor, name string) (*Consumer, error) {
+	if err := p.ctrl.RegisterConsumer(actor, name); err != nil {
+		return nil, err
+	}
+	return &Consumer{platform: p, actor: actor}, nil
+}
+
+// Department returns a Consumer handle for a department of an already
+// registered organization (e.g. "hospital/laboratory").
+func (p *Platform) Department(actor Actor) (*Consumer, error) {
+	if err := actor.Validate(); err != nil {
+		return nil, err
+	}
+	return &Consumer{platform: p, actor: actor}, nil
+}
+
+// RecordConsent stores a citizen consent directive.
+func (p *Platform) RecordConsent(d ConsentDirective) (ConsentDirective, error) {
+	return p.ctrl.RecordConsent(d)
+}
+
+// OptOut records a denial for person, optionally scoped.
+func (p *Platform) OptOut(personID string, scope ConsentScope) error {
+	_, err := p.ctrl.RecordConsent(ConsentDirective{PersonID: personID, Allow: false, Scope: scope})
+	return err
+}
+
+// OptIn records a permission for person, optionally scoped.
+func (p *Platform) OptIn(personID string, scope ConsentScope) error {
+	_, err := p.ctrl.RecordConsent(ConsentDirective{PersonID: personID, Allow: true, Scope: scope})
+	return err
+}
+
+// AuditSearch queries the access log — the inquiry interface of the
+// privacy guarantor.
+func (p *Platform) AuditSearch(q AuditQuery) ([]AuditRecord, error) {
+	return p.ctrl.Audit().Search(q)
+}
+
+// AuditVerify checks the integrity of the hash-chained access log.
+func (p *Platform) AuditVerify() error { return p.ctrl.Audit().Verify() }
+
+// Flush waits for all pending notification deliveries (useful in tests
+// and batch jobs).
+func (p *Platform) Flush(timeout time.Duration) bool { return p.ctrl.Flush(timeout) }
+
+// RevokePolicy removes a stored policy.
+func (p *Platform) RevokePolicy(id PolicyID) error { return p.ctrl.RevokePolicy(id) }

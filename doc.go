@@ -1,0 +1,9 @@
+// Package repro is the root of the CSS reproduction: a privacy-
+// preserving, event-driven integration platform for interoperating
+// social and health systems, after Armellin et al. (SDM @ VLDB 2010).
+//
+// Import the public API from repro/css; the substrates live under
+// internal/. The root package exists to host the repository-level
+// benchmark suite (bench_test.go), one benchmark per experiment of
+// EXPERIMENTS.md.
+package repro

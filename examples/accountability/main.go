@@ -1,0 +1,103 @@
+// Accountability: the governing body's aggregated reporting (paper §2:
+// providers report "detailed vs aggregated data to the governing body
+// (province or ministry of health and finance) for accountability and
+// reimbursement purposes").
+//
+// The province aggregates a year of service notifications into the
+// monthly reimbursement table — services delivered, citizens served, mean
+// intensity — per provider and service. No detail request is ever issued
+// and no identifier appears in the report.
+//
+// Run: go run ./examples/accountability
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/css"
+	"repro/internal/reporting"
+	"repro/internal/workload"
+)
+
+func main() {
+	platform, err := css.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+	world, err := workload.Provision(platform.Controller())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := world.StandardPolicies(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The province is admitted and granted notification-level access to
+	// every class (one policy per producer/class pair — patient-id only).
+	if err := platform.Controller().RegisterConsumer("province", "Autonomous Province"); err != nil {
+		log.Fatal(err)
+	}
+	for _, spec := range workload.Producers() {
+		for _, s := range spec.Classes {
+			if _, err := platform.Controller().DefinePolicy(&css.Policy{
+				Producer: spec.ID,
+				Actor:    "province",
+				Class:    s.Class(),
+				Purposes: []css.Purpose{css.PurposeAdministration},
+				Fields:   []css.FieldName{"patient-id"},
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	province, err := platform.Department("province")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The province subscribes to everything through its aggregator.
+	agg := reporting.NewAggregator(reporting.Quarterly)
+	for _, spec := range workload.Producers() {
+		for _, s := range spec.Classes {
+			if _, err := province.Subscribe(s.Class(), func(n *css.Notification) {
+				agg.Observe(n)
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// A year of service delivery across all institutions.
+	gen := workload.NewGenerator(workload.Config{Seed: 99, People: 400})
+	const events = 3000
+	for i := 0; i < events; i++ {
+		n, d := gen.Next()
+		if _, err := world.Produce(n, d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !platform.Flush(10 * time.Second) {
+		log.Fatal("deliveries did not drain")
+	}
+
+	fmt.Println("quarter   provider             service                          services  citizens  per-citizen")
+	for _, row := range agg.Report() {
+		if row.Bucket > "2010-Q2" {
+			continue // print the first half year
+		}
+		fmt.Printf("%-9s %-20s %-32s %-9d %-9d %.2f\n",
+			row.Bucket, row.Producer, row.Class, row.Services, row.Citizens, row.ServicesPerCitizen)
+	}
+	for _, spec := range workload.Producers() {
+		services, buckets := agg.Totals(spec.ID)
+		fmt.Printf("reimbursement basis for %-22s %5d services over %d quarters\n",
+			spec.ID+":", services, buckets)
+	}
+
+	// The aggregate required zero detail requests.
+	recs, _ := platform.AuditSearch(css.AuditQuery{Actor: "province", Kind: "detail-request"})
+	fmt.Printf("\ndetail requests issued by the province: %d\n", len(recs))
+}

@@ -1,0 +1,178 @@
+// Home care: the paper's Fig. 8 scenario end to end.
+//
+// The municipality delivers home-care services and publishes
+// HomeCareServiceEvent notifications. Three consumers hold different
+// rights elicited by the municipality:
+//
+//   - the family doctor sees only PatientId, Name and Surname (the exact
+//     policy of the paper's Fig. 8 XACML listing);
+//   - the home-care unit of the social welfare department sees everything
+//     for social assistance and administration;
+//   - a private caring cooperative sees identity and service type, but
+//     only until its contract expires (validity window).
+//
+// One citizen opts out of sharing with the cooperative entirely: consent
+// overrides policies.
+//
+// Run: go run ./examples/homecare
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/css"
+	"repro/internal/schema"
+)
+
+func main() {
+	// The scenario plays out in 2010; pin the platform clock so the
+	// cooperative's contract window behaves as it did in the field.
+	today := time.Date(2010, 6, 20, 12, 0, 0, 0, time.UTC)
+	platform, err := css.NewPlatform(css.WithClock(func() time.Time { return today }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	municipality, err := platform.RegisterProducer("municipality-trento", "Municipality of Trento")
+	if err != nil {
+		log.Fatal(err)
+	}
+	homeCare := schema.HomeCare()
+	if err := municipality.DeclareClass(homeCare); err != nil {
+		log.Fatal(err)
+	}
+
+	doctor := mustConsumer(platform, "family-doctor", "Family doctors network")
+	welfareUnit := mustConsumer(platform, "social-welfare", "Social welfare department")
+	coop := mustConsumer(platform, "caring-coop", "Private caring cooperative")
+
+	// --- privacy policy elicitation (the Figs 6-7 tool, in code) -------
+	contractEnd := time.Date(2010, 12, 31, 23, 59, 59, 0, time.UTC)
+
+	apply(municipality.Policy(homeCare).
+		SelectFields("patient-id", "name", "surname"). // Fig. 8: lines 25-36
+		SelectConsumers("family-doctor").
+		SelectPurposes(css.PurposeHealthcareTreatment).
+		Label("HomeCareServiceEvent for family doctors", "identity fields only"))
+
+	apply(municipality.Policy(homeCare).
+		SelectAllFieldsExcept().
+		SelectConsumers("social-welfare").
+		SelectPurposes(css.PurposeSocialAssistance, css.PurposeAdministration).
+		Label("welfare department full access", ""))
+
+	apply(municipality.Policy(homeCare).
+		SelectFields("patient-id", "name", "surname", "service-type").
+		SelectConsumers("caring-coop").
+		SelectPurposes(css.PurposeSocialAssistance).
+		ValidUntil(contractEnd).
+		Label("cooperative contract access", "expires with the 2010 contract"))
+
+	// --- one citizen opts out of the cooperative ----------------------
+	if err := platform.OptOut("PRS-000007", css.ConsentScope{Consumer: "caring-coop"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- the municipality delivers services and emits events ----------
+	emit := func(src css.SourceID, person, name, surname, service string) css.EventID {
+		id, err := municipality.Emit(
+			&css.Notification{
+				SourceID: src, Class: homeCare.Class(), PersonID: person,
+				Summary:    fmt.Sprintf("%s service delivered", service),
+				OccurredAt: time.Date(2010, 6, 15, 10, 0, 0, 0, time.UTC),
+				Producer:   "municipality-trento",
+			},
+			css.NewDetail(homeCare.Class(), src, "municipality-trento").
+				Set("patient-id", person).
+				Set("name", name).
+				Set("surname", surname).
+				Set("service-type", service).
+				Set("operator", "op-77").
+				Set("duration-minutes", "45").
+				Set("care-notes", "patient weak, needs follow-up").
+				Set("health-status", "fragile"),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	evAnna := emit("hc-001", "PRS-000001", "Anna", "Rossi", "nursing")
+	evBruno := emit("hc-002", "PRS-000007", "Bruno", "Conti", "meal")
+
+	show := func(who string, d *css.Detail, err error) {
+		if err != nil {
+			fmt.Printf("%-28s DENIED: %v\n", who, err)
+			return
+		}
+		fmt.Printf("%-28s fields: %d released", who, len(d.Fields))
+		if v, ok := d.Get("care-notes"); ok {
+			fmt.Printf(" (incl. care-notes=%q)", v)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("== Anna's nursing event ==")
+	d, err := doctor.RequestDetails(evAnna, homeCare.Class(), css.PurposeHealthcareTreatment)
+	show("family doctor:", d, err)
+	if d != nil {
+		if _, ok := d.Get("care-notes"); ok {
+			log.Fatal("BUG: doctor saw care notes")
+		}
+	}
+	d, err = welfareUnit.RequestDetails(evAnna, homeCare.Class(), css.PurposeSocialAssistance)
+	show("welfare department:", d, err)
+	d, err = coop.RequestDetailsAt(evAnna, homeCare.Class(), css.PurposeSocialAssistance,
+		time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC))
+	show("cooperative (in contract):", d, err)
+	d, err = coop.RequestDetailsAt(evAnna, homeCare.Class(), css.PurposeSocialAssistance,
+		time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC))
+	show("cooperative (2011):", d, err)
+	if !errors.Is(err, css.ErrDenied) {
+		log.Fatal("BUG: expired contract still grants access")
+	}
+
+	fmt.Println("\n== Bruno's meal event (Bruno opted out of the cooperative) ==")
+	d, err = welfareUnit.RequestDetails(evBruno, homeCare.Class(), css.PurposeSocialAssistance)
+	show("welfare department:", d, err)
+	d, err = coop.RequestDetailsAt(evBruno, homeCare.Class(), css.PurposeSocialAssistance,
+		time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC))
+	show("cooperative:", d, err)
+	if !errors.Is(err, css.ErrConsentDenied) {
+		log.Fatal("BUG: consent opt-out not enforced")
+	}
+
+	// The cooperative's subscription also never sees Bruno.
+	seen := map[string]bool{}
+	done := make(chan struct{})
+	if _, err := coop.Subscribe(homeCare.Class(), func(n *css.Notification) {
+		seen[n.PersonID] = true
+		close(done)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	emit("hc-003", "PRS-000001", "Anna", "Rossi", "cleaning")
+	emit("hc-004", "PRS-000007", "Bruno", "Conti", "nursing")
+	<-done
+	platform.Flush(5 * time.Second)
+	fmt.Printf("\ncooperative's notifications: Anna=%v Bruno=%v (consent filters routing too)\n",
+		seen["PRS-000001"], seen["PRS-000007"])
+}
+
+func mustConsumer(p *css.Platform, actor css.Actor, name string) *css.Consumer {
+	c, err := p.RegisterConsumer(actor, name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func apply(b *css.PolicyBuilder) {
+	if _, err := b.Apply(); err != nil {
+		log.Fatal(err)
+	}
+}

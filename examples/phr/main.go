@@ -1,0 +1,125 @@
+// PHR: the citizen-facing view the paper names as CSS's next step (§7:
+// "the CSS is the backbone for the implementation of a Personalized
+// Health Records (PHR) in Trentino", and the citizen "can specify and
+// control their consent on data exchanges").
+//
+// Anna reviews her own care timeline across every institution, sees who
+// accessed her data and why, and tightens her consent — all through the
+// data subject's handle.
+//
+// Run: go run ./examples/phr
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/css"
+	"repro/internal/audit"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func main() {
+	platform, err := css.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// Provision the full Trentino scenario and its policy set.
+	world, err := workload.Provision(platform.Controller())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := world.StandardPolicies(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A year of events across all institutions; Anna is the most active
+	// citizen of the skewed population.
+	gen := workload.NewGenerator(workload.Config{Seed: 21, People: 200})
+	const annaID = "PRS-000001"
+	var annaEvents []css.EventID
+	var annaClasses []css.ClassID
+	for i := 0; i < 600; i++ {
+		n, d := gen.Next()
+		id, err := world.Produce(n, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n.PersonID == annaID {
+			annaEvents = append(annaEvents, id)
+			annaClasses = append(annaClasses, n.Class)
+		}
+	}
+
+	// Caregivers access some of Anna's events.
+	doctor, err := platform.Department("family-doctor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, id := range annaEvents {
+		if i%2 == 0 {
+			doctor.RequestDetails(id, annaClasses[i], css.PurposeHealthcareTreatment)
+		}
+	}
+
+	// --- Anna opens her PHR ---------------------------------------------
+	anna, err := platform.Citizen(annaID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	timeline, err := anna.Timeline(css.Inquiry{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Anna's care timeline: %d events across the platform\n", len(timeline))
+	byClass := map[css.ClassID]int{}
+	for _, n := range timeline {
+		byClass[n.Class]++
+	}
+	for class, count := range byClass {
+		fmt.Printf("  %-32s %d\n", class, count)
+	}
+
+	history, err := anna.AccessHistory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var permits, denials int
+	for _, r := range history {
+		if r.Kind != audit.KindDetailRequest {
+			continue
+		}
+		if r.Outcome == "permit" {
+			permits++
+		} else {
+			denials++
+		}
+	}
+	fmt.Printf("\nwho touched Anna's data: %d permitted detail accesses, %d denied\n", permits, denials)
+
+	// Anna opts out of the private cooperative entirely.
+	if err := anna.OptOut(css.ConsentScope{Consumer: "caring-coop"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Anna recorded %d consent directive(s)\n", len(anna.Directives()))
+
+	// The cooperative is now blind to Anna, old events included.
+	coop, err := platform.Department("caring-coop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocked := 0
+	for i, id := range annaEvents {
+		if annaClasses[i] != schema.ClassHomeCare {
+			continue
+		}
+		if _, err := coop.RequestDetails(id, annaClasses[i], css.PurposeSocialAssistance); err != nil {
+			blocked++
+		}
+	}
+	fmt.Printf("cooperative requests on Anna's past home-care events: all %d blocked by her consent\n", blocked)
+}

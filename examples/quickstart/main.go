@@ -1,0 +1,113 @@
+// Quickstart: the summary-then-request protocol in one file.
+//
+// A hospital publishes a blood-test event. The family doctor receives the
+// non-sensitive notification, then requests the details for healthcare
+// treatment — and gets exactly the fields the hospital's privacy policy
+// allows: the AIDS test result never leaves the hospital.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/css"
+)
+
+func main() {
+	platform, err := css.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// 1. The hospital joins the platform and declares its event class.
+	bloodTest := css.MustSchema("hospital.blood-test", 1, "Blood test completed by the laboratory",
+		css.Field{Name: "patient-id", Type: css.String, Required: true, Sensitivity: css.Identifying},
+		css.Field{Name: "exam-date", Type: css.Date, Required: true, Sensitivity: css.Ordinary},
+		css.Field{Name: "hemoglobin", Type: css.Float, Sensitivity: css.Sensitive},
+		css.Field{Name: "aids-test", Type: css.Code, Sensitivity: css.Sensitive,
+			Codes: []string{"negative", "positive", "inconclusive"}},
+	)
+	hospital, err := platform.RegisterProducer("hospital", "Hospital S. Maria")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hospital.DeclareClass(bloodTest); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The family doctor joins as a consumer.
+	doctor, err := platform.RegisterConsumer("family-doctor", "Family doctors network")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The hospital elicits its privacy policy: the doctor may see
+	//    everything except the AIDS test, for healthcare treatment only.
+	if _, err := hospital.Policy(bloodTest).
+		SelectAllFieldsExcept("aids-test").
+		SelectConsumers("family-doctor").
+		SelectPurposes(css.PurposeHealthcareTreatment).
+		Label("family doctor access", "AIDS test obfuscated").
+		Apply(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The doctor subscribes (authorized because the policy exists).
+	notifications := make(chan *css.Notification, 1)
+	if _, err := doctor.Subscribe("hospital.blood-test", func(n *css.Notification) {
+		notifications <- n
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. The hospital emits an event: the detail stays in its gateway,
+	//    the notification goes through the data controller.
+	eventID, err := hospital.Emit(
+		&css.Notification{
+			SourceID:   "lab-2010-000123",
+			Class:      "hospital.blood-test",
+			PersonID:   "PRS-000042",
+			Summary:    "blood test completed",
+			OccurredAt: time.Date(2010, 5, 30, 9, 15, 0, 0, time.UTC),
+			Producer:   "hospital",
+		},
+		css.NewDetail("hospital.blood-test", "lab-2010-000123", "hospital").
+			Set("patient-id", "PRS-000042").
+			Set("exam-date", "2010-05-30").
+			Set("hemoglobin", "13.9").
+			Set("aids-test", "negative"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. The doctor is notified (who/what/when/where — no payload)...
+	n := <-notifications
+	fmt.Printf("notification: person=%s class=%s when=%s from=%s\n",
+		n.PersonID, n.Class, n.OccurredAt.Format("2006-01-02"), n.Producer)
+
+	// 7. ...and requests the details with an explicit purpose.
+	detail, err := doctor.RequestDetails(eventID, "hospital.blood-test", css.PurposeHealthcareTreatment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("details released to the doctor:")
+	for _, f := range []css.FieldName{"patient-id", "exam-date", "hemoglobin"} {
+		v, _ := detail.Get(f)
+		fmt.Printf("  %-12s = %s\n", f, v)
+	}
+	if _, leaked := detail.Get("aids-test"); !leaked {
+		fmt.Println("  aids-test    = (never left the hospital)")
+	}
+
+	// 8. A request for an unauthorized purpose is denied and audited.
+	if _, err := doctor.RequestDetails(eventID, "hospital.blood-test", css.PurposeStatisticalAnalysis); err != nil {
+		fmt.Printf("statistics request: %v\n", err)
+	}
+	recs, _ := platform.AuditSearch(css.AuditQuery{})
+	fmt.Printf("audit trail: %d records, chain valid: %v\n", len(recs), platform.AuditVerify() == nil)
+}

@@ -1,0 +1,249 @@
+// Package audit implements the access log of the data controller: "the
+// data controller ... maintains logs of the access request for auditing
+// purposes" (paper §4), answering "who did the request and why/for which
+// purpose" (§1) for the privacy guarantor or the data subject herself.
+//
+// The log is append-only and hash-chained: every record carries the hash
+// of its predecessor, so truncation or in-place tampering is detectable
+// by Verify. Records are persisted through the embedded store.
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+// Kind classifies an audited interaction.
+type Kind string
+
+// Audited interaction kinds.
+const (
+	// KindPublish: a producer published a notification.
+	KindPublish Kind = "publish"
+	// KindSubscribe: a consumer asked to subscribe to an event class.
+	KindSubscribe Kind = "subscribe"
+	// KindDetailRequest: a consumer asked for the details of an event.
+	KindDetailRequest Kind = "detail-request"
+	// KindIndexInquiry: a consumer queried the events index.
+	KindIndexInquiry Kind = "index-inquiry"
+)
+
+// Record is one audited interaction. Outcome is "permit" or "deny"
+// (or "ok" for publishes); PolicyID names the deciding policy when one
+// matched.
+type Record struct {
+	// Seq is the 1-based position in the chain.
+	Seq uint64 `json:"seq"`
+	// At is when the interaction was logged.
+	At time.Time `json:"at"`
+	// Kind classifies the interaction.
+	Kind Kind `json:"kind"`
+	// Actor is who performed it (consumer actor or producer id).
+	Actor string `json:"actor"`
+	// EventID is the global event id, when the interaction names one.
+	EventID event.GlobalID `json:"eventId,omitempty"`
+	// Class is the event class involved.
+	Class event.ClassID `json:"class,omitempty"`
+	// Purpose is the declared purpose of use, when stated.
+	Purpose event.Purpose `json:"purpose,omitempty"`
+	// Outcome is the decision: "permit", "deny" or "ok".
+	Outcome string `json:"outcome"`
+	// PolicyID names the policy that determined the outcome, if any.
+	PolicyID string `json:"policyId,omitempty"`
+	// Note carries free-form diagnostic detail (e.g. the denial reason).
+	Note string `json:"note,omitempty"`
+	// PrevHash/Hash chain the record to its predecessor.
+	PrevHash string `json:"prevHash"`
+	Hash     string `json:"hash"`
+}
+
+// ErrTampered reports a chain verification failure.
+var ErrTampered = errors.New("audit: chain verification failed")
+
+// Log is the hash-chained audit log. Safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	st   *store.Store
+	seq  uint64
+	last string // hash of the newest record
+}
+
+// genesisHash anchors the chain.
+const genesisHash = "css-audit-genesis"
+
+// Open creates a log on st, recovering the chain head from persisted
+// records. The log uses keys with prefix "a/" in the store.
+func Open(st *store.Store) (*Log, error) {
+	l := &Log{st: st, last: genesisHash}
+	var innerErr error
+	err := st.AscendPrefix("a/", func(k string, v []byte) bool {
+		var r Record
+		if err := json.Unmarshal(v, &r); err != nil {
+			innerErr = fmt.Errorf("audit: corrupt record %s: %w", k, err)
+			return false
+		}
+		if r.Seq > l.seq {
+			l.seq = r.Seq
+			l.last = r.Hash
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return l, nil
+}
+
+// Append adds a record to the chain. Seq, PrevHash and Hash are assigned
+// by the log; the caller fills the descriptive fields. The stored record
+// is returned.
+func (l *Log) Append(r Record) (Record, error) {
+	if r.Kind == "" || r.Actor == "" || r.Outcome == "" {
+		return Record{}, errors.New("audit: record missing kind, actor or outcome")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Seq = l.seq + 1
+	if r.At.IsZero() {
+		r.At = time.Now()
+	}
+	r.PrevHash = l.last
+	r.Hash = hashRecord(&r)
+	data, err := json.Marshal(&r)
+	if err != nil {
+		return Record{}, fmt.Errorf("audit: encode: %w", err)
+	}
+	if err := l.st.Put(key(r.Seq), data); err != nil {
+		return Record{}, err
+	}
+	l.seq = r.Seq
+	l.last = r.Hash
+	return r, nil
+}
+
+// hashRecord computes the chained hash over the record's content fields
+// and its PrevHash. The Hash field itself is excluded.
+func hashRecord(r *Record) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s",
+		r.Seq, r.At.UTC().Format(time.RFC3339Nano), r.Kind, r.Actor,
+		r.EventID, r.Class, r.Purpose, r.Outcome, r.PolicyID, r.Note, r.PrevHash)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// key renders a sequence number as a sortable store key.
+func key(seq uint64) string { return fmt.Sprintf("a/%020d", seq) }
+
+// Len returns the number of records.
+func (l *Log) Len() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Verify walks the whole chain and checks every link. It returns
+// ErrTampered (wrapped with the offending sequence number) if a record
+// was modified, reordered or removed.
+func (l *Log) Verify() error {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	prev := genesisHash
+	var want uint64 = 1
+	var verr error
+	err := l.st.AscendPrefix("a/", func(k string, v []byte) bool {
+		var r Record
+		if err := json.Unmarshal(v, &r); err != nil {
+			verr = fmt.Errorf("%w: undecodable record at %s", ErrTampered, k)
+			return false
+		}
+		if r.Seq != want {
+			verr = fmt.Errorf("%w: gap at seq %d (found %d)", ErrTampered, want, r.Seq)
+			return false
+		}
+		if r.PrevHash != prev {
+			verr = fmt.Errorf("%w: broken link at seq %d", ErrTampered, r.Seq)
+			return false
+		}
+		if hashRecord(&r) != r.Hash {
+			verr = fmt.Errorf("%w: content hash mismatch at seq %d", ErrTampered, r.Seq)
+			return false
+		}
+		prev = r.Hash
+		want++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if verr != nil {
+		return verr
+	}
+	if want != seq+1 {
+		return fmt.Errorf("%w: chain shorter than expected (%d < %d)", ErrTampered, want-1, seq)
+	}
+	return nil
+}
+
+// Query filters the audit trail. Zero-valued fields match anything.
+type Query struct {
+	Kind    Kind
+	Actor   string
+	EventID event.GlobalID
+	Class   event.ClassID
+	Outcome string
+	From    time.Time
+	To      time.Time
+	Limit   int
+}
+
+// Search returns the records matching q, in chain order.
+func (l *Log) Search(q Query) ([]Record, error) {
+	var out []Record
+	var derr error
+	err := l.st.AscendPrefix("a/", func(k string, v []byte) bool {
+		var r Record
+		if err := json.Unmarshal(v, &r); err != nil {
+			derr = fmt.Errorf("audit: corrupt record %s: %w", k, err)
+			return false
+		}
+		if q.Kind != "" && r.Kind != q.Kind {
+			return true
+		}
+		if q.Actor != "" && r.Actor != q.Actor {
+			return true
+		}
+		if q.EventID != "" && r.EventID != q.EventID {
+			return true
+		}
+		if q.Class != "" && r.Class != q.Class {
+			return true
+		}
+		if q.Outcome != "" && r.Outcome != q.Outcome {
+			return true
+		}
+		if !q.From.IsZero() && r.At.Before(q.From) {
+			return true
+		}
+		if !q.To.IsZero() && r.At.After(q.To) {
+			return true
+		}
+		out = append(out, r)
+		return q.Limit <= 0 || len(out) < q.Limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, derr
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func sampleDetail() *event.Detail {
+	return event.NewDetail("c.x", "src-1", "prod").
+		Set("patient-id", "PRS-1").     // 5 bytes
+		Set("diagnosis", "pneumonia").  // 9 bytes, sensitive
+		Set("therapy", "antibiotics10") // 13 bytes, sensitive
+}
+
+var sensitive = map[event.FieldName]bool{"diagnosis": true, "therapy": true}
+
+func TestPointToPointChannels(t *testing.T) {
+	p := NewPointToPoint()
+	p.Connect("prod-a", "cons-1")
+	p.Connect("prod-a", "cons-2")
+	p.Connect("prod-b", "cons-1")
+	p.Connect("prod-a", "cons-1") // duplicate: same artifact
+	if st := p.Stats(); st.Channels != 3 {
+		t.Errorf("Channels = %d, want 3", st.Channels)
+	}
+}
+
+func TestPointToPointSendsFullDocument(t *testing.T) {
+	p := NewPointToPoint()
+	p.Connect("prod", "cons")
+	n, err := p.SendDocument("prod", "cons", sampleDetail(), sensitive)
+	if err != nil {
+		t.Fatalf("SendDocument: %v", err)
+	}
+	if n != 5+9+13 {
+		t.Errorf("bytes shipped = %d, want full document", n)
+	}
+	st := p.Stats()
+	if st.Documents != 1 || st.BytesSent != uint64(n) {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SensitiveBytes != 9+13 {
+		t.Errorf("SensitiveBytes = %d, want 22", st.SensitiveBytes)
+	}
+	// No channel, no exchange.
+	if _, err := p.SendDocument("prod", "stranger", sampleDetail(), nil); err == nil {
+		t.Error("send over missing channel succeeded")
+	}
+}
+
+func TestArtifactCount(t *testing.T) {
+	cases := []struct{ p, c, wantP2P, wantHub int }{
+		{1, 1, 1, 2},
+		{4, 6, 24, 10},
+		{32, 32, 1024, 64},
+	}
+	for _, tc := range cases {
+		p2p, hub := ArtifactCount(tc.p, tc.c)
+		if p2p != tc.wantP2P || hub != tc.wantHub {
+			t.Errorf("ArtifactCount(%d,%d) = %d,%d want %d,%d", tc.p, tc.c, p2p, hub, tc.wantP2P, tc.wantHub)
+		}
+	}
+	// Hub must win for any non-trivial roster.
+	for n := 3; n <= 64; n *= 2 {
+		p2p, hub := ArtifactCount(n, n)
+		if hub >= p2p {
+			t.Errorf("hub (%d) not cheaper than p2p (%d) at n=%d", hub, p2p, n)
+		}
+	}
+}
+
+func TestWarehouseLoadAndQuery(t *testing.T) {
+	w := NewWarehouse()
+	copied := w.Load(sampleDetail())
+	if copied != 27 {
+		t.Errorf("Load copied %d bytes", copied)
+	}
+	// No grant: denied.
+	if _, err := w.Query("cons", "c.x", "src-1"); err == nil {
+		t.Error("ungranted query succeeded")
+	}
+	w.Grant("cons", "c.x")
+	got, err := w.Query("cons", "c.x", "src-1")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// All-or-nothing: the sensitive fields come along.
+	if _, ok := got.Get("diagnosis"); !ok {
+		t.Error("warehouse did not serve the full row")
+	}
+	// Wrong class or missing row.
+	if _, err := w.Query("cons", "c.y", "src-1"); err == nil {
+		t.Error("wrong-class query succeeded")
+	}
+	w.Grant("cons", "c.y")
+	if _, err := w.Query("cons", "c.y", "src-404"); err == nil {
+		t.Error("missing-row query succeeded")
+	}
+	st := w.Stats()
+	if st.Rows != 1 || st.BytesCopied != 27 || st.BytesServed != 27 || st.Queries != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWarehouseClones(t *testing.T) {
+	w := NewWarehouse()
+	d := sampleDetail()
+	w.Load(d)
+	d.Set("patient-id", "MUTATED")
+	w.Grant("cons", "c.x")
+	got, _ := w.Query("cons", "c.x", "src-1")
+	if v, _ := got.Get("patient-id"); v != "PRS-1" {
+		t.Error("warehouse shares state with caller")
+	}
+	got.Set("diagnosis", "MUTATED")
+	again, _ := w.Query("cons", "c.x", "src-1")
+	if v, _ := again.Get("diagnosis"); v != "pneumonia" {
+		t.Error("Query exposes internal state")
+	}
+}

@@ -1,0 +1,116 @@
+// Package baseline implements the comparators the paper argues against:
+//
+//   - PointToPoint models the status quo of Fig. 1 — every pair of
+//     institutions exchanges full documents directly (mail, fax, email),
+//     with no central control, no fine-grained filtering and no audit;
+//   - Warehouse models the rejected centralized alternative of §1 — a
+//     single data collector holding full copies of every detail message.
+//
+// Both exist to quantify the paper's motivating claims (experiments E4
+// and E9): integration artifacts grow O(N²) point-to-point versus O(N)
+// through the hub, and one-phase full publication transfers the entire
+// sensitive payload where the two-phase protocol transfers only the
+// requested, policy-filtered fields.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/event"
+)
+
+// PointToPoint is the document-exchange integrator: every producer keeps
+// a bilateral channel to every consumer it serves, and each event is sent
+// as a full document on every such channel.
+type PointToPoint struct {
+	mu        sync.Mutex
+	channels  map[string]bool // "producer→consumer"
+	producers map[event.ProducerID]bool
+	consumers map[event.Actor]bool
+
+	documents uint64
+	bytesSent uint64
+	sensitive uint64 // sensitive-classified bytes sent (computed by caller weights)
+}
+
+// NewPointToPoint creates an empty point-to-point world.
+func NewPointToPoint() *PointToPoint {
+	return &PointToPoint{
+		channels:  make(map[string]bool),
+		producers: make(map[event.ProducerID]bool),
+		consumers: make(map[event.Actor]bool),
+	}
+}
+
+// Connect establishes the bilateral integration between a producer and a
+// consumer. In the real world each such channel is a bespoke artifact
+// (interface agreement, document template, address book entry, often a
+// paper workflow); the count of channels is the integration cost metric
+// of E9.
+func (p *PointToPoint) Connect(prod event.ProducerID, cons event.Actor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.producers[prod] = true
+	p.consumers[cons] = true
+	p.channels[channelKey(prod, cons)] = true
+}
+
+func channelKey(prod event.ProducerID, cons event.Actor) string {
+	return string(prod) + "\x00" + string(cons)
+}
+
+// SendDocument ships the full detail document over one channel. The
+// channel must exist. It returns the number of payload bytes shipped —
+// always the entire document: a fax machine cannot blank a field.
+func (p *PointToPoint) SendDocument(prod event.ProducerID, cons event.Actor, d *event.Detail, sensitiveFields map[event.FieldName]bool) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.channels[channelKey(prod, cons)] {
+		return 0, fmt.Errorf("baseline: no channel %s → %s", prod, cons)
+	}
+	total, sens := 0, 0
+	for name, v := range d.Fields {
+		total += len(v)
+		if sensitiveFields[name] {
+			sens += len(v)
+		}
+	}
+	p.documents++
+	p.bytesSent += uint64(total)
+	p.sensitive += uint64(sens)
+	return total, nil
+}
+
+// PointToPointStats are the cumulative counters of the baseline.
+type PointToPointStats struct {
+	Channels       int    // bilateral integration artifacts
+	Documents      uint64 // full documents shipped
+	BytesSent      uint64 // payload bytes shipped
+	SensitiveBytes uint64 // sensitive payload bytes shipped
+}
+
+// Stats returns a snapshot.
+func (p *PointToPoint) Stats() PointToPointStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PointToPointStats{
+		Channels:       len(p.channels),
+		Documents:      p.documents,
+		BytesSent:      p.bytesSent,
+		SensitiveBytes: p.sensitive,
+	}
+}
+
+// ArtifactCount models the E9 onboarding-cost comparison analytically:
+// integrating nProducers sources with nConsumers destinations requires
+// one artifact per pair point-to-point, versus one artifact per
+// institution through the hub (its single connection to the data
+// controller).
+func ArtifactCount(nProducers, nConsumers int) (pointToPoint, hub int) {
+	return nProducers * nConsumers, nProducers + nConsumers
+}
+
+// ErrNoChannel reports document exchange over a missing channel.
+var ErrNoChannel = errors.New("baseline: no channel")

@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/event"
+)
+
+// Warehouse is the centralized full-copy alternative: every detail
+// message is replicated into the central store at publication time (the
+// one-phase protocol), and consumers query the center directly. Access
+// control is coarse: a consumer is either granted a class or not — the
+// all-or-nothing model the paper calls over-constraining or over-sharing.
+type Warehouse struct {
+	mu      sync.Mutex
+	rows    map[event.SourceID]*event.Detail
+	grants  map[string]bool // "actor→class"
+	copied  uint64          // payload bytes copied centrally at publish
+	served  uint64          // payload bytes served to consumers
+	queries uint64
+}
+
+// NewWarehouse creates an empty warehouse.
+func NewWarehouse() *Warehouse {
+	return &Warehouse{
+		rows:   make(map[event.SourceID]*event.Detail),
+		grants: make(map[string]bool),
+	}
+}
+
+// Grant gives an actor full access to a class (table-level grant).
+func (w *Warehouse) Grant(actor event.Actor, class event.ClassID) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.grants[grantKey(actor, class)] = true
+}
+
+func grantKey(actor event.Actor, class event.ClassID) string {
+	return string(actor) + "\x00" + string(class)
+}
+
+// Load replicates a full detail into the center (the publish-time copy
+// the CSS architecture exists to avoid). It returns the copied bytes.
+func (w *Warehouse) Load(d *event.Detail) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rows[d.SourceID] = d.Clone()
+	n := 0
+	for _, v := range d.Fields {
+		n += len(v)
+	}
+	w.copied += uint64(n)
+	return n
+}
+
+// Query returns the full row for an event: all fields or nothing.
+func (w *Warehouse) Query(actor event.Actor, class event.ClassID, src event.SourceID) (*event.Detail, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.queries++
+	if !w.grants[grantKey(actor, class)] {
+		return nil, fmt.Errorf("baseline: %s has no grant on %s", actor, class)
+	}
+	d, ok := w.rows[src]
+	if !ok || d.Class != class {
+		return nil, fmt.Errorf("baseline: no row %s of class %s", src, class)
+	}
+	for _, v := range d.Fields {
+		w.served += uint64(len(v))
+	}
+	return d.Clone(), nil
+}
+
+// WarehouseStats are the cumulative counters.
+type WarehouseStats struct {
+	Rows        int
+	BytesCopied uint64 // sensitive payload duplicated centrally
+	BytesServed uint64
+	Queries     uint64
+}
+
+// Stats returns a snapshot.
+func (w *Warehouse) Stats() WarehouseStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WarehouseStats{
+		Rows:        len(w.rows),
+		BytesCopied: w.copied,
+		BytesServed: w.served,
+		Queries:     w.queries,
+	}
+}

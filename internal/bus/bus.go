@@ -1,0 +1,248 @@
+// Package bus implements the event distribution fabric of the CSS
+// platform — the role played by the ServiceMix enterprise service bus in
+// the paper's deployment. It is a topic-based publish/subscribe broker
+// with named (durable) subscriptions, at-least-once delivery, bounded
+// retries with backoff, and a dead-letter queue per subscription.
+//
+// Publishers never block: each subscription owns an unbounded FIFO queue
+// drained by a dedicated delivery goroutine, so a slow consumer delays
+// only itself (the decoupling property that motivates EDA over
+// point-to-point SOA in §3 of the paper).
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message is one unit of distribution: an opaque body published to a
+// topic. The CSS controller publishes XML-encoded notification messages.
+type Message struct {
+	// Topic the message was published to.
+	Topic string
+	// Seq is the broker-assigned, per-broker monotonic sequence number.
+	Seq uint64
+	// Body is the payload.
+	Body []byte
+	// PublishedAt is when the broker accepted the message.
+	PublishedAt time.Time
+	// Attempt is the 1-based delivery attempt number, visible to handlers.
+	Attempt int
+}
+
+// Handler consumes a delivered message. Returning an error triggers a
+// redelivery (at-least-once semantics) until MaxAttempts is exhausted,
+// after which the message moves to the subscription's dead-letter queue.
+type Handler func(m *Message) error
+
+// ErrClosed is returned when operating on a closed broker.
+var ErrClosed = errors.New("bus: broker closed")
+
+// Options configure a Broker.
+type Options struct {
+	// MaxAttempts bounds delivery attempts per message per subscription.
+	// Zero means DefaultMaxAttempts.
+	MaxAttempts int
+	// RetryBackoff is the pause between redelivery attempts. Zero means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// MaxPending bounds each subscription's queue. When a queue is full
+	// the newest message is diverted straight to the subscription's
+	// dead-letter queue (publishers still never block; the overflow is
+	// observable and redrivable). Zero means unbounded.
+	MaxPending int
+}
+
+// Defaults for Options.
+const (
+	DefaultMaxAttempts  = 3
+	DefaultRetryBackoff = time.Millisecond
+)
+
+// Broker routes published messages to the subscriptions of their topic.
+type Broker struct {
+	opts Options
+	seq  atomic.Uint64
+
+	mu     sync.RWMutex
+	topics map[string]map[string]*Subscription // topic → name → sub
+	closed bool
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+	redeliver atomic.Uint64
+	dead      atomic.Uint64
+	overflow  atomic.Uint64
+}
+
+// New creates a broker.
+func New(opts Options) *Broker {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	return &Broker{opts: opts, topics: make(map[string]map[string]*Subscription)}
+}
+
+// Stats reports cumulative broker counters.
+type Stats struct {
+	Published   uint64 // messages accepted
+	Delivered   uint64 // successful handler completions
+	Redelivered uint64 // retry attempts after handler errors
+	DeadLetters uint64 // messages exhausted and dead-lettered
+	Overflowed  uint64 // messages diverted to DLQs by full queues
+}
+
+// Stats returns a snapshot of the broker counters.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		Published:   b.published.Load(),
+		Delivered:   b.delivered.Load(),
+		Redelivered: b.redeliver.Load(),
+		DeadLetters: b.dead.Load(),
+		Overflowed:  b.overflow.Load(),
+	}
+}
+
+// Subscribe registers a named durable subscription on a topic. The name
+// identifies the subscription for Unsubscribe and diagnostics; (topic,
+// name) pairs must be unique. The handler runs on the subscription's own
+// goroutine, one message at a time, in publish order.
+func (b *Broker) Subscribe(topic, name string, h Handler) (*Subscription, error) {
+	if topic == "" || name == "" {
+		return nil, errors.New("bus: empty topic or subscription name")
+	}
+	if h == nil {
+		return nil, errors.New("bus: nil handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	subs := b.topics[topic]
+	if subs == nil {
+		subs = make(map[string]*Subscription)
+		b.topics[topic] = subs
+	}
+	if _, dup := subs[name]; dup {
+		return nil, fmt.Errorf("bus: subscription %q already exists on topic %q", name, topic)
+	}
+	s := &Subscription{
+		broker:  b,
+		topic:   topic,
+		name:    name,
+		handler: h,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	subs[name] = s
+	go s.run()
+	return s, nil
+}
+
+// Unsubscribe removes a subscription, stopping its delivery goroutine
+// after the in-flight message (if any) completes. Pending undelivered
+// messages are dropped.
+func (b *Broker) Unsubscribe(topic, name string) error {
+	b.mu.Lock()
+	s := b.topics[topic][name]
+	if s != nil {
+		delete(b.topics[topic], name)
+	}
+	b.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("bus: no subscription %q on topic %q", name, topic)
+	}
+	s.shutdown()
+	return nil
+}
+
+// Publish delivers body to every subscription of topic. It never blocks
+// on consumers. The assigned sequence number is returned.
+func (b *Broker) Publish(topic string, body []byte) (uint64, error) {
+	if topic == "" {
+		return 0, errors.New("bus: empty topic")
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	seq := b.seq.Add(1)
+	m := &Message{Topic: topic, Seq: seq, Body: body, PublishedAt: time.Now()}
+	for _, s := range b.topics[topic] {
+		s.enqueue(m)
+	}
+	b.mu.RUnlock()
+	b.published.Add(1)
+	return seq, nil
+}
+
+// Subscriptions returns the subscription names currently registered on a
+// topic, in unspecified order.
+func (b *Broker) Subscriptions(topic string) []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.topics[topic]))
+	for n := range b.topics[topic] {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Flush blocks until every subscription's queue is empty and no handler
+// is running, or the timeout elapses. It reports whether the broker
+// drained. Tests and graceful shutdown use it.
+func (b *Broker) Flush(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if b.idle() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (b *Broker) idle() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, subs := range b.topics {
+		for _, s := range subs {
+			if !s.idle() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Close stops all subscriptions and rejects further operations.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var all []*Subscription
+	for _, subs := range b.topics {
+		for _, s := range subs {
+			all = append(all, s)
+		}
+	}
+	b.topics = make(map[string]map[string]*Subscription)
+	b.mu.Unlock()
+	for _, s := range all {
+		s.shutdown()
+	}
+}

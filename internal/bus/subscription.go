@@ -1,0 +1,194 @@
+package bus
+
+import (
+	"sync"
+	"time"
+)
+
+// Subscription is one durable consumer of a topic. Messages are delivered
+// in publish order, one at a time, with bounded retries; exhausted
+// messages land in the dead-letter queue.
+type Subscription struct {
+	broker  *Broker
+	topic   string
+	name    string
+	handler Handler
+
+	qmu      sync.Mutex
+	queue    []*Message // FIFO of pending messages
+	inFlight bool
+
+	dlmu sync.Mutex
+	dead []*Message
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	stopOnce sync.Once
+}
+
+// Topic returns the subscribed topic.
+func (s *Subscription) Topic() string { return s.topic }
+
+// Name returns the subscription name.
+func (s *Subscription) Name() string { return s.name }
+
+// Pending returns the number of queued, not-yet-delivered messages.
+func (s *Subscription) Pending() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue)
+}
+
+// DeadLetters returns a snapshot of the messages that exhausted their
+// delivery attempts.
+func (s *Subscription) DeadLetters() []*Message {
+	s.dlmu.Lock()
+	defer s.dlmu.Unlock()
+	out := make([]*Message, len(s.dead))
+	copy(out, s.dead)
+	return out
+}
+
+// Redrive moves the dead letters back onto the subscription's queue for
+// a fresh round of delivery attempts (an operator action after fixing
+// the consumer). It returns the number of messages requeued.
+func (s *Subscription) Redrive() int {
+	s.dlmu.Lock()
+	dead := s.dead
+	s.dead = nil
+	s.dlmu.Unlock()
+	for _, m := range dead {
+		cp := *m
+		cp.Attempt = 0
+		// Bypass MaxPending: redrive is a deliberate operator action and
+		// must not bounce straight back to the DLQ.
+		s.qmu.Lock()
+		s.queue = append(s.queue, &cp)
+		s.qmu.Unlock()
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	return len(dead)
+}
+
+func (s *Subscription) enqueue(m *Message) {
+	max := s.broker.opts.MaxPending
+	s.qmu.Lock()
+	if max > 0 && len(s.queue) >= max {
+		s.qmu.Unlock()
+		// Queue full: divert to the DLQ instead of growing without bound.
+		// The message stays recoverable via Redrive once the consumer
+		// catches up.
+		s.deadLetter(m)
+		s.broker.overflow.Add(1)
+		return
+	}
+	s.queue = append(s.queue, m)
+	s.qmu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Subscription) idle() bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue) == 0 && !s.inFlight
+}
+
+func (s *Subscription) dequeue() *Message {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if len(s.queue) == 0 {
+		return nil
+	}
+	m := s.queue[0]
+	s.queue = s.queue[1:]
+	s.inFlight = true
+	return m
+}
+
+func (s *Subscription) settled() {
+	s.qmu.Lock()
+	s.inFlight = false
+	s.qmu.Unlock()
+}
+
+// run is the delivery loop.
+func (s *Subscription) run() {
+	defer close(s.done)
+	for {
+		m := s.dequeue()
+		if m == nil {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.stop:
+				return
+			}
+		}
+		s.deliver(m)
+		s.settled()
+	}
+}
+
+// deliver attempts the message up to MaxAttempts times. A copy of the
+// message is handed to the handler per attempt so that Attempt is
+// accurate and handlers cannot corrupt the queued message.
+func (s *Subscription) deliver(m *Message) {
+	max := s.broker.opts.MaxAttempts
+	for attempt := 1; attempt <= max; attempt++ {
+		cp := *m
+		cp.Attempt = attempt
+		err := s.safeHandle(&cp)
+		if err == nil {
+			s.broker.delivered.Add(1)
+			return
+		}
+		if attempt < max {
+			s.broker.redeliver.Add(1)
+			select {
+			case <-time.After(s.broker.opts.RetryBackoff):
+			case <-s.stop:
+				// Shutting down mid-retry: dead-letter so it is not lost
+				// silently.
+				s.deadLetter(m)
+				return
+			}
+		}
+	}
+	s.deadLetter(m)
+}
+
+// safeHandle runs the handler, converting a panic into an error so one
+// bad consumer cannot take down the broker (cf. Effective Go's server
+// recovery pattern).
+func (s *Subscription) safeHandle(m *Message) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError{r}
+		}
+	}()
+	return s.handler(m)
+}
+
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return "bus: handler panic" }
+
+func (s *Subscription) deadLetter(m *Message) {
+	s.dlmu.Lock()
+	s.dead = append(s.dead, m)
+	s.dlmu.Unlock()
+	s.broker.dead.Add(1)
+}
+
+func (s *Subscription) shutdown() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

@@ -1,0 +1,203 @@
+package consent
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+func openRegistry(t *testing.T, defaultAllow bool) *Registry {
+	t.Helper()
+	r, err := Open(store.OpenMemory(), defaultAllow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDefaultApplies(t *testing.T) {
+	allow := openRegistry(t, true)
+	if !allow.Allows("p1", "c.x", "consumer", "care") {
+		t.Error("default-allow registry denied without directives")
+	}
+	deny := openRegistry(t, false)
+	if deny.Allows("p1", "c.x", "consumer", "care") {
+		t.Error("default-deny registry allowed without directives")
+	}
+}
+
+func TestGlobalOptOut(t *testing.T) {
+	r := openRegistry(t, true)
+	if _, err := r.Record(Directive{PersonID: "p1", Allow: false}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Allows("p1", "c.x", "anyone", "any-purpose") {
+		t.Error("global opt-out ignored")
+	}
+	if r.Allows("p1", "c.x", "anyone", "") {
+		t.Error("global opt-out ignored for routing check")
+	}
+	if !r.Allows("p2", "c.x", "anyone", "care") {
+		t.Error("opt-out leaked to another person")
+	}
+}
+
+func TestClassScopedOptOut(t *testing.T) {
+	r := openRegistry(t, true)
+	r.Record(Directive{PersonID: "p1", Allow: false, Scope: Scope{Class: "hospital.blood-test"}})
+	if r.Allows("p1", "hospital.blood-test", "x", "care") {
+		t.Error("class opt-out ignored")
+	}
+	if !r.Allows("p1", "social.home-care-service", "x", "care") {
+		t.Error("class opt-out over-applied")
+	}
+}
+
+func TestConsumerScopedOptOutIsHierarchical(t *testing.T) {
+	r := openRegistry(t, true)
+	r.Record(Directive{PersonID: "p1", Allow: false, Scope: Scope{Consumer: "insurance-co"}})
+	if r.Allows("p1", "c.x", "insurance-co", "") {
+		t.Error("consumer opt-out ignored")
+	}
+	if r.Allows("p1", "c.x", "insurance-co/claims", "") {
+		t.Error("consumer opt-out does not cover departments")
+	}
+	if !r.Allows("p1", "c.x", "family-doctor", "") {
+		t.Error("consumer opt-out over-applied")
+	}
+}
+
+func TestPurposeScopedDirectiveSkipsRouting(t *testing.T) {
+	r := openRegistry(t, true)
+	r.Record(Directive{PersonID: "p1", Allow: false, Scope: Scope{Purpose: "statistical-analysis"}})
+	// Routing check (purpose ""): the purpose-scoped opt-out does not apply.
+	if !r.Allows("p1", "c.x", "gov", "") {
+		t.Error("purpose-scoped opt-out blocked routing")
+	}
+	// Detail request with that purpose: denied.
+	if r.Allows("p1", "c.x", "gov", "statistical-analysis") {
+		t.Error("purpose-scoped opt-out ignored on detail request")
+	}
+	if !r.Allows("p1", "c.x", "gov", "healthcare-treatment") {
+		t.Error("purpose-scoped opt-out over-applied")
+	}
+}
+
+func TestMostSpecificWins(t *testing.T) {
+	r := openRegistry(t, true)
+	// Global opt-out, but opt back in for the family doctor on home care.
+	r.Record(Directive{PersonID: "p1", Allow: false})
+	r.Record(Directive{PersonID: "p1", Allow: true,
+		Scope: Scope{Class: "social.home-care-service", Consumer: "family-doctor"}})
+	if !r.Allows("p1", "social.home-care-service", "family-doctor", "care") {
+		t.Error("specific opt-in lost to global opt-out")
+	}
+	if r.Allows("p1", "hospital.blood-test", "family-doctor", "care") {
+		t.Error("global opt-out ignored outside the specific opt-in")
+	}
+	if r.Allows("p1", "social.home-care-service", "insurance-co", "care") {
+		t.Error("opt-in leaked to other consumer")
+	}
+}
+
+func TestLatestWinsOnEqualSpecificity(t *testing.T) {
+	r := openRegistry(t, true)
+	r.Record(Directive{PersonID: "p1", Allow: false, Scope: Scope{Class: "c.x"}})
+	r.Record(Directive{PersonID: "p1", Allow: true, Scope: Scope{Class: "c.x"}})
+	if !r.Allows("p1", "c.x", "any", "any") {
+		t.Error("newer directive did not supersede older one")
+	}
+	r.Record(Directive{PersonID: "p1", Allow: false, Scope: Scope{Class: "c.x"}})
+	if r.Allows("p1", "c.x", "any", "any") {
+		t.Error("third directive did not supersede")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	r := openRegistry(t, true)
+	if _, err := r.Record(Directive{}); err == nil {
+		t.Error("directive without person accepted")
+	}
+	if _, err := r.Record(Directive{PersonID: "p", Scope: Scope{Class: "Bad Class"}}); err == nil {
+		t.Error("bad class accepted")
+	}
+	if _, err := r.Record(Directive{PersonID: "p", Scope: Scope{Consumer: "a//b"}}); err == nil {
+		t.Error("bad consumer accepted")
+	}
+	d, err := r.Record(Directive{PersonID: "p", Allow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq == 0 || d.RecordedAt.IsZero() {
+		t.Errorf("Record did not assign seq/time: %+v", d)
+	}
+}
+
+func TestDirectivesAndLen(t *testing.T) {
+	r := openRegistry(t, true)
+	r.Record(Directive{PersonID: "p1", Allow: false})
+	r.Record(Directive{PersonID: "p1", Allow: true, Scope: Scope{Class: "c.x"}})
+	r.Record(Directive{PersonID: "p2", Allow: false})
+	if got := r.Directives("p1"); len(got) != 2 || got[0].Seq >= got[1].Seq {
+		t.Errorf("Directives(p1) = %+v", got)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "consent.wal")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Open(st, true)
+	r.Record(Directive{PersonID: "p1", Allow: false, Scope: Scope{Consumer: "insurance-co"}})
+	st.Close()
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r2, err := Open(st2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Allows("p1", "c.x", "insurance-co", "") {
+		t.Error("opt-out lost after reopen")
+	}
+	// Seq must continue after recovery.
+	d, _ := r2.Record(Directive{PersonID: "p1", Allow: true})
+	if d.Seq != 2 {
+		t.Errorf("Seq after recovery = %d, want 2", d.Seq)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	r := openRegistry(t, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			person := "p"
+			for i := 0; i < 50; i++ {
+				if _, err := r.Record(Directive{PersonID: person, Allow: i%2 == 0,
+					Scope: Scope{Class: event.ClassID("c.x")}}); err != nil {
+					t.Errorf("Record: %v", err)
+					return
+				}
+				r.Allows(person, "c.x", "consumer", "care")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 400 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

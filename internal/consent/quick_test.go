@@ -1,0 +1,92 @@
+package consent
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+// referenceAllows reimplements the consent decision naively: iterate all
+// directives, keep those applicable, pick max (specificity, seq).
+func referenceAllows(directives []Directive, defaultAllow bool, class event.ClassID, consumer event.Actor, purpose event.Purpose) bool {
+	var best *Directive
+	for i := range directives {
+		d := directives[i]
+		if d.Scope.Class != "" && d.Scope.Class != class {
+			continue
+		}
+		if d.Scope.Consumer != "" && (consumer == "" || !d.Scope.Consumer.Contains(consumer)) {
+			continue
+		}
+		if d.Scope.Purpose != "" && d.Scope.Purpose != purpose {
+			continue
+		}
+		if best == nil {
+			best = &directives[i]
+			continue
+		}
+		ds, bs := d.Scope.specificity(), best.Scope.specificity()
+		if ds > bs || (ds == bs && d.Seq > best.Seq) {
+			best = &directives[i]
+		}
+	}
+	if best == nil {
+		return defaultAllow
+	}
+	return best.Allow
+}
+
+// TestQuickAllowsMatchesReference: the registry's decision equals the
+// naive reference for random directive sets and random queries.
+func TestQuickAllowsMatchesReference(t *testing.T) {
+	classes := []event.ClassID{"", "c0.x", "c1.x"}
+	consumers := []event.Actor{"", "org-a", "org-a/d1", "org-b"}
+	purposes := []event.Purpose{"", "care", "stats"}
+
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		defaultAllow := rnd.Intn(2) == 0
+		r, err := Open(store.OpenMemory(), defaultAllow)
+		if err != nil {
+			return false
+		}
+		person := "P-1"
+		var recorded []Directive
+		for i := 0; i < rnd.Intn(10); i++ {
+			d := Directive{
+				PersonID: person,
+				Allow:    rnd.Intn(2) == 0,
+				Scope: Scope{
+					Class:    classes[rnd.Intn(len(classes))],
+					Consumer: consumers[rnd.Intn(len(consumers))],
+					Purpose:  purposes[rnd.Intn(len(purposes))],
+				},
+			}
+			stored, err := r.Record(d)
+			if err != nil {
+				return false
+			}
+			recorded = append(recorded, stored)
+		}
+		for i := 0; i < 20; i++ {
+			class := event.ClassID(fmt.Sprintf("c%d.x", rnd.Intn(2)))
+			consumer := consumers[1+rnd.Intn(len(consumers)-1)]
+			purpose := purposes[rnd.Intn(len(purposes))]
+			got := r.Allows(person, class, consumer, purpose)
+			want := referenceAllows(recorded, defaultAllow, class, consumer, purpose)
+			if got != want {
+				t.Logf("seed %d: Allows(%s,%s,%s) = %v, reference %v; directives %+v",
+					seed, class, consumer, purpose, got, want, recorded)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

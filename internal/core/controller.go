@@ -1,0 +1,375 @@
+// Package core implements the data controller of the CSS platform — the
+// paper's central rooting node (§4, Fig. 2). The controller:
+//
+//   - supports producers and consumers in joining the platform (event
+//     catalog, contracts);
+//   - receives and stores notification messages (events index, person
+//     identifiers encrypted at rest) and delivers them to authorized
+//     subscribers through the service bus;
+//   - resolves requests for details by enforcing the producers' privacy
+//     policies and retrieving from the source only the accessible fields;
+//   - resolves events index inquiries;
+//   - maintains logs of every access request for auditing purposes;
+//   - records citizen consent directives and honors them on every flow.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bus"
+	"repro/internal/consent"
+	"repro/internal/crypto"
+	"repro/internal/enforcer"
+	"repro/internal/event"
+	"repro/internal/idmap"
+	"repro/internal/index"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// Errors reported by the controller.
+var (
+	ErrNotProducer       = errors.New("core: not a registered producer")
+	ErrNotConsumer       = errors.New("core: not a registered consumer")
+	ErrSubscriptionDeny  = errors.New("core: subscription rejected (no authorizing policy)")
+	ErrConsentDeny       = errors.New("core: denied by the data subject's consent")
+	ErrNotClassOwner     = errors.New("core: only the producing source may define policies for a class")
+	ErrUnknownClass      = errors.New("core: class not declared in the event catalog")
+	ErrClosed            = errors.New("core: controller closed")
+	ErrPlaintextConflict = errors.New("core: plaintext index requested together with a master key")
+)
+
+// Config configures a Controller.
+type Config struct {
+	// MasterKey is the 32-byte key protecting person identifiers in the
+	// events index. Nil generates a fresh random key.
+	MasterKey []byte
+	// DataDir persists the controller state (index, id map, audit trail,
+	// consent registry) under this directory. Empty means in-memory.
+	DataDir string
+	// Bus configures the event distribution fabric.
+	Bus bus.Options
+	// DefaultConsent is the consent decision with no recorded directive.
+	// CSS deployments use opt-out (true): baseline consent is collected
+	// on paper at care intake.
+	DefaultConsent bool
+	// Now injects a clock, used for publication stamps and validity
+	// checks. Nil means time.Now.
+	Now func() time.Time
+	// PlaintextIndex disables identifier encryption in the events index.
+	// It exists only as the baseline of experiment E5.
+	PlaintextIndex bool
+	// SyncWrites forces fsync-per-write on persistent stores.
+	SyncWrites bool
+}
+
+// Stats aggregates controller counters.
+type Stats struct {
+	Published           uint64 // notifications accepted
+	Delivered           uint64 // notifications handed to subscriber handlers
+	ConsentDrops        uint64 // deliveries suppressed by consent
+	SubscriptionDenials uint64 // subscription requests rejected
+	DetailPermits       uint64 // detail requests permitted
+	DetailDenials       uint64 // detail requests denied
+	Inquiries           uint64 // index inquiries answered
+}
+
+// Controller is the data controller. Safe for concurrent use.
+type Controller struct {
+	cfg  Config
+	now  func() time.Time
+	keys *crypto.Keyring
+
+	reg     *registry.Registry
+	enf     *enforcer.Enforcer
+	ids     *idmap.Map
+	idx     *index.Index
+	brk     *bus.Broker
+	aud     *audit.Log
+	con     *consent.Registry
+	pending *pendingBook
+
+	persist persistence
+
+	mu     sync.Mutex
+	subSeq int
+	subs   map[string]*Subscription
+	closed bool
+	stores []*store.Store
+	stats  struct {
+		published, delivered, consentDrops atomic.Uint64
+		subDenials, permits, denials       atomic.Uint64
+		inquiries                          atomic.Uint64
+	}
+}
+
+// New creates a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.PlaintextIndex && cfg.MasterKey != nil {
+		return nil, ErrPlaintextConflict
+	}
+	c := &Controller{cfg: cfg, subs: make(map[string]*Subscription)}
+	c.now = cfg.Now
+	if c.now == nil {
+		c.now = time.Now
+	}
+
+	if !cfg.PlaintextIndex {
+		var err error
+		if cfg.MasterKey != nil {
+			c.keys, err = crypto.NewKeyring(cfg.MasterKey)
+		} else {
+			c.keys, _, err = crypto.NewRandomKeyring()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	open := func(name string) (*store.Store, error) {
+		if cfg.DataDir == "" {
+			return store.OpenMemory(), nil
+		}
+		st, err := store.Open(filepath.Join(cfg.DataDir, name+".wal"), store.Options{SyncEvery: cfg.SyncWrites})
+		if err != nil {
+			return nil, err
+		}
+		c.stores = append(c.stores, st)
+		return st, nil
+	}
+
+	idStore, err := open("idmap")
+	if err != nil {
+		return nil, err
+	}
+	idxStore, err := open("index")
+	if err != nil {
+		return nil, err
+	}
+	audStore, err := open("audit")
+	if err != nil {
+		return nil, err
+	}
+	conStore, err := open("consent")
+	if err != nil {
+		return nil, err
+	}
+
+	c.reg = registry.New()
+	c.ids = idmap.New(idStore)
+	c.idx = index.New(idxStore, c.keys)
+	c.aud, err = audit.Open(audStore)
+	if err != nil {
+		return nil, err
+	}
+	c.con, err = consent.Open(conStore, cfg.DefaultConsent)
+	if err != nil {
+		return nil, err
+	}
+	c.enf, err = enforcer.New(policy.NewRepository(), c.ids)
+	if err != nil {
+		return nil, err
+	}
+	c.brk = bus.New(cfg.Bus)
+	c.pending = newPendingBook()
+
+	if cfg.DataDir != "" {
+		if c.persist.catalog, err = open("catalog"); err != nil {
+			return nil, err
+		}
+		if c.persist.policies, err = open("policies"); err != nil {
+			return nil, err
+		}
+		if err := c.reload(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close flushes and shuts down the controller.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.brk.Close()
+	var first error
+	for _, st := range c.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (c *Controller) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// --- membership & catalog -------------------------------------------------
+
+// RegisterProducer admits a data source to the platform. Re-registering
+// an existing producer is idempotent (the contract is simply confirmed),
+// so provisioning scripts can run against a reloaded controller.
+func (c *Controller) RegisterProducer(id event.ProducerID, name string) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if err := c.reg.RegisterProducer(id, name); err != nil {
+		if registryDuplicate(err) {
+			return nil
+		}
+		return err
+	}
+	return c.persistProducer(id, name)
+}
+
+// RegisterConsumer admits a consumer organization. Idempotent like
+// RegisterProducer.
+func (c *Controller) RegisterConsumer(actor event.Actor, name string) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if err := c.reg.RegisterConsumer(actor, name); err != nil {
+		if registryDuplicate(err) {
+			return nil
+		}
+		return err
+	}
+	return c.persistConsumer(actor, name)
+}
+
+// DeclareClass installs an event class declaration in the catalog.
+// Re-declaring the identical version by the same producer is idempotent;
+// a newer version upgrades as usual.
+func (c *Controller) DeclareClass(producer event.ProducerID, s *schema.Schema) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if err := c.reg.DeclareClass(producer, s); err != nil {
+		if s != nil {
+			if existing, gerr := c.reg.Class(s.Class()); gerr == nil &&
+				existing.Producer == producer && existing.Schema.Version() == s.Version() {
+				return nil // idempotent re-declaration
+			}
+		}
+		return err
+	}
+	return c.persistClass(producer, s)
+}
+
+// AttachGateway connects a producer's local cooperation gateway (direct
+// or via the web service transport) for detail retrieval.
+func (c *Controller) AttachGateway(p event.ProducerID, g enforcer.DetailSource) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if !c.reg.HasProducer(p) {
+		return fmt.Errorf("%w: %s", ErrNotProducer, p)
+	}
+	return c.enf.AttachGateway(p, g)
+}
+
+// Catalog exposes the event catalog for discovery.
+func (c *Controller) Catalog() *registry.Registry { return c.reg }
+
+// Audit exposes the audit log for inquiry and verification.
+func (c *Controller) Audit() *audit.Log { return c.aud }
+
+// --- policies ---------------------------------------------------------------
+
+// DefinePolicy stores a privacy policy elicited by a data producer. The
+// producer must own the class, and the field set must be a subset of the
+// class schema (Definition 2: F ⊆ e_j).
+func (c *Controller) DefinePolicy(p *policy.Policy) (*policy.Policy, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	decl, err := c.reg.Class(p.Class)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownClass, p.Class)
+	}
+	if decl.Producer != p.Producer {
+		return nil, fmt.Errorf("%w: %s is owned by %s", ErrNotClassOwner, p.Class, decl.Producer)
+	}
+	if err := decl.Schema.CheckFields(p.Fields); err != nil {
+		return nil, err
+	}
+	stored, err := c.enf.AddPolicy(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.persistPolicy(stored); err != nil {
+		c.enf.RemovePolicy(stored.ID)
+		return nil, err
+	}
+	// The new policy may satisfy pending access requests (§5: the
+	// producer defines the policy in response to the pending request).
+	c.pending.resolveBy(stored)
+	return stored, nil
+}
+
+// RevokePolicy removes a policy.
+func (c *Controller) RevokePolicy(id policy.ID) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if err := c.enf.RemovePolicy(id); err != nil {
+		return err
+	}
+	return c.unpersistPolicy(id)
+}
+
+// Policies returns the policies defined by a producer.
+func (c *Controller) Policies(producer event.ProducerID) []*policy.Policy {
+	return c.enf.Repository().ByProducer(producer)
+}
+
+// --- consent ---------------------------------------------------------------
+
+// RecordConsent stores a citizen consent directive.
+func (c *Controller) RecordConsent(d consent.Directive) (consent.Directive, error) {
+	if c.isClosed() {
+		return consent.Directive{}, ErrClosed
+	}
+	return c.con.Record(d)
+}
+
+// ConsentDirectives lists the directives of a data subject.
+func (c *Controller) ConsentDirectives(personID string) []consent.Directive {
+	return c.con.Directives(personID)
+}
+
+// --- stats ------------------------------------------------------------------
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Published:           c.stats.published.Load(),
+		Delivered:           c.stats.delivered.Load(),
+		ConsentDrops:        c.stats.consentDrops.Load(),
+		SubscriptionDenials: c.stats.subDenials.Load(),
+		DetailPermits:       c.stats.permits.Load(),
+		DetailDenials:       c.stats.denials.Load(),
+		Inquiries:           c.stats.inquiries.Load(),
+	}
+}
+
+// Flush waits until the bus drained all pending deliveries.
+func (c *Controller) Flush(timeout time.Duration) bool {
+	return c.brk.Flush(timeout)
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bus"
+	"repro/internal/enforcer"
+	"repro/internal/event"
+	"repro/internal/index"
+)
+
+// --- publish ---------------------------------------------------------------
+
+// Publish accepts a notification from a producer: it assigns the global
+// event id, stores the notification in the events index (identifier
+// encrypted at rest), audits the publication, and routes the redacted
+// notification to the authorized subscribers of its class. The assigned
+// global id is returned; the producer keeps it alongside its local id.
+//
+// Publish is idempotent on (producer, source id): retries return the
+// original global id without duplicating index entries or deliveries
+// beyond the bus's at-least-once semantics.
+func (c *Controller) Publish(n *event.Notification) (event.GlobalID, error) {
+	if c.isClosed() {
+		return "", ErrClosed
+	}
+	if err := n.Validate(); err != nil {
+		return "", err
+	}
+	if !c.reg.HasProducer(n.Producer) {
+		return "", fmt.Errorf("%w: %s", ErrNotProducer, n.Producer)
+	}
+	decl, err := c.reg.Class(n.Class)
+	if err != nil {
+		return "", fmt.Errorf("%w: %s", ErrUnknownClass, n.Class)
+	}
+	if decl.Producer != n.Producer {
+		return "", fmt.Errorf("%w: %s is owned by %s", ErrNotClassOwner, n.Class, decl.Producer)
+	}
+
+	gid, err := c.ids.Assign(n.Producer, n.SourceID, n.Class)
+	if err != nil {
+		return "", err
+	}
+	stamped := n.Clone()
+	stamped.ID = gid
+	stamped.PublishedAt = c.now()
+	if err := c.idx.Put(stamped); err != nil {
+		return "", err
+	}
+	if _, err := c.aud.Append(audit.Record{
+		Kind:    audit.KindPublish,
+		Actor:   string(n.Producer),
+		EventID: gid,
+		Class:   n.Class,
+		Outcome: "ok",
+	}); err != nil {
+		return "", err
+	}
+	// Route the redacted notification. Per-subscriber consent is applied
+	// at delivery time by each subscription's handler wrapper.
+	wire, err := event.EncodeNotification(stamped.Redact())
+	if err != nil {
+		return "", err
+	}
+	if _, err := c.brk.Publish(classTopic(n.Class), wire); err != nil {
+		return "", err
+	}
+	c.stats.published.Add(1)
+	return gid, nil
+}
+
+func classTopic(class event.ClassID) string { return "class/" + string(class) }
+
+// --- subscribe ---------------------------------------------------------------
+
+// Handler consumes notifications delivered to a subscription.
+type Handler func(n *event.Notification)
+
+// Subscription is a consumer's durable subscription to an event class.
+type Subscription struct {
+	id     string
+	actor  event.Actor
+	class  event.ClassID
+	cancel func() error
+}
+
+// ID returns the subscription identifier.
+func (s *Subscription) ID() string { return s.id }
+
+// Actor returns the subscribed consumer.
+func (s *Subscription) Actor() event.Actor { return s.actor }
+
+// Class returns the subscribed event class.
+func (s *Subscription) Class() event.ClassID { return s.class }
+
+// Cancel terminates the subscription.
+func (s *Subscription) Cancel() error { return s.cancel() }
+
+// Subscribe registers a consumer for the notifications of a class. Per
+// §5.2, the consumer must be authorized by the data producer: with no
+// privacy policy regulating the access to the corresponding event details
+// for this consumer, the subscription request is rejected (deny by
+// default). Each delivery additionally honors the data subject's consent
+// and re-checks the authorization, so policy revocations take effect on
+// live subscriptions.
+func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler) (*Subscription, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := actor.Validate(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		return nil, errors.New("core: nil handler")
+	}
+	if !c.reg.HasConsumer(actor) {
+		return nil, fmt.Errorf("%w: %s", ErrNotConsumer, actor)
+	}
+	if _, err := c.reg.Class(class); err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownClass, class)
+	}
+	if !c.enf.Repository().AllowsSubscription(actor, class, c.now()) {
+		c.stats.subDenials.Add(1)
+		c.aud.Append(audit.Record{
+			Kind: audit.KindSubscribe, Actor: string(actor), Class: class, Outcome: "deny",
+			Note: "no authorizing policy",
+		})
+		// Notify the producer of the pending access request (§5).
+		c.pending.note(actor, class, "", c.now())
+		return nil, fmt.Errorf("%w: %s on %s", ErrSubscriptionDeny, actor, class)
+	}
+
+	c.mu.Lock()
+	c.subSeq++
+	id := fmt.Sprintf("sub-%06d", c.subSeq)
+	c.mu.Unlock()
+
+	busSub, err := c.brk.Subscribe(classTopic(class), id, func(m *bus.Message) error {
+		return c.deliver(actor, class, h, m.Body)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sub := &Subscription{
+		id:    id,
+		actor: actor,
+		class: class,
+		cancel: func() error {
+			c.mu.Lock()
+			delete(c.subs, id)
+			c.mu.Unlock()
+			return c.brk.Unsubscribe(busSub.Topic(), busSub.Name())
+		},
+	}
+	c.mu.Lock()
+	c.subs[id] = sub
+	c.mu.Unlock()
+	c.aud.Append(audit.Record{
+		Kind: audit.KindSubscribe, Actor: string(actor), Class: class, Outcome: "permit",
+	})
+	return sub, nil
+}
+
+// deliver applies the per-delivery checks and invokes the handler.
+func (c *Controller) deliver(actor event.Actor, class event.ClassID, h Handler, body []byte) error {
+	n, err := event.DecodeNotification(body)
+	if err != nil {
+		return err
+	}
+	// Consent: purpose-agnostic routing check.
+	if !c.con.Allows(n.PersonID, class, actor, "") {
+		c.stats.consentDrops.Add(1)
+		return nil // suppressed, not an error (no redelivery)
+	}
+	// Authorization may have been revoked since subscription time.
+	if !c.enf.Repository().AllowsSubscription(actor, class, c.now()) {
+		c.stats.consentDrops.Add(1)
+		return nil
+	}
+	c.stats.delivered.Add(1)
+	h(n)
+	return nil
+}
+
+// --- request for details ------------------------------------------------------
+
+// RequestDetails resolves a consumer's request for event details: consent
+// check, then Algorithm 1 (policy matching and evaluation at the PDP,
+// field filtering at the producer's gateway), with the outcome audited
+// whichever way it goes.
+func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if !c.reg.HasConsumer(r.Requester) {
+		return nil, fmt.Errorf("%w: %s", ErrNotConsumer, r.Requester)
+	}
+	if r.At.IsZero() {
+		// Stamp with the controller clock so simulated time flows into
+		// validity windows.
+		rc := *r
+		rc.At = c.now()
+		r = &rc
+	}
+
+	// The notification record gives us the data subject for the consent
+	// check (and proves the event exists).
+	n, err := c.idx.Get(r.EventID)
+	if err != nil {
+		c.auditDetail(r, "deny", "", "unknown event id")
+		c.stats.denials.Add(1)
+		if errors.Is(err, index.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s", enforcer.ErrUnknownEvent, r.EventID)
+		}
+		return nil, err
+	}
+	if !c.con.Allows(n.PersonID, r.Class, r.Requester, r.Purpose) {
+		c.auditDetail(r, "deny", "", "data subject consent")
+		c.stats.denials.Add(1)
+		return nil, ErrConsentDeny
+	}
+
+	d, out, err := c.enf.GetEventDetails(r)
+	if err != nil {
+		c.auditDetail(r, "deny", out.PolicyID, out.Reason)
+		c.stats.denials.Add(1)
+		if errors.Is(err, enforcer.ErrDenied) {
+			// A policy-gap denial (not consent, not a missing event):
+			// surface it to the producer as a pending access request.
+			c.pending.note(r.Requester, r.Class, r.Purpose, c.now())
+		}
+		return nil, err
+	}
+	c.auditDetail(r, "permit", out.PolicyID, "")
+	c.stats.permits.Add(1)
+	return d, nil
+}
+
+func (c *Controller) auditDetail(r *event.DetailRequest, outcome, policyID, note string) {
+	c.aud.Append(audit.Record{
+		Kind:     audit.KindDetailRequest,
+		Actor:    string(r.Requester),
+		EventID:  r.EventID,
+		Class:    r.Class,
+		Purpose:  r.Purpose,
+		Outcome:  outcome,
+		PolicyID: policyID,
+		Note:     note,
+	})
+}
+
+// --- index inquiry -------------------------------------------------------------
+
+// InquireIndex answers an events index inquiry: "a data consumer can
+// query the events index to get the list of notifications it is
+// authorized to see without necessarily subscribing" (§4). Results are
+// restricted to classes the consumer holds an authorizing policy for, and
+// to data subjects whose consent allows the flow; source identifiers are
+// redacted.
+func (c *Controller) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	if !c.reg.HasConsumer(actor) {
+		return nil, fmt.Errorf("%w: %s", ErrNotConsumer, actor)
+	}
+	now := c.now()
+	// Fast-path denial: an inquiry restricted to a class the actor has no
+	// policy for is rejected outright, like a subscription (§5.2: "The
+	// inquiry of the event index is managed in the same way").
+	if q.Class != "" && !c.enf.Repository().AllowsSubscription(actor, q.Class, now) {
+		c.aud.Append(audit.Record{
+			Kind: audit.KindIndexInquiry, Actor: string(actor), Class: q.Class, Outcome: "deny",
+			Note: "no authorizing policy",
+		})
+		return nil, fmt.Errorf("%w: %s on %s", ErrSubscriptionDeny, actor, q.Class)
+	}
+
+	limit := q.Limit
+	q.Limit = 0 // authorization filtering happens after retrieval
+	raw, err := c.idx.Inquire(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []*event.Notification
+	for _, n := range raw {
+		if !c.enf.Repository().AllowsSubscription(actor, n.Class, now) {
+			continue
+		}
+		if !c.con.Allows(n.PersonID, n.Class, actor, "") {
+			continue
+		}
+		out = append(out, n.Redact())
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	c.aud.Append(audit.Record{
+		Kind: audit.KindIndexInquiry, Actor: string(actor), Class: q.Class, Outcome: "permit",
+		Note: fmt.Sprintf("%d notifications", len(out)),
+	})
+	c.stats.inquiries.Add(1)
+	return out, nil
+}
+
+// InquireOwn answers a data subject's inquiry over her own events — the
+// citizen-facing PHR view of §7. It skips consumer authorization (the
+// subject always sees her own index entries) but pins the inquiry to her
+// person id and redacts producer-local identifiers. The access is audited
+// under the "citizen:" actor prefix.
+func (c *Controller) InquireOwn(personID string, q index.Inquiry) ([]*event.Notification, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	if personID == "" {
+		return nil, errors.New("core: empty person id")
+	}
+	q.PersonID = personID
+	raw, err := c.idx.Inquire(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*event.Notification, 0, len(raw))
+	for _, n := range raw {
+		out = append(out, n.Redact())
+	}
+	c.aud.Append(audit.Record{
+		Kind: audit.KindIndexInquiry, Actor: "citizen:" + personID, Outcome: "permit",
+		Note: fmt.Sprintf("%d own notifications", len(out)),
+	})
+	c.stats.inquiries.Add(1)
+	return out, nil
+}
+
+// Now returns the controller's current time (its injected clock).
+func (c *Controller) Now() time.Time { return c.now() }

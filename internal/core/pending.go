@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/policy"
+)
+
+// PendingRequest records an access attempt that was denied for lack of a
+// policy, so the owning data producer can be "notified of the pending
+// access request and ... guided by the Privacy Requirements Elicitation
+// Tool to define a privacy policy" (paper §5). Repeated attempts by the
+// same (actor, class, purpose) coalesce into one entry with a counter.
+type PendingRequest struct {
+	// Actor is the consumer that asked.
+	Actor event.Actor
+	// Class is the event class it asked about.
+	Class event.ClassID
+	// Purpose is the declared purpose; empty for subscription attempts
+	// (subscription is purpose-agnostic).
+	Purpose event.Purpose
+	// Count is how many attempts coalesced here.
+	Count int
+	// FirstAt/LastAt bound the attempts in time.
+	FirstAt time.Time
+	LastAt  time.Time
+}
+
+// pendingKey identifies a coalesced entry.
+type pendingKey struct {
+	actor   event.Actor
+	class   event.ClassID
+	purpose event.Purpose
+}
+
+// pendingBook tracks pending access requests per owning producer.
+type pendingBook struct {
+	mu      sync.Mutex
+	entries map[pendingKey]*PendingRequest
+}
+
+func newPendingBook() *pendingBook {
+	return &pendingBook{entries: make(map[pendingKey]*PendingRequest)}
+}
+
+func (b *pendingBook) note(actor event.Actor, class event.ClassID, purpose event.Purpose, at time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := pendingKey{actor, class, purpose}
+	if e, ok := b.entries[k]; ok {
+		e.Count++
+		e.LastAt = at
+		return
+	}
+	b.entries[k] = &PendingRequest{
+		Actor: actor, Class: class, Purpose: purpose,
+		Count: 1, FirstAt: at, LastAt: at,
+	}
+}
+
+// resolveBy removes entries a newly defined policy satisfies.
+func (b *pendingBook) resolveBy(p *policy.Policy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k := range b.entries {
+		if k.class != p.Class {
+			continue
+		}
+		if !p.Actor.Contains(k.actor) {
+			continue
+		}
+		if k.purpose != "" && !p.AllowsPurpose(k.purpose) {
+			continue
+		}
+		delete(b.entries, k)
+	}
+}
+
+func (b *pendingBook) list(class func(event.ClassID) bool) []PendingRequest {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []PendingRequest
+	for _, e := range b.entries {
+		if class(e.Class) {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].LastAt.Equal(out[j].LastAt) {
+			return out[i].LastAt.After(out[j].LastAt)
+		}
+		if out[i].Actor != out[j].Actor {
+			return out[i].Actor < out[j].Actor
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// PendingRequests returns the unresolved access requests on classes owned
+// by producer, most recent first. Defining a policy that satisfies an
+// entry removes it.
+func (c *Controller) PendingRequests(producer event.ProducerID) []PendingRequest {
+	return c.pending.list(func(class event.ClassID) bool {
+		decl, err := c.reg.Class(class)
+		return err == nil && decl.Producer == producer
+	})
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/consent"
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+func consentOptOut(person string) consent.Directive {
+	return consent.Directive{PersonID: person, Allow: false}
+}
+
+func TestPendingRequestsFromDeniedSubscription(t *testing.T) {
+	w := newWorld(t)
+	h := func(*event.Notification) {}
+	w.c.Subscribe("family-doctor", schema.ClassBloodTest, h) // denied
+	w.c.Subscribe("family-doctor", schema.ClassBloodTest, h) // coalesces
+
+	pending := w.c.PendingRequests("hospital")
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d, want 1 coalesced entry", len(pending))
+	}
+	p := pending[0]
+	if p.Actor != "family-doctor" || p.Class != schema.ClassBloodTest || p.Purpose != "" {
+		t.Errorf("entry = %+v", p)
+	}
+	if p.Count != 2 {
+		t.Errorf("Count = %d, want 2", p.Count)
+	}
+	if p.FirstAt.IsZero() || p.LastAt.Before(p.FirstAt) {
+		t.Errorf("timestamps = %v..%v", p.FirstAt, p.LastAt)
+	}
+	// Another producer sees nothing.
+	w.c.RegisterProducer("other", "O")
+	if got := w.c.PendingRequests("other"); len(got) != 0 {
+		t.Errorf("foreign producer sees %d entries", len(got))
+	}
+}
+
+func TestPendingRequestsFromDeniedDetails(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	r := w.request(gid)
+	r.Purpose = event.PurposeStatisticalAnalysis
+	w.c.RequestDetails(r) // denied: no policy at all
+
+	pending := w.c.PendingRequests("hospital")
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d", len(pending))
+	}
+	if pending[0].Purpose != event.PurposeStatisticalAnalysis {
+		t.Errorf("purpose = %q", pending[0].Purpose)
+	}
+}
+
+func TestPendingNotRecordedForConsentOrUnknownEvent(t *testing.T) {
+	w := newWorld(t)
+	w.doctorPolicy(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	// Unknown event: not a policy gap.
+	r := w.request("evt-ghost")
+	w.c.RequestDetails(r)
+	// Consent denial: not a policy gap.
+	w.c.RecordConsent(consentOptOut("PRS-1"))
+	w.c.RequestDetails(w.request(gid))
+	if got := w.c.PendingRequests("hospital"); len(got) != 0 {
+		t.Errorf("pending after consent/unknown denials = %+v", got)
+	}
+}
+
+func TestPendingResolvedByNewPolicy(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	w.c.RequestDetails(w.request(gid)) // detail gap
+	w.c.Subscribe("family-doctor", schema.ClassBloodTest,
+		func(*event.Notification) {}) // subscription gap
+	if got := w.c.PendingRequests("hospital"); len(got) != 2 {
+		t.Fatalf("pending = %d, want 2", len(got))
+	}
+
+	// The hospital responds to the notification by eliciting the policy.
+	w.doctorPolicy(t)
+	if got := w.c.PendingRequests("hospital"); len(got) != 0 {
+		t.Errorf("pending after policy definition = %+v", got)
+	}
+	// And the flows now succeed.
+	if _, err := w.c.RequestDetails(w.request(gid)); err != nil {
+		t.Errorf("details after resolution: %v", err)
+	}
+	if _, err := w.c.Subscribe("family-doctor", schema.ClassBloodTest, func(*event.Notification) {}); err != nil {
+		t.Errorf("subscribe after resolution: %v", err)
+	}
+}
+
+func TestPendingPartialResolution(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	// Two gaps with different purposes.
+	w.c.RequestDetails(w.request(gid)) // healthcare-treatment
+	r := w.request(gid)
+	r.Purpose = event.PurposeStatisticalAnalysis
+	w.c.RequestDetails(r)
+	if got := w.c.PendingRequests("hospital"); len(got) != 2 {
+		t.Fatalf("pending = %d", len(got))
+	}
+	// The policy only covers healthcare treatment.
+	w.doctorPolicy(t)
+	got := w.c.PendingRequests("hospital")
+	if len(got) != 1 || got[0].Purpose != event.PurposeStatisticalAnalysis {
+		t.Errorf("pending after partial resolution = %+v", got)
+	}
+}

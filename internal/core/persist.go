@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// Catalog and policy persistence: with a data directory configured, the
+// controller writes every membership registration, class declaration and
+// privacy policy through to its stores and reloads them at startup, so a
+// restarted controller resumes with the full platform state (the events
+// index, id map, audit trail and consent registry are persistent
+// already). Gateway attachments are process-level wiring and are
+// re-established by the operator at boot.
+//
+// Key layout in the catalog store:
+//
+//	prod/<id>     → producer display name
+//	cons/<actor>  → consumer display name
+//	class/<class> → <producer> NUL <schema XML>
+//
+// and in the policy store:
+//
+//	p/<policy id> → compact policy XML
+type persistence struct {
+	catalog  *store.Store // nil: in-memory controller
+	policies *store.Store
+}
+
+func (c *Controller) persistProducer(id event.ProducerID, name string) error {
+	if c.persist.catalog == nil {
+		return nil
+	}
+	return c.persist.catalog.Put("prod/"+string(id), []byte(name))
+}
+
+func (c *Controller) persistConsumer(actor event.Actor, name string) error {
+	if c.persist.catalog == nil {
+		return nil
+	}
+	return c.persist.catalog.Put("cons/"+string(actor), []byte(name))
+}
+
+func (c *Controller) persistClass(producer event.ProducerID, s *schema.Schema) error {
+	if c.persist.catalog == nil {
+		return nil
+	}
+	data, err := schema.Encode(s)
+	if err != nil {
+		return err
+	}
+	val := append([]byte(string(producer)+"\x00"), data...)
+	return c.persist.catalog.Put("class/"+string(s.Class()), val)
+}
+
+func (c *Controller) persistPolicy(p *policy.Policy) error {
+	if c.persist.policies == nil {
+		return nil
+	}
+	data, err := policy.Encode(p)
+	if err != nil {
+		return err
+	}
+	return c.persist.policies.Put("p/"+string(p.ID), data)
+}
+
+func (c *Controller) unpersistPolicy(id policy.ID) error {
+	if c.persist.policies == nil {
+		return nil
+	}
+	return c.persist.policies.Delete("p/" + string(id))
+}
+
+// reload restores catalog and policies from the stores. Called once from
+// New, before the controller is visible to callers.
+func (c *Controller) reload() error {
+	if c.persist.catalog != nil {
+		var rerr error
+		err := c.persist.catalog.AscendPrefix("prod/", func(k string, v []byte) bool {
+			rerr = c.reg.RegisterProducer(event.ProducerID(strings.TrimPrefix(k, "prod/")), string(v))
+			return rerr == nil
+		})
+		if err != nil {
+			return err
+		}
+		if rerr != nil {
+			return fmt.Errorf("core: reload producers: %w", rerr)
+		}
+		err = c.persist.catalog.AscendPrefix("cons/", func(k string, v []byte) bool {
+			rerr = c.reg.RegisterConsumer(event.Actor(strings.TrimPrefix(k, "cons/")), string(v))
+			return rerr == nil
+		})
+		if err != nil {
+			return err
+		}
+		if rerr != nil {
+			return fmt.Errorf("core: reload consumers: %w", rerr)
+		}
+		err = c.persist.catalog.AscendPrefix("class/", func(k string, v []byte) bool {
+			sep := strings.IndexByte(string(v), 0)
+			if sep < 0 {
+				rerr = errors.New("core: corrupt class record " + k)
+				return false
+			}
+			producer := event.ProducerID(v[:sep])
+			s, err := schema.Decode(v[sep+1:])
+			if err != nil {
+				rerr = fmt.Errorf("core: reload class %s: %w", k, err)
+				return false
+			}
+			rerr = c.reg.DeclareClass(producer, s)
+			return rerr == nil
+		})
+		if err != nil {
+			return err
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	if c.persist.policies != nil {
+		var rerr error
+		err := c.persist.policies.AscendPrefix("p/", func(k string, v []byte) bool {
+			p, err := policy.Decode(v)
+			if err != nil {
+				rerr = fmt.Errorf("core: reload policy %s: %w", k, err)
+				return false
+			}
+			if _, err := c.enf.AddPolicy(p); err != nil {
+				rerr = fmt.Errorf("core: reload policy %s: %w", k, err)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// registryDuplicate reports the benign idempotent-rejoin case.
+func registryDuplicate(err error) bool {
+	return errors.Is(err, registry.ErrDuplicate)
+}

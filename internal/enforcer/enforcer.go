@@ -1,0 +1,225 @@
+// Package enforcer implements the Policy Enforcer module of the data
+// controller (paper §5.2, Fig. 4): the Policy Enforcement Point receives
+// a request for details, the Policy Information Point maps the global
+// event ID to the producer-local one, the Policy Decision Point retrieves
+// and evaluates the matching XACML policy, and — on permit — the PEP asks
+// the producer's gateway for the authorized part of the event details.
+//
+// This is Algorithm 1 (getEventDetails):
+//
+//  1. src_eID ← retrieveEventProducerId(eID)          (PIP)
+//  2. ⟨A, e_j, S, F⟩ ← matchingPolicy(R)               (PDP)
+//  3. if evaluate(⟨A, e_j, S, F⟩, R) ≡ permit then
+//  4. return getResponse(src_eID, F)                 (producer, Alg. 2)
+//  5. return deny
+package enforcer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/idmap"
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+// Errors reported during detail-request resolution.
+var (
+	// ErrDenied is the "Access Denied message" sent to the consumer when
+	// no policy matches or the evaluation fails (deny-by-default).
+	ErrDenied = errors.New("enforcer: access denied")
+	// ErrUnknownEvent reports a request for an event id the platform
+	// never assigned.
+	ErrUnknownEvent = errors.New("enforcer: unknown event")
+	// ErrClassMismatch reports a request whose declared class does not
+	// match the class recorded for the event id.
+	ErrClassMismatch = errors.New("enforcer: request class does not match event class")
+	// ErrNoGateway reports a producer with no attached gateway.
+	ErrNoGateway = errors.New("enforcer: no gateway attached for producer")
+	// ErrUnsafeResponse reports a gateway response that exposed fields
+	// outside the authorized set (defense in depth; must never happen).
+	ErrUnsafeResponse = errors.New("enforcer: gateway response not privacy safe")
+)
+
+// DetailSource is the producer-side interface of Algorithm 2: the local
+// cooperation gateway, reached directly in process or through the web
+// service transport.
+type DetailSource interface {
+	GetResponse(src event.SourceID, fields []event.FieldName) (*event.Detail, error)
+}
+
+// Outcome describes how a detail request was resolved, for auditing.
+type Outcome struct {
+	// Decision is Permit or Deny.
+	Decision event.Decision
+	// PolicyID names the matched policy, when one matched.
+	PolicyID string
+	// Fields is the authorized field set on Permit.
+	Fields []event.FieldName
+	// Producer and Source identify the event origin when resolved.
+	Producer event.ProducerID
+	Source   event.SourceID
+	// Reason explains a denial.
+	Reason string
+}
+
+// Enforcer wires the PEP, PDP, PIP and the producer gateways together.
+// Safe for concurrent use.
+type Enforcer struct {
+	repo *policy.Repository
+	pdp  *xacml.PDP
+	ids  *idmap.Map
+
+	mu       sync.RWMutex
+	gateways map[event.ProducerID]DetailSource
+}
+
+// New creates an enforcer around a policy repository (the PAP's store)
+// and the ID map (the PIP's backing data).
+func New(repo *policy.Repository, ids *idmap.Map) (*Enforcer, error) {
+	if repo == nil || ids == nil {
+		return nil, errors.New("enforcer: nil repository or id map")
+	}
+	pdp, err := xacml.NewPDP(xacml.FirstApplicable)
+	if err != nil {
+		return nil, err
+	}
+	return &Enforcer{
+		repo:     repo,
+		pdp:      pdp,
+		ids:      ids,
+		gateways: make(map[event.ProducerID]DetailSource),
+	}, nil
+}
+
+// AttachGateway registers the detail source of a producer.
+func (e *Enforcer) AttachGateway(p event.ProducerID, g DetailSource) error {
+	if p == "" || g == nil {
+		return errors.New("enforcer: empty producer or nil gateway")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gateways[p] = g
+	return nil
+}
+
+func (e *Enforcer) gateway(p event.ProducerID) (DetailSource, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	g, ok := e.gateways[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoGateway, p)
+	}
+	return g, nil
+}
+
+// AddPolicy stores an elicited policy in the repository and installs its
+// XACML compilation in the PDP, keeping the two representations in step.
+// The stored policy (with its assigned ID) is returned.
+func (e *Enforcer) AddPolicy(p *policy.Policy) (*policy.Policy, error) {
+	stored, err := e.repo.Add(p)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := xacml.Compile(stored)
+	if err != nil {
+		// Roll back the repository so the two stores stay consistent.
+		e.repo.Remove(stored.ID)
+		return nil, err
+	}
+	if err := e.pdp.Add(compiled); err != nil {
+		e.repo.Remove(stored.ID)
+		return nil, err
+	}
+	return stored, nil
+}
+
+// RemovePolicy revokes a policy from both representations.
+func (e *Enforcer) RemovePolicy(id policy.ID) error {
+	if err := e.repo.Remove(id); err != nil {
+		return err
+	}
+	return e.pdp.Remove(string(id))
+}
+
+// Repository exposes the policy repository (read paths: listing,
+// subscription authorization).
+func (e *Enforcer) Repository() *policy.Repository { return e.repo }
+
+// GetEventDetails resolves a detail request — Algorithm 1. On permit it
+// returns the privacy-aware detail produced by the gateway plus the
+// outcome; on deny it returns a nil detail, the outcome with the reason,
+// and ErrDenied.
+func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outcome, error) {
+	if err := r.Validate(); err != nil {
+		return nil, Outcome{Decision: event.Deny, Reason: err.Error()}, err
+	}
+
+	// Step 1 — PIP: map the global event id to its origin.
+	m, err := e.ids.Resolve(r.EventID)
+	if err != nil {
+		if errors.Is(err, idmap.ErrNotFound) {
+			out := Outcome{Decision: event.Deny, Reason: "unknown event id"}
+			return nil, out, fmt.Errorf("%w: %s", ErrUnknownEvent, r.EventID)
+		}
+		return nil, Outcome{Decision: event.Deny, Reason: err.Error()}, err
+	}
+	if m.Class != r.Class {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			Reason: fmt.Sprintf("event %s has class %s, not %s", r.EventID, m.Class, r.Class)}
+		return nil, out, ErrClassMismatch
+	}
+
+	// Step 2 — policy matching phase: retrieve THE matching policy
+	// (Definition 3, with the most-specific-actor/newest tie-break).
+	matched, err := e.repo.Match(r)
+	if err != nil {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			Reason: "no matching policy"}
+		return nil, out, ErrDenied
+	}
+	// Step 3 — evaluate the matched policy in its XACML form.
+	resp := e.pdp.EvaluateOne(string(matched.ID), xacml.CompileRequest(r))
+	if resp.Decision != xacml.Permit {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			PolicyID: resp.PolicyID, Reason: "matched policy did not permit (" + resp.Decision.String() + ")"}
+		return nil, out, ErrDenied
+	}
+	fields := xacml.AuthorizedFields(&resp)
+	if len(fields) == 0 {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			PolicyID: resp.PolicyID, Reason: "permit without authorized fields"}
+		return nil, out, ErrDenied
+	}
+
+	// Step 4 — the producer applies the obligations (Algorithm 2).
+	g, err := e.gateway(m.Producer)
+	if err != nil {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			PolicyID: resp.PolicyID, Reason: err.Error()}
+		return nil, out, err
+	}
+	d, err := g.GetResponse(m.Source, fields)
+	if err != nil {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			PolicyID: resp.PolicyID, Reason: "gateway: " + err.Error()}
+		return nil, out, err
+	}
+	// Defense in depth: re-check Definition 4 at the controller before
+	// forwarding to the consumer.
+	if !d.ExposesOnly(fields) {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			PolicyID: resp.PolicyID, Reason: "gateway response exposed unauthorized fields"}
+		return nil, out, ErrUnsafeResponse
+	}
+	out := Outcome{
+		Decision: event.Permit,
+		PolicyID: resp.PolicyID,
+		Fields:   fields,
+		Producer: m.Producer,
+		Source:   m.Source,
+	}
+	return d, out, nil
+}

@@ -1,0 +1,73 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeDetail: arbitrary bytes must never panic the decoder, and
+// anything that decodes must re-encode/decode stably.
+func FuzzDecodeDetail(f *testing.F) {
+	seed := NewDetail("c.x", "src-1", "prod").Set("a", "1").Set("b", "<&>\"'")
+	data, err := EncodeDetail(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`<eventDetails sourceId="s" class="c.x" producer="p"><field name="f">v</field></eventDetails>`))
+	f.Add([]byte("not xml"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d, err := DecodeDetail(in)
+		if err != nil {
+			return
+		}
+		re, err := EncodeDetail(d)
+		if err != nil {
+			t.Fatalf("decoded detail does not re-encode: %v", err)
+		}
+		d2, err := DecodeDetail(re)
+		if err != nil {
+			t.Fatalf("re-encoded detail does not decode: %v", err)
+		}
+		if len(d2.Fields) != len(d.Fields) || d2.Class != d.Class || d2.SourceID != d.SourceID {
+			t.Fatalf("round trip unstable: %+v vs %+v", d, d2)
+		}
+		re2, _ := EncodeDetail(d2)
+		if !bytes.Equal(re, re2) {
+			t.Fatal("second encode differs (non-canonical)")
+		}
+	})
+}
+
+// FuzzDecodeNotification: no panics; decodable inputs round-trip.
+func FuzzDecodeNotification(f *testing.F) {
+	n := &Notification{
+		ID: "evt-1", SourceID: "s", Class: "c.x", PersonID: "P",
+		Summary: "s", Producer: "p",
+	}
+	data, err := EncodeNotification(n)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte("<Notification><id>x</id></Notification>"))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := DecodeNotification(in)
+		if err != nil {
+			return
+		}
+		re, err := EncodeNotification(got)
+		if err != nil {
+			t.Fatalf("decoded notification does not re-encode: %v", err)
+		}
+		again, err := DecodeNotification(re)
+		if err != nil {
+			t.Fatalf("re-encoded notification does not decode: %v", err)
+		}
+		if *again != *got {
+			t.Fatalf("round trip unstable: %+v vs %+v", got, again)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomFieldNames draws a small universe of field names.
+func randomFieldNames(r *rand.Rand, n int) []FieldName {
+	names := make([]FieldName, n)
+	for i := range names {
+		names[i] = FieldName([]byte{'f', byte('a' + r.Intn(8)), byte('0' + r.Intn(10))})
+	}
+	return names
+}
+
+func randomDetail(r *rand.Rand) *Detail {
+	d := NewDetail("c.x", "s", "p")
+	for _, f := range randomFieldNames(r, 1+r.Intn(12)) {
+		d.Set(f, string(rune('a'+r.Intn(26))))
+	}
+	return d
+}
+
+// Property: Filter(allowed) always yields a detail that is privacy safe
+// for the allowed set (Definition 4 holds after Algorithm 2 parsing).
+func TestQuickFilterIsPrivacySafe(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDetail(r)
+		allowed := randomFieldNames(r, int(k%10))
+		return d.Filter(allowed).ExposesOnly(allowed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Filter is idempotent — filtering twice with the same allowed
+// set equals filtering once.
+func TestQuickFilterIdempotent(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDetail(r)
+		allowed := randomFieldNames(r, int(k%10))
+		once := d.Filter(allowed)
+		twice := once.Filter(allowed)
+		if len(once.Fields) != len(twice.Fields) {
+			return false
+		}
+		for k, v := range once.Fields {
+			if twice.Fields[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Filter never invents fields and never changes values.
+func TestQuickFilterSubset(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDetail(r)
+		allowed := randomFieldNames(r, int(k%10))
+		filtered := d.Filter(allowed)
+		for name, v := range filtered.Fields {
+			orig, ok := d.Fields[name]
+			if !ok || orig != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: detail XML encoding round-trips for arbitrary printable values.
+func TestQuickDetailXMLRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDetail(r)
+		data, err := EncodeDetail(d)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeDetail(data)
+		if err != nil {
+			return false
+		}
+		if len(got.Fields) != len(d.Fields) {
+			return false
+		}
+		for k, v := range d.Fields {
+			if got.Fields[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Contains is reflexive and antisymmetric on distinct actors.
+func TestQuickActorContains(t *testing.T) {
+	segs := []string{"a", "b", "c"}
+	randActor := func(r *rand.Rand) Actor {
+		n := 1 + r.Intn(3)
+		s := segs[r.Intn(len(segs))]
+		for i := 1; i < n; i++ {
+			s += "/" + segs[r.Intn(len(segs))]
+		}
+		return Actor(s)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randActor(r), randActor(r)
+		if !a.Contains(a) {
+			return false
+		}
+		if a != b && a.Contains(b) && b.Contains(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

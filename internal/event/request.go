@@ -1,0 +1,62 @@
+package event
+
+import "time"
+
+// DetailRequest is a consumer's request for the details of an event it
+// was notified about. It corresponds to r = {A_r, τ_e, eID, s} of
+// Algorithm 1: the requesting actor, the event class, the global event
+// identifier taken from a notification, and an explicitly stated purpose
+// of use. The notification is a pre-requisite: only consumers that were
+// notified (or found the event through an authorized index inquiry) know
+// the global ID needed to issue the request.
+type DetailRequest struct {
+	// Requester is the actor asking for the details.
+	Requester Actor `xml:"requester"`
+	// Class is the event class τ_e of the requested details.
+	Class ClassID `xml:"class"`
+	// EventID is the controller-assigned global identifier of the event.
+	EventID GlobalID `xml:"eventId"`
+	// Purpose is the declared purpose of use.
+	Purpose Purpose `xml:"purpose"`
+	// At is the logical time of the request; the zero value means "now".
+	// Policies with validity windows are evaluated against this instant.
+	At time.Time `xml:"at,omitempty"`
+}
+
+// Validate checks the structural integrity of a detail request.
+func (r *DetailRequest) Validate() error {
+	if err := r.Requester.Validate(); err != nil {
+		return err
+	}
+	if err := r.Class.Validate(); err != nil {
+		return err
+	}
+	if r.EventID == "" {
+		return errValue("event: detail request missing event id")
+	}
+	return r.Purpose.Validate()
+}
+
+// Decision is the outcome of an authorization evaluation.
+type Decision int
+
+const (
+	// Deny refuses the request. It is the default (deny-by-default,
+	// paper §5.1): unless permitted by some privacy policy an event
+	// details cannot be accessed by any subject.
+	Deny Decision = iota
+	// Permit authorizes the request for the fields obliged by the policy.
+	Permit
+)
+
+// String returns the XACML-style name of the decision.
+func (d Decision) String() string {
+	if d == Permit {
+		return "Permit"
+	}
+	return "Deny"
+}
+
+type errValue string
+
+func (e errValue) Error() string { return string(e) }

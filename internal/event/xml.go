@@ -1,0 +1,84 @@
+package event
+
+import (
+	"encoding/xml"
+	"sort"
+)
+
+// detailXML is the wire form of a Detail message. Field values are
+// rendered as a stable, name-sorted sequence of <field> elements so that
+// the same detail always serializes to the same bytes.
+type detailXML struct {
+	XMLName  xml.Name   `xml:"eventDetails"`
+	SourceID SourceID   `xml:"sourceId,attr"`
+	Class    ClassID    `xml:"class,attr"`
+	Producer ProducerID `xml:"producer,attr"`
+	Fields   []fieldXML `xml:"field"`
+}
+
+type fieldXML struct {
+	Name  FieldName `xml:"name,attr"`
+	Value string    `xml:",chardata"`
+}
+
+// MarshalXML implements xml.Marshaler with deterministic field ordering.
+func (d *Detail) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	w := detailXML{
+		SourceID: d.SourceID,
+		Class:    d.Class,
+		Producer: d.Producer,
+		Fields:   make([]fieldXML, 0, len(d.Fields)),
+	}
+	for name, value := range d.Fields {
+		w.Fields = append(w.Fields, fieldXML{Name: name, Value: value})
+	}
+	sort.Slice(w.Fields, func(i, j int) bool { return w.Fields[i].Name < w.Fields[j].Name })
+	return e.EncodeElement(w, xml.StartElement{Name: xml.Name{Local: "eventDetails"}})
+}
+
+// UnmarshalXML implements xml.Unmarshaler.
+func (d *Detail) UnmarshalXML(dec *xml.Decoder, start xml.StartElement) error {
+	var w detailXML
+	if err := dec.DecodeElement(&w, &start); err != nil {
+		return err
+	}
+	d.SourceID = w.SourceID
+	d.Class = w.Class
+	d.Producer = w.Producer
+	d.Fields = make(map[FieldName]string, len(w.Fields))
+	for _, f := range w.Fields {
+		d.Fields[f.Name] = f.Value
+	}
+	return nil
+}
+
+// EncodeDetail serializes a detail message to its XML wire form.
+func EncodeDetail(d *Detail) ([]byte, error) {
+	return xml.Marshal(d)
+}
+
+// DecodeDetail parses a detail message from its XML wire form.
+func DecodeDetail(data []byte) (*Detail, error) {
+	var d Detail
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// EncodeNotification serializes a notification to its XML wire form.
+func EncodeNotification(n *Notification) ([]byte, error) {
+	type wire Notification // strip methods; plain struct tags apply
+	return xml.Marshal((*wire)(n))
+}
+
+// DecodeNotification parses a notification from its XML wire form.
+func DecodeNotification(data []byte) (*Notification, error) {
+	type wire Notification
+	var w wire
+	if err := xml.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	n := Notification(w)
+	return &n, nil
+}

@@ -1,0 +1,134 @@
+// Package idmap maintains the mapping between the controller-assigned
+// global event identifiers and the producer-local ones. It backs the PIP
+// lookup of Algorithm 1 step 1: "the event identifier distributed in the
+// notification messages (eID) is a global artificial identifier generated
+// by the data controller to identify the events independently from their
+// data producers", so resolving a detail request starts by mapping the
+// global eID back to the producer and its local src_eID.
+package idmap
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+// ErrNotFound reports an unknown global identifier.
+var ErrNotFound = errors.New("idmap: not found")
+
+// Mapping ties a global event ID to its origin.
+type Mapping struct {
+	Global   event.GlobalID
+	Producer event.ProducerID
+	Source   event.SourceID
+	Class    event.ClassID
+}
+
+// Map assigns and resolves global event identifiers. It is safe for
+// concurrent use (the underlying store serializes access) and durable
+// when backed by a persistent store.
+type Map struct {
+	mu sync.Mutex // serializes Assign's check-then-mint
+	st *store.Store
+}
+
+// New creates a Map backed by st. The map uses the key prefixes "g/"
+// (global → origin) and "r/" (origin → global) within the store.
+func New(st *store.Store) *Map {
+	return &Map{st: st}
+}
+
+// Assign generates a fresh global identifier for the event identified by
+// (producer, source, class) and records the mapping. Assign is
+// idempotent: re-registering the same (producer, source) returns the
+// previously assigned global ID, so publish retries do not mint
+// duplicate events.
+func (m *Map) Assign(producer event.ProducerID, source event.SourceID, class event.ClassID) (event.GlobalID, error) {
+	if producer == "" || source == "" {
+		return "", errors.New("idmap: empty producer or source id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rkey := reverseKey(producer, source)
+	if v, ok, err := m.st.Get(rkey); err != nil {
+		return "", err
+	} else if ok {
+		return event.GlobalID(v), nil
+	}
+	gid, err := newGlobalID()
+	if err != nil {
+		return "", err
+	}
+	val := encodeMapping(producer, source, class)
+	if err := m.st.Put(globalKey(gid), []byte(val)); err != nil {
+		return "", err
+	}
+	if err := m.st.Put(rkey, []byte(gid)); err != nil {
+		return "", err
+	}
+	return gid, nil
+}
+
+// Resolve returns the origin of a global identifier.
+func (m *Map) Resolve(gid event.GlobalID) (Mapping, error) {
+	if gid == "" {
+		return Mapping{}, errors.New("idmap: empty global id")
+	}
+	v, ok, err := m.st.Get(globalKey(gid))
+	if err != nil {
+		return Mapping{}, err
+	}
+	if !ok {
+		return Mapping{}, fmt.Errorf("%w: %s", ErrNotFound, gid)
+	}
+	producer, source, class, err := decodeMapping(string(v))
+	if err != nil {
+		return Mapping{}, err
+	}
+	return Mapping{Global: gid, Producer: producer, Source: source, Class: class}, nil
+}
+
+// Len returns the number of assigned global identifiers.
+func (m *Map) Len() (int, error) {
+	n := 0
+	err := m.st.AscendPrefix("g/", func(string, []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+func globalKey(gid event.GlobalID) string { return "g/" + string(gid) }
+
+func reverseKey(p event.ProducerID, s event.SourceID) string {
+	return "r/" + string(p) + "\x00" + string(s)
+}
+
+// newGlobalID mints a 128-bit random identifier with a readable prefix.
+func newGlobalID() (event.GlobalID, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("idmap: generate id: %w", err)
+	}
+	return event.GlobalID("evt-" + hex.EncodeToString(b[:])), nil
+}
+
+// encodeMapping packs origin fields with NUL separators (none of the id
+// types admits NUL).
+func encodeMapping(p event.ProducerID, s event.SourceID, c event.ClassID) string {
+	return string(p) + "\x00" + string(s) + "\x00" + string(c)
+}
+
+func decodeMapping(v string) (event.ProducerID, event.SourceID, event.ClassID, error) {
+	parts := strings.SplitN(v, "\x00", 3)
+	if len(parts) != 3 {
+		return "", "", "", errors.New("idmap: corrupt mapping record")
+	}
+	return event.ProducerID(parts[0]), event.SourceID(parts[1]), event.ClassID(parts[2]), nil
+}

@@ -1,0 +1,136 @@
+package idmap
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func newMap(t *testing.T) *Map {
+	t.Helper()
+	return New(store.OpenMemory())
+}
+
+func TestAssignResolveRoundTrip(t *testing.T) {
+	m := newMap(t)
+	gid, err := m.Assign("hospital", "src-1", "hospital.blood-test")
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if gid == "" {
+		t.Fatal("empty global id")
+	}
+	got, err := m.Resolve(gid)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got.Producer != "hospital" || got.Source != "src-1" || got.Class != "hospital.blood-test" || got.Global != gid {
+		t.Errorf("Resolve = %+v", got)
+	}
+}
+
+func TestAssignIsIdempotent(t *testing.T) {
+	m := newMap(t)
+	a, _ := m.Assign("p", "s", "c.x")
+	b, _ := m.Assign("p", "s", "c.x")
+	if a != b {
+		t.Errorf("retry minted a new id: %s vs %s", a, b)
+	}
+	if n, _ := m.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+}
+
+func TestDistinctEventsGetDistinctIDs(t *testing.T) {
+	m := newMap(t)
+	a, _ := m.Assign("p", "s1", "c.x")
+	b, _ := m.Assign("p", "s2", "c.x")
+	c, _ := m.Assign("q", "s1", "c.x")
+	if a == b || a == c || b == c {
+		t.Errorf("collisions: %s %s %s", a, b, c)
+	}
+	if n, _ := m.Len(); n != 3 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	m := newMap(t)
+	if _, err := m.Resolve("evt-nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Resolve(unknown) = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Resolve(""); err == nil {
+		t.Error("Resolve(empty) accepted")
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	m := newMap(t)
+	if _, err := m.Assign("", "s", "c.x"); err == nil {
+		t.Error("empty producer accepted")
+	}
+	if _, err := m.Assign("p", "", "c.x"); err == nil {
+		t.Error("empty source accepted")
+	}
+}
+
+func TestDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idmap.wal")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(st)
+	gid, _ := m.Assign("p", "s", "c.x")
+	st.Close()
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	m2 := New(st2)
+	got, err := m2.Resolve(gid)
+	if err != nil || got.Source != "s" {
+		t.Errorf("Resolve after reopen = %+v, %v", got, err)
+	}
+	// Idempotency must survive restarts too.
+	again, _ := m2.Assign("p", "s", "c.x")
+	if again != gid {
+		t.Errorf("Assign after reopen minted new id")
+	}
+}
+
+func TestConcurrentAssign(t *testing.T) {
+	m := newMap(t)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				gid, err := m.Assign("p", "shared-source", "c.x")
+				if err != nil {
+					t.Errorf("Assign: %v", err)
+					return
+				}
+				mu.Lock()
+				seen[string(gid)] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Assign is atomic: all racing callers must agree on one id.
+	if len(seen) != 1 {
+		t.Errorf("racing Assign minted %d distinct ids", len(seen))
+	}
+	if n, _ := m.Len(); n != 1 {
+		t.Errorf("Len = %d", n)
+	}
+}

@@ -1,0 +1,279 @@
+// Package index implements the events index of the data controller: the
+// store of all notification messages published by the producers (paper
+// §4). Per the privacy regulations, "the identifying information of the
+// person specified in the notification is stored in encrypted form": the
+// person identifier is sealed at rest and indexed through a deterministic
+// keyed pseudonym, so the index supports "all events of person X" queries
+// without ever holding the identifier in the clear.
+//
+// The index answers the event index inquiries of §5.2: a consumer may
+// query it to obtain the list of notifications it is authorized to see
+// without necessarily subscribing (the authorization check itself is the
+// controller's job; the index is the storage and query layer).
+package index
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+// ErrNotFound reports an unknown event id.
+var ErrNotFound = errors.New("index: not found")
+
+// Index is the notification store. Safe for concurrent use; durable when
+// backed by a persistent store. With a nil keyring the index stores
+// person identifiers in the clear — that mode exists solely as the
+// baseline of experiment E5 and must not be used in a deployment.
+type Index struct {
+	st   *store.Store
+	keys *crypto.Keyring
+}
+
+// record is the persisted form of a notification. PersonID holds either
+// the sealed ciphertext (encrypted mode) or the plaintext (baseline
+// mode); Pseudo marks which.
+type record struct {
+	ID          event.GlobalID   `json:"id"`
+	Class       event.ClassID    `json:"class"`
+	PersonID    string           `json:"personId"`
+	Encrypted   bool             `json:"encrypted"`
+	Summary     string           `json:"summary"`
+	OccurredAt  time.Time        `json:"occurredAt"`
+	Producer    event.ProducerID `json:"producer"`
+	PublishedAt time.Time        `json:"publishedAt"`
+}
+
+// New creates an index on st. Keys may be nil only for the E5 plaintext
+// baseline.
+func New(st *store.Store, keys *crypto.Keyring) *Index {
+	return &Index{st: st, keys: keys}
+}
+
+// Put stores a published notification. The notification must carry its
+// controller-assigned global ID. Put is idempotent on the global ID.
+func (ix *Index) Put(n *event.Notification) error {
+	if n.ID == "" {
+		return errors.New("index: notification without global id")
+	}
+	if err := n.Class.Validate(); err != nil {
+		return err
+	}
+	r := record{
+		ID:          n.ID,
+		Class:       n.Class,
+		PersonID:    n.PersonID,
+		Summary:     n.Summary,
+		OccurredAt:  n.OccurredAt,
+		Producer:    n.Producer,
+		PublishedAt: n.PublishedAt,
+	}
+	personKey := n.PersonID
+	if ix.keys != nil {
+		sealed, err := ix.keys.SealString(n.PersonID)
+		if err != nil {
+			return err
+		}
+		r.PersonID = sealed
+		r.Encrypted = true
+		personKey = ix.keys.Pseudonym(n.PersonID)
+	}
+	data, err := json.Marshal(&r)
+	if err != nil {
+		return fmt.Errorf("index: encode: %w", err)
+	}
+	ts := timeKey(n.OccurredAt)
+	if err := ix.st.Put(eventKey(n.ID), data); err != nil {
+		return err
+	}
+	if err := ix.st.Put(personIdxKey(personKey, ts, n.ID), []byte(n.ID)); err != nil {
+		return err
+	}
+	if err := ix.st.Put(classIdxKey(n.Class, ts, n.ID), []byte(n.ID)); err != nil {
+		return err
+	}
+	return ix.st.Put(producerIdxKey(n.Producer, n.ID), []byte(n.ID))
+}
+
+// Get returns the notification with the given global ID, with the person
+// identifier decrypted.
+func (ix *Index) Get(id event.GlobalID) (*event.Notification, error) {
+	v, ok, err := ix.st.Get(eventKey(id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return ix.decode(v)
+}
+
+func (ix *Index) decode(v []byte) (*event.Notification, error) {
+	var r record
+	if err := json.Unmarshal(v, &r); err != nil {
+		return nil, fmt.Errorf("index: corrupt record: %w", err)
+	}
+	person := r.PersonID
+	if r.Encrypted {
+		if ix.keys == nil {
+			return nil, errors.New("index: encrypted record but no keyring")
+		}
+		pt, err := ix.keys.OpenString(r.PersonID)
+		if err != nil {
+			return nil, fmt.Errorf("index: decrypt person id: %w", err)
+		}
+		person = pt
+	}
+	return &event.Notification{
+		ID:          r.ID,
+		Class:       r.Class,
+		PersonID:    person,
+		Summary:     r.Summary,
+		OccurredAt:  r.OccurredAt,
+		Producer:    r.Producer,
+		PublishedAt: r.PublishedAt,
+	}, nil
+}
+
+// Inquiry filters an index query. Zero values match anything.
+type Inquiry struct {
+	// PersonID selects the events of one data subject (plaintext; the
+	// index translates it to the pseudonym internally).
+	PersonID string
+	// Class selects one event class.
+	Class event.ClassID
+	// Producer selects one source.
+	Producer event.ProducerID
+	// From/To bound the occurrence time (inclusive).
+	From, To time.Time
+	// Limit bounds the result size; 0 means unlimited.
+	Limit int
+}
+
+// Inquire returns the notifications matching q in occurrence-time order
+// (within the chosen access path). It uses the person index when a
+// person is given, else the class index, else a full scan.
+func (ix *Index) Inquire(q Inquiry) ([]*event.Notification, error) {
+	switch {
+	case q.PersonID != "":
+		personKey := q.PersonID
+		if ix.keys != nil {
+			personKey = ix.keys.Pseudonym(q.PersonID)
+		}
+		return ix.scanIdx("p/"+personKey+"/", q)
+	case q.Class != "":
+		return ix.scanIdx("c/"+string(q.Class)+"/", q)
+	default:
+		return ix.scanAll(q)
+	}
+}
+
+// scanIdx walks a secondary index prefix, bounding the scan by the time
+// window encoded in the keys, then resolves and filters the primary
+// records.
+func (ix *Index) scanIdx(prefix string, q Inquiry) ([]*event.Notification, error) {
+	from := prefix
+	if !q.From.IsZero() {
+		from = prefix + timeKey(q.From)
+	}
+	to := "" // open-ended; filtered per record below
+	var out []*event.Notification
+	var innerErr error
+	err := ix.st.AscendRange(from, to, func(k string, v []byte) bool {
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			return false // left the prefix: stop
+		}
+		n, err := ix.Get(event.GlobalID(v))
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if !matches(n, q) {
+			// Keys are time-ordered: once past To we can stop.
+			if !q.To.IsZero() && n.OccurredAt.After(q.To) {
+				return false
+			}
+			return true
+		}
+		out = append(out, n)
+		return q.Limit <= 0 || len(out) < q.Limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, innerErr
+}
+
+func (ix *Index) scanAll(q Inquiry) ([]*event.Notification, error) {
+	var out []*event.Notification
+	var innerErr error
+	err := ix.st.AscendPrefix("e/", func(k string, v []byte) bool {
+		n, err := ix.decode(v)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if !matches(n, q) {
+			return true
+		}
+		out = append(out, n)
+		return q.Limit <= 0 || len(out) < q.Limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, innerErr
+}
+
+func matches(n *event.Notification, q Inquiry) bool {
+	if q.PersonID != "" && n.PersonID != q.PersonID {
+		return false
+	}
+	if q.Class != "" && n.Class != q.Class {
+		return false
+	}
+	if q.Producer != "" && n.Producer != q.Producer {
+		return false
+	}
+	if !q.From.IsZero() && n.OccurredAt.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && n.OccurredAt.After(q.To) {
+		return false
+	}
+	return true
+}
+
+// Len returns the number of stored notifications.
+func (ix *Index) Len() (int, error) {
+	n := 0
+	err := ix.st.AscendPrefix("e/", func(string, []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+func eventKey(id event.GlobalID) string { return "e/" + string(id) }
+
+func personIdxKey(person, ts string, id event.GlobalID) string {
+	return "p/" + person + "/" + ts + "/" + string(id)
+}
+
+func classIdxKey(c event.ClassID, ts string, id event.GlobalID) string {
+	return "c/" + string(c) + "/" + ts + "/" + string(id)
+}
+
+func producerIdxKey(p event.ProducerID, id event.GlobalID) string {
+	return "s/" + string(p) + "/" + string(id)
+}
+
+// timeKey renders an instant as a fixed-width sortable key component.
+func timeKey(t time.Time) string {
+	return fmt.Sprintf("%020d", t.UnixNano())
+}

@@ -1,0 +1,266 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+func keyring(t *testing.T) *crypto.Keyring {
+	t.Helper()
+	k, err := crypto.NewKeyring(bytes.Repeat([]byte{3}, crypto.KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func newIndex(t *testing.T) *Index {
+	t.Helper()
+	return New(store.OpenMemory(), keyring(t))
+}
+
+func notif(id string, person string, class event.ClassID, at time.Time) *event.Notification {
+	return &event.Notification{
+		ID:          event.GlobalID(id),
+		Class:       class,
+		PersonID:    person,
+		Summary:     "something happened",
+		OccurredAt:  at,
+		Producer:    "hospital",
+		PublishedAt: at.Add(time.Minute),
+	}
+}
+
+var t0 = time.Date(2010, 3, 1, 8, 0, 0, 0, time.UTC)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	ix := newIndex(t)
+	n := notif("evt-1", "PRS-0001", "hospital.blood-test", t0)
+	if err := ix.Put(n); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := ix.Get("evt-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.PersonID != "PRS-0001" || got.Class != n.Class || !got.OccurredAt.Equal(n.OccurredAt) {
+		t.Errorf("Get = %+v", got)
+	}
+	if _, err := ix.Get("evt-404"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(unknown) = %v", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	ix := newIndex(t)
+	n := notif("", "p", "c.x", t0)
+	if err := ix.Put(n); err == nil {
+		t.Error("Put accepted notification without global id")
+	}
+	bad := notif("evt-1", "p", "Bad Class", t0)
+	if err := ix.Put(bad); err == nil {
+		t.Error("Put accepted bad class")
+	}
+}
+
+func TestPersonIDEncryptedAtRest(t *testing.T) {
+	st := store.OpenMemory()
+	ix := New(st, keyring(t))
+	if err := ix.Put(notif("evt-1", "PRS-SECRET-0001", "c.x", t0)); err != nil {
+		t.Fatal(err)
+	}
+	// No key or value anywhere in the store may contain the identifier.
+	leaked := false
+	st.AscendPrefix("", func(k string, v []byte) bool {
+		if strings.Contains(k, "PRS-SECRET") || strings.Contains(string(v), "PRS-SECRET") {
+			leaked = true
+			return false
+		}
+		return true
+	})
+	if leaked {
+		t.Error("person identifier stored in the clear")
+	}
+}
+
+func TestPlaintextBaselineMode(t *testing.T) {
+	st := store.OpenMemory()
+	ix := New(st, nil)
+	if err := ix.Put(notif("evt-1", "PRS-1", "c.x", t0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Get("evt-1")
+	if err != nil || got.PersonID != "PRS-1" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	res, err := ix.Inquire(Inquiry{PersonID: "PRS-1"})
+	if err != nil || len(res) != 1 {
+		t.Errorf("Inquire = %d, %v", len(res), err)
+	}
+}
+
+func TestInquireByPerson(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 10; i++ {
+		person := "PRS-A"
+		if i%2 == 1 {
+			person = "PRS-B"
+		}
+		n := notif(fmt.Sprintf("evt-%d", i), person, "c.x", t0.Add(time.Duration(i)*time.Hour))
+		if err := ix.Put(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ix.Inquire(Inquiry{PersonID: "PRS-A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("Inquire(person) = %d", len(got))
+	}
+	for i, n := range got {
+		if n.PersonID != "PRS-A" {
+			t.Errorf("result %d has person %s", i, n.PersonID)
+		}
+		if i > 0 && got[i].OccurredAt.Before(got[i-1].OccurredAt) {
+			t.Error("results out of time order")
+		}
+	}
+	if got, _ := ix.Inquire(Inquiry{PersonID: "PRS-NOBODY"}); len(got) != 0 {
+		t.Errorf("unknown person = %d results", len(got))
+	}
+}
+
+func TestInquireByClassAndProducer(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 6; i++ {
+		class := event.ClassID("c.one")
+		if i >= 3 {
+			class = "c.two"
+		}
+		n := notif(fmt.Sprintf("evt-%d", i), "P", class, t0.Add(time.Duration(i)*time.Hour))
+		if i == 5 {
+			n.Producer = "other-producer"
+		}
+		ix.Put(n)
+	}
+	if got, _ := ix.Inquire(Inquiry{Class: "c.one"}); len(got) != 3 {
+		t.Errorf("Inquire(class) = %d", len(got))
+	}
+	got, _ := ix.Inquire(Inquiry{Class: "c.two", Producer: "other-producer"})
+	if len(got) != 1 || got[0].ID != "evt-5" {
+		t.Errorf("Inquire(class+producer) = %+v", got)
+	}
+	// Full scan path.
+	if got, _ := ix.Inquire(Inquiry{Producer: "hospital"}); len(got) != 5 {
+		t.Errorf("Inquire(producer only) = %d", len(got))
+	}
+	if got, _ := ix.Inquire(Inquiry{}); len(got) != 6 {
+		t.Errorf("Inquire(all) = %d", len(got))
+	}
+}
+
+func TestInquireTimeWindow(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 10; i++ {
+		ix.Put(notif(fmt.Sprintf("evt-%d", i), "P", "c.x", t0.Add(time.Duration(i)*time.Hour)))
+	}
+	got, err := ix.Inquire(Inquiry{PersonID: "P", From: t0.Add(3 * time.Hour), To: t0.Add(6 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("window = %d results", len(got))
+	}
+	if got[0].ID != "evt-3" || got[3].ID != "evt-6" {
+		t.Errorf("window bounds = %s..%s", got[0].ID, got[3].ID)
+	}
+	// Window on the class path and the scan path.
+	if got, _ := ix.Inquire(Inquiry{Class: "c.x", From: t0.Add(8 * time.Hour)}); len(got) != 2 {
+		t.Errorf("class window = %d", len(got))
+	}
+	if got, _ := ix.Inquire(Inquiry{To: t0}); len(got) != 1 {
+		t.Errorf("scan window = %d", len(got))
+	}
+}
+
+func TestInquireLimit(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 10; i++ {
+		ix.Put(notif(fmt.Sprintf("evt-%d", i), "P", "c.x", t0.Add(time.Duration(i)*time.Minute)))
+	}
+	for _, q := range []Inquiry{
+		{PersonID: "P", Limit: 3},
+		{Class: "c.x", Limit: 3},
+		{Limit: 3},
+	} {
+		if got, _ := ix.Inquire(q); len(got) != 3 {
+			t.Errorf("Limit ignored for %+v: %d", q, len(got))
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 7; i++ {
+		ix.Put(notif(fmt.Sprintf("evt-%d", i), "P", "c.x", t0))
+	}
+	// Idempotent overwrite of the same id does not grow the index.
+	ix.Put(notif("evt-0", "P", "c.x", t0))
+	if n, _ := ix.Len(); n != 7 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.wal")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := New(st, keyring(t))
+	ix.Put(notif("evt-1", "PRS-1", "c.x", t0))
+	st.Close()
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ix2 := New(st2, keyring(t))
+	got, err := ix2.Get("evt-1")
+	if err != nil || got.PersonID != "PRS-1" {
+		t.Errorf("after reopen: %+v, %v", got, err)
+	}
+	if res, _ := ix2.Inquire(Inquiry{PersonID: "PRS-1"}); len(res) != 1 {
+		t.Error("person index lost after reopen")
+	}
+}
+
+func TestWrongKeyringCannotRead(t *testing.T) {
+	st := store.OpenMemory()
+	ix := New(st, keyring(t))
+	ix.Put(notif("evt-1", "PRS-1", "c.x", t0))
+
+	other, err := crypto.NewKeyring(bytes.Repeat([]byte{9}, crypto.KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2 := New(st, other)
+	if _, err := ix2.Get("evt-1"); err == nil {
+		t.Error("Get under wrong keyring succeeded")
+	}
+	// And the pseudonym differs, so the person index finds nothing.
+	if res, _ := ix2.Inquire(Inquiry{PersonID: "PRS-1"}); len(res) != 0 {
+		t.Errorf("wrong-key inquiry = %d results", len(res))
+	}
+}

@@ -1,0 +1,103 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+// TestQuickInquireMatchesNaiveFilter: for random data and random
+// inquiries, the index (with its secondary-index access paths) returns
+// exactly what a naive linear filter over the inserted notifications
+// would.
+func TestQuickInquireMatchesNaiveFilter(t *testing.T) {
+	keys, err := crypto.NewKeyring(bytes.Repeat([]byte{6}, crypto.KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		ix := New(store.OpenMemory(), keys)
+		n := 20 + rnd.Intn(80)
+		var all []*event.Notification
+		for i := 0; i < n; i++ {
+			notif := &event.Notification{
+				ID:         event.GlobalID(fmt.Sprintf("evt-%06d", i)),
+				Class:      event.ClassID(fmt.Sprintf("c%d.x", rnd.Intn(3))),
+				PersonID:   fmt.Sprintf("P-%d", rnd.Intn(8)),
+				Summary:    "s",
+				OccurredAt: base.Add(time.Duration(rnd.Intn(1000)) * time.Hour),
+				Producer:   event.ProducerID(fmt.Sprintf("prod-%d", rnd.Intn(2))),
+			}
+			if err := ix.Put(notif); err != nil {
+				return false
+			}
+			all = append(all, notif)
+		}
+
+		// Random inquiry with random combination of filters.
+		q := Inquiry{}
+		if rnd.Intn(2) == 0 {
+			q.PersonID = fmt.Sprintf("P-%d", rnd.Intn(8))
+		}
+		if rnd.Intn(2) == 0 {
+			q.Class = event.ClassID(fmt.Sprintf("c%d.x", rnd.Intn(3)))
+		}
+		if rnd.Intn(2) == 0 {
+			q.Producer = event.ProducerID(fmt.Sprintf("prod-%d", rnd.Intn(2)))
+		}
+		if rnd.Intn(2) == 0 {
+			q.From = base.Add(time.Duration(rnd.Intn(500)) * time.Hour)
+		}
+		if rnd.Intn(2) == 0 {
+			q.To = base.Add(time.Duration(500+rnd.Intn(500)) * time.Hour)
+		}
+
+		got, err := ix.Inquire(q)
+		if err != nil {
+			return false
+		}
+		want := map[event.GlobalID]bool{}
+		for _, notif := range all {
+			if q.PersonID != "" && notif.PersonID != q.PersonID {
+				continue
+			}
+			if q.Class != "" && notif.Class != q.Class {
+				continue
+			}
+			if q.Producer != "" && notif.Producer != q.Producer {
+				continue
+			}
+			if !q.From.IsZero() && notif.OccurredAt.Before(q.From) {
+				continue
+			}
+			if !q.To.IsZero() && notif.OccurredAt.After(q.To) {
+				continue
+			}
+			want[notif.ID] = true
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %d, want %d for %+v", seed, len(got), len(want), q)
+			return false
+		}
+		for _, g := range got {
+			if !want[g.ID] {
+				t.Logf("seed %d: unexpected result %s", seed, g.ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram misreports")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("q1 = %v", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	if !strings.Contains(h.Summary(), "/") {
+		t.Errorf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramInterleavedRecordAndQuantile(t *testing.T) {
+	h := NewHistogram()
+	h.Record(3 * time.Millisecond)
+	h.Record(time.Millisecond)
+	_ = h.Quantile(0.5) // forces sort
+	h.Record(2 * time.Millisecond)
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("min after re-record = %v", got)
+	}
+	if got := h.Quantile(1); got != 3*time.Millisecond {
+		t.Errorf("max after re-record = %v", got)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := NewHistogram()
+	h.Time(func() { time.Sleep(time.Millisecond) })
+	if h.Count() != 1 || h.Quantile(1) < time.Millisecond {
+		t.Errorf("Time recorded %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Record(time.Microsecond)
+				h.Quantile(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, time.Second); got != 100 {
+		t.Errorf("Rate = %v", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Errorf("Rate(0 elapsed) = %v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("name", "value", "ratio")
+	tbl.Row("alpha", 42, 1.5)
+	tbl.Row("a-much-longer-name", 7, 0.25)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50") || !strings.Contains(out, "0.25") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	// Alignment: the "value" column must start at the same offset.
+	idx0 := strings.Index(lines[2], "42")
+	idx1 := strings.Index(lines[3], "7")
+	if idx0 != idx1 {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,98 @@
+package policy
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"repro/internal/event"
+)
+
+// Compact XML persistence form of policies, used by the controller to
+// snapshot/restore the repository. The paper-faithful XACML rendering
+// (Fig. 8) lives in internal/xacml and is produced by the compiler.
+
+type policyXML struct {
+	XMLName     xml.Name          `xml:"privacyPolicy"`
+	ID          ID                `xml:"id,attr"`
+	Name        string            `xml:"name,omitempty"`
+	Description string            `xml:"description,omitempty"`
+	Producer    event.ProducerID  `xml:"producer"`
+	Actor       event.Actor       `xml:"actor"`
+	Class       event.ClassID     `xml:"class"`
+	Purposes    []event.Purpose   `xml:"purposes>purpose"`
+	Fields      []event.FieldName `xml:"fields>field"`
+	NotBefore   string            `xml:"notBefore,omitempty"`
+	NotAfter    string            `xml:"notAfter,omitempty"`
+	CreatedAt   string            `xml:"createdAt,omitempty"`
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339Nano, s)
+}
+
+// Encode serializes a policy to its compact XML form with deterministic
+// purpose and field ordering.
+func Encode(p *Policy) ([]byte, error) {
+	w := policyXML{
+		ID:          p.ID,
+		Name:        p.Name,
+		Description: p.Description,
+		Producer:    p.Producer,
+		Actor:       p.Actor,
+		Class:       p.Class,
+		Purposes:    p.sortedPurposes(),
+		Fields:      p.sortedFields(),
+		NotBefore:   fmtTime(p.NotBefore),
+		NotAfter:    fmtTime(p.NotAfter),
+		CreatedAt:   fmtTime(p.CreatedAt),
+	}
+	return xml.MarshalIndent(w, "", "  ")
+}
+
+// Decode parses a policy from its compact XML form and re-validates it.
+func Decode(data []byte) (*Policy, error) {
+	var w policyXML
+	if err := xml.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("policy: decode: %w", err)
+	}
+	nb, err := parseTime(w.NotBefore)
+	if err != nil {
+		return nil, fmt.Errorf("policy: decode notBefore: %w", err)
+	}
+	na, err := parseTime(w.NotAfter)
+	if err != nil {
+		return nil, fmt.Errorf("policy: decode notAfter: %w", err)
+	}
+	ca, err := parseTime(w.CreatedAt)
+	if err != nil {
+		return nil, fmt.Errorf("policy: decode createdAt: %w", err)
+	}
+	p := &Policy{
+		ID:          w.ID,
+		Name:        w.Name,
+		Description: w.Description,
+		Producer:    w.Producer,
+		Actor:       w.Actor,
+		Class:       w.Class,
+		Purposes:    w.Purposes,
+		Fields:      w.Fields,
+		NotBefore:   nb,
+		NotAfter:    na,
+		CreatedAt:   ca,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,149 @@
+// Package reporting implements the accountability aggregates of the
+// scenario (paper §2): "each service provider has to provide data at
+// different level of granularity (detailed vs aggregated data) to the
+// governing body (province or ministry of health and finance) for
+// accountability and reimbursement purposes. The governing body also uses
+// the data to assess the efficiency of the services being delivered."
+//
+// The Aggregator consumes notification messages — the non-sensitive
+// who/what/when/where — and produces per-producer, per-class, per-period
+// service counts and coverage figures. Person identifiers are used only
+// for distinct-citizen counting and never appear in reports, so the
+// governing body's accountability view requires no detail requests.
+package reporting
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+)
+
+// Period is a reporting granularity.
+type Period int
+
+const (
+	// Monthly buckets by calendar month (the reimbursement cycle).
+	Monthly Period = iota
+	// Quarterly buckets by calendar quarter.
+	Quarterly
+	// Yearly buckets by calendar year.
+	Yearly
+)
+
+// bucket renders the period key of an instant.
+func (p Period) bucket(t time.Time) string {
+	switch p {
+	case Yearly:
+		return fmt.Sprintf("%04d", t.Year())
+	case Quarterly:
+		return fmt.Sprintf("%04d-Q%d", t.Year(), (int(t.Month())-1)/3+1)
+	default:
+		return t.Format("2006-01")
+	}
+}
+
+// Row is one aggregate of the accountability report.
+type Row struct {
+	// Bucket is the reporting period (e.g. "2010-03", "2010-Q1", "2010").
+	Bucket string
+	// Producer is the accountable service provider.
+	Producer event.ProducerID
+	// Class is the service (event class) delivered.
+	Class event.ClassID
+	// Services is the number of service events delivered.
+	Services int
+	// Citizens is the number of distinct persons served.
+	Citizens int
+	// ServicesPerCitizen is the mean intensity of service.
+	ServicesPerCitizen float64
+}
+
+// Aggregator accumulates notifications into accountability aggregates.
+// Safe for concurrent use.
+type Aggregator struct {
+	period Period
+
+	mu      sync.Mutex
+	counts  map[rowKey]int
+	persons map[rowKey]map[string]bool
+}
+
+type rowKey struct {
+	bucket   string
+	producer event.ProducerID
+	class    event.ClassID
+}
+
+// NewAggregator creates an aggregator at the given granularity.
+func NewAggregator(period Period) *Aggregator {
+	return &Aggregator{
+		period:  period,
+		counts:  make(map[rowKey]int),
+		persons: make(map[rowKey]map[string]bool),
+	}
+}
+
+// Observe feeds one notification.
+func (a *Aggregator) Observe(n *event.Notification) {
+	k := rowKey{a.period.bucket(n.OccurredAt), n.Producer, n.Class}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counts[k]++
+	set := a.persons[k]
+	if set == nil {
+		set = make(map[string]bool)
+		a.persons[k] = set
+	}
+	set[n.PersonID] = true
+}
+
+// Report returns the aggregates, sorted by bucket, producer, class.
+// No person identifier appears in the output.
+func (a *Aggregator) Report() []Row {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rows := make([]Row, 0, len(a.counts))
+	for k, count := range a.counts {
+		citizens := len(a.persons[k])
+		row := Row{
+			Bucket:   k.bucket,
+			Producer: k.producer,
+			Class:    k.class,
+			Services: count,
+			Citizens: citizens,
+		}
+		if citizens > 0 {
+			row.ServicesPerCitizen = float64(count) / float64(citizens)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Bucket != rows[j].Bucket {
+			return rows[i].Bucket < rows[j].Bucket
+		}
+		if rows[i].Producer != rows[j].Producer {
+			return rows[i].Producer < rows[j].Producer
+		}
+		return rows[i].Class < rows[j].Class
+	})
+	return rows
+}
+
+// Totals sums a producer's services across all buckets and classes — the
+// reimbursement bottom line.
+func (a *Aggregator) Totals(producer event.ProducerID) (services int, buckets int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := map[string]bool{}
+	for k, count := range a.counts {
+		if k.producer != producer {
+			continue
+		}
+		services += count
+		seen[k.bucket] = true
+	}
+	return services, len(seen)
+}

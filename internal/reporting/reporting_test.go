@@ -1,0 +1,116 @@
+package reporting
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+func notif(producer event.ProducerID, class event.ClassID, person string, at time.Time) *event.Notification {
+	return &event.Notification{
+		ID: "e", SourceID: "s", Class: class, PersonID: person,
+		OccurredAt: at, Producer: producer,
+	}
+}
+
+var rt0 = time.Date(2010, 1, 10, 9, 0, 0, 0, time.UTC)
+
+func TestMonthlyAggregation(t *testing.T) {
+	a := NewAggregator(Monthly)
+	a.Observe(notif("muni", "c.home-care", "P1", rt0))
+	a.Observe(notif("muni", "c.home-care", "P1", rt0.Add(24*time.Hour)))
+	a.Observe(notif("muni", "c.home-care", "P2", rt0.Add(48*time.Hour)))
+	a.Observe(notif("muni", "c.home-care", "P1", rt0.AddDate(0, 1, 0))) // Feb
+	a.Observe(notif("hosp", "c.blood", "P1", rt0))
+
+	rows := a.Report()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d: %+v", len(rows), rows)
+	}
+	// Sorted: 2010-01/hosp, 2010-01/muni, 2010-02/muni.
+	if rows[0].Producer != "hosp" || rows[0].Services != 1 || rows[0].Citizens != 1 {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	jan := rows[1]
+	if jan.Bucket != "2010-01" || jan.Services != 3 || jan.Citizens != 2 {
+		t.Errorf("jan = %+v", jan)
+	}
+	if jan.ServicesPerCitizen != 1.5 {
+		t.Errorf("ServicesPerCitizen = %v", jan.ServicesPerCitizen)
+	}
+	if rows[2].Bucket != "2010-02" || rows[2].Services != 1 {
+		t.Errorf("feb = %+v", rows[2])
+	}
+}
+
+func TestPeriodBuckets(t *testing.T) {
+	cases := []struct {
+		p    Period
+		at   time.Time
+		want string
+	}{
+		{Monthly, rt0, "2010-01"},
+		{Quarterly, rt0, "2010-Q1"},
+		{Quarterly, time.Date(2010, 4, 1, 0, 0, 0, 0, time.UTC), "2010-Q2"},
+		{Quarterly, time.Date(2010, 12, 31, 0, 0, 0, 0, time.UTC), "2010-Q4"},
+		{Yearly, rt0, "2010"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.bucket(tc.at); got != tc.want {
+			t.Errorf("bucket(%v, %v) = %q, want %q", tc.p, tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestReportCarriesNoIdentifiers(t *testing.T) {
+	a := NewAggregator(Yearly)
+	a.Observe(notif("muni", "c.x", "PRS-SECRET", rt0))
+	rows := a.Report()
+	for _, r := range rows {
+		for _, s := range []string{r.Bucket, string(r.Producer), string(r.Class)} {
+			if s == "PRS-SECRET" {
+				t.Fatal("identifier leaked into report")
+			}
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	a := NewAggregator(Monthly)
+	for m := 0; m < 3; m++ {
+		for i := 0; i < 5; i++ {
+			a.Observe(notif("muni", "c.x", fmt.Sprintf("P%d", i), rt0.AddDate(0, m, 0)))
+		}
+	}
+	a.Observe(notif("other", "c.x", "P1", rt0))
+	services, buckets := a.Totals("muni")
+	if services != 15 || buckets != 3 {
+		t.Errorf("Totals = %d services, %d buckets", services, buckets)
+	}
+	if s, b := a.Totals("nobody"); s != 0 || b != 0 {
+		t.Errorf("Totals(nobody) = %d, %d", s, b)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	a := NewAggregator(Monthly)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a.Observe(notif("muni", "c.x", fmt.Sprintf("P%d", i%10), rt0))
+				a.Report()
+			}
+		}(g)
+	}
+	wg.Wait()
+	rows := a.Report()
+	if len(rows) != 1 || rows[0].Services != 800 || rows[0].Citizens != 10 {
+		t.Errorf("rows = %+v", rows)
+	}
+}

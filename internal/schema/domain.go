@@ -1,0 +1,147 @@
+package schema
+
+import "repro/internal/event"
+
+// Domain schemas for the social and health scenario of the paper. These
+// are the event classes used throughout the examples, tests and the
+// benchmark workload generator: home-care service events (the Fig. 8
+// example), clinical exams (the blood test of §5, whose AIDS-test result
+// is the canonical field to obfuscate), the autonomy test of the
+// Definition 2 example, and the socio-assistive services named in the
+// introduction (telecare, food delivery, house cleaning).
+
+// Event class identifiers of the domain schemas.
+const (
+	ClassHomeCare       event.ClassID = "social.home-care-service"
+	ClassBloodTest      event.ClassID = "hospital.blood-test"
+	ClassAutonomyTest   event.ClassID = "social.autonomy-test"
+	ClassTelecare       event.ClassID = "telecare.activation"
+	ClassFoodDelivery   event.ClassID = "social.food-delivery"
+	ClassDischarge      event.ClassID = "hospital.discharge"
+	ClassPsychology     event.ClassID = "hospital.psychological-analysis"
+	ClassHouseCleaning  event.ClassID = "social.house-cleaning"
+	ClassNursingService event.ClassID = "social.nursing-service"
+)
+
+// HomeCare is the HomeCareServiceEvent of the paper's Fig. 8 policy
+// example: the family doctor may access only PatientId, Name and Surname.
+func HomeCare() *Schema {
+	return MustNew(ClassHomeCare, 1, "Home care service delivered to a patient",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "name", Type: String, Required: true, Sensitivity: Identifying, Doc: "Patient first name"},
+		Field{Name: "surname", Type: String, Required: true, Sensitivity: Identifying, Doc: "Patient family name"},
+		Field{Name: "service-type", Type: Code, Required: true, Sensitivity: Ordinary, Doc: "Kind of home care service",
+			Codes: []string{"nursing", "cleaning", "meal", "companionship", "physiotherapy"}},
+		Field{Name: "operator", Type: String, Sensitivity: Ordinary, Doc: "Operator who delivered the service"},
+		Field{Name: "duration-minutes", Type: Int, Sensitivity: Ordinary, Doc: "Duration of the intervention"},
+		Field{Name: "care-notes", Type: String, Sensitivity: Sensitive, Doc: "Clinical notes recorded during the visit"},
+		Field{Name: "health-status", Type: String, Sensitivity: Sensitive, Doc: "Observed health status"},
+	)
+}
+
+// BloodTest is the clinical exam class of §5: a hospital laboratory
+// result whose aids-test outcome should be obfuscated for most consumers.
+func BloodTest() *Schema {
+	return MustNew(ClassBloodTest, 1, "Blood test completed by a hospital laboratory",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "name", Type: String, Sensitivity: Identifying, Doc: "Patient first name"},
+		Field{Name: "surname", Type: String, Sensitivity: Identifying, Doc: "Patient family name"},
+		Field{Name: "exam-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Date the sample was analyzed"},
+		Field{Name: "hemoglobin", Type: Float, Sensitivity: Sensitive, Doc: "Hemoglobin g/dL"},
+		Field{Name: "glucose", Type: Float, Sensitivity: Sensitive, Doc: "Fasting glucose mg/dL"},
+		Field{Name: "cholesterol", Type: Float, Sensitivity: Sensitive, Doc: "Total cholesterol mg/dL"},
+		Field{Name: "aids-test", Type: Code, Sensitivity: Sensitive, Doc: "AIDS test outcome (to be obfuscated for most consumers)",
+			Codes: []string{"negative", "positive", "inconclusive"}},
+		Field{Name: "lab-notes", Type: String, Sensitivity: Sensitive, Doc: "Free-text laboratory notes"},
+	)
+}
+
+// AutonomyTest is the autonomy assessment of the Definition 2 example:
+// the national governance statistics department may access age, sex and
+// autonomy-score for statistical analysis of the needs of elderly people.
+func AutonomyTest() *Schema {
+	return MustNew(ClassAutonomyTest, 1, "Autonomy assessment of an elderly person",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "name", Type: String, Sensitivity: Identifying, Doc: "Patient first name"},
+		Field{Name: "surname", Type: String, Sensitivity: Identifying, Doc: "Patient family name"},
+		Field{Name: "age", Type: Int, Required: true, Sensitivity: Ordinary, Doc: "Age in years"},
+		Field{Name: "sex", Type: Code, Required: true, Sensitivity: Ordinary, Doc: "Sex", Codes: []string{"f", "m"}},
+		Field{Name: "autonomy-score", Type: Int, Required: true, Sensitivity: Sensitive, Doc: "Autonomy score 0-100"},
+		Field{Name: "assessor", Type: String, Sensitivity: Ordinary, Doc: "Social worker who performed the assessment"},
+		Field{Name: "assessment-notes", Type: String, Sensitivity: Sensitive, Doc: "Free-text assessment"},
+	)
+}
+
+// Telecare is a telecare service activation event.
+func Telecare() *Schema {
+	return MustNew(ClassTelecare, 1, "Telecare service activated for a citizen",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "device-id", Type: String, Required: true, Sensitivity: Ordinary, Doc: "Installed device identifier"},
+		Field{Name: "activation-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Service activation date"},
+		Field{Name: "service-level", Type: Code, Sensitivity: Ordinary, Doc: "Contracted level", Codes: []string{"basic", "extended", "full"}},
+		Field{Name: "medical-conditions", Type: String, Sensitivity: Sensitive, Doc: "Conditions that motivated the activation"},
+	)
+}
+
+// FoodDelivery is a meals-at-home service event.
+func FoodDelivery() *Schema {
+	return MustNew(ClassFoodDelivery, 1, "Meal delivered at home by a service provider",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "delivery-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Delivery date"},
+		Field{Name: "diet", Type: Code, Sensitivity: Sensitive, Doc: "Prescribed diet", Codes: []string{"standard", "diabetic", "hypoproteic", "blended"}},
+		Field{Name: "provider-notes", Type: String, Sensitivity: Ordinary, Doc: "Delivery notes"},
+	)
+}
+
+// Discharge is a hospital discharge letter event.
+func Discharge() *Schema {
+	return MustNew(ClassDischarge, 1, "Patient discharged from a hospital ward",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "ward", Type: String, Required: true, Sensitivity: Ordinary, Doc: "Discharging ward"},
+		Field{Name: "admission-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Admission date"},
+		Field{Name: "discharge-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Discharge date"},
+		Field{Name: "diagnosis", Type: String, Sensitivity: Sensitive, Doc: "Primary diagnosis"},
+		Field{Name: "therapy", Type: String, Sensitivity: Sensitive, Doc: "Prescribed therapy"},
+		Field{Name: "follow-up", Type: String, Sensitivity: Sensitive, Doc: "Follow-up indications for the family doctor"},
+	)
+}
+
+// Psychology is the psychological analysis report named in §4.
+func Psychology() *Schema {
+	return MustNew(ClassPsychology, 1, "Report of a psychological analysis",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "session-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Session date"},
+		Field{Name: "psychologist", Type: String, Sensitivity: Ordinary, Doc: "Treating psychologist"},
+		Field{Name: "report", Type: String, Sensitivity: Sensitive, Doc: "Full report text"},
+		Field{Name: "risk-level", Type: Code, Sensitivity: Sensitive, Doc: "Assessed risk", Codes: []string{"low", "medium", "high"}},
+	)
+}
+
+// HouseCleaning is a house cleaning assistance event.
+func HouseCleaning() *Schema {
+	return MustNew(ClassHouseCleaning, 1, "House cleaning service delivered",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "service-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Service date"},
+		Field{Name: "hours", Type: Float, Sensitivity: Ordinary, Doc: "Hours of service"},
+		Field{Name: "living-conditions", Type: String, Sensitivity: Sensitive, Doc: "Observed living conditions"},
+	)
+}
+
+// NursingService is an out-of-hospital nursing intervention.
+func NursingService() *Schema {
+	return MustNew(ClassNursingService, 1, "Nursing intervention outside the hospital",
+		Field{Name: "patient-id", Type: String, Required: true, Sensitivity: Identifying, Doc: "Regional patient identifier"},
+		Field{Name: "intervention-date", Type: Date, Required: true, Sensitivity: Ordinary, Doc: "Intervention date"},
+		Field{Name: "nurse", Type: String, Sensitivity: Ordinary, Doc: "Intervening nurse"},
+		Field{Name: "treatment", Type: String, Sensitivity: Sensitive, Doc: "Administered treatment"},
+		Field{Name: "vital-signs", Type: String, Sensitivity: Sensitive, Doc: "Recorded vital signs"},
+	)
+}
+
+// Domain returns every domain schema, in a stable order.
+func Domain() []*Schema {
+	return []*Schema{
+		HomeCare(), BloodTest(), AutonomyTest(), Telecare(), FoodDelivery(),
+		Discharge(), Psychology(), HouseCleaning(), NursingService(),
+	}
+}

@@ -1,0 +1,85 @@
+package schema
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// The XML form mirrors the role of the per-class XSD artifacts installed
+// in the paper's event catalog: a serializable structure declaration that
+// candidate consumers can browse and the elicitation tool can read.
+
+type schemaXML struct {
+	XMLName xml.Name      `xml:"eventSchema"`
+	Class   event.ClassID `xml:"class,attr"`
+	Version int           `xml:"version,attr"`
+	Doc     string        `xml:"doc,omitempty"`
+	Fields  []fieldXML    `xml:"field"`
+}
+
+type fieldXML struct {
+	Name        event.FieldName `xml:"name,attr"`
+	Type        string          `xml:"type,attr"`
+	Required    bool            `xml:"required,attr,omitempty"`
+	Sensitivity string          `xml:"sensitivity,attr"`
+	Doc         string          `xml:"doc,omitempty"`
+	Codes       string          `xml:"codes,omitempty"`
+}
+
+// Encode serializes the schema to its XML wire form.
+func Encode(s *Schema) ([]byte, error) {
+	w := schemaXML{
+		Class:   s.class,
+		Version: s.version,
+		Doc:     s.doc,
+		Fields:  make([]fieldXML, len(s.fields)),
+	}
+	for i, f := range s.fields {
+		w.Fields[i] = fieldXML{
+			Name:        f.Name,
+			Type:        f.Type.String(),
+			Required:    f.Required,
+			Sensitivity: f.Sensitivity.String(),
+			Doc:         f.Doc,
+			Codes:       strings.Join(f.Codes, "|"),
+		}
+	}
+	return xml.MarshalIndent(w, "", "  ")
+}
+
+// Decode parses a schema from its XML wire form and re-validates it
+// through New, so a decoded schema obeys the same integrity rules as a
+// constructed one.
+func Decode(data []byte) (*Schema, error) {
+	var w schemaXML
+	if err := xml.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("schema: decode: %w", err)
+	}
+	fields := make([]Field, len(w.Fields))
+	for i, f := range w.Fields {
+		t, err := ParseFieldType(f.Type)
+		if err != nil {
+			return nil, err
+		}
+		sens, err := ParseSensitivity(f.Sensitivity)
+		if err != nil {
+			return nil, err
+		}
+		var codes []string
+		if f.Codes != "" {
+			codes = strings.Split(f.Codes, "|")
+		}
+		fields[i] = Field{
+			Name:        f.Name,
+			Type:        t,
+			Required:    f.Required,
+			Sensitivity: sens,
+			Doc:         f.Doc,
+			Codes:       codes,
+		}
+	}
+	return New(w.Class, w.Version, w.Doc, fields...)
+}

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkipListBasic(t *testing.T) {
+	l := newSkipList(1)
+	if _, ok := l.get("a"); ok {
+		t.Error("get on empty list reported present")
+	}
+	if !l.put("a", []byte("1")) {
+		t.Error("put of new key reported as overwrite")
+	}
+	if l.put("a", []byte("2")) {
+		t.Error("overwrite reported as new key")
+	}
+	if v, ok := l.get("a"); !ok || string(v) != "2" {
+		t.Errorf("get = %q, %v", v, ok)
+	}
+	if l.size != 1 {
+		t.Errorf("size = %d", l.size)
+	}
+	if !l.del("a") {
+		t.Error("del of present key reported absent")
+	}
+	if l.del("a") {
+		t.Error("double del reported present")
+	}
+	if l.size != 0 {
+		t.Errorf("size after del = %d", l.size)
+	}
+}
+
+func TestSkipListOrdering(t *testing.T) {
+	l := newSkipList(2)
+	keys := []string{"delta", "alpha", "echo", "charlie", "bravo"}
+	for _, k := range keys {
+		l.put(k, []byte(k))
+	}
+	var got []string
+	l.ascend("", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("visited %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSkipListAscendFrom(t *testing.T) {
+	l := newSkipList(3)
+	for i := 0; i < 20; i++ {
+		l.put(fmt.Sprintf("k%02d", i), nil)
+	}
+	var got []string
+	l.ascend("k15", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 5 || got[0] != "k15" {
+		t.Errorf("ascend from k15 = %v", got)
+	}
+	// From a key that doesn't exist: starts at the next larger key.
+	got = nil
+	l.ascend("k155", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 4 || got[0] != "k16" {
+		t.Errorf("ascend from k155 = %v", got)
+	}
+}
+
+func TestSkipListAscendPrefix(t *testing.T) {
+	l := newSkipList(4)
+	for _, k := range []string{"a", "ab", "abc", "abd", "ac", "b"} {
+		l.put(k, nil)
+	}
+	var got []string
+	l.ascendPrefix("ab", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != "ab" || got[2] != "abd" {
+		t.Errorf("ascendPrefix(ab) = %v", got)
+	}
+}
+
+// Property: the skip list behaves exactly like a map plus sorting, under
+// a random sequence of puts and deletes.
+func TestQuickSkipListMatchesMap(t *testing.T) {
+	f := func(seed int64, opsCount uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := newSkipList(seed)
+		m := map[string]string{}
+		ops := int(opsCount%500) + 50
+		for i := 0; i < ops; i++ {
+			k := fmt.Sprintf("k%02d", r.Intn(40))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", i)
+				l.put(k, []byte(v))
+				m[k] = v
+			case 2:
+				l.del(k)
+				delete(m, k)
+			}
+		}
+		if l.size != len(m) {
+			return false
+		}
+		var keys []string
+		l.ascend("", func(k string, v []byte) bool {
+			keys = append(keys, k)
+			if m[k] != string(v) {
+				keys = nil
+				return false
+			}
+			return true
+		})
+		if len(keys) != len(m) {
+			return false
+		}
+		return sort.StringsAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipListLargeSequential(t *testing.T) {
+	l := newSkipList(7)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l.put(fmt.Sprintf("key-%08d", i), []byte{byte(i)})
+	}
+	if l.size != n {
+		t.Fatalf("size = %d, want %d", l.size, n)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		k := fmt.Sprintf("key-%08d", i)
+		if v, ok := l.get(k); !ok || v[0] != byte(i) {
+			t.Errorf("get(%s) = %v, %v", k, v, ok)
+		}
+	}
+	// Delete every other key and verify level shrink doesn't corrupt.
+	for i := 0; i < n; i += 2 {
+		if !l.del(fmt.Sprintf("key-%08d", i)) {
+			t.Fatalf("del(%d) failed", i)
+		}
+	}
+	if l.size != n/2 {
+		t.Fatalf("size after deletes = %d", l.size)
+	}
+	count := 0
+	l.ascend("", func(k string, v []byte) bool {
+		count++
+		return true
+	})
+	if count != n/2 {
+		t.Errorf("ascend visited %d, want %d", count, n/2)
+	}
+}

@@ -1,0 +1,277 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options configure a Store.
+type Options struct {
+	// SyncEvery forces an fsync after every write. Slower but durable
+	// against power loss, not just process crash. Default false.
+	SyncEvery bool
+	// CompactThreshold triggers automatic compaction when the WAL grows
+	// beyond this many bytes AND is more than twice the live data size.
+	// Zero disables automatic compaction.
+	CompactThreshold int64
+}
+
+// Store is a durable, ordered key-value store. All methods are safe for
+// concurrent use. Keys are arbitrary non-empty strings ordered
+// lexicographically; values are opaque byte slices.
+//
+// Durability model: every mutation is appended to a write-ahead log
+// before the in-memory index is updated; Open replays the log, tolerating
+// (and truncating) a torn tail record from a crash mid-append.
+type Store struct {
+	mu     sync.RWMutex
+	list   *skipList
+	log    *wal
+	path   string
+	opts   Options
+	closed bool
+	// liveBytes approximates the size of live data for the compaction
+	// heuristic.
+	liveBytes int64
+}
+
+// Open opens (creating if necessary) the store persisted at path.
+func Open(path string, opts Options) (*Store, error) {
+	if path == "" {
+		return nil, errors.New("store: empty path")
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o700); err != nil {
+			return nil, fmt.Errorf("store: mkdir: %w", err)
+		}
+	}
+	s := &Store{list: newSkipList(nextSeed()), path: path, opts: opts}
+	validLen, err := replayWAL(path, func(r walRecord) error {
+		switch r.op {
+		case opPut:
+			s.list.put(r.key, r.value)
+			s.liveBytes += int64(len(r.key) + len(r.value))
+		case opDel:
+			if v, ok := s.list.get(r.key); ok {
+				s.liveBytes -= int64(len(r.key) + len(v))
+				s.list.del(r.key)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Truncate a torn tail so the next append starts on a clean boundary.
+	if st, statErr := os.Stat(path); statErr == nil && st.Size() > validLen {
+		if err := os.Truncate(path, validLen); err != nil {
+			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	log, err := openWAL(path, opts.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+// OpenMemory returns a purely in-memory store (no durability), useful for
+// tests and benchmarks that don't exercise recovery.
+func OpenMemory() *Store {
+	return &Store{list: newSkipList(nextSeed())}
+}
+
+// Put stores value under key, overwriting any previous value.
+func (s *Store) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.log != nil {
+		if err := s.log.append(walRecord{op: opPut, key: key, value: value}); err != nil {
+			return err
+		}
+	}
+	if old, ok := s.list.get(key); ok {
+		s.liveBytes -= int64(len(key) + len(old))
+	}
+	s.list.put(key, append([]byte(nil), value...))
+	s.liveBytes += int64(len(key) + len(value))
+	return s.maybeCompactLocked()
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.list.get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key string) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	_, ok := s.list.get(key)
+	return ok, nil
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.list.get(key); !ok {
+		return nil
+	}
+	if s.log != nil {
+		if err := s.log.append(walRecord{op: opDel, key: key}); err != nil {
+			return err
+		}
+	}
+	if v, ok := s.list.get(key); ok {
+		s.liveBytes -= int64(len(key) + len(v))
+	}
+	s.list.del(key)
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.list.size, nil
+}
+
+// AscendPrefix visits, in key order, every (key, value) whose key starts
+// with prefix, until fn returns false. The value slice passed to fn is a
+// copy and may be retained.
+func (s *Store) AscendPrefix(prefix string, fn func(key string, value []byte) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.list.ascendPrefix(prefix, func(k string, v []byte) bool {
+		return fn(k, append([]byte(nil), v...))
+	})
+	return nil
+}
+
+// AscendRange visits keys in [from, to) in order until fn returns false.
+// An empty `to` means "to the end".
+func (s *Store) AscendRange(from, to string, fn func(key string, value []byte) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.list.ascend(from, func(k string, v []byte) bool {
+		if to != "" && k >= to {
+			return false
+		}
+		return fn(k, append([]byte(nil), v...))
+	})
+	return nil
+}
+
+// Compact rewrites the WAL to contain exactly the live data, reclaiming
+// space from overwritten and deleted records.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) maybeCompactLocked() error {
+	t := s.opts.CompactThreshold
+	if t <= 0 || s.log == nil || s.log.size < t || s.log.size < 2*s.liveBytes {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.log == nil {
+		return nil // in-memory store: nothing to compact
+	}
+	tmp := s.path + ".compact"
+	nw, err := openWAL(tmp, false)
+	if err != nil {
+		return err
+	}
+	var appendErr error
+	s.list.ascend("", func(k string, v []byte) bool {
+		appendErr = nw.append(walRecord{op: opPut, key: k, value: v})
+		return appendErr == nil
+	})
+	if appendErr != nil {
+		nw.close()
+		os.Remove(tmp)
+		return appendErr
+	}
+	if err := nw.f.Sync(); err != nil {
+		nw.close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := nw.close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.log.close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	log, err := openWAL(s.path, s.opts.SyncEvery)
+	if err != nil {
+		return err
+	}
+	s.log = log
+	return nil
+}
+
+// Close flushes and closes the store. Further operations fail with
+// ErrClosed. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.log != nil {
+		return s.log.close()
+	}
+	return nil
+}

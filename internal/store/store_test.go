@@ -1,0 +1,375 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, ok, err := s.Get("k1")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := s.Get("absent"); ok {
+		t.Error("Get(absent) reported present")
+	}
+	if err := s.Put("k1", []byte("v2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if v, _, _ := s.Get("k1"); string(v) != "v2" {
+		t.Errorf("after overwrite Get = %q", v)
+	}
+	if err := s.Delete("k1"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok, _ := s.Get("k1"); ok {
+		t.Error("deleted key still present")
+	}
+	if err := s.Delete("absent"); err != nil {
+		t.Errorf("Delete(absent) = %v, want nil", err)
+	}
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Error("Put with empty key accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := OpenMemory()
+	if err := s.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Errorf("internal value mutated through returned slice: %q", v2)
+	}
+	// Put must also copy its input.
+	in := []byte("def")
+	s.Put("k2", in)
+	in[0] = 'X'
+	v3, _, _ := s.Get("k2")
+	if string(v3) != "def" {
+		t.Errorf("internal value aliases caller slice: %q", v3)
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := OpenMemory()
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	s.Put("k00", []byte("v2")) // overwrite, no growth
+	s.Delete("k01")
+	if n, _ := s.Len(); n != 9 {
+		t.Errorf("Len = %d, want 9", n)
+	}
+}
+
+func TestAscendPrefixAndRange(t *testing.T) {
+	s := OpenMemory()
+	for _, k := range []string{"a/1", "a/2", "a/3", "b/1", "c/1"} {
+		s.Put(k, []byte(k))
+	}
+	var got []string
+	s.AscendPrefix("a/", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != "a/1" || got[2] != "a/3" {
+		t.Errorf("AscendPrefix = %v", got)
+	}
+	got = nil
+	s.AscendPrefix("a/", func(k string, v []byte) bool {
+		got = append(got, k)
+		return len(got) < 2 // early stop
+	})
+	if len(got) != 2 {
+		t.Errorf("early-stop AscendPrefix visited %d", len(got))
+	}
+	got = nil
+	s.AscendRange("a/2", "b/1", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != "a/2" || got[1] != "a/3" {
+		t.Errorf("AscendRange = %v", got)
+	}
+	got = nil
+	s.AscendRange("b/1", "", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[1] != "c/1" {
+		t.Errorf("AscendRange open end = %v", got)
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("key-050")
+	s.Put("key-000", []byte("rewritten"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if n, _ := r.Len(); n != 99 {
+		t.Errorf("recovered Len = %d, want 99", n)
+	}
+	if v, ok, _ := r.Get("key-000"); !ok || string(v) != "rewritten" {
+		t.Errorf("recovered key-000 = %q, %v", v, ok)
+	}
+	if _, ok, _ := r.Get("key-050"); ok {
+		t.Error("deleted key resurrected after recovery")
+	}
+	if v, ok, _ := r.Get("key-099"); !ok || string(v) != "val-99" {
+		t.Errorf("recovered key-099 = %q, %v", v, ok)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("value"))
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: chop a few bytes off the last record.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if n, _ := r.Len(); n != 9 {
+		t.Errorf("Len after torn tail = %d, want 9", n)
+	}
+	// The store must be writable again and survive another cycle.
+	if err := r.Put("k9", []byte("value")); err != nil {
+		t.Fatalf("Put after truncation: %v", err)
+	}
+	r.Close()
+	r2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer r2.Close()
+	if n, _ := r2.Len(); n != 10 {
+		t.Errorf("Len after rewrite = %d, want 10", n)
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("key-with-some-length-%d", i), []byte("a reasonably sized value here"))
+	}
+	s.Close()
+
+	// Flip a byte in the middle of the file (inside an early record's
+	// payload) — this is corruption, not a torn tail.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Error("Open accepted mid-log corruption")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 50; i++ {
+			s.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("round-%d", round)))
+		}
+	}
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	// Data must be intact, and the store writable, after compaction.
+	if v, ok, _ := s.Get("k00"); !ok || string(v) != "round-19" {
+		t.Errorf("post-compact Get = %q, %v", v, ok)
+	}
+	if err := s.Put("new", []byte("x")); err != nil {
+		t.Fatalf("Put after compact: %v", err)
+	}
+	s.Close()
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after compact: %v", err)
+	}
+	defer r.Close()
+	if n, _ := r.Len(); n != 51 {
+		t.Errorf("Len after compact+reopen = %d, want 51", n)
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, err := Open(path, Options{CompactThreshold: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Overwrite one key many times: live data stays tiny, WAL grows.
+	for i := 0; i < 2000; i++ {
+		if err := s.Put("hot", []byte(fmt.Sprintf("value-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 8192 {
+		t.Errorf("auto compaction never ran: wal is %d bytes", st.Size())
+	}
+	if v, ok, _ := s.Get("hot"); !ok || string(v) != "value-1999" {
+		t.Errorf("Get after auto compaction = %q, %v", v, ok)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := OpenMemory()
+	s.Close()
+	if err := s.Put("k", nil); err != ErrClosed {
+		t.Errorf("Put on closed = %v", err)
+	}
+	if _, _, err := s.Get("k"); err != ErrClosed {
+		t.Errorf("Get on closed = %v", err)
+	}
+	if err := s.Delete("k"); err != ErrClosed {
+		t.Errorf("Delete on closed = %v", err)
+	}
+	if _, err := s.Len(); err != ErrClosed {
+		t.Errorf("Len on closed = %v", err)
+	}
+	if err := s.AscendPrefix("", nil); err != ErrClosed {
+		t.Errorf("AscendPrefix on closed = %v", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact on closed = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+func TestSyncEveryMode(t *testing.T) {
+	s, _ := openTemp(t, Options{SyncEvery: true})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("Put with SyncEvery: %v", err)
+		}
+	}
+	if n, _ := s.Len(); n != 10 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d/k%03d", g, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if v, ok, err := s.Get(key); err != nil || !ok || string(v) != key {
+					t.Errorf("Get(%s) = %q, %v, %v", key, v, ok, err)
+					return
+				}
+				if i%10 == 0 {
+					s.AscendPrefix(fmt.Sprintf("g%d/", g), func(string, []byte) bool { return true })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n, _ := s.Len(); n != 8*200 {
+		t.Errorf("Len = %d, want %d", n, 8*200)
+	}
+}
+
+func TestOpenEmptyPath(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Error("Open(\"\") accepted")
+	}
+}
+
+func TestOpenCreatesDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deep", "nested", "data.wal")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open with missing dirs: %v", err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}

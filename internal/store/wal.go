@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record layout (little endian):
+//
+//	[4] payload length n
+//	[4] CRC-32 (IEEE) of payload
+//	[n] payload
+//
+// payload:
+//
+//	[1] op (opPut | opDel)
+//	[4] key length k
+//	[k] key bytes
+//	[4] value length v   (opPut only)
+//	[v] value bytes      (opPut only)
+//
+// A torn tail (partial record after a crash) is detected by length/CRC
+// mismatch and truncated away on recovery; everything before it replays.
+
+const (
+	opPut byte = 1
+	opDel byte = 2
+)
+
+// ErrCorrupt reports a WAL record that fails its checksum in the middle
+// of the log (not a torn tail).
+var ErrCorrupt = errors.New("store: corrupt wal record")
+
+type walRecord struct {
+	op    byte
+	key   string
+	value []byte
+}
+
+func encodeRecord(buf []byte, r walRecord) []byte {
+	payloadLen := 1 + 4 + len(r.key)
+	if r.op == opPut {
+		payloadLen += 4 + len(r.value)
+	}
+	need := 8 + payloadLen
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
+	p := buf[8:]
+	p[0] = r.op
+	binary.LittleEndian.PutUint32(p[1:5], uint32(len(r.key)))
+	copy(p[5:], r.key)
+	if r.op == opPut {
+		off := 5 + len(r.key)
+		binary.LittleEndian.PutUint32(p[off:off+4], uint32(len(r.value)))
+		copy(p[off+4:], r.value)
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+func decodePayload(p []byte) (walRecord, error) {
+	if len(p) < 5 {
+		return walRecord{}, ErrCorrupt
+	}
+	r := walRecord{op: p[0]}
+	if r.op != opPut && r.op != opDel {
+		return walRecord{}, fmt.Errorf("%w: bad op %d", ErrCorrupt, r.op)
+	}
+	klen := int(binary.LittleEndian.Uint32(p[1:5]))
+	if len(p) < 5+klen {
+		return walRecord{}, ErrCorrupt
+	}
+	r.key = string(p[5 : 5+klen])
+	if r.op == opPut {
+		rest := p[5+klen:]
+		if len(rest) < 4 {
+			return walRecord{}, ErrCorrupt
+		}
+		vlen := int(binary.LittleEndian.Uint32(rest[:4]))
+		if len(rest) != 4+vlen {
+			return walRecord{}, ErrCorrupt
+		}
+		r.value = append([]byte(nil), rest[4:]...)
+	} else if len(p) != 5+klen {
+		return walRecord{}, ErrCorrupt
+	}
+	return r, nil
+}
+
+// wal is the append-only log backing a Store.
+type wal struct {
+	f      *os.File
+	w      *bufio.Writer
+	sync   bool // fsync after every append
+	size   int64
+	encBuf []byte
+}
+
+func openWAL(path string, syncEvery bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), sync: syncEvery, size: st.Size()}, nil
+}
+
+// append writes one record and flushes it to the OS (and to disk when
+// sync mode is on).
+func (l *wal) append(r walRecord) error {
+	l.encBuf = encodeRecord(l.encBuf, r)
+	if _, err := l.w.Write(l.encBuf); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("store: wal flush: %w", err)
+	}
+	l.size += int64(len(l.encBuf))
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *wal) close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// replay reads all intact records from path, invoking fn for each. It
+// returns the byte offset of the first torn/corrupt tail record (== file
+// size when the log is clean) so the caller can truncate it away. A
+// checksum failure that is *followed by further intact data* is reported
+// as ErrCorrupt instead, since that indicates real corruption rather than
+// a torn tail.
+func replayWAL(path string, fn func(walRecord) error) (validLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("store: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: stat wal: %w", err)
+	}
+	fileSize := st.Size()
+	br := bufio.NewReader(f)
+	var offset int64
+	header := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(br, header); err != nil {
+			if err == io.EOF {
+				return offset, nil
+			}
+			// Partial header at the tail: torn write.
+			return offset, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(header[0:4]))
+		want := binary.LittleEndian.Uint32(header[4:8])
+		if n <= 0 || offset+8+n > fileSize {
+			// Impossible length: treat as torn tail.
+			return offset, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return offset, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			if offset+8+n == fileSize {
+				return offset, nil // torn final record
+			}
+			return offset, fmt.Errorf("%w at offset %d", ErrCorrupt, offset)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return offset, err
+		}
+		if err := fn(rec); err != nil {
+			return offset, err
+		}
+		offset += 8 + n
+	}
+}

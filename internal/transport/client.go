@@ -1,0 +1,343 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/consent"
+	"repro/internal/event"
+	"repro/internal/index"
+	"repro/internal/policy"
+	"repro/internal/schema"
+)
+
+// Client is the consumer/producer-side SDK for a remote data controller.
+// Its methods mirror the controller API over the web-service binding, and
+// they surface the same sentinel errors (errors.Is works transparently).
+type Client struct {
+	base  string
+	http  *http.Client
+	token string // optional bearer token (see WithToken)
+}
+
+// NewClient creates a client for the controller at base (e.g.
+// "http://controller:8080"). httpClient may be nil for a default with a
+// 10-second timeout.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, reader)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/xml")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s %s: %w", method, path, err)
+	}
+	return resp, nil
+}
+
+func (c *Client) post(path string, body []byte, out any) error {
+	resp, err := c.do(http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// Publish sends a notification and returns the assigned global event id.
+func (c *Client) Publish(n *event.Notification) (event.GlobalID, error) {
+	body, err := event.EncodeNotification(n)
+	if err != nil {
+		return "", err
+	}
+	var out publishResponse
+	if err := c.post("/ws/publish", body, &out); err != nil {
+		return "", err
+	}
+	return out.EventID, nil
+}
+
+// Subscribe registers a callback URL for the notifications of a class and
+// returns the subscription id. The caller must run a NotificationReceiver
+// (or equivalent endpoint) at the callback URL.
+func (c *Client) Subscribe(actor event.Actor, class event.ClassID, callbackURL string) (string, error) {
+	body, err := encodeXML(&subscribeRequest{Actor: actor, Class: class, Callback: callbackURL})
+	if err != nil {
+		return "", err
+	}
+	var out subscribeResponse
+	if err := c.post("/ws/subscribe", body, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// RequestDetails resolves a request for details against the remote
+// controller and returns the privacy-aware detail.
+func (c *Client) RequestDetails(r *event.DetailRequest) (*event.Detail, error) {
+	body, err := encodeXML(r)
+	if err != nil {
+		return nil, err
+	}
+	var d event.Detail
+	if err := c.post("/ws/details", body, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// InquireIndex queries the remote events index.
+func (c *Client) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
+	req := inquiryRequest{
+		Actor:    actor,
+		PersonID: q.PersonID,
+		Class:    q.Class,
+		Producer: q.Producer,
+		Limit:    q.Limit,
+	}
+	if !q.From.IsZero() {
+		req.From = q.From.UTC().Format(time.RFC3339Nano)
+	}
+	if !q.To.IsZero() {
+		req.To = q.To.UTC().Format(time.RFC3339Nano)
+	}
+	body, err := encodeXML(&req)
+	if err != nil {
+		return nil, err
+	}
+	var out inquiryResponse
+	if err := c.post("/ws/inquire", body, &out); err != nil {
+		return nil, err
+	}
+	notifications := make([]*event.Notification, 0, len(out.Notifications))
+	for _, raw := range out.Notifications {
+		n, err := event.DecodeNotification([]byte(raw))
+		if err != nil {
+			return nil, err
+		}
+		notifications = append(notifications, n)
+	}
+	return notifications, nil
+}
+
+// DefinePolicy submits an elicited privacy policy and returns the stored
+// form (with its assigned id).
+func (c *Client) DefinePolicy(p *policy.Policy) (*policy.Policy, error) {
+	body, err := policy.Encode(p)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(http.MethodPost, "/ws/policy", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var f Fault
+		if xmlErr := decodeFault(buf.Bytes(), &f); xmlErr == nil && f.Code != "" {
+			return nil, errorFor(&f)
+		}
+		return nil, fmt.Errorf("transport: http %d: %s", resp.StatusCode, buf.String())
+	}
+	return policy.Decode(buf.Bytes())
+}
+
+// Catalog fetches the event catalog: the schemas of every declared
+// class, as a candidate consumer browses them before subscribing.
+func (c *Client) Catalog() ([]*schema.Schema, error) {
+	resp, err := c.do(http.MethodGet, "/ws/catalog", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: catalog http %d", resp.StatusCode)
+	}
+	var wrapper struct {
+		Schemas []catalogSchemaXML `xml:"eventSchema"`
+	}
+	if err := xml.Unmarshal(buf.Bytes(), &wrapper); err != nil {
+		return nil, fmt.Errorf("transport: decode catalog: %w", err)
+	}
+	out := make([]*schema.Schema, 0, len(wrapper.Schemas))
+	for _, raw := range wrapper.Schemas {
+		element := fmt.Sprintf(`<eventSchema class=%q version="%d">%s</eventSchema>`,
+			raw.Class, raw.Version, raw.Raw)
+		s, err := schema.Decode([]byte(element))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// catalogSchemaXML captures each nested eventSchema element (attributes
+// plus verbatim inner XML) so schema.Decode can re-validate it.
+type catalogSchemaXML struct {
+	Class   string `xml:"class,attr"`
+	Version int    `xml:"version,attr"`
+	Raw     []byte `xml:",innerxml"`
+}
+
+// PendingRequest mirrors core.PendingRequest over the wire.
+type PendingRequest struct {
+	Actor   event.Actor
+	Class   event.ClassID
+	Purpose event.Purpose
+	Count   int
+	FirstAt time.Time
+	LastAt  time.Time
+}
+
+// PendingRequests polls the producer's unresolved access requests.
+func (c *Client) PendingRequests(producer event.ProducerID) ([]PendingRequest, error) {
+	resp, err := c.do(http.MethodGet, "/ws/pending?producer="+string(producer), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Requests []struct {
+			Actor   event.Actor   `xml:"actor"`
+			Class   event.ClassID `xml:"class"`
+			Purpose event.Purpose `xml:"purpose"`
+			Count   int           `xml:"count"`
+			FirstAt string        `xml:"firstAt"`
+			LastAt  string        `xml:"lastAt"`
+		} `xml:"request"`
+	}
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	pending := make([]PendingRequest, 0, len(out.Requests))
+	for _, r := range out.Requests {
+		first, err := time.Parse(time.RFC3339Nano, r.FirstAt)
+		if err != nil {
+			return nil, fmt.Errorf("transport: pending firstAt: %w", err)
+		}
+		last, err := time.Parse(time.RFC3339Nano, r.LastAt)
+		if err != nil {
+			return nil, fmt.Errorf("transport: pending lastAt: %w", err)
+		}
+		pending = append(pending, PendingRequest{
+			Actor: r.Actor, Class: r.Class, Purpose: r.Purpose,
+			Count: r.Count, FirstAt: first, LastAt: last,
+		})
+	}
+	return pending, nil
+}
+
+// Policies fetches a producer's stored policies (compact XML list).
+func (c *Client) Policies(producer event.ProducerID) ([]*policy.Policy, error) {
+	resp, err := c.do(http.MethodGet, "/ws/policies?producer="+string(producer), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var f Fault
+		if xmlErr := decodeFault(buf.Bytes(), &f); xmlErr == nil && f.Code != "" {
+			return nil, errorFor(&f)
+		}
+		return nil, fmt.Errorf("transport: policies http %d", resp.StatusCode)
+	}
+	var wrapper struct {
+		Policies []policyRawXML `xml:"privacyPolicy"`
+	}
+	if err := xml.Unmarshal(buf.Bytes(), &wrapper); err != nil {
+		return nil, fmt.Errorf("transport: decode policies: %w", err)
+	}
+	out := make([]*policy.Policy, 0, len(wrapper.Policies))
+	for _, raw := range wrapper.Policies {
+		element := fmt.Sprintf(`<privacyPolicy id=%q>%s</privacyPolicy>`, raw.ID, raw.Raw)
+		p, err := policy.Decode([]byte(element))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// policyRawXML captures a nested privacyPolicy element verbatim.
+type policyRawXML struct {
+	ID  string `xml:"id,attr"`
+	Raw []byte `xml:",innerxml"`
+}
+
+// Stats mirrors core.Stats over the wire.
+type Stats struct {
+	Published           uint64 `xml:"published"`
+	Delivered           uint64 `xml:"delivered"`
+	ConsentDrops        uint64 `xml:"consentDrops"`
+	SubscriptionDenials uint64 `xml:"subscriptionDenials"`
+	DetailPermits       uint64 `xml:"detailPermits"`
+	DetailDenials       uint64 `xml:"detailDenials"`
+	Inquiries           uint64 `xml:"inquiries"`
+}
+
+// Stats fetches the controller's operational counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.do(http.MethodGet, "/ws/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	var out Stats
+	if err := decodeResponse(resp, &out); err != nil {
+		return Stats{}, err
+	}
+	return out, nil
+}
+
+// RecordConsent submits a consent directive.
+func (c *Client) RecordConsent(d consent.Directive) (consent.Directive, error) {
+	body, err := encodeXML(&consentDirectiveXML{
+		PersonID: d.PersonID, Allow: d.Allow,
+		Class: d.Scope.Class, Consumer: d.Scope.Consumer, Purpose: d.Scope.Purpose,
+	})
+	if err != nil {
+		return consent.Directive{}, err
+	}
+	var out consentDirectiveXML
+	if err := c.post("/ws/consent", body, &out); err != nil {
+		return consent.Directive{}, err
+	}
+	return consent.Directive{
+		Seq:      out.Seq,
+		PersonID: out.PersonID,
+		Allow:    out.Allow,
+		Scope:    consent.Scope{Class: out.Class, Consumer: out.Consumer, Purpose: out.Purpose},
+	}, nil
+}

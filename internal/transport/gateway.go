@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/identity"
+)
+
+// GatewayServer exposes a local cooperation gateway as a web service so
+// the data controller can reach it for Algorithm 2:
+//
+//	POST /gw/get-response — getResponseRequest → privacy-aware detail XML
+//
+// Only the filtering endpoint is remote; detail persistence stays a local
+// concern of the producer's source system.
+type GatewayServer struct {
+	gw  *gateway.Gateway
+	mux *http.ServeMux
+	// auth, when set, restricts the endpoints: get-response to bearers
+	// covering controllerActor (the data controller), persist to bearers
+	// covering the owning producer.
+	auth            *identity.Authority
+	controllerActor event.Actor
+}
+
+// RequireAuth restricts the gateway's endpoints: only tokens covering
+// controllerActor may retrieve filtered details (the data controller is
+// the single authorized caller of Algorithm 2), and only tokens covering
+// the owning producer may persist. Without it the gateway trusts its
+// network perimeter, which is only acceptable in single-process
+// deployments.
+func (s *GatewayServer) RequireAuth(a *identity.Authority, controllerActor event.Actor) *GatewayServer {
+	s.auth = a
+	s.controllerActor = controllerActor
+	return s
+}
+
+// authorize verifies the bearer token covers the required actor.
+func (s *GatewayServer) authorize(r *http.Request, required event.Actor) error {
+	if s.auth == nil {
+		return nil
+	}
+	header := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(header, prefix) {
+		return fmt.Errorf("%w: missing bearer token", ErrUnauthorized)
+	}
+	claims, err := s.auth.Verify(strings.TrimPrefix(header, prefix), time.Now())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnauthorized, err)
+	}
+	if !claims.Covers(required) {
+		return fmt.Errorf("%w: token for %s cannot act as %s", ErrUnauthorized, claims.Actor, required)
+	}
+	return nil
+}
+
+// NewGatewayServer wraps a gateway.
+func NewGatewayServer(gw *gateway.Gateway) *GatewayServer {
+	s := &GatewayServer{gw: gw, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /gw/get-response", s.handleGetResponse)
+	s.mux.HandleFunc("POST /gw/persist", s.handlePersist)
+	return s
+}
+
+// handlePersist lets the producer's source system hand a full detail
+// message to the gateway over HTTP. In a deployment this endpoint faces
+// the source system only, never the platform.
+func (s *GatewayServer) handlePersist(w http.ResponseWriter, r *http.Request) {
+	if err := s.authorize(r, event.Actor(s.gw.Producer())); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	var d event.Detail
+	if err := readBody(r, &d); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if err := s.gw.Persist(&d); err != nil {
+		writeFault(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *GatewayServer) handleGetResponse(w http.ResponseWriter, r *http.Request) {
+	if err := s.authorize(r, s.controllerActor); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	var req getResponseRequest
+	if err := readBody(r, &req); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	d, err := s.gw.GetResponse(req.Source, req.Fields)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeXML(w, http.StatusOK, d)
+}
+
+// RemoteGateway is the controller-side client of a GatewayServer. It
+// implements enforcer.DetailSource, so a remote producer plugs into the
+// enforcement pipeline exactly like an in-process gateway.
+type RemoteGateway struct {
+	base  string
+	http  *http.Client
+	token string
+}
+
+// WithToken returns a copy of the remote gateway client that presents
+// the bearer token (the controller's identity) on every call.
+func (g *RemoteGateway) WithToken(token string) *RemoteGateway {
+	cp := *g
+	cp.token = token
+	return &cp
+}
+
+// postXML sends an XML body with the optional bearer token.
+func (g *RemoteGateway) postXML(path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, g.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("transport: gateway request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	if g.token != "" {
+		req.Header.Set("Authorization", "Bearer "+g.token)
+	}
+	resp, err := g.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: gateway post: %w", err)
+	}
+	return resp, nil
+}
+
+// NewRemoteGateway creates a client for the gateway at base.
+func NewRemoteGateway(base string, httpClient *http.Client) *RemoteGateway {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &RemoteGateway{base: base, http: httpClient}
+}
+
+// Persist ships a full detail message to the gateway's persist endpoint
+// (source-system side).
+func (g *RemoteGateway) Persist(d *event.Detail) error {
+	body, err := event.EncodeDetail(d)
+	if err != nil {
+		return err
+	}
+	resp, err := g.postXML("/gw/persist", body)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, nil)
+}
+
+// GetResponse implements enforcer.DetailSource over HTTP.
+func (g *RemoteGateway) GetResponse(src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
+	body, err := encodeXML(&getResponseRequest{Source: src, Fields: fields})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.postXML("/gw/get-response", body)
+	if err != nil {
+		return nil, err
+	}
+	var d event.Detail
+	if err := decodeResponse(resp, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// encodeXML marshals v, reporting marshalling problems with context.
+func encodeXML(v any) ([]byte, error) {
+	data, err := xml.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return data, nil
+}
+
+// decodeFault tries to parse a fault body.
+func decodeFault(data []byte, f *Fault) error {
+	return xml.Unmarshal(data, f)
+}

@@ -1,0 +1,36 @@
+package transport
+
+import (
+	"net/http"
+
+	"repro/internal/event"
+)
+
+// NotificationReceiver is the consumer-side callback endpoint: an
+// http.Handler that accepts the notification POSTs the controller sends
+// for a subscription and hands each decoded notification to the handler.
+// Returning a non-2xx (on decode failure) lets the bus redeliver.
+type NotificationReceiver struct {
+	handle func(n *event.Notification)
+}
+
+// NewNotificationReceiver creates a receiver invoking handle per
+// notification.
+func NewNotificationReceiver(handle func(n *event.Notification)) *NotificationReceiver {
+	return &NotificationReceiver{handle: handle}
+}
+
+// ServeHTTP implements http.Handler.
+func (rc *NotificationReceiver) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var n event.Notification
+	if err := readBody(r, &n); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	rc.handle(&n)
+	w.WriteHeader(http.StatusNoContent)
+}

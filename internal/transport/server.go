@@ -1,0 +1,474 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/consent"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/identity"
+	"repro/internal/index"
+	"repro/internal/policy"
+	"repro/internal/schema"
+)
+
+// Server exposes a data controller as web services:
+//
+//	POST /ws/publish     — notification XML → publishResponse
+//	POST /ws/subscribe   — subscribeRequest (with callback URL) → subscribeResponse
+//	POST /ws/details     — detail request XML → privacy-aware detail XML
+//	POST /ws/inquire     — inquiryRequest → inquiryResponse
+//	POST /ws/policy      — compact policy XML → stored policy XML
+//	POST /ws/consent     — consent directive XML → stored directive XML
+//	GET  /ws/catalog     — event class schemas (XML sequence)
+//	GET  /ws/pending     — ?producer=ID → pending access requests
+//	GET  /ws/policies    — ?producer=ID → the producer's policy corpus
+//	GET  /ws/stats       — operational counters
+//	GET  /ws/audit       — ?actor=&kind=&outcome=&event=&class=&limit= →
+//	                       audit records (guarantor role when auth is on)
+//
+// Notifications are delivered to subscribers by POSTing the notification
+// XML to the callback URL supplied at subscription time; a non-2xx
+// response triggers the bus's redelivery.
+type Server struct {
+	ctrl *core.Controller
+	mux  *http.ServeMux
+	// httpClient performs the callback deliveries.
+	httpClient *http.Client
+	// auth, when set via RequireAuth, authenticates every call.
+	auth *identity.Authority
+}
+
+// NewServer wraps a controller.
+func NewServer(ctrl *core.Controller) *Server {
+	s := &Server{
+		ctrl:       ctrl,
+		mux:        http.NewServeMux(),
+		httpClient: &http.Client{Timeout: 10 * time.Second},
+	}
+	s.mux.HandleFunc("POST /ws/publish", s.handlePublish)
+	s.mux.HandleFunc("POST /ws/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("POST /ws/details", s.handleDetails)
+	s.mux.HandleFunc("POST /ws/inquire", s.handleInquire)
+	s.mux.HandleFunc("POST /ws/policy", s.handlePolicy)
+	s.mux.HandleFunc("POST /ws/consent", s.handleConsent)
+	s.mux.HandleFunc("GET /ws/catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /ws/pending", s.handlePending)
+	s.mux.HandleFunc("GET /ws/stats", s.handleStats)
+	s.mux.HandleFunc("GET /ws/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /ws/policies", s.handlePolicies)
+	return s
+}
+
+// GuarantorRole is the token role required to query the audit trail
+// remotely when authentication is enabled (the privacy guarantor's
+// inquiry, §1/§4).
+const GuarantorRole = "privacy-guarantor"
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var n event.Notification
+	if err := readBody(r, &n); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if err := s.authorizeActor(r, event.Actor(n.Producer)); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	gid, err := s.ctrl.Publish(&n)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeXML(w, http.StatusOK, &publishResponse{EventID: gid})
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req subscribeRequest
+	if err := readBody(r, &req); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if req.Callback == "" {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "missing callback URL"})
+		return
+	}
+	if err := s.authorizeActor(r, req.Actor); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	callback := req.Callback
+	sub, err := s.ctrl.Subscribe(req.Actor, req.Class, func(n *event.Notification) {
+		s.deliverCallback(callback, n)
+	})
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeXML(w, http.StatusOK, &subscribeResponse{ID: sub.ID()})
+}
+
+// deliverCallback POSTs the notification to the subscriber's endpoint.
+// Delivery errors are swallowed here: the controller-side handler
+// signature is fire-and-forget, and transient subscriber outages are a
+// consumer-side concern in this binding (the paper's temporal decoupling
+// is provided by the events index, which the consumer can inquire to
+// catch up).
+func (s *Server) deliverCallback(url string, n *event.Notification) {
+	body, err := event.EncodeNotification(n)
+	if err != nil {
+		return
+	}
+	resp, err := s.httpClient.Post(url, "application/xml", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
+	var req event.DetailRequest
+	if err := readBody(r, &req); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if err := s.authorizeActor(r, req.Requester); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	d, err := s.ctrl.RequestDetails(&req)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeXML(w, http.StatusOK, d)
+}
+
+func (s *Server) handleInquire(w http.ResponseWriter, r *http.Request) {
+	var req inquiryRequest
+	if err := readBody(r, &req); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if err := s.authorizeActor(r, req.Actor); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	q := index.Inquiry{
+		PersonID: req.PersonID,
+		Class:    req.Class,
+		Producer: req.Producer,
+		Limit:    req.Limit,
+	}
+	var err error
+	if q.From, err = parseOptTime(req.From); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if q.To, err = parseOptTime(req.To); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	res, err := s.ctrl.InquireIndex(req.Actor, q)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	out := inquiryResponse{}
+	for _, n := range res {
+		data, err := event.EncodeNotification(n)
+		if err != nil {
+			writeFault(w, err)
+			return
+		}
+		out.Notifications = append(out.Notifications, string(data))
+	}
+	writeXML(w, http.StatusOK, &out)
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	p, err := policy.Decode(buf.Bytes())
+	if err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if err := s.authorizeActor(r, event.Actor(p.Producer)); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	stored, err := s.ctrl.DefinePolicy(p)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	data, err := policy.Encode(stored)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleConsent(w http.ResponseWriter, r *http.Request) {
+	var d consentDirectiveXML
+	if err := readBody(r, &d); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	// Consent is collected at the data sources (or by the citizen portal);
+	// any authenticated member may record a directive.
+	if _, err := s.authenticate(r); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	stored, err := s.ctrl.RecordConsent(consent.Directive{
+		PersonID: d.PersonID,
+		Allow:    d.Allow,
+		Scope: consent.Scope{
+			Class:    d.Class,
+			Consumer: d.Consumer,
+			Purpose:  d.Purpose,
+		},
+	})
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeXML(w, http.StatusOK, &consentDirectiveXML{
+		PersonID: stored.PersonID, Allow: stored.Allow,
+		Class: stored.Scope.Class, Consumer: stored.Scope.Consumer, Purpose: stored.Scope.Purpose,
+		Seq: stored.Seq,
+	})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authenticate(r); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	decls := s.ctrl.Catalog().Classes()
+	var buf bytes.Buffer
+	buf.WriteString("<catalog>\n")
+	for _, d := range decls {
+		data, err := schema.Encode(d.Schema)
+		if err != nil {
+			writeFault(w, err)
+			return
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("</catalog>\n")
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// handlePending lets a data producer poll its pending access requests
+// (?producer=ID). With authentication enabled, the token must cover the
+// producer.
+func (s *Server) handlePending(w http.ResponseWriter, r *http.Request) {
+	producer := event.ProducerID(r.URL.Query().Get("producer"))
+	if producer == "" {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "missing producer parameter"})
+		return
+	}
+	if err := s.authorizeActor(r, event.Actor(producer)); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	pending := s.ctrl.PendingRequests(producer)
+	out := pendingResponse{}
+	for _, p := range pending {
+		out.Requests = append(out.Requests, pendingRequestXML{
+			Actor:   p.Actor,
+			Class:   p.Class,
+			Purpose: p.Purpose,
+			Count:   p.Count,
+			FirstAt: p.FirstAt.UTC().Format(time.RFC3339Nano),
+			LastAt:  p.LastAt.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	writeXML(w, http.StatusOK, &out)
+}
+
+type pendingResponse struct {
+	XMLName  xml.Name            `xml:"pendingRequests"`
+	Requests []pendingRequestXML `xml:"request"`
+}
+
+type pendingRequestXML struct {
+	Actor   event.Actor   `xml:"actor"`
+	Class   event.ClassID `xml:"class"`
+	Purpose event.Purpose `xml:"purpose,omitempty"`
+	Count   int           `xml:"count"`
+	FirstAt string        `xml:"firstAt"`
+	LastAt  string        `xml:"lastAt"`
+}
+
+// handleAudit answers the privacy guarantor's remote inquiry over the
+// access log. With authentication enabled the bearer token must carry
+// the GuarantorRole; without it the endpoint trusts the perimeter like
+// the rest of the unauthenticated deployment.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if s.auth != nil {
+		claims, err := s.authenticate(r)
+		if err != nil {
+			writeAuthFault(w, err)
+			return
+		}
+		if !claims.HasRole(GuarantorRole) {
+			writeAuthFault(w, fmt.Errorf("%w: audit inquiry requires the %s role", ErrUnauthorized, GuarantorRole))
+			return
+		}
+	}
+	q := r.URL.Query()
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "bad limit"})
+			return
+		}
+		limit = n
+	}
+	recs, err := s.ctrl.Audit().Search(audit.Query{
+		Kind:    audit.Kind(q.Get("kind")),
+		Actor:   q.Get("actor"),
+		EventID: event.GlobalID(q.Get("event")),
+		Class:   event.ClassID(q.Get("class")),
+		Outcome: q.Get("outcome"),
+		Limit:   limit,
+	})
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	out := auditResponse{}
+	for _, rec := range recs {
+		out.Records = append(out.Records, auditRecordXML{
+			Seq: rec.Seq, At: rec.At.UTC().Format(time.RFC3339Nano),
+			Kind: string(rec.Kind), Actor: rec.Actor,
+			EventID: rec.EventID, Class: rec.Class, Purpose: rec.Purpose,
+			Outcome: rec.Outcome, PolicyID: rec.PolicyID, Note: rec.Note,
+		})
+	}
+	writeXML(w, http.StatusOK, &out)
+}
+
+type auditResponse struct {
+	XMLName xml.Name         `xml:"auditRecords"`
+	Records []auditRecordXML `xml:"record"`
+}
+
+type auditRecordXML struct {
+	Seq      uint64         `xml:"seq,attr"`
+	At       string         `xml:"at"`
+	Kind     string         `xml:"kind"`
+	Actor    string         `xml:"actor"`
+	EventID  event.GlobalID `xml:"eventId,omitempty"`
+	Class    event.ClassID  `xml:"class,omitempty"`
+	Purpose  event.Purpose  `xml:"purpose,omitempty"`
+	Outcome  string         `xml:"outcome"`
+	PolicyID string         `xml:"policyId,omitempty"`
+	Note     string         `xml:"note,omitempty"`
+}
+
+// handlePolicies lists a producer's stored policies (?producer=ID), in
+// the compact XML form. With authentication enabled the token must cover
+// the producer — a producer may export only its own corpus.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	producer := event.ProducerID(r.URL.Query().Get("producer"))
+	if producer == "" {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "missing producer parameter"})
+		return
+	}
+	if err := s.authorizeActor(r, event.Actor(producer)); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString("<policies>\n")
+	for _, p := range s.ctrl.Policies(producer) {
+		data, err := policy.Encode(p)
+		if err != nil {
+			writeFault(w, err)
+			return
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("</policies>\n")
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// handleStats reports the controller's operational counters (any
+// authenticated member may read them; they carry no personal data).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authenticate(r); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	st := s.ctrl.Stats()
+	writeXML(w, http.StatusOK, &statsXML{
+		Published:           st.Published,
+		Delivered:           st.Delivered,
+		ConsentDrops:        st.ConsentDrops,
+		SubscriptionDenials: st.SubscriptionDenials,
+		DetailPermits:       st.DetailPermits,
+		DetailDenials:       st.DetailDenials,
+		Inquiries:           st.Inquiries,
+	})
+}
+
+type statsXML struct {
+	XMLName             xml.Name `xml:"stats"`
+	Published           uint64   `xml:"published"`
+	Delivered           uint64   `xml:"delivered"`
+	ConsentDrops        uint64   `xml:"consentDrops"`
+	SubscriptionDenials uint64   `xml:"subscriptionDenials"`
+	DetailPermits       uint64   `xml:"detailPermits"`
+	DetailDenials       uint64   `xml:"detailDenials"`
+	Inquiries           uint64   `xml:"inquiries"`
+}
+
+type consentDirectiveXML struct {
+	XMLName  xml.Name      `xml:"consentDirective"`
+	PersonID string        `xml:"personId"`
+	Allow    bool          `xml:"allow"`
+	Class    event.ClassID `xml:"class,omitempty"`
+	Consumer event.Actor   `xml:"consumer,omitempty"`
+	Purpose  event.Purpose `xml:"purpose,omitempty"`
+	Seq      uint64        `xml:"seq,omitempty"`
+}
+
+func parseOptTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("transport: bad time %q: %w", s, err)
+	}
+	return t, nil
+}

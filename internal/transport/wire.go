@@ -1,0 +1,202 @@
+// Package transport provides the web-service binding of the CSS platform
+// (the paper's SOA layer: "involved entities exchange the data through
+// Web Service invocation", §3). All operations of the data controller and
+// of the local cooperation gateways are exposed as HTTP endpoints with
+// XML message bodies; notifications reach subscribers through callback
+// POSTs, preserving the asynchronous event-driven interaction over the
+// synchronous substrate.
+//
+// Faults carry a machine-readable code so the client can reconstruct the
+// platform's sentinel errors across the wire (errors.Is keeps working
+// remotely).
+package transport
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/enforcer"
+	"repro/internal/event"
+	"repro/internal/gateway"
+)
+
+// Fault codes carried by error responses.
+const (
+	CodeBadRequest       = "bad-request"
+	CodeNotProducer      = "not-producer"
+	CodeNotConsumer      = "not-consumer"
+	CodeUnknownClass     = "unknown-class"
+	CodeNotClassOwner    = "not-class-owner"
+	CodeSubscriptionDeny = "subscription-denied"
+	CodeConsentDeny      = "consent-denied"
+	CodeAccessDenied     = "access-denied"
+	CodeUnknownEvent     = "unknown-event"
+	CodeNotFound         = "not-found"
+	CodeInternal         = "internal"
+)
+
+// Fault is the XML error payload.
+type Fault struct {
+	XMLName xml.Name `xml:"fault"`
+	Code    string   `xml:"code,attr"`
+	Message string   `xml:",chardata"`
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("transport: fault %s: %s", f.Code, f.Message)
+}
+
+// faultFor maps platform errors to (code, http status).
+func faultFor(err error) (string, int) {
+	switch {
+	case errors.Is(err, core.ErrNotProducer):
+		return CodeNotProducer, http.StatusForbidden
+	case errors.Is(err, core.ErrNotConsumer):
+		return CodeNotConsumer, http.StatusForbidden
+	case errors.Is(err, core.ErrUnknownClass):
+		return CodeUnknownClass, http.StatusNotFound
+	case errors.Is(err, core.ErrNotClassOwner):
+		return CodeNotClassOwner, http.StatusForbidden
+	case errors.Is(err, core.ErrSubscriptionDeny):
+		return CodeSubscriptionDeny, http.StatusForbidden
+	case errors.Is(err, core.ErrConsentDeny):
+		return CodeConsentDeny, http.StatusForbidden
+	case errors.Is(err, enforcer.ErrDenied):
+		return CodeAccessDenied, http.StatusForbidden
+	case errors.Is(err, enforcer.ErrUnknownEvent):
+		return CodeUnknownEvent, http.StatusNotFound
+	case errors.Is(err, gateway.ErrNotFound):
+		return CodeNotFound, http.StatusNotFound
+	default:
+		return CodeInternal, http.StatusInternalServerError
+	}
+}
+
+// errorFor reconstructs the sentinel error for a fault code, so remote
+// callers observe the same error identities as local ones.
+func errorFor(f *Fault) error {
+	var base error
+	switch f.Code {
+	case CodeUnauthorized:
+		base = ErrUnauthorized
+	case CodeNotProducer:
+		base = core.ErrNotProducer
+	case CodeNotConsumer:
+		base = core.ErrNotConsumer
+	case CodeUnknownClass:
+		base = core.ErrUnknownClass
+	case CodeNotClassOwner:
+		base = core.ErrNotClassOwner
+	case CodeSubscriptionDeny:
+		base = core.ErrSubscriptionDeny
+	case CodeConsentDeny:
+		base = core.ErrConsentDeny
+	case CodeAccessDenied:
+		base = enforcer.ErrDenied
+	case CodeUnknownEvent:
+		base = enforcer.ErrUnknownEvent
+	case CodeNotFound:
+		base = gateway.ErrNotFound
+	default:
+		return f
+	}
+	return fmt.Errorf("%w (remote: %s)", base, f.Message)
+}
+
+// writeFault sends an error response.
+func writeFault(w http.ResponseWriter, err error) {
+	code, status := faultFor(err)
+	writeXML(w, status, &Fault{Code: code, Message: err.Error()})
+}
+
+// writeXML serializes v as the response body.
+func writeXML(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(status)
+	enc := xml.NewEncoder(w)
+	enc.Encode(v) // nothing sensible to do with a write error here
+}
+
+// readBody decodes an XML request body into v, bounding its size.
+func readBody(r *http.Request, v any) error {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("transport: read body: %w", err)
+	}
+	if err := xml.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("transport: decode body: %w", err)
+	}
+	return nil
+}
+
+const maxBodyBytes = 4 << 20
+
+// decodeResponse reads an HTTP response: on 2xx it decodes into v (when v
+// is non-nil); otherwise it parses the fault and reconstructs the error.
+func decodeResponse(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("transport: read response: %w", err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if v == nil {
+			return nil
+		}
+		if err := xml.Unmarshal(data, v); err != nil {
+			return fmt.Errorf("transport: decode response: %w", err)
+		}
+		return nil
+	}
+	var f Fault
+	if err := xml.Unmarshal(data, &f); err != nil || f.Code == "" {
+		return fmt.Errorf("transport: http %d: %s", resp.StatusCode, data)
+	}
+	return errorFor(&f)
+}
+
+// Wire messages shared by client and server.
+
+type publishResponse struct {
+	XMLName xml.Name       `xml:"publishResponse"`
+	EventID event.GlobalID `xml:"eventId"`
+}
+
+type subscribeRequest struct {
+	XMLName  xml.Name      `xml:"subscribeRequest"`
+	Actor    event.Actor   `xml:"actor"`
+	Class    event.ClassID `xml:"class"`
+	Callback string        `xml:"callback"`
+}
+
+type subscribeResponse struct {
+	XMLName xml.Name `xml:"subscribeResponse"`
+	ID      string   `xml:"id"`
+}
+
+type inquiryRequest struct {
+	XMLName  xml.Name         `xml:"inquiryRequest"`
+	Actor    event.Actor      `xml:"actor"`
+	PersonID string           `xml:"personId,omitempty"`
+	Class    event.ClassID    `xml:"class,omitempty"`
+	Producer event.ProducerID `xml:"producer,omitempty"`
+	From     string           `xml:"from,omitempty"`
+	To       string           `xml:"to,omitempty"`
+	Limit    int              `xml:"limit,omitempty"`
+}
+
+type inquiryResponse struct {
+	XMLName       xml.Name `xml:"inquiryResponse"`
+	Notifications []string `xml:"notification"` // nested XML documents
+}
+
+type getResponseRequest struct {
+	XMLName xml.Name          `xml:"getResponseRequest"`
+	Source  event.SourceID    `xml:"sourceId"`
+	Fields  []event.FieldName `xml:"fields>field"`
+}

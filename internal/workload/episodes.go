@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// Care episodes: beyond the IID event stream of Generator, the episode
+// generator produces *correlated* sequences per person — the actual shape
+// of the processes the platform monitors (paper §4: "the composition of
+// data events on the same person produced by different sources gives her
+// social and health profile"). An episode starts with a hospital
+// discharge and, with configurable drop and delay probabilities,
+// continues with home-care activation and a first nursing intervention —
+// the post-discharge pathway of the examples and of experiment E15.
+
+// EpisodeConfig parameterizes an EpisodeGenerator.
+type EpisodeConfig struct {
+	// Seed makes the stream deterministic.
+	Seed int64
+	// People is the population size (default 500).
+	People int
+	// HomeCareDropRate is the probability that home care never follows a
+	// discharge (default 0.1).
+	HomeCareDropRate float64
+	// HomeCareLateRate is the probability that home care follows but
+	// beyond the 7-day deadline (default 0.1).
+	HomeCareLateRate float64
+	// NursingDropRate / NursingLateRate likewise for the nursing stage
+	// relative to its 14-day deadline (defaults 0.1 / 0.1).
+	NursingDropRate float64
+	NursingLateRate float64
+	// Noise is the number of unrelated events (blood tests, meals)
+	// interleaved per episode (default 2).
+	Noise int
+}
+
+func (c *EpisodeConfig) defaults() {
+	if c.People <= 0 {
+		c.People = 500
+	}
+	if c.HomeCareDropRate == 0 {
+		c.HomeCareDropRate = 0.1
+	}
+	if c.HomeCareLateRate == 0 {
+		c.HomeCareLateRate = 0.1
+	}
+	if c.NursingDropRate == 0 {
+		c.NursingDropRate = 0.1
+	}
+	if c.NursingLateRate == 0 {
+		c.NursingLateRate = 0.1
+	}
+	if c.Noise == 0 {
+		c.Noise = 2
+	}
+}
+
+// EpisodeOutcome classifies a generated episode (ground truth for
+// validating monitors).
+type EpisodeOutcome int
+
+const (
+	// EpisodeComplete: both stages on time.
+	EpisodeComplete EpisodeOutcome = iota
+	// EpisodeHomeCareDropped: home care never happens.
+	EpisodeHomeCareDropped
+	// EpisodeHomeCareLate: home care beyond the 7-day deadline (and no
+	// nursing follows in this model).
+	EpisodeHomeCareLate
+	// EpisodeNursingDropped: home care on time, nursing never happens.
+	EpisodeNursingDropped
+	// EpisodeNursingLate: nursing beyond its 14-day deadline — the
+	// pathway stalls and then completes late.
+	EpisodeNursingLate
+)
+
+// Episode is one generated care episode with its ground-truth outcome.
+type Episode struct {
+	PersonID string
+	Start    time.Time
+	Outcome  EpisodeOutcome
+	// Events are the episode's notifications plus noise, time-ordered.
+	Events []*event.Notification
+}
+
+// EpisodeGenerator produces correlated care episodes.
+type EpisodeGenerator struct {
+	cfg      EpisodeConfig
+	rnd      *rand.Rand
+	people   []Person
+	seq      int // event counter
+	episodes int // episode counter (drives person round-robin)
+	clock    time.Time
+}
+
+// NewEpisodeGenerator builds a generator.
+func NewEpisodeGenerator(cfg EpisodeConfig) *EpisodeGenerator {
+	cfg.defaults()
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	return &EpisodeGenerator{
+		cfg:    cfg,
+		rnd:    rnd,
+		people: makePeople(rnd, cfg.People),
+		clock:  time.Date(2010, 1, 4, 9, 0, 0, 0, time.UTC),
+	}
+}
+
+func (g *EpisodeGenerator) notif(class event.ClassID, producer event.ProducerID, person Person, at time.Time) *event.Notification {
+	g.seq++
+	return &event.Notification{
+		ID:         event.GlobalID(fmt.Sprintf("ep-evt-%08d", g.seq)),
+		SourceID:   event.SourceID(fmt.Sprintf("ep-src-%08d", g.seq)),
+		Class:      class,
+		PersonID:   person.ID,
+		Summary:    string(class),
+		OccurredAt: at,
+		Producer:   producer,
+	}
+}
+
+// Next generates one episode. Episodes start a few hours apart, so a
+// stream of episodes interleaves naturally in time. Persons are assigned
+// round-robin, so up to len(people) concurrent episodes never collide on
+// a person (a person's second episode only begins after the population
+// cycled).
+func (g *EpisodeGenerator) Next() Episode {
+	person := g.people[g.episodes%len(g.people)]
+	g.episodes++
+	start := g.clock
+	g.clock = g.clock.Add(time.Duration(1+g.rnd.Intn(6)) * time.Hour)
+
+	ep := Episode{PersonID: person.ID, Start: start, Outcome: EpisodeComplete}
+	ep.Events = append(ep.Events, g.notif(schema.ClassDischarge, "hospital-s-maria", person, start))
+
+	day := 24 * time.Hour
+	// Stage 1: home care within 7 days, late, or never.
+	var homeCareAt time.Time
+	switch {
+	case g.rnd.Float64() < g.cfg.HomeCareDropRate:
+		ep.Outcome = EpisodeHomeCareDropped
+	case g.rnd.Float64() < g.cfg.HomeCareLateRate:
+		ep.Outcome = EpisodeHomeCareLate
+		homeCareAt = start.Add(time.Duration(8+g.rnd.Intn(14)) * day)
+	default:
+		homeCareAt = start.Add(time.Duration(1+g.rnd.Intn(6)) * day)
+	}
+	if !homeCareAt.IsZero() {
+		ep.Events = append(ep.Events, g.notif(schema.ClassHomeCare, "municipality-trento", person, homeCareAt))
+	}
+
+	// Stage 2 only matters if stage 1 happened on time.
+	if ep.Outcome == EpisodeComplete {
+		switch {
+		case g.rnd.Float64() < g.cfg.NursingDropRate:
+			ep.Outcome = EpisodeNursingDropped
+		case g.rnd.Float64() < g.cfg.NursingLateRate:
+			ep.Outcome = EpisodeNursingLate
+			ep.Events = append(ep.Events, g.notif(schema.ClassNursingService, "social-services", person,
+				homeCareAt.Add(time.Duration(15+g.rnd.Intn(14))*day)))
+		default:
+			ep.Events = append(ep.Events, g.notif(schema.ClassNursingService, "social-services", person,
+				homeCareAt.Add(time.Duration(1+g.rnd.Intn(13))*day)))
+		}
+	}
+
+	// Interleave unrelated noise.
+	noiseClasses := []struct {
+		class    event.ClassID
+		producer event.ProducerID
+	}{
+		{schema.ClassBloodTest, "hospital-s-maria"},
+		{schema.ClassFoodDelivery, "municipality-trento"},
+		{schema.ClassTelecare, "telecare-co"},
+	}
+	for i := 0; i < g.cfg.Noise; i++ {
+		nc := noiseClasses[g.rnd.Intn(len(noiseClasses))]
+		at := start.Add(time.Duration(g.rnd.Intn(20*24)) * time.Hour)
+		ep.Events = append(ep.Events, g.notif(nc.class, nc.producer, person, at))
+	}
+
+	sort.Slice(ep.Events, func(i, j int) bool {
+		return ep.Events[i].OccurredAt.Before(ep.Events[j].OccurredAt)
+	})
+	return ep
+}
+
+// Stream generates n episodes and returns all their events merged in
+// global time order, together with the ground-truth outcome counts.
+func (g *EpisodeGenerator) Stream(n int) ([]*event.Notification, map[EpisodeOutcome]int) {
+	var all []*event.Notification
+	truth := map[EpisodeOutcome]int{}
+	for i := 0; i < n; i++ {
+		ep := g.Next()
+		truth[ep.Outcome]++
+		all = append(all, ep.Events...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].OccurredAt.Before(all[j].OccurredAt) })
+	return all, truth
+}

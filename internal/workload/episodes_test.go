@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/process"
+	"repro/internal/schema"
+)
+
+func TestEpisodeGeneratorDeterminism(t *testing.T) {
+	a := NewEpisodeGenerator(EpisodeConfig{Seed: 5})
+	b := NewEpisodeGenerator(EpisodeConfig{Seed: 5})
+	for i := 0; i < 20; i++ {
+		ea, eb := a.Next(), b.Next()
+		if ea.PersonID != eb.PersonID || ea.Outcome != eb.Outcome || len(ea.Events) != len(eb.Events) {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestEpisodeShape(t *testing.T) {
+	g := NewEpisodeGenerator(EpisodeConfig{Seed: 6, Noise: 3})
+	for i := 0; i < 50; i++ {
+		ep := g.Next()
+		if ep.Events[0].OccurredAt.After(ep.Events[len(ep.Events)-1].OccurredAt) {
+			t.Fatal("events not time-ordered")
+		}
+		// Exactly one discharge per episode, always present.
+		discharges := 0
+		for _, n := range ep.Events {
+			if n.Class == schema.ClassDischarge {
+				discharges++
+			}
+			if n.PersonID != ep.PersonID {
+				t.Fatal("foreign person in episode")
+			}
+			if err := n.Validate(); err == nil && n.ID == "" {
+				t.Fatal("event without id")
+			}
+		}
+		if discharges != 1 {
+			t.Fatalf("episode has %d discharges", discharges)
+		}
+		switch ep.Outcome {
+		case EpisodeComplete, EpisodeNursingLate:
+			if !hasClass(ep, schema.ClassHomeCare) || !hasClass(ep, schema.ClassNursingService) {
+				t.Fatal("episode missing a stage it should have")
+			}
+		case EpisodeHomeCareDropped:
+			if hasClass(ep, schema.ClassHomeCare) {
+				t.Fatal("dropped home care present")
+			}
+		case EpisodeHomeCareLate, EpisodeNursingDropped:
+			if hasClass(ep, schema.ClassNursingService) {
+				t.Fatal("unexpected nursing event")
+			}
+		}
+	}
+}
+
+func hasClass(ep Episode, c event.ClassID) bool {
+	for _, n := range ep.Events {
+		if n.Class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEpisodesValidateMonitor is the calibration loop: the monitor's
+// classification of a generated stream must match the generator's ground
+// truth in aggregate.
+func TestEpisodesValidateMonitor(t *testing.T) {
+	const episodes = 300
+	g := NewEpisodeGenerator(EpisodeConfig{Seed: 7, People: 400,
+		HomeCareDropRate: 0.15, HomeCareLateRate: 0.1,
+		NursingDropRate: 0.1, NursingLateRate: 0.1})
+	stream, truth := g.Stream(episodes)
+
+	m, err := process.NewMonitor(&process.Pathway{
+		Name:    "post-discharge care",
+		Trigger: schema.ClassDischarge,
+		Stages: []process.Stage{
+			{Name: "home care", Class: schema.ClassHomeCare, Within: 7 * 24 * time.Hour},
+			{Name: "nursing", Class: schema.ClassNursingService, Within: 14 * 24 * time.Hour},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range stream {
+		m.Observe(n)
+	}
+	// Review far past every deadline.
+	last := stream[len(stream)-1].OccurredAt
+	report := m.Snapshot(last.Add(60 * 24 * time.Hour))
+
+	// The monitor is observational: a late nursing event still advances
+	// and completes the instance (the stall WAS visible while pending),
+	// so at end-of-stream the monitor's completed set is {on time} ∪
+	// {nursing late}, and its stalled set is everything still open.
+	wantCompleted := truth[EpisodeComplete] + truth[EpisodeNursingLate]
+	wantStalled := truth[EpisodeHomeCareDropped] + truth[EpisodeHomeCareLate] + truth[EpisodeNursingDropped]
+	if len(report.Completed) != wantCompleted {
+		t.Errorf("monitor completed = %d, ground truth %d", len(report.Completed), wantCompleted)
+	}
+	gotStalled := len(report.Stalled) + len(report.Active)
+	if gotStalled != wantStalled {
+		t.Errorf("monitor stalled(+active) = %d, ground truth %d", gotStalled, wantStalled)
+	}
+	if len(report.Active) != 0 {
+		t.Errorf("instances still active past every deadline: %d", len(report.Active))
+	}
+	if report.Unrelated == 0 {
+		t.Error("noise events not counted as unrelated")
+	}
+}

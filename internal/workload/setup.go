@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// date maps an event sequence number into the simulation year, one event
+// every few minutes starting January 1st.
+func date(year, seq int) time.Time {
+	return time.Date(year, 1, 1, 8, 0, 0, 0, time.UTC).Add(time.Duration(seq) * 7 * time.Minute)
+}
+
+// Platform is a fully provisioned CSS deployment for tests and benches:
+// a controller with all scenario producers registered (each with an
+// in-memory gateway), all consumers admitted, and optionally the standard
+// policy set installed.
+type Platform struct {
+	Controller *core.Controller
+	Gateways   map[event.ProducerID]*gateway.Gateway
+}
+
+// Provision registers the scenario roster on the controller and attaches
+// one in-memory gateway per producer.
+func Provision(c *core.Controller) (*Platform, error) {
+	p := &Platform{Controller: c, Gateways: make(map[event.ProducerID]*gateway.Gateway)}
+	for _, spec := range Producers() {
+		if err := c.RegisterProducer(spec.ID, spec.Name); err != nil {
+			return nil, err
+		}
+		for _, s := range spec.Classes {
+			if err := c.DeclareClass(spec.ID, s); err != nil {
+				return nil, err
+			}
+		}
+		gw, err := gateway.New(spec.ID, store.OpenMemory(), c.Catalog())
+		if err != nil {
+			return nil, err
+		}
+		if err := c.AttachGateway(spec.ID, gw); err != nil {
+			return nil, err
+		}
+		p.Gateways[spec.ID] = gw
+	}
+	for _, spec := range Consumers() {
+		if err := c.RegisterConsumer(spec.Actor, spec.Name); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Produce persists the detail at the producing gateway and publishes the
+// notification, returning the assigned global id — one full producer-side
+// cycle.
+func (p *Platform) Produce(n *event.Notification, d *event.Detail) (event.GlobalID, error) {
+	gw, ok := p.Gateways[n.Producer]
+	if !ok {
+		return "", fmt.Errorf("workload: no gateway for producer %s", n.Producer)
+	}
+	if err := gw.Persist(d); err != nil {
+		return "", err
+	}
+	return p.Controller.Publish(n)
+}
+
+// StandardPolicies elicits the scenario's baseline policy set:
+//
+//   - the family doctor reads every class for healthcare treatment, with
+//     the sensitive aids-test and lab-notes of blood tests obfuscated
+//     (the §5 example);
+//   - the home-care unit of the social welfare department reads the
+//     socio-assistive classes for social assistance;
+//   - the national statistics department reads age/sex/autonomy-score of
+//     autonomy tests for statistical analysis (the Definition 2 example);
+//   - the private caring cooperative reads identity fields of home-care
+//     events for social assistance.
+//
+// It returns the stored policies.
+func (p *Platform) StandardPolicies() ([]*policy.Policy, error) {
+	var out []*policy.Policy
+	add := func(pols []*policy.Policy, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, pol := range pols {
+			stored, err := p.Controller.DefinePolicy(pol)
+			if err != nil {
+				return err
+			}
+			out = append(out, stored)
+		}
+		return nil
+	}
+
+	for _, spec := range Producers() {
+		for _, s := range spec.Classes {
+			// Family doctor: everything except the canonical obfuscations.
+			b := policy.NewBuilder(spec.ID, s)
+			if s.Class() == schema.ClassBloodTest {
+				b.SelectAllFieldsExcept("aids-test", "lab-notes")
+			} else {
+				b.SelectAllFieldsExcept()
+			}
+			if err := add(b.
+				SelectConsumers("family-doctor").
+				SelectPurposes(event.PurposeHealthcareTreatment).
+				Label(fmt.Sprintf("family doctor on %s", s.Class()), "").
+				Build()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Home-care unit on the municipality's socio-assistive classes.
+	for _, s := range []*schema.Schema{schema.HomeCare(), schema.FoodDelivery(), schema.HouseCleaning()} {
+		if err := add(policy.NewBuilder("municipality-trento", s).
+			SelectAllFieldsExcept().
+			SelectConsumers("social-welfare/home-care").
+			SelectPurposes(event.PurposeSocialAssistance, event.PurposeAdministration).
+			Label(fmt.Sprintf("home-care unit on %s", s.Class()), "").
+			Build()); err != nil {
+			return nil, err
+		}
+	}
+
+	// National statistics: the Definition 2 example.
+	if err := add(policy.NewBuilder("social-services", schema.AutonomyTest()).
+		SelectFields("age", "sex", "autonomy-score").
+		SelectConsumers("national-governance/statistics").
+		SelectPurposes(event.PurposeStatisticalAnalysis).
+		Label("autonomy statistics", "needs of elderly people").
+		Build()); err != nil {
+		return nil, err
+	}
+
+	// Private cooperative: identity fields of home care only.
+	if err := add(policy.NewBuilder("municipality-trento", schema.HomeCare()).
+		SelectFields("patient-id", "name", "surname", "service-type").
+		SelectConsumers("caring-coop").
+		SelectPurposes(event.PurposeSocialAssistance).
+		Label("cooperative on home care", "identity and service type only").
+		Build()); err != nil {
+		return nil, err
+	}
+
+	return out, nil
+}

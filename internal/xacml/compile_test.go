@@ -1,0 +1,277 @@
+package xacml
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/policy"
+)
+
+func srcPolicy() *policy.Policy {
+	return &policy.Policy{
+		ID:       "pol-000042",
+		Name:     "family doctor home care access",
+		Producer: "municipality-trento",
+		Actor:    "family-doctor",
+		Class:    "social.home-care-service",
+		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
+		Fields:   []event.FieldName{"patient-id", "name", "surname"},
+	}
+}
+
+func detailRequest() *event.DetailRequest {
+	return &event.DetailRequest{
+		Requester: "family-doctor",
+		Class:     "social.home-care-service",
+		EventID:   "G-1",
+		Purpose:   event.PurposeHealthcareTreatment,
+		At:        time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestCompileShape(t *testing.T) {
+	x, err := Compile(srcPolicy())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if x.ID != "pol-000042" || x.Alg != FirstApplicable {
+		t.Errorf("header: %+v", x)
+	}
+	if len(x.Rules) != 1 || x.Rules[0].Effect != EffectPermit {
+		t.Errorf("rules: %+v", x.Rules)
+	}
+	if len(x.Obligations) != 1 || x.Obligations[0].ID != ObligationIncludeFields {
+		t.Fatalf("obligations: %+v", x.Obligations)
+	}
+	if got := x.Obligations[0].FieldValues(); len(got) != 3 {
+		t.Errorf("obligation fields = %v", got)
+	}
+	if len(x.Target.Actions) != 1 {
+		t.Errorf("actions = %v", x.Target.Actions)
+	}
+}
+
+func TestCompileRejectsInvalidOrUnstored(t *testing.T) {
+	p := srcPolicy()
+	p.Fields = nil
+	if _, err := Compile(p); err == nil {
+		t.Error("Compile accepted invalid policy")
+	}
+	p2 := srcPolicy()
+	p2.ID = ""
+	if _, err := Compile(p2); err == nil {
+		t.Error("Compile accepted policy without repository id")
+	}
+}
+
+func TestCompiledPolicyPermitsMatchingRequest(t *testing.T) {
+	x, err := Compile(srcPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewPDP(FirstApplicable)
+	if err := d.Add(x); err != nil {
+		t.Fatal(err)
+	}
+	resp := d.Evaluate(CompileRequest(detailRequest()))
+	if resp.Decision != Permit {
+		t.Fatalf("Decision = %v", resp.Decision)
+	}
+	fields := AuthorizedFields(&resp)
+	if len(fields) != 3 || fields[0] != "patient-id" {
+		t.Errorf("AuthorizedFields = %v", fields)
+	}
+}
+
+func TestCompiledPolicyDeniesNonMatching(t *testing.T) {
+	x, _ := Compile(srcPolicy())
+	d, _ := NewPDP(FirstApplicable)
+	d.Add(x)
+	for name, mutate := range map[string]func(*event.DetailRequest){
+		"actor":   func(r *event.DetailRequest) { r.Requester = "someone-else" },
+		"class":   func(r *event.DetailRequest) { r.Class = "hospital.blood-test" },
+		"purpose": func(r *event.DetailRequest) { r.Purpose = event.PurposeStatisticalAnalysis },
+	} {
+		r := detailRequest()
+		mutate(r)
+		if resp := d.Evaluate(CompileRequest(r)); resp.Decision != NotApplicable {
+			t.Errorf("%s mutation: Decision = %v, want NotApplicable", name, resp.Decision)
+		}
+	}
+}
+
+func TestCompileValidityWindow(t *testing.T) {
+	p := srcPolicy()
+	p.NotBefore = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	p.NotAfter = time.Date(2010, 12, 31, 0, 0, 0, 0, time.UTC)
+	x, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewPDP(FirstApplicable)
+	d.Add(x)
+
+	in := detailRequest() // June 2010
+	if resp := d.Evaluate(CompileRequest(in)); resp.Decision != Permit {
+		t.Errorf("in-window = %v", resp.Decision)
+	}
+	out := detailRequest()
+	out.At = time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+	if resp := d.Evaluate(CompileRequest(out)); resp.Decision != NotApplicable {
+		t.Errorf("out-of-window = %v", resp.Decision)
+	}
+}
+
+func TestCompileRequestDefaultsToNow(t *testing.T) {
+	r := detailRequest()
+	r.At = time.Time{}
+	req := CompileRequest(r)
+	v, ok := get(req.Environment, AttrCurrentTime)
+	if !ok {
+		t.Fatal("no current-time attribute")
+	}
+	ts, err := time.Parse(time.RFC3339Nano, v)
+	if err != nil {
+		t.Fatalf("bad time %q: %v", v, err)
+	}
+	if time.Since(ts) > time.Minute {
+		t.Errorf("current-time not near now: %v", ts)
+	}
+}
+
+func TestAuthorizedFieldsFailClosed(t *testing.T) {
+	if got := AuthorizedFields(&Response{Decision: Deny}); got != nil {
+		t.Errorf("Deny response yielded fields %v", got)
+	}
+	if got := AuthorizedFields(&Response{Decision: Permit}); got != nil {
+		t.Errorf("Permit without obligations yielded fields %v", got)
+	}
+	resp := &Response{Decision: Permit, Obligations: []Obligation{{ID: "other-obligation"}}}
+	if got := AuthorizedFields(resp); got != nil {
+		t.Errorf("unrelated obligation yielded fields %v", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := srcPolicy()
+	p.NotAfter = time.Date(2010, 12, 31, 0, 0, 0, 0, time.UTC)
+	x, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(x)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{"PolicyId=", "RuleCombiningAlgId=", "<Target>", "<Rule ", "Obligation", "family-doctor", "social.home-care-service", "patient-id"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("encoded policy missing %q:\n%s", want, s)
+		}
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// The decoded policy must yield identical decisions.
+	d1, _ := NewPDP(FirstApplicable)
+	d1.Add(x)
+	d2, _ := NewPDP(FirstApplicable)
+	d2.Add(got)
+	for _, r := range []*event.DetailRequest{detailRequest()} {
+		req := CompileRequest(r)
+		a, b := d1.Evaluate(req), d2.Evaluate(req)
+		if a.Decision != b.Decision {
+			t.Errorf("decisions diverge after round trip: %v vs %v", a.Decision, b.Decision)
+		}
+		fa, fb := AuthorizedFields(&a), AuthorizedFields(&b)
+		if len(fa) != len(fb) {
+			t.Errorf("fields diverge: %v vs %v", fa, fb)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode([]byte("garbage")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	if _, err := Decode([]byte(`<Policy PolicyId="x" RuleCombiningAlgId="nonsense"><Target></Target><Rule RuleId="r" Effect="Permit"><Target></Target></Rule></Policy>`)); err == nil {
+		t.Error("Decode accepted unknown algorithm")
+	}
+}
+
+// Property (experiment E12's invariant): for random Definition-2 policies
+// and random requests, the compiled-XACML evaluation agrees with the
+// native Definition-3 matching: Permit ⇔ the policy matches, and on
+// Permit the obligation fields equal the policy's field set.
+func TestQuickCompileEquivalence(t *testing.T) {
+	actors := []event.Actor{"org-a", "org-a/dept-1", "org-b", "org-b/dept-2"}
+	classes := []event.ClassID{"c.one", "c.two", "c.three"}
+	purposes := []event.Purpose{"care", "stats", "admin"}
+	fields := []event.FieldName{"f1", "f2", "f3", "f4"}
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := &policy.Policy{
+			ID:       "pol-q",
+			Producer: "prod",
+			Actor:    actors[r.Intn(len(actors))],
+			Class:    classes[r.Intn(len(classes))],
+			Purposes: []event.Purpose{purposes[r.Intn(len(purposes))]},
+			Fields:   fields[:1+r.Intn(len(fields))],
+		}
+		if r.Intn(2) == 0 {
+			src.NotBefore = base.AddDate(0, r.Intn(12), 0)
+		}
+		if r.Intn(2) == 0 {
+			src.NotAfter = base.AddDate(1, r.Intn(12), 0)
+		}
+		req := &event.DetailRequest{
+			Requester: actors[r.Intn(len(actors))],
+			Class:     classes[r.Intn(len(classes))],
+			EventID:   "G-1",
+			Purpose:   purposes[r.Intn(len(purposes))],
+			At:        base.AddDate(r.Intn(3), r.Intn(12), r.Intn(28)),
+		}
+
+		x, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		d, err := NewPDP(FirstApplicable)
+		if err != nil {
+			return false
+		}
+		if err := d.Add(x); err != nil {
+			return false
+		}
+		resp := d.Evaluate(CompileRequest(req))
+
+		wantMatch := src.Matches(req)
+		gotPermit := resp.Decision == Permit
+		if wantMatch != gotPermit {
+			t.Logf("divergence: policy=%+v req=%+v native=%v xacml=%v", src, req, wantMatch, resp.Decision)
+			return false
+		}
+		if gotPermit {
+			got := AuthorizedFields(&resp)
+			if len(got) != len(src.Fields) {
+				return false
+			}
+			for i := range got {
+				if got[i] != src.Fields[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package xacml
+
+import "testing"
+
+// FuzzDecode: arbitrary XML must never panic the policy decoder, and any
+// policy that decodes must satisfy Validate (Decode re-validates) and
+// survive an encode/decode round trip with identical evaluation behavior
+// on a probe request.
+func FuzzDecode(f *testing.F) {
+	x := permitPolicyFuzz()
+	data, err := Encode(x)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`<Policy PolicyId="p" RuleCombiningAlgId="urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:first-applicable"><Target></Target><Rule RuleId="r" Effect="Permit"><Target></Target></Rule></Policy>`))
+	f.Add([]byte("<Policy>"))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		p, err := Decode(in)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode returned invalid policy: %v", err)
+		}
+		re, err := Encode(p)
+		if err != nil {
+			t.Fatalf("decoded policy does not re-encode: %v", err)
+		}
+		p2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded policy does not decode: %v", err)
+		}
+		// Same decision on a probe request through two fresh PDPs.
+		probe := request("probe-actor", "probe.class", "probe-action")
+		d1, _ := NewPDP(FirstApplicable)
+		d2, _ := NewPDP(FirstApplicable)
+		if err := d1.Add(p); err != nil {
+			return // e.g. duplicate rule ids are caught at Add time
+		}
+		if err := d2.Add(p2); err != nil {
+			t.Fatalf("round-tripped policy rejected by PDP: %v", err)
+		}
+		if a, b := d1.Evaluate(probe).Decision, d2.Evaluate(probe).Decision; a != b {
+			t.Fatalf("evaluation diverges after round trip: %v vs %v", a, b)
+		}
+	})
+}
+
+func permitPolicyFuzz() *Policy {
+	return &Policy{
+		ID:  "fuzz-seed",
+		Alg: FirstApplicable,
+		Target: Target{
+			Subjects:  [][]Match{{{AttrID: AttrSubjectID, Func: FuncActorContains, Value: "doctor"}}},
+			Resources: [][]Match{{{AttrID: AttrResourceID, Func: FuncStringEqual, Value: "c.x"}}},
+		},
+		Rules: []Rule{{ID: "r", Effect: EffectPermit}},
+		Obligations: []Obligation{{
+			ID: ObligationIncludeFields, FulfillOn: EffectPermit,
+			Attrs: []Attribute{{ID: AttrField, Value: "f1"}},
+		}},
+	}
+}

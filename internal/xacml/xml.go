@@ -1,0 +1,178 @@
+package xacml
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// XML form shaped after the paper's Fig. 8 listing: a <Policy> with
+// PolicyId and RuleCombiningAlgId, a <Target> of Subjects/Resources/
+// Actions match elements carrying AttributeValue and AttributeDesignator
+// pairs, <Rule> elements, and an <Obligations> section whose
+// AttributeAssignments list the accessible fields.
+
+type xmlPolicy struct {
+	XMLName     xml.Name        `xml:"Policy"`
+	PolicyID    string          `xml:"PolicyId,attr"`
+	Alg         CombiningAlg    `xml:"RuleCombiningAlgId,attr"`
+	Description string          `xml:"Description,omitempty"`
+	Target      xmlTarget       `xml:"Target"`
+	Rules       []xmlRule       `xml:"Rule"`
+	Obligations *xmlObligations `xml:"Obligations,omitempty"`
+}
+
+type xmlTarget struct {
+	Subjects  *xmlCategory `xml:"Subjects,omitempty"`
+	Resources *xmlCategory `xml:"Resources,omitempty"`
+	Actions   *xmlCategory `xml:"Actions,omitempty"`
+}
+
+// xmlCategory is a disjunction of groups; each group a conjunction of
+// matches.
+type xmlCategory struct {
+	Groups []xmlGroup `xml:"MatchGroup"`
+}
+
+type xmlGroup struct {
+	Matches []xmlMatch `xml:"Match"`
+}
+
+type xmlMatch struct {
+	MatchID    string        `xml:"MatchId,attr"`
+	Value      string        `xml:"AttributeValue"`
+	Designator xmlDesignator `xml:"AttributeDesignator"`
+}
+
+type xmlDesignator struct {
+	AttributeID string `xml:"AttributeId,attr"`
+}
+
+type xmlRule struct {
+	RuleID string    `xml:"RuleId,attr"`
+	Effect Effect    `xml:"Effect,attr"`
+	Target xmlTarget `xml:"Target"`
+}
+
+type xmlObligations struct {
+	Obligations []xmlObligation `xml:"Obligation"`
+}
+
+type xmlObligation struct {
+	ObligationID string          `xml:"ObligationId,attr"`
+	FulfillOn    Effect          `xml:"FulfillOn,attr"`
+	Assignments  []xmlAssignment `xml:"AttributeAssignment"`
+}
+
+type xmlAssignment struct {
+	AttributeID string `xml:"AttributeId,attr"`
+	Value       string `xml:",chardata"`
+}
+
+func toXMLCategory(groups [][]Match) *xmlCategory {
+	if len(groups) == 0 {
+		return nil
+	}
+	c := &xmlCategory{Groups: make([]xmlGroup, len(groups))}
+	for i, g := range groups {
+		c.Groups[i].Matches = make([]xmlMatch, len(g))
+		for j, m := range g {
+			c.Groups[i].Matches[j] = xmlMatch{
+				MatchID:    m.Func,
+				Value:      m.Value,
+				Designator: xmlDesignator{AttributeID: m.AttrID},
+			}
+		}
+	}
+	return c
+}
+
+func fromXMLCategory(c *xmlCategory) [][]Match {
+	if c == nil || len(c.Groups) == 0 {
+		return nil
+	}
+	groups := make([][]Match, len(c.Groups))
+	for i, g := range c.Groups {
+		groups[i] = make([]Match, len(g.Matches))
+		for j, m := range g.Matches {
+			groups[i][j] = Match{
+				AttrID: m.Designator.AttributeID,
+				Func:   m.MatchID,
+				Value:  m.Value,
+			}
+		}
+	}
+	return groups
+}
+
+func toXMLTarget(t Target) xmlTarget {
+	return xmlTarget{
+		Subjects:  toXMLCategory(t.Subjects),
+		Resources: toXMLCategory(t.Resources),
+		Actions:   toXMLCategory(t.Actions),
+	}
+}
+
+func fromXMLTarget(t xmlTarget) Target {
+	return Target{
+		Subjects:  fromXMLCategory(t.Subjects),
+		Resources: fromXMLCategory(t.Resources),
+		Actions:   fromXMLCategory(t.Actions),
+	}
+}
+
+// Encode serializes a policy to its Fig.-8-shaped XML form.
+func Encode(p *Policy) ([]byte, error) {
+	w := xmlPolicy{
+		PolicyID:    p.ID,
+		Alg:         p.Alg,
+		Description: p.Description,
+		Target:      toXMLTarget(p.Target),
+		Rules:       make([]xmlRule, len(p.Rules)),
+	}
+	for i, r := range p.Rules {
+		w.Rules[i] = xmlRule{RuleID: r.ID, Effect: r.Effect, Target: toXMLTarget(r.Target)}
+	}
+	if len(p.Obligations) > 0 {
+		obs := &xmlObligations{Obligations: make([]xmlObligation, len(p.Obligations))}
+		for i, o := range p.Obligations {
+			xo := xmlObligation{ObligationID: o.ID, FulfillOn: o.FulfillOn}
+			for _, a := range o.Attrs {
+				xo.Assignments = append(xo.Assignments, xmlAssignment{AttributeID: a.ID, Value: a.Value})
+			}
+			obs.Obligations[i] = xo
+		}
+		w.Obligations = obs
+	}
+	return xml.MarshalIndent(w, "", "  ")
+}
+
+// Decode parses a policy from its XML form and re-validates it.
+func Decode(data []byte) (*Policy, error) {
+	var w xmlPolicy
+	if err := xml.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("xacml: decode: %w", err)
+	}
+	p := &Policy{
+		ID:          w.PolicyID,
+		Description: w.Description,
+		Alg:         w.Alg,
+		Target:      fromXMLTarget(w.Target),
+		Rules:       make([]Rule, len(w.Rules)),
+	}
+	for i, r := range w.Rules {
+		p.Rules[i] = Rule{ID: r.RuleID, Effect: r.Effect, Target: fromXMLTarget(r.Target)}
+	}
+	if w.Obligations != nil {
+		for _, xo := range w.Obligations.Obligations {
+			o := Obligation{ID: xo.ObligationID, FulfillOn: xo.FulfillOn}
+			for _, a := range xo.Assignments {
+				o.Attrs = append(o.Attrs, Attribute{ID: a.AttributeID, Value: a.Value})
+			}
+			p.Obligations = append(p.Obligations, o)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
