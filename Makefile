@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-quick examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-quick examples fuzz clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, vet+gofmt, unit tests, then the race
+# detector over the whole tree.
+check: build vet test race
 
 build:
 	$(GO) build ./...

@@ -12,6 +12,7 @@
 //	-kind     filter by kind (publish|subscribe|detail-request|index-inquiry)
 //	-outcome  filter by outcome (permit|deny|ok)
 //	-event    filter by global event id
+//	-trace    filter by trace/correlation id (all records of one flow)
 //	-limit    max records (default 100)
 //	-verify   only verify chain integrity and exit
 package main
@@ -33,6 +34,7 @@ func main() {
 	kind := flag.String("kind", "", "filter: kind")
 	outcome := flag.String("outcome", "", "filter: outcome")
 	eventID := flag.String("event", "", "filter: global event id")
+	trace := flag.String("trace", "", "filter: trace/correlation id")
 	limit := flag.Int("limit", 100, "max records")
 	verifyOnly := flag.Bool("verify", false, "verify chain integrity and exit")
 	flag.Parse()
@@ -63,6 +65,7 @@ func main() {
 		Actor:   *actor,
 		EventID: event.GlobalID(*eventID),
 		Outcome: *outcome,
+		Trace:   *trace,
 		Limit:   *limit,
 	})
 	if err != nil {
@@ -76,6 +79,9 @@ func main() {
 		}
 		if r.Purpose != "" {
 			line += " purpose=" + string(r.Purpose)
+		}
+		if r.Trace != "" {
+			line += " trace=" + r.Trace
 		}
 		if r.Note != "" {
 			line += fmt.Sprintf(" note=%q", r.Note)

@@ -91,8 +91,8 @@ func runSubscribe(client *transport.Client, actor event.Actor, args []string) {
 		log.Fatal(err)
 	}
 	receiver := transport.NewNotificationReceiver(func(n *event.Notification) {
-		fmt.Printf("[%s] %s person=%s from=%s — %s\n",
-			n.OccurredAt.Format("2006-01-02 15:04"), n.Class, n.PersonID, n.Producer, n.Summary)
+		fmt.Printf("[%s] %s person=%s from=%s trace=%s — %s\n",
+			n.OccurredAt.Format("2006-01-02 15:04"), n.Class, n.PersonID, n.Producer, n.Trace, n.Summary)
 	})
 	go http.Serve(ln, receiver)
 	callback := "http://" + ln.Addr().String()

@@ -11,6 +11,13 @@
 //	-deny-default-consent  treat citizens as opted out unless they opt in
 //	-scenario  provision the Trentino demo scenario (producers, consumers,
 //	           event classes, standard policies, in-process gateways)
+//	-pprof     expose net/http/pprof under /debug/pprof/ (opt-in; never
+//	           enable on a public interface)
+//	-log-json  structured JSON logs on stderr (default: text)
+//	-slow      slow-operation warning threshold (default 250ms)
+//
+// The controller always serves /metrics (Prometheus text format) and
+// /healthz alongside the /ws/ API.
 //
 // Without -scenario the controller starts empty; members join through
 // the web-service API (see internal/transport for the endpoints).
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -29,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/identity"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -40,11 +49,18 @@ func main() {
 	authKeyFile := flag.String("auth-key-file", "", "identity authority key file (hex); enables bearer-token authentication (mint tokens with css-token)")
 	denyDefault := flag.Bool("deny-default-consent", false, "deny flows without an opt-in directive")
 	scenario := flag.Bool("scenario", false, "provision the demo scenario")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logJSON := flag.Bool("log-json", false, "structured JSON logs on stderr")
+	slow := flag.Duration("slow", telemetry.DefaultSlowThreshold, "slow-operation warning threshold")
 	flag.Parse()
+
+	telemetry.SetLogger(telemetry.NewLogger(*logJSON, slog.LevelInfo))
+	telemetry.SetSlowThreshold(*slow)
 
 	cfg := core.Config{
 		DataDir:        *dataDir,
 		DefaultConsent: !*denyDefault,
+		Metrics:        telemetry.Default(),
 	}
 	if *keyFile != "" {
 		key, err := loadOrCreateKey(*keyFile)
@@ -85,10 +101,20 @@ func main() {
 			log.Fatalf("authority: %v", err)
 		}
 		srv.RequireAuth(authority)
-		log.Printf("bearer-token authentication enabled (key: %s)", *authKeyFile)
+		telemetry.Logger().Info("bearer-token authentication enabled", "key", *authKeyFile)
 	}
-	log.Printf("CSS data controller listening on %s (data=%s)", *addr, orMem(*dataDir))
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	if *pprofFlag {
+		telemetry.RegisterPprof(mux)
+		telemetry.Logger().Info("pprof profiling enabled", "path", "/debug/pprof/")
+	}
+	telemetry.Logger().Info("CSS data controller listening",
+		"addr", *addr, "data", orMem(*dataDir),
+		"metrics", "/metrics", "healthz", "/healthz",
+		"slow_threshold", slow.String())
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

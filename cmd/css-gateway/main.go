@@ -13,6 +13,11 @@
 //	-data        data directory for the detail store (default: in-memory)
 //	-controller  controller base URL; when set, the gateway fetches the
 //	             event catalog and validates persisted details against it
+//	-pprof       expose net/http/pprof under /debug/pprof/ (opt-in)
+//	-log-json    structured JSON logs on stderr (default: text)
+//
+// The gateway always serves /metrics (Prometheus text format) and
+// /healthz alongside the /gw/ API.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -30,6 +36,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/schema"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -52,10 +59,13 @@ func main() {
 	token := flag.String("token", "", "bearer token for the catalog fetch (auth-enabled controller)")
 	authKeyFile := flag.String("auth-key-file", "", "identity authority key (hex); restricts get-response to the controller's token and persist to the producer's")
 	controllerActor := flag.String("controller-actor", "data-controller", "actor the data controller's tokens are issued for")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logJSON := flag.Bool("log-json", false, "structured JSON logs on stderr")
 	flag.Parse()
 	if *producer == "" {
 		log.Fatal("-producer is required")
 	}
+	telemetry.SetLogger(telemetry.NewLogger(*logJSON, slog.LevelInfo))
 
 	var st *store.Store
 	var err error
@@ -91,7 +101,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("gateway: %v", err)
 	}
-	srv := transport.NewGatewayServer(gw)
+	srv := transport.NewGatewayServerWithRegistry(gw, telemetry.Default())
 	if *authKeyFile != "" {
 		raw, err := os.ReadFile(*authKeyFile)
 		if err != nil {
@@ -106,10 +116,19 @@ func main() {
 			log.Fatalf("authority: %v", err)
 		}
 		srv.RequireAuth(authority, event.Actor(*controllerActor))
-		log.Printf("bearer-token authentication enabled (controller actor: %s)", *controllerActor)
+		telemetry.Logger().Info("bearer-token authentication enabled", "controller_actor", *controllerActor)
 	}
-	log.Printf("local cooperation gateway for %s listening on %s", *producer, *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	if *pprofFlag {
+		telemetry.RegisterPprof(mux)
+		telemetry.Logger().Info("pprof profiling enabled", "path", "/debug/pprof/")
+	}
+	telemetry.Logger().Info("local cooperation gateway listening",
+		"producer", *producer, "addr", *addr,
+		"metrics", "/metrics", "healthz", "/healthz")
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -60,6 +60,11 @@ type Record struct {
 	PolicyID string `json:"policyId,omitempty"`
 	// Note carries free-form diagnostic detail (e.g. the denial reason).
 	Note string `json:"note,omitempty"`
+	// Trace is the correlation identifier of the flow this record belongs
+	// to (minted at the originating publish or detail request). It links
+	// the audit trail to the runtime telemetry: the same id appears on
+	// wire messages, spans and logs, and it is covered by the chain hash.
+	Trace string `json:"trace,omitempty"`
 	// PrevHash/Hash chain the record to its predecessor.
 	PrevHash string `json:"prevHash"`
 	Hash     string `json:"hash"`
@@ -136,9 +141,9 @@ func (l *Log) Append(r Record) (Record, error) {
 // and its PrevHash. The Hash field itself is excluded.
 func hashRecord(r *Record) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%d|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s",
+	fmt.Fprintf(h, "%d|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s",
 		r.Seq, r.At.UTC().Format(time.RFC3339Nano), r.Kind, r.Actor,
-		r.EventID, r.Class, r.Purpose, r.Outcome, r.PolicyID, r.Note, r.PrevHash)
+		r.EventID, r.Class, r.Purpose, r.Outcome, r.PolicyID, r.Note, r.Trace, r.PrevHash)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -203,6 +208,7 @@ type Query struct {
 	EventID event.GlobalID
 	Class   event.ClassID
 	Outcome string
+	Trace   string
 	From    time.Time
 	To      time.Time
 	Limit   int
@@ -231,6 +237,9 @@ func (l *Log) Search(q Query) ([]Record, error) {
 			return true
 		}
 		if q.Outcome != "" && r.Outcome != q.Outcome {
+			return true
+		}
+		if q.Trace != "" && r.Trace != q.Trace {
 			return true
 		}
 		if !q.From.IsZero() && r.At.Before(q.From) {

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -33,6 +32,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/schema"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Errors reported by the controller.
@@ -69,9 +69,17 @@ type Config struct {
 	PlaintextIndex bool
 	// SyncWrites forces fsync-per-write on persistent stores.
 	SyncWrites bool
+	// Metrics is the telemetry registry the controller records into.
+	// Nil creates a private registry (so embedded controllers and tests
+	// never share counters); daemons pass telemetry.Default().
+	Metrics *telemetry.Registry
+	// SpanCapacity bounds the in-process span recorder (0 means
+	// telemetry.DefaultSpanCapacity).
+	SpanCapacity int
 }
 
-// Stats aggregates controller counters.
+// Stats aggregates controller counters. It is a compatibility view over
+// the telemetry registry (the single source of truth, see Metrics).
 type Stats struct {
 	Published           uint64 // notifications accepted
 	Delivered           uint64 // notifications handed to subscriber handlers
@@ -80,6 +88,46 @@ type Stats struct {
 	DetailPermits       uint64 // detail requests permitted
 	DetailDenials       uint64 // detail requests denied
 	Inquiries           uint64 // index inquiries answered
+}
+
+// instruments are the controller's registered telemetry metrics.
+type instruments struct {
+	published    *telemetry.Counter // css_publish_total
+	delivered    *telemetry.Counter // css_deliveries_total
+	consentDrops *telemetry.Counter // css_consent_drops_total
+	subDenials   *telemetry.Counter // css_subscription_denials_total
+	decisions    *telemetry.Counter // css_detail_decisions_total{outcome}
+	inquiries    *telemetry.Counter // css_index_inquiries_total
+
+	publishSeconds  *telemetry.Histogram // css_publish_seconds
+	deliverySeconds *telemetry.Histogram // css_delivery_seconds
+	detailSeconds   *telemetry.Histogram // css_detail_request_seconds{outcome}
+	stageSeconds    *telemetry.Histogram // css_stage_seconds{stage}
+}
+
+func newInstruments(reg *telemetry.Registry) instruments {
+	return instruments{
+		published: reg.Counter("css_publish_total",
+			"Notifications accepted by the data controller."),
+		delivered: reg.Counter("css_deliveries_total",
+			"Notifications handed to subscriber handlers."),
+		consentDrops: reg.Counter("css_consent_drops_total",
+			"Deliveries suppressed by consent or revoked authorization."),
+		subDenials: reg.Counter("css_subscription_denials_total",
+			"Subscription requests rejected (no authorizing policy)."),
+		decisions: reg.Counter("css_detail_decisions_total",
+			"Detail-request decisions, by outcome (permit/deny).", "outcome"),
+		inquiries: reg.Counter("css_index_inquiries_total",
+			"Events-index inquiries answered."),
+		publishSeconds: reg.Histogram("css_publish_seconds",
+			"Publish latency (validate, index, audit, route) in seconds."),
+		deliverySeconds: reg.Histogram("css_delivery_seconds",
+			"Per-subscriber delivery latency (consent check + handler) in seconds."),
+		detailSeconds: reg.Histogram("css_detail_request_seconds",
+			"Detail-request latency in seconds, by outcome.", "outcome"),
+		stageSeconds: reg.Histogram("css_stage_seconds",
+			"Per-stage latency of traced flows in seconds, by stage.", "stage"),
+	}
 }
 
 // Controller is the data controller. Safe for concurrent use.
@@ -99,16 +147,15 @@ type Controller struct {
 
 	persist persistence
 
+	tel   *telemetry.Registry
+	spans *telemetry.SpanLog
+	met   instruments
+
 	mu     sync.Mutex
 	subSeq int
 	subs   map[string]*Subscription
 	closed bool
 	stores []*store.Store
-	stats  struct {
-		published, delivered, consentDrops atomic.Uint64
-		subDenials, permits, denials       atomic.Uint64
-		inquiries                          atomic.Uint64
-	}
 }
 
 // New creates a controller.
@@ -121,6 +168,12 @@ func New(cfg Config) (*Controller, error) {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	c.tel = cfg.Metrics
+	if c.tel == nil {
+		c.tel = telemetry.NewRegistry()
+	}
+	c.spans = telemetry.NewSpanLog(cfg.SpanCapacity)
+	c.met = newInstruments(c.tel)
 
 	if !cfg.PlaintextIndex {
 		var err error
@@ -178,6 +231,7 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.enf.SetObserver(c.recordStage)
 	c.brk = bus.New(cfg.Bus)
 	c.pending = newPendingBook()
 
@@ -354,19 +408,44 @@ func (c *Controller) ConsentDirectives(personID string) []consent.Directive {
 	return c.con.Directives(personID)
 }
 
-// --- stats ------------------------------------------------------------------
+// --- stats & telemetry ------------------------------------------------------
 
-// Stats returns a snapshot of the controller counters.
+// Stats returns a snapshot of the controller counters. It is a
+// compatibility view computed from the telemetry registry.
 func (c *Controller) Stats() Stats {
 	return Stats{
-		Published:           c.stats.published.Load(),
-		Delivered:           c.stats.delivered.Load(),
-		ConsentDrops:        c.stats.consentDrops.Load(),
-		SubscriptionDenials: c.stats.subDenials.Load(),
-		DetailPermits:       c.stats.permits.Load(),
-		DetailDenials:       c.stats.denials.Load(),
-		Inquiries:           c.stats.inquiries.Load(),
+		Published:           c.met.published.Value(),
+		Delivered:           c.met.delivered.Value(),
+		ConsentDrops:        c.met.consentDrops.Value(),
+		SubscriptionDenials: c.met.subDenials.Value(),
+		DetailPermits:       c.met.decisions.Value("permit"),
+		DetailDenials:       c.met.decisions.Value("deny"),
+		Inquiries:           c.met.inquiries.Value(),
 	}
+}
+
+// Metrics exposes the controller's telemetry registry (the serving layer
+// mounts it at /metrics).
+func (c *Controller) Metrics() *telemetry.Registry { return c.tel }
+
+// Spans exposes the in-process span recorder with the per-stage timings
+// of recent traced flows.
+func (c *Controller) Spans() *telemetry.SpanLog { return c.spans }
+
+// recordStage feeds one stage timing to both the span ring and the
+// css_stage_seconds histogram; it doubles as the enforcer's observer.
+func (c *Controller) recordStage(trace, stage string, start time.Time, d time.Duration) {
+	c.spans.Record(trace, stage, start, d)
+	c.met.stageSeconds.ObserveDuration(d, stage)
+}
+
+// Healthy reports whether the controller can serve traffic; it backs the
+// /healthz endpoint.
+func (c *Controller) Healthy() error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Flush waits until the bus drained all pending deliveries.

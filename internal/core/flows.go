@@ -10,6 +10,7 @@ import (
 	"repro/internal/enforcer"
 	"repro/internal/event"
 	"repro/internal/index"
+	"repro/internal/telemetry"
 )
 
 // --- publish ---------------------------------------------------------------
@@ -41,35 +42,55 @@ func (c *Controller) Publish(n *event.Notification) (event.GlobalID, error) {
 		return "", fmt.Errorf("%w: %s is owned by %s", ErrNotClassOwner, n.Class, decl.Producer)
 	}
 
+	// Mint the flow's trace ID unless the producer supplied one; it rides
+	// on the stamped notification through the bus and onto every audit
+	// record and span of the flow.
+	trace := n.Trace
+	if trace == "" {
+		trace = telemetry.NewTraceID()
+	}
+	start := time.Now()
+
 	gid, err := c.ids.Assign(n.Producer, n.SourceID, n.Class)
 	if err != nil {
 		return "", err
 	}
 	stamped := n.Clone()
 	stamped.ID = gid
+	stamped.Trace = trace
 	stamped.PublishedAt = c.now()
+	putStart := time.Now()
 	if err := c.idx.Put(stamped); err != nil {
 		return "", err
 	}
+	c.recordStage(trace, "index.put", putStart, time.Since(putStart))
+	audStart := time.Now()
 	if _, err := c.aud.Append(audit.Record{
 		Kind:    audit.KindPublish,
 		Actor:   string(n.Producer),
 		EventID: gid,
 		Class:   n.Class,
 		Outcome: "ok",
+		Trace:   trace,
 	}); err != nil {
 		return "", err
 	}
+	c.recordStage(trace, "audit.append", audStart, time.Since(audStart))
 	// Route the redacted notification. Per-subscriber consent is applied
 	// at delivery time by each subscription's handler wrapper.
 	wire, err := event.EncodeNotification(stamped.Redact())
 	if err != nil {
 		return "", err
 	}
+	busStart := time.Now()
 	if _, err := c.brk.Publish(classTopic(n.Class), wire); err != nil {
 		return "", err
 	}
-	c.stats.published.Add(1)
+	c.recordStage(trace, "bus.publish", busStart, time.Since(busStart))
+	c.met.published.Inc()
+	elapsed := time.Since(start)
+	c.met.publishSeconds.ObserveDuration(elapsed)
+	telemetry.LogIfSlow("publish", trace, elapsed)
 	return gid, nil
 }
 
@@ -123,11 +144,12 @@ func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler
 	if _, err := c.reg.Class(class); err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownClass, class)
 	}
+	trace := telemetry.NewTraceID()
 	if !c.enf.Repository().AllowsSubscription(actor, class, c.now()) {
-		c.stats.subDenials.Add(1)
+		c.met.subDenials.Inc()
 		c.aud.Append(audit.Record{
 			Kind: audit.KindSubscribe, Actor: string(actor), Class: class, Outcome: "deny",
-			Note: "no authorizing policy",
+			Note: "no authorizing policy", Trace: trace,
 		})
 		// Notify the producer of the pending access request (§5).
 		c.pending.note(actor, class, "", c.now())
@@ -161,28 +183,36 @@ func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler
 	c.mu.Unlock()
 	c.aud.Append(audit.Record{
 		Kind: audit.KindSubscribe, Actor: string(actor), Class: class, Outcome: "permit",
+		Trace: trace,
 	})
 	return sub, nil
 }
 
-// deliver applies the per-delivery checks and invokes the handler.
+// deliver applies the per-delivery checks and invokes the handler. The
+// notification carries the trace minted at publish time, so the delivery
+// span and any consent suppression correlate back to the publication.
 func (c *Controller) deliver(actor event.Actor, class event.ClassID, h Handler, body []byte) error {
 	n, err := event.DecodeNotification(body)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	// Consent: purpose-agnostic routing check.
 	if !c.con.Allows(n.PersonID, class, actor, "") {
-		c.stats.consentDrops.Add(1)
+		c.met.consentDrops.Inc()
 		return nil // suppressed, not an error (no redelivery)
 	}
 	// Authorization may have been revoked since subscription time.
 	if !c.enf.Repository().AllowsSubscription(actor, class, c.now()) {
-		c.stats.consentDrops.Add(1)
+		c.met.consentDrops.Inc()
 		return nil
 	}
-	c.stats.delivered.Add(1)
 	h(n)
+	c.met.delivered.Inc()
+	elapsed := time.Since(start)
+	c.met.deliverySeconds.ObserveDuration(elapsed)
+	c.recordStage(n.Trace, "bus.deliver", start, elapsed)
+	telemetry.LogIfSlow("deliver "+string(actor), n.Trace, elapsed)
 	return nil
 }
 
@@ -202,12 +232,26 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 	if !c.reg.HasConsumer(r.Requester) {
 		return nil, fmt.Errorf("%w: %s", ErrNotConsumer, r.Requester)
 	}
-	if r.At.IsZero() {
+	if r.At.IsZero() || r.Trace == "" {
 		// Stamp with the controller clock so simulated time flows into
-		// validity windows.
+		// validity windows, and mint the flow's trace ID unless the
+		// consumer quoted one (typically the trace of the originating
+		// notification, correlating the two phases).
 		rc := *r
-		rc.At = c.now()
+		if rc.At.IsZero() {
+			rc.At = c.now()
+		}
+		if rc.Trace == "" {
+			rc.Trace = telemetry.NewTraceID()
+		}
 		r = &rc
+	}
+	start := time.Now()
+	finish := func(outcome string) {
+		c.met.decisions.Inc(outcome)
+		elapsed := time.Since(start)
+		c.met.detailSeconds.ObserveDuration(elapsed, outcome)
+		telemetry.LogIfSlow("request-details", r.Trace, elapsed)
 	}
 
 	// The notification record gives us the data subject for the consent
@@ -215,22 +259,25 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 	n, err := c.idx.Get(r.EventID)
 	if err != nil {
 		c.auditDetail(r, "deny", "", "unknown event id")
-		c.stats.denials.Add(1)
+		finish("deny")
 		if errors.Is(err, index.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %s", enforcer.ErrUnknownEvent, r.EventID)
 		}
 		return nil, err
 	}
-	if !c.con.Allows(n.PersonID, r.Class, r.Requester, r.Purpose) {
+	conStart := time.Now()
+	allowed := c.con.Allows(n.PersonID, r.Class, r.Requester, r.Purpose)
+	c.recordStage(r.Trace, "consent.check", conStart, time.Since(conStart))
+	if !allowed {
 		c.auditDetail(r, "deny", "", "data subject consent")
-		c.stats.denials.Add(1)
+		finish("deny")
 		return nil, ErrConsentDeny
 	}
 
 	d, out, err := c.enf.GetEventDetails(r)
 	if err != nil {
 		c.auditDetail(r, "deny", out.PolicyID, out.Reason)
-		c.stats.denials.Add(1)
+		finish("deny")
 		if errors.Is(err, enforcer.ErrDenied) {
 			// A policy-gap denial (not consent, not a missing event):
 			// surface it to the producer as a pending access request.
@@ -239,7 +286,7 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 		return nil, err
 	}
 	c.auditDetail(r, "permit", out.PolicyID, "")
-	c.stats.permits.Add(1)
+	finish("permit")
 	return d, nil
 }
 
@@ -253,6 +300,7 @@ func (c *Controller) auditDetail(r *event.DetailRequest, outcome, policyID, note
 		Outcome:  outcome,
 		PolicyID: policyID,
 		Note:     note,
+		Trace:    r.Trace,
 	})
 }
 
@@ -275,10 +323,11 @@ func (c *Controller) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.
 	// Fast-path denial: an inquiry restricted to a class the actor has no
 	// policy for is rejected outright, like a subscription (§5.2: "The
 	// inquiry of the event index is managed in the same way").
+	trace := telemetry.NewTraceID()
 	if q.Class != "" && !c.enf.Repository().AllowsSubscription(actor, q.Class, now) {
 		c.aud.Append(audit.Record{
 			Kind: audit.KindIndexInquiry, Actor: string(actor), Class: q.Class, Outcome: "deny",
-			Note: "no authorizing policy",
+			Note: "no authorizing policy", Trace: trace,
 		})
 		return nil, fmt.Errorf("%w: %s on %s", ErrSubscriptionDeny, actor, q.Class)
 	}
@@ -304,9 +353,9 @@ func (c *Controller) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.
 	}
 	c.aud.Append(audit.Record{
 		Kind: audit.KindIndexInquiry, Actor: string(actor), Class: q.Class, Outcome: "permit",
-		Note: fmt.Sprintf("%d notifications", len(out)),
+		Note: fmt.Sprintf("%d notifications", len(out)), Trace: trace,
 	})
-	c.stats.inquiries.Add(1)
+	c.met.inquiries.Inc()
 	return out, nil
 }
 
@@ -333,9 +382,9 @@ func (c *Controller) InquireOwn(personID string, q index.Inquiry) ([]*event.Noti
 	}
 	c.aud.Append(audit.Record{
 		Kind: audit.KindIndexInquiry, Actor: "citizen:" + personID, Outcome: "permit",
-		Note: fmt.Sprintf("%d own notifications", len(out)),
+		Note: fmt.Sprintf("%d own notifications", len(out)), Trace: telemetry.NewTraceID(),
 	})
-	c.stats.inquiries.Add(1)
+	c.met.inquiries.Inc()
 	return out, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/idmap"
@@ -50,6 +51,20 @@ type DetailSource interface {
 	GetResponse(src event.SourceID, fields []event.FieldName) (*event.Detail, error)
 }
 
+// TracedDetailSource is optionally implemented by detail sources that
+// can propagate the flow's trace/correlation ID to the producer side
+// (e.g. the HTTP gateway client forwards it as the X-Trace-Id header).
+// The enforcer prefers it over plain GetResponse when available.
+type TracedDetailSource interface {
+	GetResponseTraced(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error)
+}
+
+// StageObserver receives the duration of one named enforcement stage of
+// a traced flow ("pdp.decide", "gateway.fetch"). Observers must be fast
+// and must not block; the controller installs one that records spans
+// and latency histograms.
+type StageObserver func(trace, stage string, start time.Time, d time.Duration)
+
 // Outcome describes how a detail request was resolved, for auditing.
 type Outcome struct {
 	// Decision is Permit or Deny.
@@ -74,6 +89,7 @@ type Enforcer struct {
 
 	mu       sync.RWMutex
 	gateways map[event.ProducerID]DetailSource
+	observe  StageObserver
 }
 
 // New creates an enforcer around a policy repository (the PAP's store)
@@ -92,6 +108,23 @@ func New(repo *policy.Repository, ids *idmap.Map) (*Enforcer, error) {
 		ids:      ids,
 		gateways: make(map[event.ProducerID]DetailSource),
 	}, nil
+}
+
+// SetObserver installs the stage observer (nil disables observation).
+func (e *Enforcer) SetObserver(o StageObserver) {
+	e.mu.Lock()
+	e.observe = o
+	e.mu.Unlock()
+}
+
+// observeStage reports a finished stage to the observer, if any.
+func (e *Enforcer) observeStage(trace, stage string, start time.Time) {
+	e.mu.RLock()
+	o := e.observe
+	e.mu.RUnlock()
+	if o != nil {
+		o(trace, stage, start, time.Since(start))
+	}
 }
 
 // AttachGateway registers the detail source of a producer.
@@ -174,14 +207,17 @@ func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outco
 
 	// Step 2 — policy matching phase: retrieve THE matching policy
 	// (Definition 3, with the most-specific-actor/newest tie-break).
+	pdpStart := time.Now()
 	matched, err := e.repo.Match(r)
 	if err != nil {
+		e.observeStage(r.Trace, "pdp.decide", pdpStart)
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
 			Reason: "no matching policy"}
 		return nil, out, ErrDenied
 	}
 	// Step 3 — evaluate the matched policy in its XACML form.
 	resp := e.pdp.EvaluateOne(string(matched.ID), xacml.CompileRequest(r))
+	e.observeStage(r.Trace, "pdp.decide", pdpStart)
 	if resp.Decision != xacml.Permit {
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
 			PolicyID: resp.PolicyID, Reason: "matched policy did not permit (" + resp.Decision.String() + ")"}
@@ -201,7 +237,14 @@ func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outco
 			PolicyID: resp.PolicyID, Reason: err.Error()}
 		return nil, out, err
 	}
-	d, err := g.GetResponse(m.Source, fields)
+	fetchStart := time.Now()
+	var d *event.Detail
+	if tg, ok := g.(TracedDetailSource); ok && r.Trace != "" {
+		d, err = tg.GetResponseTraced(r.Trace, m.Source, fields)
+	} else {
+		d, err = g.GetResponse(m.Source, fields)
+	}
+	e.observeStage(r.Trace, "gateway.fetch", fetchStart)
 	if err != nil {
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
 			PolicyID: resp.PolicyID, Reason: "gateway: " + err.Error()}

@@ -21,6 +21,12 @@ type DetailRequest struct {
 	// At is the logical time of the request; the zero value means "now".
 	// Policies with validity windows are evaluated against this instant.
 	At time.Time `xml:"at,omitempty"`
+	// Trace is the correlation identifier of the request flow. Consumers
+	// that quote the trace of the originating notification correlate the
+	// two phases of the interaction; with an empty trace the controller
+	// mints a fresh one at resolution time. Either way every audit
+	// record, PDP span and gateway fetch of the request carries it.
+	Trace string `xml:"trace,attr,omitempty"`
 }
 
 // Validate checks the structural integrity of a detail request.

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying the trace/correlation ID
+// across process boundaries: clients may set it; servers echo it on
+// responses and mint a fresh ID when absent.
+const TraceHeader = "X-Trace-Id"
+
+// HTTPMetrics are the instruments the middleware records into.
+type HTTPMetrics struct {
+	requests *Counter   // route, method, code
+	latency  *Histogram // route
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP server metrics on reg under the
+// given subsystem prefix (e.g. "css" → css_http_requests_total).
+func NewHTTPMetrics(reg *Registry, subsystem string) *HTTPMetrics {
+	if subsystem == "" {
+		subsystem = "css"
+	}
+	return &HTTPMetrics{
+		requests: reg.Counter(subsystem+"_http_requests_total",
+			"HTTP requests served, by route, method and status code.",
+			"route", "method", "code"),
+		latency: reg.Histogram(subsystem+"_http_request_seconds",
+			"HTTP request latency in seconds, by route.", "route"),
+		inflight: reg.Gauge(subsystem+"_http_inflight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusWriter captures the response status for the metrics labels.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Middleware wraps next with request instrumentation: per-route latency
+// and status counters, in-flight gauge, trace ID extraction/minting
+// (request context + response header), and the slow-request log.
+func Middleware(m *HTTPMetrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(TraceHeader)
+		if trace == "" {
+			trace = NewTraceID()
+		}
+		w.Header().Set(TraceHeader, trace)
+		r = r.WithContext(WithTrace(r.Context(), trace))
+
+		sw := &statusWriter{ResponseWriter: w}
+		m.inflight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		m.inflight.Add(-1)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := r.URL.Path
+		m.requests.Inc(route, r.Method, itoa(sw.status))
+		m.latency.ObserveDuration(elapsed, route)
+		LogIfSlow("http "+r.Method+" "+route, trace, elapsed)
+	})
+}
+
+// itoa formats a 3-digit HTTP status without fmt.
+func itoa(n int) string {
+	if n < 0 || n > 999 {
+		n = 0
+	}
+	return string([]byte{byte('0' + n/100), byte('0' + n/10%10), byte('0' + n%10)})
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}
+
+// HealthzHandler serves a liveness/readiness probe: 200 "ok" while
+// check returns nil, 503 with the error otherwise. A nil check is
+// always healthy.
+func HealthzHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, "unhealthy: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/. Profiling is opt-in per binary (-pprof): the endpoints
+// expose stacks and heap contents, so they must never be reachable on a
+// deployment's public interface.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

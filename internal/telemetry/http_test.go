@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareRecordsRouteStatusLatency(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "css")
+	h := Middleware(m, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(http.StatusForbidden)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL + "/ws/publish"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL + "/ws/publish"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL + "/boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.requests.Value("/ws/publish", "GET", "200"); got != 2 {
+		t.Errorf("requests{/ws/publish,GET,200} = %d, want 2", got)
+	}
+	if got := m.requests.Value("/boom", "GET", "403"); got != 1 {
+		t.Errorf("requests{/boom,GET,403} = %d, want 1", got)
+	}
+	if got := m.latency.Count("/ws/publish"); got != 2 {
+		t.Errorf("latency count = %d, want 2", got)
+	}
+	out := expose(t, reg)
+	for _, want := range []string{
+		`css_http_requests_total{route="/boom",method="GET",code="403"} 1`,
+		`css_http_requests_total{route="/ws/publish",method="GET",code="200"} 2`,
+		`css_http_request_seconds_count{route="/ws/publish"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMiddlewareTraceHeader(t *testing.T) {
+	var seen string
+	h := Middleware(NewHTTPMetrics(NewRegistry(), "css"),
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			seen = TraceFrom(r.Context())
+		}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Without a header the middleware mints one and echoes it back.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted := resp.Header.Get(TraceHeader)
+	if minted == "" || minted != seen {
+		t.Fatalf("minted trace %q, handler saw %q", minted, seen)
+	}
+
+	// A caller-supplied header is honored verbatim.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set(TraceHeader, "cafebabe00000001")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(TraceHeader); got != "cafebabe00000001" {
+		t.Fatalf("echoed trace = %q", got)
+	}
+	if seen != "cafebabe00000001" {
+		t.Fatalf("handler saw %q", seen)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("css_publish_total", "P.").Inc()
+	rec := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "css_publish_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthzHandler(func() error { return nil }).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthy: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	HealthzHandler(func() error { return errors.New("closed") }).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "closed") {
+		t.Fatalf("unhealthy: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRegisterPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof index status = %d", rec.Code)
+	}
+}

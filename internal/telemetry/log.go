@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// The package-level logger defaults to text slog on stderr at Info.
+// Daemon binaries reconfigure it at startup (SetLogger); libraries pull
+// it through Logger so the whole process logs one way.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// Logger returns the process logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process logger (nil restores the default).
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	logger.Store(l)
+}
+
+// NewLogger builds a slog.Logger writing to stderr; json selects the
+// JSON handler (for log shippers) over the human-readable text one.
+func NewLogger(json bool, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
+// DefaultSlowThreshold is the latency above which LogIfSlow emits a
+// warning for an operation.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// slowThreshold is process-wide and adjustable (SetSlowThreshold).
+var slowThreshold atomic.Int64
+
+func init() { slowThreshold.Store(int64(DefaultSlowThreshold)) }
+
+// SetSlowThreshold adjusts the slow-request threshold (<= 0 restores
+// the default).
+func SetSlowThreshold(d time.Duration) {
+	if d <= 0 {
+		d = DefaultSlowThreshold
+	}
+	slowThreshold.Store(int64(d))
+}
+
+// SlowThreshold returns the current slow-request threshold.
+func SlowThreshold() time.Duration { return time.Duration(slowThreshold.Load()) }
+
+// LogIfSlow emits a structured warning when an operation exceeded the
+// slow threshold, carrying the trace ID so the operator can pull the
+// flow's spans and audit records.
+func LogIfSlow(op, trace string, d time.Duration) {
+	if d < SlowThreshold() {
+		return
+	}
+	Logger().Warn("slow operation", "op", op, "trace", trace, "duration", d.String())
+}

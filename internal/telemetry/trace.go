@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NewTraceID mints a fresh correlation identifier: 16 hex characters of
+// cryptographic randomness. Trace IDs are minted once per logical flow —
+// at Controller.Publish for the notification phase and at RequestDetails
+// for the detail phase (the consumer may carry the notification's trace
+// into its request to correlate the two) — and travel on the wire
+// messages, the audit records, and the X-Trace-Id HTTP header.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively fatal elsewhere; degrade to a
+		// process-unique sequence rather than tracing nothing.
+		return "seq-" + hex.EncodeToString(fallbackSeq())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackCounter atomic.Uint64
+
+func fallbackSeq() []byte {
+	n := fallbackCounter.Add(1)
+	return []byte{byte(n >> 40), byte(n >> 32), byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// ctxKey is the private context key type for trace IDs.
+type ctxKey struct{}
+
+// WithTrace returns a context carrying the trace ID.
+func WithTrace(ctx context.Context, trace string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, trace)
+}
+
+// TraceFrom extracts the trace ID from a context ("" if absent).
+func TraceFrom(ctx context.Context) string {
+	s, _ := ctx.Value(ctxKey{}).(string)
+	return s
+}
+
+// Span is one timed stage of a traced flow, e.g. the PDP evaluation or
+// the gateway fetch inside a request for details.
+type Span struct {
+	// Trace correlates the span to its flow.
+	Trace string
+	// Stage names the pipeline stage ("pdp.decide", "gateway.fetch", ...).
+	Stage string
+	// Start is when the stage began.
+	Start time.Time
+	// Duration is how long the stage took.
+	Duration time.Duration
+}
+
+// SpanLog is a bounded in-process recorder of recent spans. It is a
+// diagnosis aid, not a distributed tracer: the newest spans win, old
+// ones are overwritten. Safe for concurrent use.
+type SpanLog struct {
+	mu   sync.Mutex
+	ring []Span
+	next uint64 // total spans recorded; next%len(ring) is the write slot
+}
+
+// DefaultSpanCapacity bounds the default span ring.
+const DefaultSpanCapacity = 4096
+
+// NewSpanLog creates a span log keeping the latest capacity spans
+// (DefaultSpanCapacity when capacity <= 0).
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanLog{ring: make([]Span, capacity)}
+}
+
+// Record stores one finished span.
+func (l *SpanLog) Record(trace, stage string, start time.Time, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next%uint64(len(l.ring))] = Span{Trace: trace, Stage: stage, Start: start, Duration: d}
+	l.next++
+	l.mu.Unlock()
+}
+
+// Time runs fn and records its duration under (trace, stage).
+func (l *SpanLog) Time(trace, stage string, fn func()) {
+	start := time.Now()
+	fn()
+	l.Record(trace, stage, start, time.Since(start))
+}
+
+// Len returns how many spans are currently retained.
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next < uint64(len(l.ring)) {
+		return int(l.next)
+	}
+	return len(l.ring)
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (l *SpanLog) Snapshot() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := uint64(len(l.ring))
+	if l.next <= n {
+		return append([]Span(nil), l.ring[:l.next]...)
+	}
+	out := make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, l.ring[(l.next+i)%n])
+	}
+	return out
+}
+
+// ByTrace returns the retained spans of one trace, oldest first.
+func (l *SpanLog) ByTrace(trace string) []Span {
+	var out []Span
+	for _, s := range l.Snapshot() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q is not 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceFrom(ctx); got != "" {
+		t.Fatalf("TraceFrom(empty) = %q, want empty", got)
+	}
+	ctx = WithTrace(ctx, "abc123")
+	if got := TraceFrom(ctx); got != "abc123" {
+		t.Fatalf("TraceFrom = %q, want abc123", got)
+	}
+}
+
+func TestSpanLogRingAndByTrace(t *testing.T) {
+	l := NewSpanLog(4)
+	start := time.Date(2010, 6, 1, 9, 0, 0, 0, time.UTC)
+	l.Record("t1", "index.put", start, time.Millisecond)
+	l.Record("t1", "bus.publish", start, 2*time.Millisecond)
+	l.Record("t2", "pdp.decide", start, 3*time.Millisecond)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	spans := l.ByTrace("t1")
+	if len(spans) != 2 || spans[0].Stage != "index.put" || spans[1].Stage != "bus.publish" {
+		t.Fatalf("ByTrace(t1) = %+v", spans)
+	}
+
+	// Overflow: newest 4 win, oldest first in Snapshot.
+	l.Record("t3", "a", start, 0)
+	l.Record("t4", "b", start, 0)
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	if snap[0].Trace != "t1" || snap[0].Stage != "bus.publish" {
+		t.Fatalf("oldest retained span = %+v, want t1/bus.publish", snap[0])
+	}
+	if snap[3].Trace != "t4" {
+		t.Fatalf("newest span = %+v, want t4", snap[3])
+	}
+}
+
+func TestSpanLogTime(t *testing.T) {
+	l := NewSpanLog(8)
+	l.Time("t", "stage", func() { time.Sleep(time.Millisecond) })
+	spans := l.ByTrace("t")
+	if len(spans) != 1 || spans[0].Duration < time.Millisecond {
+		t.Fatalf("timed span = %+v", spans)
+	}
+}
+
+func TestNilSpanLogRecordIsNoop(t *testing.T) {
+	var l *SpanLog
+	l.Record("t", "stage", time.Now(), 0) // must not panic
+}

@@ -11,18 +11,27 @@ import (
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/identity"
+	"repro/internal/telemetry"
 )
 
 // GatewayServer exposes a local cooperation gateway as a web service so
 // the data controller can reach it for Algorithm 2:
 //
 //	POST /gw/get-response — getResponseRequest → privacy-aware detail XML
+//	GET  /metrics         — telemetry registry, Prometheus text format
+//	GET  /healthz         — liveness probe
+//
+// Requests pass the telemetry middleware (per-route latency/status
+// metrics, X-Trace-Id propagation), so a controller-side detail request
+// and the gateway-side filtering it triggered share one trace ID.
 //
 // Only the filtering endpoint is remote; detail persistence stays a local
 // concern of the producer's source system.
 type GatewayServer struct {
-	gw  *gateway.Gateway
-	mux *http.ServeMux
+	gw      *gateway.Gateway
+	mux     *http.ServeMux
+	handler http.Handler
+	reg     *telemetry.Registry
 	// auth, when set, restricts the endpoints: get-response to bearers
 	// covering controllerActor (the data controller), persist to bearers
 	// covering the owning producer.
@@ -62,13 +71,26 @@ func (s *GatewayServer) authorize(r *http.Request, required event.Actor) error {
 	return nil
 }
 
-// NewGatewayServer wraps a gateway.
+// NewGatewayServer wraps a gateway, recording telemetry into a private
+// registry (Metrics exposes it; the daemon shares telemetry.Default()
+// by constructing with NewGatewayServerWithRegistry).
 func NewGatewayServer(gw *gateway.Gateway) *GatewayServer {
-	s := &GatewayServer{gw: gw, mux: http.NewServeMux()}
+	return NewGatewayServerWithRegistry(gw, telemetry.NewRegistry())
+}
+
+// NewGatewayServerWithRegistry wraps a gateway recording into reg.
+func NewGatewayServerWithRegistry(gw *gateway.Gateway, reg *telemetry.Registry) *GatewayServer {
+	s := &GatewayServer{gw: gw, mux: http.NewServeMux(), reg: reg}
 	s.mux.HandleFunc("POST /gw/get-response", s.handleGetResponse)
 	s.mux.HandleFunc("POST /gw/persist", s.handlePersist)
+	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(reg))
+	s.mux.Handle("GET /healthz", telemetry.HealthzHandler(nil))
+	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(reg, "css_gateway"), s.mux)
 	return s
 }
+
+// Metrics exposes the server's telemetry registry.
+func (s *GatewayServer) Metrics() *telemetry.Registry { return s.reg }
 
 // handlePersist lets the producer's source system hand a full detail
 // message to the gateway over HTTP. In a deployment this endpoint faces
@@ -92,7 +114,7 @@ func (s *GatewayServer) handlePersist(w http.ResponseWriter, r *http.Request) {
 
 // ServeHTTP implements http.Handler.
 func (s *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *GatewayServer) handleGetResponse(w http.ResponseWriter, r *http.Request) {
@@ -130,8 +152,8 @@ func (g *RemoteGateway) WithToken(token string) *RemoteGateway {
 	return &cp
 }
 
-// postXML sends an XML body with the optional bearer token.
-func (g *RemoteGateway) postXML(path string, body []byte) (*http.Response, error) {
+// postXML sends an XML body with the optional bearer token and trace ID.
+func (g *RemoteGateway) postXML(path, trace string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodPost, g.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("transport: gateway request: %w", err)
@@ -139,6 +161,9 @@ func (g *RemoteGateway) postXML(path string, body []byte) (*http.Response, error
 	req.Header.Set("Content-Type", "application/xml")
 	if g.token != "" {
 		req.Header.Set("Authorization", "Bearer "+g.token)
+	}
+	if trace != "" {
+		req.Header.Set(telemetry.TraceHeader, trace)
 	}
 	resp, err := g.http.Do(req)
 	if err != nil {
@@ -162,7 +187,7 @@ func (g *RemoteGateway) Persist(d *event.Detail) error {
 	if err != nil {
 		return err
 	}
-	resp, err := g.postXML("/gw/persist", body)
+	resp, err := g.postXML("/gw/persist", "", body)
 	if err != nil {
 		return err
 	}
@@ -171,11 +196,19 @@ func (g *RemoteGateway) Persist(d *event.Detail) error {
 
 // GetResponse implements enforcer.DetailSource over HTTP.
 func (g *RemoteGateway) GetResponse(src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
+	return g.GetResponseTraced("", src, fields)
+}
+
+// GetResponseTraced implements enforcer.TracedDetailSource: the flow's
+// trace ID crosses the process boundary as the X-Trace-Id header, so the
+// gateway-side metrics and logs of the fetch correlate with the
+// controller-side detail request.
+func (g *RemoteGateway) GetResponseTraced(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
 	body, err := encodeXML(&getResponseRequest{Source: src, Fields: fields})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := g.postXML("/gw/get-response", body)
+	resp, err := g.postXML("/gw/get-response", trace, body)
 	if err != nil {
 		return nil, err
 	}

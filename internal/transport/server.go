@@ -16,6 +16,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/policy"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 )
 
 // Server exposes a data controller as web services:
@@ -30,19 +31,31 @@ import (
 //	GET  /ws/pending     — ?producer=ID → pending access requests
 //	GET  /ws/policies    — ?producer=ID → the producer's policy corpus
 //	GET  /ws/stats       — operational counters
-//	GET  /ws/audit       — ?actor=&kind=&outcome=&event=&class=&limit= →
+//	GET  /ws/audit       — ?actor=&kind=&outcome=&event=&class=&trace=&limit= →
 //	                       audit records (guarantor role when auth is on)
+//	GET  /metrics        — telemetry registry, Prometheus text format
+//	GET  /healthz        — liveness probe (200 ok / 503 when closed)
+//
+// Every request passes the telemetry middleware: per-route latency and
+// status metrics, and an X-Trace-Id correlation header (minted when the
+// caller sent none) that flows into the controller's audit records.
+// /metrics and /healthz are served without authentication — they carry
+// operational counters only, never personal data.
 //
 // Notifications are delivered to subscribers by POSTing the notification
 // XML to the callback URL supplied at subscription time; a non-2xx
 // response triggers the bus's redelivery.
 type Server struct {
-	ctrl *core.Controller
-	mux  *http.ServeMux
+	ctrl    *core.Controller
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the telemetry middleware
 	// httpClient performs the callback deliveries.
 	httpClient *http.Client
 	// auth, when set via RequireAuth, authenticates every call.
 	auth *identity.Authority
+	// deliveriesFailed counts callback deliveries that did not reach the
+	// subscriber (css_deliveries_failed_total{reason}).
+	deliveriesFailed *telemetry.Counter
 }
 
 // NewServer wraps a controller.
@@ -51,6 +64,9 @@ func NewServer(ctrl *core.Controller) *Server {
 		ctrl:       ctrl,
 		mux:        http.NewServeMux(),
 		httpClient: &http.Client{Timeout: 10 * time.Second},
+		deliveriesFailed: ctrl.Metrics().Counter("css_deliveries_failed_total",
+			"Callback deliveries that failed to reach the subscriber, by reason.",
+			"reason"),
 	}
 	s.mux.HandleFunc("POST /ws/publish", s.handlePublish)
 	s.mux.HandleFunc("POST /ws/subscribe", s.handleSubscribe)
@@ -63,6 +79,9 @@ func NewServer(ctrl *core.Controller) *Server {
 	s.mux.HandleFunc("GET /ws/stats", s.handleStats)
 	s.mux.HandleFunc("GET /ws/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /ws/policies", s.handlePolicies)
+	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(ctrl.Metrics()))
+	s.mux.Handle("GET /healthz", telemetry.HealthzHandler(ctrl.Healthy))
+	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(ctrl.Metrics(), "css"), s.mux)
 	return s
 }
 
@@ -73,7 +92,7 @@ const GuarantorRole = "privacy-guarantor"
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
@@ -85,6 +104,11 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if err := s.authorizeActor(r, event.Actor(n.Producer)); err != nil {
 		writeAuthFault(w, err)
 		return
+	}
+	if n.Trace == "" {
+		// Adopt the HTTP request's correlation ID (minted by the
+		// middleware when the producer sent none) as the flow trace.
+		n.Trace = telemetry.TraceFrom(r.Context())
 	}
 	gid, err := s.ctrl.Publish(&n)
 	if err != nil {
@@ -109,8 +133,9 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	callback := req.Callback
+	subscriber := string(req.Actor)
 	sub, err := s.ctrl.Subscribe(req.Actor, req.Class, func(n *event.Notification) {
-		s.deliverCallback(callback, n)
+		s.deliverCallback(callback, subscriber, n)
 	})
 	if err != nil {
 		writeFault(w, err)
@@ -119,22 +144,41 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	writeXML(w, http.StatusOK, &subscribeResponse{ID: sub.ID()})
 }
 
-// deliverCallback POSTs the notification to the subscriber's endpoint.
-// Delivery errors are swallowed here: the controller-side handler
-// signature is fire-and-forget, and transient subscriber outages are a
-// consumer-side concern in this binding (the paper's temporal decoupling
-// is provided by the events index, which the consumer can inquire to
-// catch up).
-func (s *Server) deliverCallback(url string, n *event.Notification) {
+// deliverCallback POSTs the notification to the subscriber's endpoint,
+// forwarding the flow's trace ID in the X-Trace-Id header. The
+// controller-side handler signature is fire-and-forget — the paper's
+// temporal decoupling is provided by the events index, which the
+// consumer can inquire to catch up — but a failed delivery is never
+// silent: it is logged with the trace ID and counted in
+// css_deliveries_failed_total so operators see subscriber outages.
+func (s *Server) deliverCallback(url, subscriber string, n *event.Notification) {
+	fail := func(reason string, err error) {
+		s.deliveriesFailed.Inc(reason)
+		telemetry.Logger().Error("callback delivery failed",
+			"trace", n.Trace, "event", string(n.ID), "class", string(n.Class),
+			"subscriber", subscriber, "callback", url, "reason", reason, "err", err)
+	}
 	body, err := event.EncodeNotification(n)
 	if err != nil {
+		fail("encode", err)
 		return
 	}
-	resp, err := s.httpClient.Post(url, "application/xml", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
+		fail("request", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	req.Header.Set(telemetry.TraceHeader, n.Trace)
+	resp, err := s.httpClient.Do(req)
+	if err != nil {
+		fail("connect", err)
 		return
 	}
 	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fail("status", fmt.Errorf("subscriber returned %s", resp.Status))
+	}
 }
 
 func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
@@ -146,6 +190,9 @@ func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
 	if err := s.authorizeActor(r, req.Requester); err != nil {
 		writeAuthFault(w, err)
 		return
+	}
+	if req.Trace == "" {
+		req.Trace = telemetry.TraceFrom(r.Context())
 	}
 	d, err := s.ctrl.RequestDetails(&req)
 	if err != nil {
@@ -356,6 +403,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		EventID: event.GlobalID(q.Get("event")),
 		Class:   event.ClassID(q.Get("class")),
 		Outcome: q.Get("outcome"),
+		Trace:   q.Get("trace"),
 		Limit:   limit,
 	})
 	if err != nil {
@@ -369,6 +417,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 			Kind: string(rec.Kind), Actor: rec.Actor,
 			EventID: rec.EventID, Class: rec.Class, Purpose: rec.Purpose,
 			Outcome: rec.Outcome, PolicyID: rec.PolicyID, Note: rec.Note,
+			Trace: rec.Trace,
 		})
 	}
 	writeXML(w, http.StatusOK, &out)
@@ -390,6 +439,7 @@ type auditRecordXML struct {
 	Outcome  string         `xml:"outcome"`
 	PolicyID string         `xml:"policyId,omitempty"`
 	Note     string         `xml:"note,omitempty"`
+	Trace    string         `xml:"trace,omitempty"`
 }
 
 // handlePolicies lists a producer's stored policies (?producer=ID), in

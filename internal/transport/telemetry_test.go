@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+func (r *rig) metrics(t *testing.T) string {
+	t.Helper()
+	resp, err := http.Get(r.ctrlServer.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsEndpointExposesFlowCounters(t *testing.T) {
+	r := newRig(t)
+	r.doctorPolicy(t)
+	gid := r.produce(t, "src-1", "PRS-1")
+	if _, err := r.client.RequestDetails(&event.DetailRequest{
+		Requester: "family-doctor", Class: schema.ClassBloodTest,
+		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.client.RequestDetails(&event.DetailRequest{
+		Requester: "family-doctor", Class: schema.ClassBloodTest,
+		EventID: gid, Purpose: event.PurposeStatisticalAnalysis,
+	}); err == nil {
+		t.Fatal("statistical-analysis purpose should be denied")
+	}
+
+	out := r.metrics(t)
+	for _, want := range []string{
+		"css_publish_total 1",
+		`css_detail_decisions_total{outcome="permit"} 1`,
+		`css_detail_decisions_total{outcome="deny"} 1`,
+		"# TYPE css_publish_seconds histogram",
+		`css_publish_seconds_bucket{le="+Inf"} 1`,
+		`css_detail_request_seconds_count{outcome="permit"} 1`,
+		`css_http_requests_total{route="/ws/publish",method="POST",code="200"} 1`,
+		"# TYPE css_http_request_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	r := newRig(t)
+	resp, err := http.Get(r.ctrlServer.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200", resp.StatusCode)
+	}
+	r.ctrl.Close()
+	resp, err = http.Get(r.ctrlServer.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after Close status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestFailedCallbackDeliveryIsCounted(t *testing.T) {
+	r := newRig(t)
+	r.doctorPolicy(t)
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	if _, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, broken.URL); err != nil {
+		t.Fatal(err)
+	}
+	r.produce(t, "src-1", "PRS-1")
+	if !r.ctrl.Flush(5 * time.Second) {
+		t.Fatal("Flush timed out")
+	}
+	// The async callback POST may still be in flight after Flush returns;
+	// poll the counter rather than racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if strings.Contains(r.metrics(t), `css_deliveries_failed_total{reason="status"} 1`) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("css_deliveries_failed_total never incremented:\n%s", r.metrics(t))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCallbackCarriesTraceHeaderAndAttr(t *testing.T) {
+	r := newRig(t)
+	r.doctorPolicy(t)
+	var mu sync.Mutex
+	var headerTrace string
+	var got *event.Notification
+	receiver := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		n, err := event.DecodeNotification(body)
+		mu.Lock()
+		headerTrace = req.Header.Get(telemetry.TraceHeader)
+		if err == nil {
+			got = n
+		}
+		mu.Unlock()
+	}))
+	defer receiver.Close()
+	if _, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, receiver.URL); err != nil {
+		t.Fatal(err)
+	}
+	r.produce(t, "src-1", "PRS-1")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := got != nil
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got == nil {
+		t.Fatal("callback never delivered")
+	}
+	if len(got.Trace) != 16 {
+		t.Errorf("notification trace attr = %q, want 16 hex chars", got.Trace)
+	}
+	if headerTrace != got.Trace {
+		t.Errorf("X-Trace-Id header = %q, notification trace = %q", headerTrace, got.Trace)
+	}
+}
+
+func TestGatewayServerMetricsAndHealthz(t *testing.T) {
+	r := newRig(t)
+	resp, err := http.Get(r.gwServer.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway /healthz status = %d", resp.StatusCode)
+	}
+	r.produce(t, "src-1", "PRS-1")
+	resp, err = http.Get(r.gwServer.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "css_gateway_http_requests_total") {
+		t.Errorf("gateway /metrics missing http counters:\n%s", body)
+	}
+}
