@@ -1,14 +1,17 @@
 # Development entry points for the CSS reproduction.
 
 GO ?= go
+BENCH_LABEL ?= local
 
-.PHONY: all check build vet test race cover bench bench-quick examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-smoke bench-tables bench-quick examples fuzz clean
 
 all: check
 
-# The default gate: compile, vet+gofmt, unit tests, then the race
-# detector over the whole tree.
-check: build vet test race
+# The default gate: compile, vet+gofmt, unit tests, the race detector
+# over the whole tree, then a 1-iteration smoke of the publish-path
+# benchmarks (catches benchmarks broken by refactors without the cost of
+# a measured run).
+check: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,8 +29,21 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Full experiment tables (EXPERIMENTS.md reference run). ~2 minutes.
+# Publish-path micro-benchmarks (E1* fan-out/routing, E5 index, E6
+# audit, E14 WAL), 5 samples each, appended as a labeled run to
+# BENCH_publish.json: `make bench BENCH_LABEL=after-my-change`.
 bench:
+	$(GO) test -run '^$$' -bench 'E1|E5|E6' -benchmem -count 5 . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	@cat bench.out
+	$(GO) run ./cmd/css-benchlog -label "$(BENCH_LABEL)" -out BENCH_publish.json < bench.out
+	@rm -f bench.out
+
+# One iteration of the same benchmarks, as a compile-and-run smoke.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'E1|E5|E6' -benchtime 1x -benchmem . > /dev/null
+
+# Full experiment tables (EXPERIMENTS.md reference run). ~2 minutes.
+bench-tables:
 	$(GO) run ./cmd/css-bench
 
 bench-quick:

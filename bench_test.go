@@ -8,7 +8,9 @@ package repro_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -85,6 +87,88 @@ func BenchmarkE1_PublishRoute(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	wg.Wait()
+}
+
+// benchPublishSetup provisions a minimal publish pipeline with the given
+// number of subscribers, each counting deliveries on wg.
+func benchPublishSetup(b *testing.B, subs int, wg *sync.WaitGroup) *core.Controller {
+	b.Helper()
+	c, err := core.New(core.Config{DefaultConsent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	if err := c.RegisterProducer("hospital", "H"); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterConsumer("org", "O"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.DefinePolicy(&policy.Policy{
+		Producer: "hospital", Actor: "org", Class: schema.ClassBloodTest,
+		Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < subs; i++ {
+		if _, err := c.Subscribe(event.Actor(fmt.Sprintf("org/d%03d", i)), schema.ClassBloodTest,
+			func(*event.Notification) { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkE1_PublishFanout measures the publish pipeline as the fan-out
+// widens: with the shared-payload bus the routing cost per subscriber is
+// one queue push, not one XML decode.
+func BenchmarkE1_PublishFanout(b *testing.B) {
+	for _, subs := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			var wg sync.WaitGroup
+			c := benchPublishSetup(b, subs, &wg)
+			b.ResetTimer()
+			wg.Add(b.N * subs)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Publish(&event.Notification{
+					SourceID: event.SourceID(fmt.Sprintf("s-%09d", i)), Class: schema.ClassBloodTest,
+					PersonID: "PRS-1", OccurredAt: time.Now(), Producer: "hospital",
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkE1_PublishParallel drives the publish pipeline from 4
+// concurrent producers against 16 subscribers — the bus-saturating shape
+// that exercises the batched index write, the lock-lean audit append and
+// the single-decode fan-out under contention.
+func BenchmarkE1_PublishParallel(b *testing.B) {
+	const subs = 16
+	var wg sync.WaitGroup
+	c := benchPublishSetup(b, subs, &wg)
+	var seq atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			wg.Add(subs)
+			if _, err := c.Publish(&event.Notification{
+				SourceID: event.SourceID(fmt.Sprintf("s-%09d", i)), Class: schema.ClassBloodTest,
+				PersonID: "PRS-1", OccurredAt: time.Now(), Producer: "hospital",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	wg.Wait()
 }
 
@@ -497,6 +581,94 @@ func BenchmarkE14_WALPut(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE14_WALPutConcurrent measures the fsync-mode put under 4
+// concurrent writers: with group commit the writers share fsyncs, so the
+// per-op cost drops well below the sequential fsync figure. Overlapping
+// a blocking fsync with other writers needs OS threads, so the benchmark
+// pins GOMAXPROCS to 4 regardless of the host's core count (on a 1-CPU
+// box the scheduler rarely hands the processor off within one ~200µs
+// fsync, which would serialize the writers and mask the group commit).
+func BenchmarkE14_WALPutConcurrent(b *testing.B) {
+	st, err := store.Open(b.TempDir()+"/bench.wal", store.Options{SyncEvery: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	var seq atomic.Int64
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			if err := st.Put(fmt.Sprintf("k-%09d", i), []byte("a wal record payload")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE14_BatchedWrites contrasts 16 individual puts with one 16-op
+// atomic batch: one lock acquisition and one WAL frame instead of 16.
+func BenchmarkE14_BatchedWrites(b *testing.B) {
+	const group = 16
+	payload := []byte("a wal record payload")
+	b.Run("individual", func(b *testing.B) {
+		st, err := store.Open(b.TempDir()+"/bench.wal", store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < group; j++ {
+				if err := st.Put(fmt.Sprintf("k-%09d-%02d", i, j), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		st, err := store.Open(b.TempDir()+"/bench.wal", store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var batch store.Batch
+			for j := 0; j < group; j++ {
+				batch.Put(fmt.Sprintf("k-%09d-%02d", i, j), payload)
+			}
+			if err := st.Apply(&batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6_AuditAppendParallel measures the hash-chained append from 4
+// concurrent actors: body encoding and hashing run outside the chain
+// mutex, so appends overlap.
+func BenchmarkE6_AuditAppendParallel(b *testing.B) {
+	l, err := audit.Open(store.OpenMemory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := l.Append(audit.Record{
+				Kind: audit.KindDetailRequest, Actor: "doctor",
+				EventID: "evt-1", Class: "c.x", Purpose: "care", Outcome: "permit",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE16_AggregatorObserve measures one accountability aggregation

@@ -1,0 +1,154 @@
+// Command css-benchlog converts `go test -bench` output into a JSON
+// benchmark log. It reads the benchmark output on stdin, aggregates the
+// samples of each benchmark (a -count N run emits N lines per name) and
+// appends one labeled run to the JSON file named by -out, so the file
+// accumulates comparable before/after entries across changes.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'E1|E5|E6' -benchmem -count 5 . | css-benchlog -label after -out BENCH_publish.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is the aggregate of all samples of one benchmark in a run.
+type Bench struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"nsPerOp"`    // mean over samples
+	MinNsPerOp  float64 `json:"minNsPerOp"` // fastest sample
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+}
+
+// Run is one labeled invocation of the benchmark suite.
+type Run struct {
+	Label      string  `json:"label"`
+	Date       string  `json:"date"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Log is the persisted file: an append-only list of runs.
+type Log struct {
+	Runs []Run `json:"runs"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	label := flag.String("label", "local", "label recorded on this run")
+	out := flag.String("out", "BENCH_publish.json", "JSON log file to append to")
+	flag.Parse()
+
+	run, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "css-benchlog:", err)
+		os.Exit(1)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "css-benchlog: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	run.Label = *label
+	run.Date = time.Now().UTC().Format(time.RFC3339)
+
+	var log Log
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &log); err != nil {
+			fmt.Fprintf(os.Stderr, "css-benchlog: %s is not a benchmark log: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	log.Runs = append(log.Runs, *run)
+	data, err := json.MarshalIndent(&log, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "css-benchlog:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "css-benchlog:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("css-benchlog: appended run %q (%d benchmarks) to %s\n",
+		run.Label, len(run.Benchmarks), *out)
+}
+
+// sample is one parsed benchmark output line.
+type sample struct {
+	ns, bytes, allocs float64
+}
+
+func parse(sc *bufio.Scanner) (*Run, error) {
+	run := &Run{}
+	samples := map[string][]sample{}
+	var order []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			run.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(f[0], "")
+		var s sample
+		seen := false
+		// After the name and iteration count come value/unit pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", f[i], line)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				s.ns, seen = v, true
+			case "B/op":
+				s.bytes = v
+			case "allocs/op":
+				s.allocs = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		if _, dup := samples[name]; !dup {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		ss := samples[name]
+		agg := Bench{Name: name, Samples: len(ss), MinNsPerOp: ss[0].ns}
+		for _, s := range ss {
+			agg.NsPerOp += s.ns / float64(len(ss))
+			agg.BytesPerOp += s.bytes / float64(len(ss))
+			agg.AllocsPerOp += s.allocs / float64(len(ss))
+			if s.ns < agg.MinNsPerOp {
+				agg.MinNsPerOp = s.ns
+			}
+		}
+		run.Benchmarks = append(run.Benchmarks, agg)
+	}
+	return run, nil
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -110,26 +111,55 @@ func Open(st *store.Store) (*Log, error) {
 	return l, nil
 }
 
+// recordBody mirrors the descriptive fields of Record — everything
+// except the chain fields (Seq, PrevHash, Hash) — with identical JSON
+// tags, so its encoding can be produced before the chain position is
+// known and spliced into the persisted record under the lock.
+type recordBody struct {
+	At       time.Time      `json:"at"`
+	Kind     Kind           `json:"kind"`
+	Actor    string         `json:"actor"`
+	EventID  event.GlobalID `json:"eventId,omitempty"`
+	Class    event.ClassID  `json:"class,omitempty"`
+	Purpose  event.Purpose  `json:"purpose,omitempty"`
+	Outcome  string         `json:"outcome"`
+	PolicyID string         `json:"policyId,omitempty"`
+	Note     string         `json:"note,omitempty"`
+	Trace    string         `json:"trace,omitempty"`
+}
+
 // Append adds a record to the chain. Seq, PrevHash and Hash are assigned
 // by the log; the caller fills the descriptive fields. The stored record
 // is returned.
+//
+// The expensive work — JSON-encoding the record body and SHA-hashing it
+// — happens before the chain mutex is taken; the lock covers only the
+// seq/prev-hash assignment, a small finalizing hash, the splice of the
+// chain fields into the prebuilt JSON, and the store append (which must
+// stay inside the lock so the persisted order matches the chain order).
 func (l *Log) Append(r Record) (Record, error) {
 	if r.Kind == "" || r.Actor == "" || r.Outcome == "" {
 		return Record{}, errors.New("audit: record missing kind, actor or outcome")
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	r.Seq = l.seq + 1
 	if r.At.IsZero() {
 		r.At = time.Now()
 	}
-	r.PrevHash = l.last
-	r.Hash = hashRecord(&r)
-	data, err := json.Marshal(&r)
+	body, err := json.Marshal(&recordBody{
+		At: r.At, Kind: r.Kind, Actor: r.Actor, EventID: r.EventID,
+		Class: r.Class, Purpose: r.Purpose, Outcome: r.Outcome,
+		PolicyID: r.PolicyID, Note: r.Note, Trace: r.Trace,
+	})
 	if err != nil {
 		return Record{}, fmt.Errorf("audit: encode: %w", err)
 	}
-	if err := l.st.Put(key(r.Seq), data); err != nil {
+	sum := hashBody(&r)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Seq = l.seq + 1
+	r.PrevHash = l.last
+	r.Hash = chainHash(r.Seq, r.PrevHash, sum)
+	if err := l.st.Put(key(r.Seq), spliceChainFields(body, r.Seq, r.PrevHash, r.Hash)); err != nil {
 		return Record{}, err
 	}
 	l.seq = r.Seq
@@ -137,14 +167,50 @@ func (l *Log) Append(r Record) (Record, error) {
 	return r, nil
 }
 
-// hashRecord computes the chained hash over the record's content fields
-// and its PrevHash. The Hash field itself is excluded.
-func hashRecord(r *Record) string {
+// spliceChainFields assembles the persisted JSON from the pre-encoded
+// body and the chain fields assigned under the lock. Seq is a number and
+// the hashes are hex strings (or the genesis constant), so no JSON
+// escaping is needed; unmarshaling into Record is field-order agnostic.
+func spliceChainFields(body []byte, seq uint64, prevHash, hash string) []byte {
+	out := make([]byte, 0, len(body)+len(prevHash)+len(hash)+48)
+	out = append(out, `{"seq":`...)
+	out = strconv.AppendUint(out, seq, 10)
+	out = append(out, ',')
+	out = append(out, body[1:len(body)-1]...) // body fields, braces stripped
+	out = append(out, `,"prevHash":"`...)
+	out = append(out, prevHash...)
+	out = append(out, `","hash":"`...)
+	out = append(out, hash...)
+	out = append(out, `"}`...)
+	return out
+}
+
+// hashBody digests the record's descriptive fields (everything the
+// caller supplies). It needs no chain state, so Append computes it
+// outside the mutex.
+func hashBody(r *Record) [sha256.Size]byte {
 	h := sha256.New()
-	fmt.Fprintf(h, "%d|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s",
-		r.Seq, r.At.UTC().Format(time.RFC3339Nano), r.Kind, r.Actor,
-		r.EventID, r.Class, r.Purpose, r.Outcome, r.PolicyID, r.Note, r.Trace, r.PrevHash)
+	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%s|%s|%s|%s|%s",
+		r.At.UTC().Format(time.RFC3339Nano), r.Kind, r.Actor,
+		r.EventID, r.Class, r.Purpose, r.Outcome, r.PolicyID, r.Note, r.Trace)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// chainHash finalizes a record hash from its chain position, the
+// predecessor hash and the body digest. It is the only hashing done
+// under the chain mutex.
+func chainHash(seq uint64, prevHash string, body [sha256.Size]byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|%s|%x", seq, prevHash, body)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashRecord recomputes the chained hash of a fully-assigned record
+// (used by Verify). The Hash field itself is excluded.
+func hashRecord(r *Record) string {
+	return chainHash(r.Seq, r.PrevHash, hashBody(r))
 }
 
 // key renders a sequence number as a sortable store key.

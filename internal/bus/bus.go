@@ -27,6 +27,10 @@ type Message struct {
 	Seq uint64
 	// Body is the payload.
 	Body []byte
+	// Payload optionally carries the publisher's already-decoded form of
+	// Body (see PublishPayload). All subscriptions of the topic receive
+	// the same Payload value, so it must be treated as immutable.
+	Payload any
 	// PublishedAt is when the broker accepted the message.
 	PublishedAt time.Time
 	// Attempt is the 1-based delivery attempt number, visible to handlers.
@@ -167,6 +171,16 @@ func (b *Broker) Unsubscribe(topic, name string) error {
 // Publish delivers body to every subscription of topic. It never blocks
 // on consumers. The assigned sequence number is returned.
 func (b *Broker) Publish(topic string, body []byte) (uint64, error) {
+	return b.PublishPayload(topic, body, nil)
+}
+
+// PublishPayload is Publish with an already-decoded form of body riding
+// along. The broker fans the one payload value out to every subscription
+// of the topic without copying, so consumers can skip re-decoding the
+// wire bytes; in exchange, everyone downstream must treat it as
+// read-only. The body remains the authoritative wire representation
+// (transports that re-encode or relay use it, not the payload).
+func (b *Broker) PublishPayload(topic string, body []byte, payload any) (uint64, error) {
 	if topic == "" {
 		return 0, errors.New("bus: empty topic")
 	}
@@ -176,7 +190,7 @@ func (b *Broker) Publish(topic string, body []byte) (uint64, error) {
 		return 0, ErrClosed
 	}
 	seq := b.seq.Add(1)
-	m := &Message{Topic: topic, Seq: seq, Body: body, PublishedAt: time.Now()}
+	m := &Message{Topic: topic, Seq: seq, Body: body, Payload: payload, PublishedAt: time.Now()}
 	for _, s := range b.topics[topic] {
 		s.enqueue(m)
 	}
@@ -200,8 +214,17 @@ func (b *Broker) Subscriptions(topic string) []string {
 // Flush blocks until every subscription's queue is empty and no handler
 // is running, or the timeout elapses. It reports whether the broker
 // drained. Tests and graceful shutdown use it.
+//
+// The poll interval backs off exponentially from 200µs to 5ms: a broker
+// that drains quickly is noticed almost immediately, while a long drain
+// does not pin a CPU busy-polling.
 func (b *Broker) Flush(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	const (
+		minPoll = 200 * time.Microsecond
+		maxPoll = 5 * time.Millisecond
+	)
+	poll := minPoll
 	for {
 		if b.idle() {
 			return true
@@ -209,7 +232,13 @@ func (b *Broker) Flush(timeout time.Duration) bool {
 		if time.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(200 * time.Microsecond)
+		time.Sleep(poll)
+		if poll < maxPoll {
+			poll *= 2
+			if poll > maxPoll {
+				poll = maxPoll
+			}
+		}
 	}
 }
 

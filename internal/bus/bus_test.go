@@ -447,3 +447,42 @@ func TestMaxPendingOverflowsToDLQ(t *testing.T) {
 		t.Errorf("total delivered after redrive = %d, want %d", c.count(), published)
 	}
 }
+
+// TestPublishPayloadSharedAcrossSubscriptions: the decoded payload fans
+// out by reference — every subscription of the topic sees the very same
+// value, and plain Publish leaves it nil.
+func TestPublishPayloadSharedAcrossSubscriptions(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	type decoded struct{ ID string }
+	cols := make([]*collector, 3)
+	for i := range cols {
+		cols[i] = &collector{}
+		if _, err := b.Subscribe("t", fmt.Sprintf("s%d", i), cols[i].handle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := &decoded{ID: "evt-1"}
+	if _, err := b.PublishPayload("t", []byte("<wire/>"), want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish("t", []byte("<bare/>")); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Flush(flushTimeout) {
+		t.Fatal("broker did not drain")
+	}
+	for i, c := range cols {
+		c.mu.Lock()
+		if len(c.msgs) != 2 {
+			t.Fatalf("sub %d got %d messages, want 2", i, len(c.msgs))
+		}
+		if got, ok := c.msgs[0].Payload.(*decoded); !ok || got != want {
+			t.Errorf("sub %d payload = %v, want the shared instance", i, c.msgs[0].Payload)
+		}
+		if c.msgs[1].Payload != nil {
+			t.Errorf("sub %d: plain Publish carried payload %v", i, c.msgs[1].Payload)
+		}
+		c.mu.Unlock()
+	}
+}

@@ -77,13 +77,18 @@ func (c *Controller) Publish(n *event.Notification) (event.GlobalID, error) {
 	}
 	c.recordStage(trace, "audit.append", audStart, time.Since(audStart))
 	// Route the redacted notification. Per-subscriber consent is applied
-	// at delivery time by each subscription's handler wrapper.
-	wire, err := event.EncodeNotification(stamped.Redact())
+	// at delivery time by each subscription's handler wrapper. The decoded
+	// form rides the bus alongside the wire bytes: it is encoded (and
+	// decoded) exactly once per publication, and every subscription shares
+	// the same immutable *event.Notification instead of re-parsing the XML
+	// per delivery.
+	redacted := stamped.Redact()
+	wire, err := event.EncodeNotification(redacted)
 	if err != nil {
 		return "", err
 	}
 	busStart := time.Now()
-	if _, err := c.brk.Publish(classTopic(n.Class), wire); err != nil {
+	if _, err := c.brk.PublishPayload(classTopic(n.Class), wire, redacted); err != nil {
 		return "", err
 	}
 	c.recordStage(trace, "bus.publish", busStart, time.Since(busStart))
@@ -98,7 +103,10 @@ func classTopic(class event.ClassID) string { return "class/" + string(class) }
 
 // --- subscribe ---------------------------------------------------------------
 
-// Handler consumes notifications delivered to a subscription.
+// Handler consumes notifications delivered to a subscription. The
+// notification instance is shared by every subscription the publication
+// fanned out to, so handlers must treat it as immutable; call
+// n.Clone() before mutating.
 type Handler func(n *event.Notification)
 
 // Subscription is a consumer's durable subscription to an event class.
@@ -162,7 +170,7 @@ func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler
 	c.mu.Unlock()
 
 	busSub, err := c.brk.Subscribe(classTopic(class), id, func(m *bus.Message) error {
-		return c.deliver(actor, class, h, m.Body)
+		return c.deliver(actor, class, h, m)
 	})
 	if err != nil {
 		return nil, err
@@ -191,10 +199,19 @@ func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler
 // deliver applies the per-delivery checks and invokes the handler. The
 // notification carries the trace minted at publish time, so the delivery
 // span and any consent suppression correlate back to the publication.
-func (c *Controller) deliver(actor event.Actor, class event.ClassID, h Handler, body []byte) error {
-	n, err := event.DecodeNotification(body)
-	if err != nil {
-		return err
+//
+// When the message carries the publisher's decoded payload (the normal
+// in-process path), deliver hands that shared instance to the handler
+// without re-decoding; the wire body is only parsed as a fallback for
+// messages published by other means.
+func (c *Controller) deliver(actor event.Actor, class event.ClassID, h Handler, m *bus.Message) error {
+	n, ok := m.Payload.(*event.Notification)
+	if !ok {
+		var err error
+		n, err = event.DecodeNotification(m.Body)
+		if err != nil {
+			return err
+		}
 	}
 	start := time.Now()
 	// Consent: purpose-agnostic routing check.

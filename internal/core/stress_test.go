@@ -38,10 +38,11 @@ func TestControllerStress(t *testing.T) {
 	}
 
 	const (
-		producers  = 4
-		perStream  = 150
-		requesters = 4
-		churners   = 2
+		producers   = 4
+		perStream   = 150
+		requesters  = 4
+		churners    = 2
+		subChurners = 2
 	)
 
 	// Shared pool of published events.
@@ -153,6 +154,38 @@ func TestControllerStress(t *testing.T) {
 				}
 			}
 		}(ch)
+	}
+
+	// Subscription churners: repeatedly subscribe and cancel while the
+	// publishers are fanning out, so deliveries race subscription
+	// setup/teardown and every handler reads the shared notification
+	// instance concurrently with its siblings (the zero-copy fan-out
+	// contract: shared and immutable — the race detector enforces it).
+	var deliveries atomic.Int64
+	for sc := 0; sc < subChurners; sc++ {
+		wg.Add(1)
+		go func(sc int) {
+			defer wg.Done()
+			for i := 0; i < perStream/3; i++ {
+				sub, err := c.Subscribe("family-doctor", schema.ClassBloodTest, func(n *event.Notification) {
+					if n.ID == "" || n.PersonID == "" {
+						violations.Add(1) // redacted fan-out must keep these
+					}
+					if n.SourceID != "" {
+						violations.Add(1) // Redact() must have stripped it
+					}
+					deliveries.Add(1)
+				})
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				if err := sub.Cancel(); err != nil {
+					t.Errorf("cancel: %v", err)
+					return
+				}
+			}
+		}(sc)
 	}
 
 	wg.Wait()

@@ -87,30 +87,38 @@ func (ix *Index) Put(n *event.Notification) error {
 	if err != nil {
 		return fmt.Errorf("index: encode: %w", err)
 	}
+	// The primary record and its three secondary keys commit as one
+	// store batch: one lock acquisition, one WAL frame, and — because a
+	// batch frame replays all-or-nothing — no crash window in which a
+	// notification exists without its index entries (or vice versa).
 	ts := timeKey(n.OccurredAt)
-	if err := ix.st.Put(eventKey(n.ID), data); err != nil {
-		return err
-	}
-	if err := ix.st.Put(personIdxKey(personKey, ts, n.ID), []byte(n.ID)); err != nil {
-		return err
-	}
-	if err := ix.st.Put(classIdxKey(n.Class, ts, n.ID), []byte(n.ID)); err != nil {
-		return err
-	}
-	return ix.st.Put(producerIdxKey(n.Producer, n.ID), []byte(n.ID))
+	var b store.Batch
+	b.Put(eventKey(n.ID), data)
+	b.Put(personIdxKey(personKey, ts, n.ID), []byte(n.ID))
+	b.Put(classIdxKey(n.Class, ts, n.ID), []byte(n.ID))
+	b.Put(producerIdxKey(n.Producer, n.ID), []byte(n.ID))
+	return ix.st.Apply(&b)
 }
 
 // Get returns the notification with the given global ID, with the person
 // identifier decrypted.
 func (ix *Index) Get(id event.GlobalID) (*event.Notification, error) {
-	v, ok, err := ix.st.Get(eventKey(id))
+	var n *event.Notification
+	err := ix.st.View(func(tx store.Tx) error {
+		v, ok := tx.Get(eventKey(id))
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		// decode copies everything it keeps, so the no-copy slice does
+		// not escape the transaction.
+		var derr error
+		n, derr = ix.decode(v)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
-	}
-	return ix.decode(v)
+	return n, nil
 }
 
 func (ix *Index) decode(v []byte) (*event.Notification, error) {
@@ -174,34 +182,43 @@ func (ix *Index) Inquire(q Inquiry) ([]*event.Notification, error) {
 }
 
 // scanIdx walks a secondary index prefix, bounding the scan by the time
-// window encoded in the keys, then resolves and filters the primary
-// records.
+// window encoded in the keys, and resolves the primary records inside
+// the same read transaction — one lock acquisition for the whole scan
+// and no per-entry value copy (decode copies whatever it keeps).
 func (ix *Index) scanIdx(prefix string, q Inquiry) ([]*event.Notification, error) {
 	from := prefix
 	if !q.From.IsZero() {
 		from = prefix + timeKey(q.From)
 	}
-	to := "" // open-ended; filtered per record below
 	var out []*event.Notification
 	var innerErr error
-	err := ix.st.AscendRange(from, to, func(k string, v []byte) bool {
-		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
-			return false // left the prefix: stop
-		}
-		n, err := ix.Get(event.GlobalID(v))
-		if err != nil {
-			innerErr = err
-			return false
-		}
-		if !matches(n, q) {
-			// Keys are time-ordered: once past To we can stop.
-			if !q.To.IsZero() && n.OccurredAt.After(q.To) {
+	err := ix.st.View(func(tx store.Tx) error {
+		tx.AscendRange(from, "", func(k string, v []byte) bool {
+			if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+				return false // left the prefix: stop
+			}
+			id := event.GlobalID(v)
+			pv, ok := tx.Get(eventKey(id))
+			if !ok {
+				innerErr = fmt.Errorf("%w: dangling index entry %s", ErrNotFound, id)
 				return false
 			}
-			return true
-		}
-		out = append(out, n)
-		return q.Limit <= 0 || len(out) < q.Limit
+			n, err := ix.decode(pv)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if !matches(n, q) {
+				// Keys are time-ordered: once past To we can stop.
+				if !q.To.IsZero() && n.OccurredAt.After(q.To) {
+					return false
+				}
+				return true
+			}
+			out = append(out, n)
+			return q.Limit <= 0 || len(out) < q.Limit
+		})
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -212,17 +229,20 @@ func (ix *Index) scanIdx(prefix string, q Inquiry) ([]*event.Notification, error
 func (ix *Index) scanAll(q Inquiry) ([]*event.Notification, error) {
 	var out []*event.Notification
 	var innerErr error
-	err := ix.st.AscendPrefix("e/", func(k string, v []byte) bool {
-		n, err := ix.decode(v)
-		if err != nil {
-			innerErr = err
-			return false
-		}
-		if !matches(n, q) {
-			return true
-		}
-		out = append(out, n)
-		return q.Limit <= 0 || len(out) < q.Limit
+	err := ix.st.View(func(tx store.Tx) error {
+		tx.AscendPrefix("e/", func(k string, v []byte) bool {
+			n, err := ix.decode(v)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if !matches(n, q) {
+				return true
+			}
+			out = append(out, n)
+			return q.Limit <= 0 || len(out) < q.Limit
+		})
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -252,9 +272,12 @@ func matches(n *event.Notification, q Inquiry) bool {
 // Len returns the number of stored notifications.
 func (ix *Index) Len() (int, error) {
 	n := 0
-	err := ix.st.AscendPrefix("e/", func(string, []byte) bool {
-		n++
-		return true
+	err := ix.st.View(func(tx store.Tx) error {
+		tx.AscendPrefix("e/", func(string, []byte) bool {
+			n++
+			return true
+		})
+		return nil
 	})
 	return n, err
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -263,4 +264,90 @@ func TestWrongKeyringCannotRead(t *testing.T) {
 	if res, _ := ix2.Inquire(Inquiry{PersonID: "PRS-1"}); len(res) != 0 {
 		t.Errorf("wrong-key inquiry = %d results", len(res))
 	}
+}
+
+// TestPutAtomicityAcrossCrash asserts the all-or-nothing guarantee of
+// the batched Put: truncating the WAL at any byte boundary inside the
+// last Put's frame (the crash model) recovers either the full set —
+// primary record plus person/class/producer index keys — or none of it.
+// Before the batch rewrite, a crash between the four store puts could
+// leave a primary record without its secondary keys (or, on replay of a
+// torn multi-record sequence, secondary keys pointing at nothing).
+func TestPutAtomicityAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.wal")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keyring(t)
+	ix := New(st, keys)
+	if err := ix.Put(notif("evt-settled", "PRS-0001", "hospital.blood-test", t0)); err != nil {
+		t.Fatal(err)
+	}
+	settledSize := walSize(t, path)
+	if err := ix.Put(notif("evt-torn", "PRS-0002", "hospital.blood-test", t0.Add(time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	full := walSize(t, path)
+
+	for cut := settledSize; cut <= full; cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.wal")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(torn, data[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		rst, err := store.Open(torn, store.Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		rix := New(rst, keys)
+
+		// The settled event is always fully present.
+		if _, err := rix.Get("evt-settled"); err != nil {
+			t.Fatalf("cut %d: settled event lost: %v", cut, err)
+		}
+		// The torn event is either fully present or fully absent.
+		_, getErr := rix.Get("evt-torn")
+		entries := secondaryEntries(t, rst, "evt-torn")
+		switch {
+		case getErr == nil && entries == 3: // fully applied
+		case errors.Is(getErr, ErrNotFound) && entries == 0: // fully dropped
+		default:
+			t.Fatalf("cut %d: partial index state: get=%v secondaries=%d", cut, getErr, entries)
+		}
+		rst.Close()
+	}
+}
+
+func walSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// secondaryEntries counts the person/class/producer index keys that
+// reference the given event id.
+func secondaryEntries(t *testing.T, st *store.Store, id string) int {
+	t.Helper()
+	count := 0
+	for _, prefix := range []string{"p/", "c/", "s/"} {
+		err := st.AscendPrefix(prefix, func(k string, v []byte) bool {
+			if string(v) == id {
+				count++
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return count
 }

@@ -1,0 +1,77 @@
+package store
+
+import "errors"
+
+// Batch accumulates puts and deletes to be applied atomically by
+// Store.Apply: one lock acquisition and one checksummed WAL frame for
+// the whole set, so a crash can never persist a prefix of it. A Batch is
+// not safe for concurrent use; Reset makes it reusable.
+type Batch struct {
+	ops []walRecord
+}
+
+// Put queues storing value under key. The value is copied, so the caller
+// may reuse its slice immediately.
+func (b *Batch) Put(key string, value []byte) {
+	b.ops = append(b.ops, walRecord{op: opPut, key: key, value: append([]byte(nil), value...)})
+}
+
+// Delete queues removing key. Deleting an absent key is a no-op at apply
+// time, mirroring Store.Delete.
+func (b *Batch) Delete(key string) {
+	b.ops = append(b.ops, walRecord{op: opDel, key: key})
+}
+
+// Len returns the number of queued mutations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch, retaining its capacity for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// Apply executes the batch atomically: every mutation becomes visible
+// together, backed by a single WAL frame that replays all-or-nothing
+// after a crash. Mutations apply in order, so a later Put of a key wins
+// over an earlier one in the same batch. An empty batch is a no-op.
+func (s *Store) Apply(b *Batch) error {
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	for _, op := range b.ops {
+		if op.key == "" {
+			return errors.New("store: empty key in batch")
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.log != nil {
+		if err := s.log.appendBatch(b.ops); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	for _, op := range b.ops {
+		switch op.op {
+		case opPut:
+			if old, ok := s.list.get(op.key); ok {
+				s.liveBytes -= int64(len(op.key) + len(old))
+			}
+			s.list.put(op.key, op.value)
+			s.liveBytes += int64(len(op.key) + len(op.value))
+		case opDel:
+			if old, ok := s.list.get(op.key); ok {
+				s.liveBytes -= int64(len(op.key) + len(old))
+				s.list.del(op.key)
+			}
+		}
+	}
+	err := s.maybeCompactLocked()
+	lg, target := s.syncTargetLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return syncIfNeeded(lg, target)
+}

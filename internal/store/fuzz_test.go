@@ -24,13 +24,20 @@ func FuzzWALReplay(f *testing.F) {
 	s.Put("key-one", []byte("value-one"))
 	s.Put("key-two", []byte("value-two"))
 	s.Delete("key-one")
+	var b Batch
+	b.Put("batch-one", []byte("batched-value"))
+	b.Delete("key-two")
+	b.Put("batch-two", []byte("another"))
+	if err := s.Apply(&b); err != nil {
+		f.Fatal(err)
+	}
 	s.Close()
 	seed, err := os.ReadFile(seedPath)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed)
-	f.Add(seed[:len(seed)-3]) // torn tail
+	f.Add(seed[:len(seed)-3]) // torn tail (inside the batch frame)
 	f.Add([]byte{})
 	f.Add([]byte("garbage that is not a wal at all"))
 

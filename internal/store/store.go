@@ -94,12 +94,13 @@ func (s *Store) Put(key string, value []byte) error {
 		return errors.New("store: empty key")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	if s.log != nil {
 		if err := s.log.append(walRecord{op: opPut, key: key, value: value}); err != nil {
+			s.mu.Unlock()
 			return err
 		}
 	}
@@ -108,7 +109,32 @@ func (s *Store) Put(key string, value []byte) error {
 	}
 	s.list.put(key, append([]byte(nil), value...))
 	s.liveBytes += int64(len(key) + len(value))
-	return s.maybeCompactLocked()
+	err := s.maybeCompactLocked()
+	lg, target := s.syncTargetLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return syncIfNeeded(lg, target)
+}
+
+// syncTargetLocked captures the durability point a SyncEvery writer must
+// wait for. The fsync itself happens after the store lock is released so
+// that concurrent writers can share one fsync (group commit); when a
+// compaction just swapped the log, the data is already durable in the
+// compacted file and no extra fsync is owed.
+func (s *Store) syncTargetLocked() (*wal, int64) {
+	if s.log == nil || !s.opts.SyncEvery {
+		return nil, 0
+	}
+	return s.log, s.log.size
+}
+
+func syncIfNeeded(lg *wal, target int64) error {
+	if lg == nil {
+		return nil
+	}
+	return lg.syncTo(target)
 }
 
 // Get returns a copy of the value stored under key.
@@ -139,23 +165,26 @@ func (s *Store) Has(key string) (bool, error) {
 // Delete removes key. Deleting an absent key is not an error.
 func (s *Store) Delete(key string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := s.list.get(key); !ok {
+	v, ok := s.list.get(key)
+	if !ok {
+		s.mu.Unlock()
 		return nil
 	}
 	if s.log != nil {
 		if err := s.log.append(walRecord{op: opDel, key: key}); err != nil {
+			s.mu.Unlock()
 			return err
 		}
 	}
-	if v, ok := s.list.get(key); ok {
-		s.liveBytes -= int64(len(key) + len(v))
-	}
+	s.liveBytes -= int64(len(key) + len(v))
 	s.list.del(key)
-	return nil
+	lg, target := s.syncTargetLocked()
+	s.mu.Unlock()
+	return syncIfNeeded(lg, target)
 }
 
 // Len returns the number of live keys.
@@ -198,6 +227,48 @@ func (s *Store) AscendRange(from, to string, fn func(key string, value []byte) b
 		return fn(k, append([]byte(nil), v...))
 	})
 	return nil
+}
+
+// Tx is a read transaction handed to View: every read shares the same
+// lock acquisition and returns the store's internal value slices without
+// copying. Callers must treat the slices as read-only and must not use
+// the Tx outside the View callback. Intended for internal iteration-heavy
+// paths (index scans, audit verification); external callers wanting
+// retainable values use Get/AscendPrefix/AscendRange.
+type Tx struct {
+	list *skipList
+}
+
+// View runs fn under a single read lock with no-copy access to the data.
+func (s *Store) View(fn func(tx Tx) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return fn(Tx{list: s.list})
+}
+
+// Get returns the value stored under key without copying it.
+func (t Tx) Get(key string) ([]byte, bool) {
+	return t.list.get(key)
+}
+
+// AscendRange visits keys in [from, to) in order until fn returns false,
+// passing the internal value slices. An empty `to` means "to the end".
+func (t Tx) AscendRange(from, to string, fn func(key string, value []byte) bool) {
+	t.list.ascend(from, func(k string, v []byte) bool {
+		if to != "" && k >= to {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// AscendPrefix visits every key starting with prefix in order until fn
+// returns false, passing the internal value slices.
+func (t Tx) AscendPrefix(prefix string, fn func(key string, value []byte) bool) {
+	t.list.ascendPrefix(prefix, fn)
 }
 
 // Compact rewrites the WAL to contain exactly the live data, reclaiming

@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // WAL record layout (little endian):
@@ -16,7 +19,7 @@ import (
 //	[4] CRC-32 (IEEE) of payload
 //	[n] payload
 //
-// payload:
+// payload (single mutation):
 //
 //	[1] op (opPut | opDel)
 //	[4] key length k
@@ -24,12 +27,21 @@ import (
 //	[4] value length v   (opPut only)
 //	[v] value bytes      (opPut only)
 //
+// payload (batch frame — N mutations in one atomic record):
+//
+//	[1] opBatch
+//	[4] mutation count
+//	followed by the single-mutation encodings back to back
+//
 // A torn tail (partial record after a crash) is detected by length/CRC
 // mismatch and truncated away on recovery; everything before it replays.
+// Because a batch frame is one checksummed record, a crash mid-batch
+// truncates the whole frame: replay applies all of its mutations or none.
 
 const (
-	opPut byte = 1
-	opDel byte = 2
+	opPut   byte = 1
+	opDel   byte = 2
+	opBatch byte = 3
 )
 
 // ErrCorrupt reports a WAL record that fails its checksum in the middle
@@ -42,18 +54,18 @@ type walRecord struct {
 	value []byte
 }
 
-func encodeRecord(buf []byte, r walRecord) []byte {
-	payloadLen := 1 + 4 + len(r.key)
+// opSize returns the encoded size of one mutation.
+func opSize(r walRecord) int {
+	n := 1 + 4 + len(r.key)
 	if r.op == opPut {
-		payloadLen += 4 + len(r.value)
+		n += 4 + len(r.value)
 	}
-	need := 8 + payloadLen
-	if cap(buf) < need {
-		buf = make([]byte, need)
-	}
-	buf = buf[:need]
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
-	p := buf[8:]
+	return n
+}
+
+// putOp encodes one mutation at the start of p and returns the bytes
+// consumed. p must have room (see opSize).
+func putOp(p []byte, r walRecord) int {
 	p[0] = r.op
 	binary.LittleEndian.PutUint32(p[1:5], uint32(len(r.key)))
 	copy(p[5:], r.key)
@@ -62,46 +74,130 @@ func encodeRecord(buf []byte, r walRecord) []byte {
 		binary.LittleEndian.PutUint32(p[off:off+4], uint32(len(r.value)))
 		copy(p[off+4:], r.value)
 	}
+	return opSize(r)
+}
+
+func encodeRecord(buf []byte, r walRecord) []byte {
+	payloadLen := opSize(r)
+	buf = sizedBuf(buf, 8+payloadLen)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
+	p := buf[8:]
+	putOp(p, r)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
 	return buf
 }
 
-func decodePayload(p []byte) (walRecord, error) {
+// encodeBatch renders N mutations as one atomic batch frame.
+func encodeBatch(buf []byte, ops []walRecord) []byte {
+	payloadLen := 1 + 4
+	for _, r := range ops {
+		payloadLen += opSize(r)
+	}
+	buf = sizedBuf(buf, 8+payloadLen)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
+	p := buf[8:]
+	p[0] = opBatch
+	binary.LittleEndian.PutUint32(p[1:5], uint32(len(ops)))
+	off := 5
+	for _, r := range ops {
+		off += putOp(p[off:], r)
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+func sizedBuf(buf []byte, need int) []byte {
+	if cap(buf) < need {
+		return make([]byte, need)
+	}
+	return buf[:need]
+}
+
+// decodeOp decodes one mutation from the start of p, returning it and the
+// bytes consumed.
+func decodeOp(p []byte) (walRecord, int, error) {
 	if len(p) < 5 {
-		return walRecord{}, ErrCorrupt
+		return walRecord{}, 0, ErrCorrupt
 	}
 	r := walRecord{op: p[0]}
 	if r.op != opPut && r.op != opDel {
-		return walRecord{}, fmt.Errorf("%w: bad op %d", ErrCorrupt, r.op)
+		return walRecord{}, 0, fmt.Errorf("%w: bad op %d", ErrCorrupt, r.op)
 	}
 	klen := int(binary.LittleEndian.Uint32(p[1:5]))
-	if len(p) < 5+klen {
-		return walRecord{}, ErrCorrupt
+	if klen < 0 || len(p) < 5+klen {
+		return walRecord{}, 0, ErrCorrupt
 	}
 	r.key = string(p[5 : 5+klen])
+	n := 5 + klen
 	if r.op == opPut {
-		rest := p[5+klen:]
+		rest := p[n:]
 		if len(rest) < 4 {
-			return walRecord{}, ErrCorrupt
+			return walRecord{}, 0, ErrCorrupt
 		}
 		vlen := int(binary.LittleEndian.Uint32(rest[:4]))
-		if len(rest) != 4+vlen {
-			return walRecord{}, ErrCorrupt
+		if vlen < 0 || len(rest) < 4+vlen {
+			return walRecord{}, 0, ErrCorrupt
 		}
-		r.value = append([]byte(nil), rest[4:]...)
-	} else if len(p) != 5+klen {
-		return walRecord{}, ErrCorrupt
+		r.value = append([]byte(nil), rest[4:4+vlen]...)
+		n += 4 + vlen
 	}
-	return r, nil
+	return r, n, nil
+}
+
+// replayPayload decodes a checksummed payload — a single mutation or a
+// batch frame — invoking fn for each mutation in order.
+func replayPayload(p []byte, fn func(walRecord) error) error {
+	if len(p) == 0 {
+		return ErrCorrupt
+	}
+	if p[0] != opBatch {
+		r, n, err := decodeOp(p)
+		if err != nil {
+			return err
+		}
+		if n != len(p) {
+			return ErrCorrupt
+		}
+		return fn(r)
+	}
+	if len(p) < 5 {
+		return ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint32(p[1:5]))
+	rest := p[5:]
+	for i := 0; i < count; i++ {
+		r, n, err := decodeOp(rest)
+		if err != nil {
+			return err
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return ErrCorrupt
+	}
+	return nil
 }
 
 // wal is the append-only log backing a Store.
+//
+// Durability in SyncEvery mode uses group commit: append (serialized by
+// the Store lock) only writes the record to the OS; the caller then
+// invokes syncTo *after releasing the Store lock*. Concurrent writers
+// pile up on syncMu and the first one's fsync covers every record
+// flushed before it started, so N writers share far fewer than N fsyncs.
 type wal struct {
 	f      *os.File
 	w      *bufio.Writer
-	sync   bool // fsync after every append
+	sync   bool // fsync-before-acknowledge mode
 	size   int64
 	encBuf []byte
+
+	syncMu  sync.Mutex
+	flushed atomic.Int64 // bytes handed to the OS (set under the Store lock)
+	synced  atomic.Int64 // bytes known fsynced (set under syncMu)
 }
 
 func openWAL(path string, syncEvery bool) (*wal, error) {
@@ -114,13 +210,27 @@ func openWAL(path string, syncEvery bool) (*wal, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: stat wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriter(f), sync: syncEvery, size: st.Size()}, nil
+	l := &wal{f: f, w: bufio.NewWriter(f), sync: syncEvery, size: st.Size()}
+	l.flushed.Store(l.size)
+	l.synced.Store(l.size)
+	return l, nil
 }
 
-// append writes one record and flushes it to the OS (and to disk when
-// sync mode is on).
+// append writes one record and flushes it to the OS. In sync mode the
+// caller must follow up with syncTo(wal.size) once the Store lock is
+// released.
 func (l *wal) append(r walRecord) error {
 	l.encBuf = encodeRecord(l.encBuf, r)
+	return l.write()
+}
+
+// appendBatch writes one atomic batch frame covering ops.
+func (l *wal) appendBatch(ops []walRecord) error {
+	l.encBuf = encodeBatch(l.encBuf, ops)
+	return l.write()
+}
+
+func (l *wal) write() error {
 	if _, err := l.w.Write(l.encBuf); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
@@ -128,15 +238,40 @@ func (l *wal) append(r walRecord) error {
 		return fmt.Errorf("store: wal flush: %w", err)
 	}
 	l.size += int64(len(l.encBuf))
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("store: wal sync: %w", err)
-		}
+	l.flushed.Store(l.size)
+	return nil
+}
+
+// syncTo blocks until at least the first `target` bytes of the log are
+// fsynced. Writers that arrive while another fsync is in flight wait for
+// syncMu and then usually find their bytes already covered — the group
+// commit. Must not be called while holding the Store lock.
+func (l *wal) syncTo(target int64) error {
+	if l.synced.Load() >= target {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced.Load() >= target {
+		return nil // a concurrent writer's fsync covered us
+	}
+	covered := l.flushed.Load()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	if l.synced.Load() < covered {
+		l.synced.Store(covered)
 	}
 	return nil
 }
 
 func (l *wal) close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	// Pending syncTo callers must not fsync a closed file; whoever closes
+	// the log (Close, compaction) has already made the data durable or is
+	// discarding the file wholesale.
+	l.synced.Store(math.MaxInt64)
 	if err := l.w.Flush(); err != nil {
 		l.f.Close()
 		return err
@@ -191,11 +326,7 @@ func replayWAL(path string, fn func(walRecord) error) (validLen int64, err error
 			}
 			return offset, fmt.Errorf("%w at offset %d", ErrCorrupt, offset)
 		}
-		rec, err := decodePayload(payload)
-		if err != nil {
-			return offset, err
-		}
-		if err := fn(rec); err != nil {
+		if err := replayPayload(payload, fn); err != nil {
 			return offset, err
 		}
 		offset += 8 + n
