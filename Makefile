@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_LABEL ?= local
 
-.PHONY: all check build vet test race cover bench bench-smoke bench-tables bench-quick examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-tables bench-quick examples fuzz clean
 
 all: check
 
@@ -29,18 +29,28 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Publish-path micro-benchmarks (E1* fan-out/routing, E5 index, E6
-# audit, E14 WAL), 5 samples each, appended as a labeled run to
-# BENCH_publish.json: `make bench BENCH_LABEL=after-my-change`.
-bench:
+# Measured micro-benchmark runs, 5 samples each, appended as labeled
+# runs to the JSON logs: `make bench BENCH_LABEL=after-my-change`.
+# Publish path (E1* fan-out/routing, E5 index, E6 audit, E14 WAL) goes
+# to BENCH_publish.json; the details read path (E2 end-to-end, ED_*
+# repeated/rotating/churn request shapes) goes to BENCH_details.json.
+bench: bench-publish bench-details
+
+bench-publish:
 	$(GO) test -run '^$$' -bench 'E1|E5|E6' -benchmem -count 5 . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	@cat bench.out
 	$(GO) run ./cmd/css-benchlog -label "$(BENCH_LABEL)" -out BENCH_publish.json < bench.out
 	@rm -f bench.out
 
-# One iteration of the same benchmarks, as a compile-and-run smoke.
+bench-details:
+	$(GO) test -run '^$$' -bench 'E2_|ED_' -benchmem -count 5 . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	@cat bench.out
+	$(GO) run ./cmd/css-benchlog -label "$(BENCH_LABEL)" -out BENCH_details.json < bench.out
+	@rm -f bench.out
+
+# One iteration of both suites, as a compile-and-run smoke.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'E1|E5|E6' -benchtime 1x -benchmem . > /dev/null
+	$(GO) test -run '^$$' -bench 'E1|E2_|E5|E6|ED_' -benchtime 1x -benchmem . > /dev/null
 
 # Full experiment tables (EXPERIMENTS.md reference run). ~2 minutes.
 bench-tables:

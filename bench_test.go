@@ -686,3 +686,167 @@ func BenchmarkE16_AggregatorObserve(b *testing.B) {
 		agg.Observe(notifications[i%len(notifications)])
 	}
 }
+
+// --- ED: the detail-request read path -----------------------------------
+//
+// The ED_* benchmarks measure the phase-2 protocol (request-for-details,
+// Algorithms 1 & 2) as consumers actually drive it: the same event asked
+// for over and over, a working set of recent events rotated through, and
+// the adversarial shape where the policy set churns between requests.
+// `make bench` records them to BENCH_details.json.
+
+// benchDetailsRig provisions a controller with one producer, an attached
+// in-process gateway holding `events` persisted details, `pad` distractor
+// policies plus one policy granting family-doctor three fields, and one
+// permitted detail request per event.
+func benchDetailsRig(b *testing.B, events, pad int) (*core.Controller, []*event.DetailRequest) {
+	b.Helper()
+	c, err := core.New(core.Config{DefaultConsent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	if err := c.RegisterProducer("hospital", "H"); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterConsumer("family-doctor", "D"); err != nil {
+		b.Fatal(err)
+	}
+	gw, err := gateway.New("hospital", store.OpenMemory(), c.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AttachGateway("hospital", gw); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < pad; i++ {
+		if _, err := c.DefinePolicy(&policy.Policy{
+			Producer: "hospital",
+			Actor:    event.Actor(fmt.Sprintf("other-consumer-%06d", i)),
+			Class:    schema.ClassBloodTest,
+			Purposes: []event.Purpose{event.PurposeAdministration},
+			Fields:   []event.FieldName{"patient-id"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := c.DefinePolicy(&policy.Policy{
+		Producer: "hospital", Actor: "family-doctor", Class: schema.ClassBloodTest,
+		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
+		Fields:   []event.FieldName{"patient-id", "exam-date", "hemoglobin"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]*event.DetailRequest, events)
+	for i := range reqs {
+		src := event.SourceID(fmt.Sprintf("src-%06d", i))
+		d := event.NewDetail(schema.ClassBloodTest, src, "hospital").
+			Set("patient-id", fmt.Sprintf("PRS-%04d", i%100)).
+			Set("exam-date", "2010-05-30").
+			Set("hemoglobin", "13.5").
+			Set("aids-test", "negative").
+			Set("lab-notes", "routine")
+		if err := gw.Persist(d); err != nil {
+			b.Fatal(err)
+		}
+		gid, err := c.Publish(&event.Notification{
+			SourceID: src, Class: schema.ClassBloodTest,
+			PersonID:   fmt.Sprintf("PRS-%04d", i%100),
+			Summary:    "blood test",
+			OccurredAt: time.Now(), Producer: "hospital",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = &event.DetailRequest{
+			Requester: "family-doctor", Class: schema.ClassBloodTest,
+			EventID: gid, Purpose: event.PurposeHealthcareTreatment,
+		}
+	}
+	return c, reqs
+}
+
+// BenchmarkED_RepeatedDetail measures the same detail request resolved
+// over and over against a 1000-policy repository — the hot read path of a
+// consumer following up on a notification it keeps working with.
+func BenchmarkED_RepeatedDetail(b *testing.B) {
+	c, reqs := benchDetailsRig(b, 1, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RequestDetails(reqs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkED_RepeatedDetailParallel drives the same request from 4
+// concurrent consumers — the shape where identical in-flight gateway
+// fetches can be coalesced into one producer round trip.
+func BenchmarkED_RepeatedDetailParallel(b *testing.B) {
+	c, reqs := benchDetailsRig(b, 1, 1000)
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.RequestDetails(reqs[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkED_RotatingDetails rotates through a 512-event working set
+// under one policy: the decision is identical across events, the fetched
+// event changes every request.
+func BenchmarkED_RotatingDetails(b *testing.B) {
+	c, reqs := benchDetailsRig(b, 512, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RequestDetails(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkED_PolicyChurnDetail interleaves every request with a policy
+// definition and a revocation — the adversarial shape for any decision
+// memoization, where each request must re-resolve from scratch.
+func BenchmarkED_PolicyChurnDetail(b *testing.B) {
+	c, reqs := benchDetailsRig(b, 1, 100)
+	churn := &policy.Policy{
+		Producer: "hospital", Actor: "churn-consumer", Class: schema.ClassBloodTest,
+		Purposes: []event.Purpose{event.PurposeAdministration},
+		Fields:   []event.FieldName{"patient-id"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stored, err := c.DefinePolicy(churn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RequestDetails(reqs[0]); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RevokePolicy(stored.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkED_PersonInquiryWarm measures a consumer's repeated person
+// inquiries over a 512-event index (~5 events per person), the read shape
+// of the events-index query service.
+func BenchmarkED_PersonInquiryWarm(b *testing.B) {
+	c, _ := benchDetailsRig(b, 512, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.InquireIndex("family-doctor", index.Inquiry{
+			PersonID: fmt.Sprintf("PRS-%04d", i%100), Limit: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package cache provides the small concurrency-safe building blocks of
+// the read-path acceleration layer: a bounded LRU map (the decoded-
+// notification and pseudonym caches of the events index, the decoded-
+// detail cache of the cooperation gateway) and a singleflight group that
+// coalesces concurrent identical calls (the gateway fetch of the policy
+// enforcer and the remote gateway client).
+//
+// Nothing in this package knows what it stores; every privacy argument
+// (what may be cached where, and when an entry must die) lives with the
+// caller. The package only guarantees bounded size, LRU eviction and
+// race-free access.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// LRU is a bounded map with least-recently-used eviction. Safe for
+// concurrent use. The zero value is not usable; construct with NewLRU.
+type LRU[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[K]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU creates an LRU bounded to capacity entries (minimum 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value under k, marking it most recently used.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*lruEntry[K, V]).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under k, evicting the least recently
+// used entry when the cache is full.
+func (c *LRU[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// Delete removes the entry under k, if present.
+func (c *LRU[K, V]) Delete(k K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.Remove(el)
+		delete(c.items, k)
+	}
+}
+
+// Purge empties the cache (hit/miss counters keep accumulating).
+func (c *LRU[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the current number of entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts of Get.
+func (c *LRU[K, V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

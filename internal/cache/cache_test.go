@@ -1,0 +1,251 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("recently used entry a evicted: %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) = %d, %v; want 3, true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after double Put, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("Get(a) = %d, want 10", v)
+	}
+}
+
+func TestLRUDeletePurge(t *testing.T) {
+	c := NewLRU[string, int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Delete("a")
+	c.Delete("missing") // no-op
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("deleted entry still present")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Purge, want 0", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("purged entry still present")
+	}
+	// Cache must stay usable after Purge.
+	c.Put("c", 3)
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) after Purge = %d, %v; want 3, true", v, ok)
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("nope")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := NewLRU[int, int](0)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d with clamped capacity, want 1", c.Len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := (seed*31 + i) % 128
+				c.Put(k, k)
+				c.Get(k)
+				if i%97 == 0 {
+					c.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 64 {
+		t.Fatalf("Len = %d exceeds capacity 64", n)
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 8
+	results := make([]int, n)
+	shareds := make([]bool, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, shared, err := g.Do("k", func() (int, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("leader err: %v", err)
+		}
+		results[0], shareds[0] = v, shared
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Errorf("follower err: %v", err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	// Let the followers reach the wait before releasing the leader.
+	for deadline := time.Now().Add(2 * time.Second); g.InFlight() == 0 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	sharedCount := 0
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %d, want 42", i, v)
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != n-1 {
+		t.Fatalf("shared count = %d, want %d", sharedCount, n-1)
+	}
+}
+
+func TestSingleflightDistinctKeys(t *testing.T) {
+	var g Group[int, int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := g.Do(i, func() (int, error) {
+				calls.Add(1)
+				return i * 10, nil
+			})
+			if err != nil || v != i*10 {
+				t.Errorf("Do(%d) = %d, %v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("fn ran %d times for 4 distinct keys, want 4", got)
+	}
+}
+
+func TestSingleflightError(t *testing.T) {
+	var g Group[string, int]
+	sentinel := errors.New("boom")
+	_, _, err := g.Do("k", func() (int, error) { return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	// The failed flight must not be cached: a retry runs fn again.
+	v, shared, err := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("retry = %d, shared=%v, err=%v; want 7, false, nil", v, shared, err)
+	}
+}
+
+func TestSingleflightPanicDoesNotHangWaiters(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			panic("leader died")
+		})
+	}()
+	<-started
+	go func() {
+		_, _, err := g.Do("k", func() (int, error) { return 1, nil })
+		waiterErr <- err
+	}()
+	// Give the waiter time to attach to the in-flight call, then kill
+	// the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-waiterErr:
+		// The waiter either joined the doomed flight (abandoned) or
+		// raced past the delete and ran its own fn (nil) — both are
+		// fine; hanging is not.
+		if err != nil && !errors.Is(err, ErrFlightAbandoned) {
+			t.Fatalf("waiter err = %v, want nil or ErrFlightAbandoned", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung after leader panic")
+	}
+}

@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrFlightAbandoned is reported to waiters when the leading call
+// panicked before producing a result.
+var ErrFlightAbandoned = errors.New("cache: in-flight call abandoned")
+
+// Group coalesces concurrent calls that share a key: the first caller
+// (the leader) runs fn; callers arriving while it is in flight wait and
+// receive the same result. Results are never retained past the in-flight
+// window — once the leader returns, the next call runs fn again. That
+// makes the group safe for values that must not be cached (the
+// controller may coalesce identical gateway detail fetches, but storing
+// a detail would duplicate sensitive data outside the producer's
+// control; see the E13 ablation).
+//
+// The zero value is ready to use. Safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do runs fn under key, coalescing concurrent duplicates. shared reports
+// whether the result was produced by another caller's fn — callers that
+// hand the value on must clone it when shared, so no two consumers ever
+// alias one mutable result.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flight[V])
+	}
+	if f, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight[V]{done: make(chan struct{}), err: ErrFlightAbandoned}
+	g.calls[key] = f
+	g.mu.Unlock()
+
+	// Even if fn panics the flight is finalized (waiters see
+	// ErrFlightAbandoned instead of hanging) and the panic propagates.
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	return f.val, false, f.err
+}
+
+// InFlight returns the number of keys currently executing.
+func (g *Group[K, V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

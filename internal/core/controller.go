@@ -98,6 +98,7 @@ type instruments struct {
 	subDenials   *telemetry.Counter // css_subscription_denials_total
 	decisions    *telemetry.Counter // css_detail_decisions_total{outcome}
 	inquiries    *telemetry.Counter // css_index_inquiries_total
+	cacheEvents  *telemetry.Counter // css_cache_events_total{cache,result}
 
 	publishSeconds  *telemetry.Histogram // css_publish_seconds
 	deliverySeconds *telemetry.Histogram // css_delivery_seconds
@@ -119,6 +120,11 @@ func newInstruments(reg *telemetry.Registry) instruments {
 			"Detail-request decisions, by outcome (permit/deny).", "outcome"),
 		inquiries: reg.Counter("css_index_inquiries_total",
 			"Events-index inquiries answered."),
+		cacheEvents: reg.Counter("css_cache_events_total",
+			"Read-path cache lookups, by cache (pdp.decision, index.notification, "+
+				"index.pseudonym, gateway.detail, gateway.flight) and result; for "+
+				"gateway.flight a hit means the fetch coalesced onto an in-flight twin.",
+			"cache", "result"),
 		publishSeconds: reg.Histogram("css_publish_seconds",
 			"Publish latency (validate, index, audit, route) in seconds."),
 		deliverySeconds: reg.Histogram("css_delivery_seconds",
@@ -232,6 +238,8 @@ func New(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c.enf.SetObserver(c.recordStage)
+	c.enf.SetCacheObserver(c.recordCacheEvent)
+	c.idx.SetCacheObserver(c.recordCacheEvent)
 	c.brk = bus.New(cfg.Bus)
 	c.pending = newPendingBook()
 
@@ -327,13 +335,18 @@ func (c *Controller) DeclareClass(producer event.ProducerID, s *schema.Schema) e
 }
 
 // AttachGateway connects a producer's local cooperation gateway (direct
-// or via the web service transport) for detail retrieval.
+// or via the web service transport) for detail retrieval. An in-process
+// gateway exposing a cache observer hook reports its decoded-detail
+// cache into this controller's registry.
 func (c *Controller) AttachGateway(p event.ProducerID, g enforcer.DetailSource) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
 	if !c.reg.HasProducer(p) {
 		return fmt.Errorf("%w: %s", ErrNotProducer, p)
+	}
+	if cg, ok := g.(interface{ SetCacheObserver(func(string, bool)) }); ok {
+		cg.SetCacheObserver(c.recordCacheEvent)
 	}
 	return c.enf.AttachGateway(p, g)
 }
@@ -395,12 +408,19 @@ func (c *Controller) Policies(producer event.ProducerID) []*policy.Policy {
 
 // --- consent ---------------------------------------------------------------
 
-// RecordConsent stores a citizen consent directive.
+// RecordConsent stores a citizen consent directive. Consent is checked
+// live on every flow (it is never part of a cached decision), but the
+// enforcer's decision epoch is bumped anyway as defense in depth: no
+// cache entry outlives any authorization-relevant change.
 func (c *Controller) RecordConsent(d consent.Directive) (consent.Directive, error) {
 	if c.isClosed() {
 		return consent.Directive{}, ErrClosed
 	}
-	return c.con.Record(d)
+	stored, err := c.con.Record(d)
+	if err == nil {
+		c.enf.InvalidateDecisions()
+	}
+	return stored, err
 }
 
 // ConsentDirectives lists the directives of a data subject.
@@ -437,6 +457,17 @@ func (c *Controller) Spans() *telemetry.SpanLog { return c.spans }
 func (c *Controller) recordStage(trace, stage string, start time.Time, d time.Duration) {
 	c.spans.Record(trace, stage, start, d)
 	c.met.stageSeconds.ObserveDuration(d, stage)
+}
+
+// recordCacheEvent counts one read-path cache lookup; it is the cache
+// observer wired into the enforcer, the events index, and any
+// in-process gateway.
+func (c *Controller) recordCacheEvent(cache string, hit bool) {
+	if hit {
+		c.met.cacheEvents.Inc(cache, "hit")
+	} else {
+		c.met.cacheEvents.Inc(cache, "miss")
+	}
 }
 
 // Healthy reports whether the controller can serve traffic; it backs the

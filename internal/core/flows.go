@@ -307,6 +307,37 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 	return d, nil
 }
 
+// PrefetchDetails warms the detail-request read path for r without
+// releasing anything to the caller: the consent check and policy
+// decision run (and the decision is cached), and on permit one gateway
+// fetch is driven whose result is discarded — it populates the
+// producer-side decoded-detail cache and coalesces with identical
+// concurrent RequestDetails calls. No data is disclosed to any consumer,
+// so the flow is not audited as an access; controller-side storage of
+// details stays prohibited (E13).
+func (c *Controller) PrefetchDetails(r *event.DetailRequest) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if !c.reg.HasConsumer(r.Requester) {
+		return fmt.Errorf("%w: %s", ErrNotConsumer, r.Requester)
+	}
+	n, err := c.idx.Get(r.EventID)
+	if err != nil {
+		if errors.Is(err, index.ErrNotFound) {
+			return fmt.Errorf("%w: %s", enforcer.ErrUnknownEvent, r.EventID)
+		}
+		return err
+	}
+	if !c.con.Allows(n.PersonID, r.Class, r.Requester, r.Purpose) {
+		return ErrConsentDeny
+	}
+	return c.enf.Prefetch(r)
+}
+
 func (c *Controller) auditDetail(r *event.DetailRequest, outcome, policyID, note string) {
 	c.aud.Append(audit.Record{
 		Kind:     audit.KindDetailRequest,

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/consent"
+	"repro/internal/enforcer"
+)
+
+func TestConsentOptOutDeniesNextRequest(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	w.doctorPolicy(t)
+
+	// Warm every read-path cache with a permitted request.
+	if _, err := w.c.RequestDetails(w.request(gid)); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if _, err := w.c.RecordConsent(consent.Directive{PersonID: "PRS-1", Allow: false}); err != nil {
+		t.Fatal(err)
+	}
+	// The VERY NEXT request must be denied — no cache may keep a permit
+	// alive across the data subject's opt-out.
+	if _, err := w.c.RequestDetails(w.request(gid)); !errors.Is(err, ErrConsentDeny) {
+		t.Fatalf("post-opt-out err = %v, want ErrConsentDeny", err)
+	}
+	// Opting back in restores access on the very next request.
+	if _, err := w.c.RecordConsent(consent.Directive{PersonID: "PRS-1", Allow: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.c.RequestDetails(w.request(gid)); err != nil {
+		t.Fatalf("post-opt-in err = %v, want permit", err)
+	}
+}
+
+func TestConsentChangeInvalidatesDecisionCache(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	w.doctorPolicy(t)
+
+	w.c.RequestDetails(w.request(gid))
+	w.c.RequestDetails(w.request(gid))
+	hits := w.c.met.cacheEvents.Value("pdp.decision", "hit")
+	if hits != 1 {
+		t.Fatalf("pre-consent-change decision hits = %d, want 1", hits)
+	}
+	// Any consent directive bumps the decision epoch (defense in depth:
+	// consent is re-checked per request at the controller anyway).
+	if _, err := w.c.RecordConsent(consent.Directive{PersonID: "PRS-1", Allow: true}); err != nil {
+		t.Fatal(err)
+	}
+	w.c.RequestDetails(w.request(gid))
+	if h := w.c.met.cacheEvents.Value("pdp.decision", "hit"); h != hits {
+		t.Errorf("decision hits after consent change = %d, want still %d (epoch bumped)", h, hits)
+	}
+	if m := w.c.met.cacheEvents.Value("pdp.decision", "miss"); m != 2 {
+		t.Errorf("decision misses = %d, want 2", m)
+	}
+}
+
+func TestCacheEventsCounterCoversReadPath(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	w.doctorPolicy(t)
+
+	for i := 0; i < 3; i++ {
+		if _, err := w.c.RequestDetails(w.request(gid)); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for _, cache := range []string{"pdp.decision", "index.notification", "gateway.detail"} {
+		hits := w.c.met.cacheEvents.Value(cache, "hit")
+		misses := w.c.met.cacheEvents.Value(cache, "miss")
+		if misses == 0 {
+			t.Errorf("%s: no misses recorded (cache not wired?)", cache)
+		}
+		if hits < 2 {
+			t.Errorf("%s: hits = %d, want >=2 for 3 identical requests", cache, hits)
+		}
+	}
+}
+
+func TestPrefetchDetails(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	w.doctorPolicy(t)
+
+	if err := w.c.PrefetchDetails(w.request(gid)); err != nil {
+		t.Fatalf("PrefetchDetails: %v", err)
+	}
+	// Prefetch discloses nothing to any consumer, so it is not an access:
+	// the access stats and audit trail must not move.
+	if st := w.c.Stats(); st.DetailPermits != 0 || st.DetailDenials != 0 {
+		t.Errorf("prefetch counted as access: %+v", st)
+	}
+	// It warmed the decision cache for the real request that follows.
+	if _, err := w.c.RequestDetails(w.request(gid)); err != nil {
+		t.Fatalf("post-prefetch request: %v", err)
+	}
+	if h := w.c.met.cacheEvents.Value("pdp.decision", "hit"); h != 1 {
+		t.Errorf("decision hits after prefetch+request = %d, want 1", h)
+	}
+}
+
+func TestPrefetchDetailsEnforcesEveryGuard(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+
+	// Deny-by-default without a policy.
+	if err := w.c.PrefetchDetails(w.request(gid)); !errors.Is(err, enforcer.ErrDenied) {
+		t.Errorf("no policy: err = %v, want ErrDenied", err)
+	}
+	w.doctorPolicy(t)
+	// Unknown requester.
+	r := w.request(gid)
+	r.Requester = "never-registered"
+	if err := w.c.PrefetchDetails(r); !errors.Is(err, ErrNotConsumer) {
+		t.Errorf("unknown requester: err = %v", err)
+	}
+	// Unknown event.
+	if err := w.c.PrefetchDetails(w.request("evt-ghost")); !errors.Is(err, enforcer.ErrUnknownEvent) {
+		t.Errorf("unknown event: err = %v", err)
+	}
+	// Consent opt-out blocks prefetching too.
+	if _, err := w.c.RecordConsent(consent.Directive{PersonID: "PRS-1", Allow: false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.PrefetchDetails(w.request(gid)); !errors.Is(err, ErrConsentDeny) {
+		t.Errorf("opted out: err = %v, want ErrConsentDeny", err)
+	}
+}
+
+// TestNoStalePermitUnderConsentChurn storms RequestDetails while the
+// data subject flips consent, proving no cache layer can keep a permit
+// alive into a window where the subject had provably opted out. Same seq
+// protocol as the enforcer-level policy-churn test: odd = consent may be
+// granted from now on, even = the opt-out directive is durably recorded
+// and no re-grant has started.
+func TestNoStalePermitUnderConsentChurn(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "src-1", "PRS-1")
+	w.doctorPolicy(t)
+
+	var seq atomic.Uint64
+	// Start in the provably-denied state that matches seq 0 (even).
+	if _, err := w.c.RecordConsent(consent.Directive{PersonID: "PRS-1", Allow: false}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var cycles atomic.Int64
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq.Add(1) // odd: consent may be granted from now on
+			if _, err := w.c.RecordConsent(consent.Directive{PersonID: "PRS-1", Allow: true}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := w.c.RecordConsent(consent.Directive{PersonID: "PRS-1", Allow: false}); err != nil {
+				t.Error(err)
+				return
+			}
+			seq.Add(1) // even: opt-out recorded, no re-grant started
+			cycles.Add(1)
+		}
+	}()
+
+	const workers = 4
+	const perWorker = 2000
+	var permits, denies atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				s1 := seq.Load()
+				_, err := w.c.RequestDetails(w.request(gid))
+				switch {
+				case err == nil:
+					permits.Add(1)
+					if s2 := seq.Load(); s1 == s2 && s1%2 == 0 {
+						t.Errorf("stale permit at even seq %d (subject had opted out)", s1)
+						return
+					}
+				case errors.Is(err, ErrConsentDeny):
+					denies.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	mutWG.Wait()
+	t.Logf("consent churn: %d cycles, %d permits, %d denies", cycles.Load(), permits.Load(), denies.Load())
+}

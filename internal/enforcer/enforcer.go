@@ -18,8 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/event"
 	"repro/internal/idmap"
 	"repro/internal/policy"
@@ -65,6 +67,48 @@ type TracedDetailSource interface {
 // and latency histograms.
 type StageObserver func(trace, stage string, start time.Time, d time.Duration)
 
+// CacheObserver receives the outcome of one read-path cache lookup. The
+// alias form (not a defined type) lets wiring code treat any component
+// exposing SetCacheObserver(func(string, bool)) uniformly. For the
+// "gateway.flight" pseudo-cache a hit means the fetch was coalesced onto
+// an identical in-flight request.
+type CacheObserver = func(cache string, hit bool)
+
+// decisionCacheSize bounds the PDP decision cache. Entries are tiny
+// (a key triple, a field-name slice and two strings), so the bound is
+// about distinct (actor, class, purpose) combinations, not memory.
+const decisionCacheSize = 4096
+
+// decisionKey identifies a memoizable match+evaluate outcome. The
+// authorized fieldset is not part of the key because it is an output:
+// (actor, class, purpose) determine the matching policy and hence its
+// fieldset (Definition 3 + the most-specific tie-break).
+type decisionKey struct {
+	actor   event.Actor
+	class   event.ClassID
+	purpose event.Purpose
+}
+
+// decision is a memoized outcome of Algorithm 1 steps 2–3. Cached
+// instances are shared across requests; Fields must be treated as
+// immutable by every consumer.
+type decision struct {
+	epoch    uint64
+	permit   bool
+	policyID string
+	reason   string
+	fields   []event.FieldName
+}
+
+// flightKey identifies one gateway fetch for coalescing. The policy id
+// pins the exact authorized fieldset (a policy's fields are fixed while
+// installed), so two requests coalesce only when they would release
+// byte-identical privacy-aware details.
+type flightKey struct {
+	source   event.SourceID
+	policyID string
+}
+
 // Outcome describes how a detail request was resolved, for auditing.
 type Outcome struct {
 	// Decision is Permit or Deny.
@@ -82,6 +126,26 @@ type Outcome struct {
 
 // Enforcer wires the PEP, PDP, PIP and the producer gateways together.
 // Safe for concurrent use.
+//
+// The hot path (GetEventDetails) is accelerated by two mechanisms that
+// must never weaken deny-by-default:
+//
+//   - an epoch-versioned decision cache over steps 2–3. Readers load the
+//     epoch before computing and store the outcome under that epoch;
+//     AddPolicy/RemovePolicy bump the epoch only after the repository and
+//     the PDP are both updated, so an entry is served only if no policy
+//     mutation completed since before its computation began. A stale
+//     permit is therefore impossible: any request starting after
+//     RemovePolicy returns sees the new epoch and re-evaluates. While any
+//     installed policy carries a validity window the cache is bypassed
+//     entirely (decisions become time-dependent, tracked by timeBounded).
+//   - singleflight coalescing of identical gateway fetches, keyed on
+//     (source, policy): concurrent consumers authorized by the same
+//     policy for the same event share one producer round-trip. The
+//     result is shared only for the duration of the flight — the
+//     controller never stores event details (see the E13 ablation:
+//     controller-side detail caching would duplicate sensitive data
+//     outside the producer's control).
 type Enforcer struct {
 	repo *policy.Repository
 	pdp  *xacml.PDP
@@ -90,6 +154,12 @@ type Enforcer struct {
 	mu       sync.RWMutex
 	gateways map[event.ProducerID]DetailSource
 	observe  StageObserver
+
+	epoch       atomic.Uint64
+	timeBounded atomic.Int64
+	decisions   *cache.LRU[decisionKey, decision]
+	flights     cache.Group[flightKey, *event.Detail]
+	cacheObs    atomic.Pointer[CacheObserver]
 }
 
 // New creates an enforcer around a policy repository (the PAP's store)
@@ -103,10 +173,11 @@ func New(repo *policy.Repository, ids *idmap.Map) (*Enforcer, error) {
 		return nil, err
 	}
 	return &Enforcer{
-		repo:     repo,
-		pdp:      pdp,
-		ids:      ids,
-		gateways: make(map[event.ProducerID]DetailSource),
+		repo:      repo,
+		pdp:       pdp,
+		ids:       ids,
+		gateways:  make(map[event.ProducerID]DetailSource),
+		decisions: cache.NewLRU[decisionKey, decision](decisionCacheSize),
 	}, nil
 }
 
@@ -117,13 +188,30 @@ func (e *Enforcer) SetObserver(o StageObserver) {
 	e.mu.Unlock()
 }
 
-// observeStage reports a finished stage to the observer, if any.
-func (e *Enforcer) observeStage(trace, stage string, start time.Time) {
+// observer returns the installed stage observer (nil when unset). The
+// hot path reads it once up front and gates every clock read on it, so
+// an unobserved enforcer never calls time.Now.
+func (e *Enforcer) observer() StageObserver {
 	e.mu.RLock()
 	o := e.observe
 	e.mu.RUnlock()
-	if o != nil {
-		o(trace, stage, start, time.Since(start))
+	return o
+}
+
+// SetCacheObserver installs the cache hit/miss observer (nil disables).
+// The controller wires it into the telemetry registry.
+func (e *Enforcer) SetCacheObserver(o CacheObserver) {
+	if o == nil {
+		e.cacheObs.Store(nil)
+		return
+	}
+	e.cacheObs.Store(&o)
+}
+
+// noteCache reports one cache lookup to the observer, if any.
+func (e *Enforcer) noteCache(cache string, hit bool) {
+	if o := e.cacheObs.Load(); o != nil {
+		(*o)(cache, hit)
 	}
 }
 
@@ -150,7 +238,10 @@ func (e *Enforcer) gateway(p event.ProducerID) (DetailSource, error) {
 
 // AddPolicy stores an elicited policy in the repository and installs its
 // XACML compilation in the PDP, keeping the two representations in step.
-// The stored policy (with its assigned ID) is returned.
+// The stored policy (with its assigned ID) is returned. The decision
+// epoch is bumped after the mutation completes (and after a rollback,
+// whose intermediate state was briefly visible), invalidating every
+// cached decision computed before it.
 func (e *Enforcer) AddPolicy(p *policy.Policy) (*policy.Policy, error) {
 	stored, err := e.repo.Add(p)
 	if err != nil {
@@ -160,26 +251,118 @@ func (e *Enforcer) AddPolicy(p *policy.Policy) (*policy.Policy, error) {
 	if err != nil {
 		// Roll back the repository so the two stores stay consistent.
 		e.repo.Remove(stored.ID)
+		e.epoch.Add(1)
 		return nil, err
 	}
 	if err := e.pdp.Add(compiled); err != nil {
 		e.repo.Remove(stored.ID)
+		e.epoch.Add(1)
 		return nil, err
 	}
+	if !stored.NotBefore.IsZero() || !stored.NotAfter.IsZero() {
+		e.timeBounded.Add(1)
+	}
+	e.epoch.Add(1)
 	return stored, nil
 }
 
-// RemovePolicy revokes a policy from both representations.
+// RemovePolicy revokes a policy from both representations. When it
+// returns, the epoch has been bumped: the very next request re-evaluates
+// against the post-revocation policy set — no cached permit window.
 func (e *Enforcer) RemovePolicy(id policy.ID) error {
+	p, err := e.repo.Get(id)
+	if err != nil {
+		return err
+	}
 	if err := e.repo.Remove(id); err != nil {
 		return err
 	}
-	return e.pdp.Remove(string(id))
+	err = e.pdp.Remove(string(id))
+	if !p.NotBefore.IsZero() || !p.NotAfter.IsZero() {
+		e.timeBounded.Add(-1)
+	}
+	e.epoch.Add(1)
+	return err
+}
+
+// InvalidateDecisions bumps the decision epoch, discarding every cached
+// decision. The controller calls it on consent changes: consent is
+// checked live on each flow (never cached here), so this is defense in
+// depth, keeping the cache's lifetime bounded by any authorization-
+// relevant mutation.
+func (e *Enforcer) InvalidateDecisions() {
+	e.epoch.Add(1)
 }
 
 // Repository exposes the policy repository (read paths: listing,
 // subscription authorization).
 func (e *Enforcer) Repository() *policy.Repository { return e.repo }
+
+// decide runs Algorithm 1 steps 2–3 (policy matching + XACML
+// evaluation) through the epoch-versioned decision cache. Decisions are
+// memoizable only while no installed policy carries a validity window:
+// without windows the outcome is fully determined by (actor, class,
+// purpose), whatever the request instant.
+func (e *Enforcer) decide(r *event.DetailRequest) decision {
+	cacheable := e.timeBounded.Load() == 0
+	var key decisionKey
+	var epoch uint64
+	if cacheable {
+		key = decisionKey{actor: r.Requester, class: r.Class, purpose: r.Purpose}
+		// Load the epoch BEFORE computing: if a policy mutation completes
+		// underneath us, it bumps past this value and the stored entry is
+		// stillborn — never served.
+		epoch = e.epoch.Load()
+		if dec, ok := e.decisions.Get(key); ok && dec.epoch == epoch {
+			e.noteCache("pdp.decision", true)
+			return dec
+		}
+		e.noteCache("pdp.decision", false)
+	}
+	dec := e.evaluate(r)
+	if cacheable {
+		dec.epoch = epoch
+		e.decisions.Put(key, dec)
+	}
+	return dec
+}
+
+// evaluate is the uncached body of decide.
+func (e *Enforcer) evaluate(r *event.DetailRequest) decision {
+	// Step 2 — policy matching phase: retrieve THE matching policy
+	// (Definition 3, with the most-specific-actor/newest tie-break).
+	id, err := e.repo.MatchID(r)
+	if err != nil {
+		return decision{reason: "no matching policy"}
+	}
+	// Step 3 — evaluate the matched policy in its XACML form.
+	resp := e.pdp.EvaluateOne(string(id), xacml.CompileRequest(r))
+	if resp.Decision != xacml.Permit {
+		return decision{policyID: resp.PolicyID,
+			reason: "matched policy did not permit (" + resp.Decision.String() + ")"}
+	}
+	fields := xacml.AuthorizedFields(&resp)
+	if len(fields) == 0 {
+		return decision{policyID: resp.PolicyID, reason: "permit without authorized fields"}
+	}
+	return decision{permit: true, policyID: resp.PolicyID, fields: fields}
+}
+
+// fetch asks the producer's gateway for the authorized fields of src,
+// coalescing concurrent identical fetches: followers of an in-flight
+// call share the leader's result (and its trace). shared reports whether
+// the detail came from another caller's flight — the caller must clone
+// it before handing it on.
+func (e *Enforcer) fetch(g DetailSource, trace string, src event.SourceID, policyID string, fields []event.FieldName) (*event.Detail, bool, error) {
+	d, shared, err := e.flights.Do(flightKey{source: src, policyID: policyID}, func() (*event.Detail, error) {
+		if tg, ok := g.(TracedDetailSource); ok && trace != "" {
+			return tg.GetResponseTraced(trace, src, fields)
+		}
+		return g.GetResponse(src, fields)
+	})
+	e.noteCache("gateway.flight", shared)
+	return d, shared, err
+}
 
 // GetEventDetails resolves a detail request — Algorithm 1. On permit it
 // returns the privacy-aware detail produced by the gateway plus the
@@ -205,28 +388,20 @@ func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outco
 		return nil, out, ErrClassMismatch
 	}
 
-	// Step 2 — policy matching phase: retrieve THE matching policy
-	// (Definition 3, with the most-specific-actor/newest tie-break).
-	pdpStart := time.Now()
-	matched, err := e.repo.Match(r)
-	if err != nil {
-		e.observeStage(r.Trace, "pdp.decide", pdpStart)
-		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
-			Reason: "no matching policy"}
-		return nil, out, ErrDenied
+	// Steps 2–3, behind the decision cache. The clock is read only when
+	// an observer is installed.
+	obs := e.observer()
+	var pdpStart time.Time
+	if obs != nil {
+		pdpStart = time.Now()
 	}
-	// Step 3 — evaluate the matched policy in its XACML form.
-	resp := e.pdp.EvaluateOne(string(matched.ID), xacml.CompileRequest(r))
-	e.observeStage(r.Trace, "pdp.decide", pdpStart)
-	if resp.Decision != xacml.Permit {
-		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
-			PolicyID: resp.PolicyID, Reason: "matched policy did not permit (" + resp.Decision.String() + ")"}
-		return nil, out, ErrDenied
+	dec := e.decide(r)
+	if obs != nil {
+		obs(r.Trace, "pdp.decide", pdpStart, time.Since(pdpStart))
 	}
-	fields := xacml.AuthorizedFields(&resp)
-	if len(fields) == 0 {
+	if !dec.permit {
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
-			PolicyID: resp.PolicyID, Reason: "permit without authorized fields"}
+			PolicyID: dec.policyID, Reason: dec.reason}
 		return nil, out, ErrDenied
 	}
 
@@ -234,35 +409,74 @@ func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outco
 	g, err := e.gateway(m.Producer)
 	if err != nil {
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
-			PolicyID: resp.PolicyID, Reason: err.Error()}
+			PolicyID: dec.policyID, Reason: err.Error()}
 		return nil, out, err
 	}
-	fetchStart := time.Now()
-	var d *event.Detail
-	if tg, ok := g.(TracedDetailSource); ok && r.Trace != "" {
-		d, err = tg.GetResponseTraced(r.Trace, m.Source, fields)
-	} else {
-		d, err = g.GetResponse(m.Source, fields)
+	var fetchStart time.Time
+	if obs != nil {
+		fetchStart = time.Now()
 	}
-	e.observeStage(r.Trace, "gateway.fetch", fetchStart)
+	d, shared, err := e.fetch(g, r.Trace, m.Source, dec.policyID, dec.fields)
+	if obs != nil {
+		obs(r.Trace, "gateway.fetch", fetchStart, time.Since(fetchStart))
+	}
 	if err != nil {
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
-			PolicyID: resp.PolicyID, Reason: "gateway: " + err.Error()}
+			PolicyID: dec.policyID, Reason: "gateway: " + err.Error()}
 		return nil, out, err
+	}
+	if shared {
+		// A coalesced result is aliased by every follower of the flight;
+		// hand each consumer its own copy.
+		d = d.Clone()
 	}
 	// Defense in depth: re-check Definition 4 at the controller before
 	// forwarding to the consumer.
-	if !d.ExposesOnly(fields) {
+	if !d.ExposesOnly(dec.fields) {
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
-			PolicyID: resp.PolicyID, Reason: "gateway response exposed unauthorized fields"}
+			PolicyID: dec.policyID, Reason: "gateway response exposed unauthorized fields"}
 		return nil, out, ErrUnsafeResponse
 	}
 	out := Outcome{
 		Decision: event.Permit,
-		PolicyID: resp.PolicyID,
-		Fields:   fields,
+		PolicyID: dec.policyID,
+		Fields:   dec.fields,
 		Producer: m.Producer,
 		Source:   m.Source,
 	}
 	return d, out, nil
+}
+
+// Prefetch warms the read path for a request without releasing anything
+// to the caller: it resolves the event, runs (and caches) the policy
+// decision, and on permit drives one gateway fetch whose result is
+// discarded at the controller. The fetch populates the producer-side
+// decoded-detail cache and coalesces with identical concurrent requests,
+// so a burst of consumers arriving behind a prefetch shares its
+// round-trip. Nothing is stored controller-side (E13: event details must
+// not be duplicated outside the producer's control).
+func (e *Enforcer) Prefetch(r *event.DetailRequest) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	m, err := e.ids.Resolve(r.EventID)
+	if err != nil {
+		if errors.Is(err, idmap.ErrNotFound) {
+			return fmt.Errorf("%w: %s", ErrUnknownEvent, r.EventID)
+		}
+		return err
+	}
+	if m.Class != r.Class {
+		return ErrClassMismatch
+	}
+	dec := e.decide(r)
+	if !dec.permit {
+		return ErrDenied
+	}
+	g, err := e.gateway(m.Producer)
+	if err != nil {
+		return err
+	}
+	_, _, err = e.fetch(g, r.Trace, m.Source, dec.policyID, dec.fields)
+	return err
 }

@@ -1,0 +1,358 @@
+package enforcer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/idmap"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// cacheCounts tallies cache observer callbacks by cache name.
+type cacheCounts struct {
+	mu     sync.Mutex
+	hits   map[string]int
+	misses map[string]int
+}
+
+func observeInto(e *Enforcer) *cacheCounts {
+	cc := &cacheCounts{hits: map[string]int{}, misses: map[string]int{}}
+	e.SetCacheObserver(func(cache string, hit bool) {
+		cc.mu.Lock()
+		defer cc.mu.Unlock()
+		if hit {
+			cc.hits[cache]++
+		} else {
+			cc.misses[cache]++
+		}
+	})
+	return cc
+}
+
+func (cc *cacheCounts) hit(cache string) int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits[cache]
+}
+
+func (cc *cacheCounts) miss(cache string) int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.misses[cache]
+}
+
+func TestDecisionCacheServesRepeats(t *testing.T) {
+	f := newFixture(t)
+	cc := observeInto(f.enf)
+	f.addPolicy(t, "patient-id", "hemoglobin")
+
+	for i := 0; i < 5; i++ {
+		if _, out, err := f.enf.GetEventDetails(f.request()); err != nil || out.Decision != event.Permit {
+			t.Fatalf("request %d: err=%v out=%+v", i, err, out)
+		}
+	}
+	if m := cc.miss("pdp.decision"); m != 1 {
+		t.Errorf("decision misses = %d, want 1 (first request only)", m)
+	}
+	if h := cc.hit("pdp.decision"); h != 4 {
+		t.Errorf("decision hits = %d, want 4", h)
+	}
+}
+
+func TestDecisionCacheDeniesAreCachedToo(t *testing.T) {
+	f := newFixture(t)
+	cc := observeInto(f.enf)
+	for i := 0; i < 3; i++ {
+		if _, _, err := f.enf.GetEventDetails(f.request()); !errors.Is(err, ErrDenied) {
+			t.Fatalf("request %d: err = %v, want ErrDenied", i, err)
+		}
+	}
+	if h := cc.hit("pdp.decision"); h != 2 {
+		t.Errorf("cached-deny hits = %d, want 2", h)
+	}
+}
+
+func TestRemovePolicyInvalidatesCachedPermit(t *testing.T) {
+	f := newFixture(t)
+	p := f.addPolicy(t, "patient-id")
+	// Warm the cache with a permit.
+	if _, out, err := f.enf.GetEventDetails(f.request()); err != nil || out.Decision != event.Permit {
+		t.Fatalf("warm-up: err=%v out=%+v", err, out)
+	}
+	if err := f.enf.RemovePolicy(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The VERY NEXT request must be denied — no cached permit window.
+	if _, out, err := f.enf.GetEventDetails(f.request()); !errors.Is(err, ErrDenied) || out.Decision != event.Deny {
+		t.Fatalf("post-revocation: err=%v out=%+v, want immediate deny", err, out)
+	}
+}
+
+func TestAddPolicyInvalidatesCachedDeny(t *testing.T) {
+	f := newFixture(t)
+	// Warm the cache with a deny (no policy yet).
+	if _, _, err := f.enf.GetEventDetails(f.request()); !errors.Is(err, ErrDenied) {
+		t.Fatal("expected initial deny")
+	}
+	f.addPolicy(t, "patient-id")
+	// The new policy must take effect on the very next request.
+	if _, out, err := f.enf.GetEventDetails(f.request()); err != nil || out.Decision != event.Permit {
+		t.Fatalf("post-grant: err=%v out=%+v, want immediate permit", err, out)
+	}
+}
+
+func TestInvalidateDecisionsForcesReevaluation(t *testing.T) {
+	f := newFixture(t)
+	cc := observeInto(f.enf)
+	f.addPolicy(t, "patient-id")
+	f.enf.GetEventDetails(f.request())
+	f.enf.GetEventDetails(f.request())
+	if h := cc.hit("pdp.decision"); h != 1 {
+		t.Fatalf("pre-invalidation hits = %d, want 1", h)
+	}
+	f.enf.InvalidateDecisions() // what RecordConsent triggers
+	f.enf.GetEventDetails(f.request())
+	if h := cc.hit("pdp.decision"); h != 1 {
+		t.Errorf("post-invalidation hits = %d, want still 1 (epoch bumped)", h)
+	}
+	if m := cc.miss("pdp.decision"); m != 2 {
+		t.Errorf("post-invalidation misses = %d, want 2", m)
+	}
+}
+
+func TestTimeBoundedPolicyBypassesCache(t *testing.T) {
+	f := newFixture(t)
+	cc := observeInto(f.enf)
+	exp, err := f.enf.AddPolicy(&policy.Policy{
+		Producer: "hospital",
+		Actor:    "family-doctor",
+		Class:    "hospital.blood-test",
+		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
+		Fields:   []event.FieldName{"patient-id"},
+		NotAfter: time.Now().Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// While a windowed policy is installed, decisions are time-dependent:
+	// the cache must not serve (nor record) anything.
+	for i := 0; i < 3; i++ {
+		r := f.request()
+		if _, out, err := f.enf.GetEventDetails(r); err != nil || out.Decision != event.Permit {
+			t.Fatalf("in-window request %d: err=%v out=%+v", i, err, out)
+		}
+	}
+	if h, m := cc.hit("pdp.decision"), cc.miss("pdp.decision"); h != 0 || m != 0 {
+		t.Errorf("windowed policy: cache touched (%d hits, %d misses), want full bypass", h, m)
+	}
+
+	// Past the window the same request shape is denied — a cached permit
+	// here would be a privacy violation.
+	r := f.request()
+	r.At = exp.NotAfter.Add(time.Minute)
+	if _, _, err := f.enf.GetEventDetails(r); !errors.Is(err, ErrDenied) {
+		t.Fatalf("post-expiry err = %v, want ErrDenied", err)
+	}
+
+	// Removing the windowed policy re-enables caching.
+	if err := f.enf.RemovePolicy(exp.ID); err != nil {
+		t.Fatal(err)
+	}
+	f.addPolicy(t, "patient-id")
+	f.enf.GetEventDetails(f.request())
+	f.enf.GetEventDetails(f.request())
+	if h := cc.hit("pdp.decision"); h != 1 {
+		t.Errorf("post-removal hits = %d, want caching re-enabled", h)
+	}
+}
+
+// gatedSource blocks GetResponse until released, counting calls.
+type gatedSource struct {
+	calls   atomic.Int32
+	entered chan struct{} // receives one tick per arrived call
+	release chan struct{}
+	detail  func(fields []event.FieldName) *event.Detail
+}
+
+func (s *gatedSource) GetResponse(src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
+	s.calls.Add(1)
+	s.entered <- struct{}{}
+	<-s.release
+	return s.detail(fields), nil
+}
+
+func TestGatewayFetchCoalescing(t *testing.T) {
+	ids := idmap.New(store.OpenMemory())
+	enf, err := New(policy.NewRepository(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &gatedSource{
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+		detail: func(fields []event.FieldName) *event.Detail {
+			return event.NewDetail("c.x", "src-1", "hospital").Set("allowed", "ok")
+		},
+	}
+	enf.AttachGateway("hospital", src)
+	gid, _ := ids.Assign("hospital", "src-1", "c.x")
+	if _, err := enf.AddPolicy(&policy.Policy{
+		Producer: "hospital", Actor: "a", Class: "c.x",
+		Purposes: []event.Purpose{"s"}, Fields: []event.FieldName{"allowed"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	results := make([]*event.Detail, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &event.DetailRequest{Requester: "a", Class: "c.x", EventID: gid, Purpose: "s"}
+			d, out, err := enf.GetEventDetails(r)
+			if err != nil || out.Decision != event.Permit {
+				t.Errorf("request %d: err=%v out=%+v", i, err, out)
+				return
+			}
+			results[i] = d
+		}(i)
+	}
+	// Wait for the leader to reach the gateway, give followers time to
+	// pile onto the flight, then release.
+	<-src.entered
+	time.Sleep(20 * time.Millisecond)
+	close(src.release)
+	wg.Wait()
+
+	if got := src.calls.Load(); got != 1 {
+		t.Fatalf("gateway fetched %d times for %d identical concurrent requests, want 1", got, n)
+	}
+	// Every consumer must own its detail: mutating one must not be
+	// visible through another (flight followers receive clones).
+	seen := map[*event.Detail]bool{}
+	for i, d := range results {
+		if d == nil {
+			t.Fatalf("results[%d] missing", i)
+		}
+		if seen[d] {
+			t.Fatal("two consumers share one *event.Detail instance")
+		}
+		seen[d] = true
+	}
+}
+
+func TestPrefetchWarmsDecisionCache(t *testing.T) {
+	f := newFixture(t)
+	cc := observeInto(f.enf)
+	f.addPolicy(t, "patient-id", "hemoglobin")
+	if err := f.enf.Prefetch(f.request()); err != nil {
+		t.Fatalf("Prefetch: %v", err)
+	}
+	if _, out, err := f.enf.GetEventDetails(f.request()); err != nil || out.Decision != event.Permit {
+		t.Fatalf("post-prefetch request: err=%v out=%+v", err, out)
+	}
+	if h := cc.hit("pdp.decision"); h != 1 {
+		t.Errorf("decision hits after prefetch = %d, want 1 (prefetch warmed it)", h)
+	}
+}
+
+func TestPrefetchDeniesLikeTheRealPath(t *testing.T) {
+	f := newFixture(t)
+	if err := f.enf.Prefetch(f.request()); !errors.Is(err, ErrDenied) {
+		t.Errorf("prefetch without policy: err = %v, want ErrDenied", err)
+	}
+}
+
+// TestNoStalePermitUnderPolicyChurn storms GetEventDetails while a
+// mutator adds and revokes the authorizing policy, and proves
+// deny-by-default survives the decision cache: a permit observed in a
+// window where the policy was provably absent is a stale-cache bug.
+//
+// The seq protocol makes the detector sound under concurrency: seq is
+// bumped to odd BEFORE AddPolicy starts (a policy may exist from here
+// on) and to even only AFTER RemovePolicy returned (provably no policy,
+// and no add started). A request that begins and ends at the same even
+// seq ran entirely inside a no-policy window, so a permit there can only
+// come from a stale cache entry.
+func TestNoStalePermitUnderPolicyChurn(t *testing.T) {
+	f := newFixture(t)
+	template := &policy.Policy{
+		Producer: "hospital",
+		Actor:    "family-doctor",
+		Class:    "hospital.blood-test",
+		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
+		Fields:   []event.FieldName{"patient-id", "hemoglobin"},
+	}
+
+	var seq atomic.Uint64
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq.Add(1) // odd: a policy may exist from now on
+			p, err := f.enf.AddPolicy(template.Clone())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := f.enf.RemovePolicy(p.ID); err != nil {
+				t.Error(err)
+				return
+			}
+			seq.Add(1) // even: provably no policy installed
+			mutations.Add(1)
+		}
+	}()
+
+	const workers = 4
+	const perWorker = 4000
+	var permits, denies atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := f.request()
+			for i := 0; i < perWorker; i++ {
+				s1 := seq.Load()
+				_, out, err := f.enf.GetEventDetails(r)
+				switch {
+				case err == nil && out.Decision == event.Permit:
+					permits.Add(1)
+					if s2 := seq.Load(); s1 == s2 && s1%2 == 0 {
+						t.Errorf("stale permit: served at even seq %d (no policy installed)", s1)
+						return
+					}
+				case errors.Is(err, ErrDenied):
+					denies.Add(1)
+				default:
+					t.Errorf("unexpected outcome: err=%v out=%+v", err, out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	mutWG.Wait()
+	t.Logf("churn: %d mutation cycles, %d permits, %d denies", mutations.Load(), permits.Load(), denies.Load())
+	if mutations.Load() == 0 || permits.Load() == 0 || denies.Load() == 0 {
+		t.Log("warning: churn test saw a degenerate interleaving (one outcome never occurred)")
+	}
+}

@@ -16,8 +16,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/crypto"
 	"repro/internal/event"
 	"repro/internal/store"
@@ -26,13 +28,42 @@ import (
 // ErrNotFound reports an unknown event id.
 var ErrNotFound = errors.New("index: not found")
 
+// CacheObserver receives the outcome of one read cache lookup ("index.
+// notification" or "index.pseudonym"). Alias form so wiring code can
+// duck-type SetCacheObserver across packages.
+type CacheObserver = func(cache string, hit bool)
+
+// Read cache bounds. Notifications are small (a record struct with a few
+// strings); pseudonym entries are two short strings.
+const (
+	notifCacheSize     = 4096
+	pseudonymCacheSize = 4096
+)
+
 // Index is the notification store. Safe for concurrent use; durable when
 // backed by a persistent store. With a nil keyring the index stores
 // person identifiers in the clear — that mode exists solely as the
 // baseline of experiment E5 and must not be used in a deployment.
+//
+// Two read caches sit in front of the store. The notification cache
+// memoizes decrypt+decode results so repeated Get/Inquire hits stop
+// paying AES-GCM + JSON per record: entries are filled only inside a
+// store read transaction (the store's read lock orders the fill before
+// any later write) and deleted after every Put of the same id, so the
+// cache can never hold a value the store has moved past. The pseudonym
+// cache memoizes the keyed HMAC of person identifiers — a deterministic
+// function, so it needs no invalidation. Cached notifications never
+// escape: callers always receive clones. Caching notifications (not
+// event details!) controller-side is legal: the notification is exactly
+// what the controller already stores and routes; details stay at the
+// producer (E13).
 type Index struct {
 	st   *store.Store
 	keys *crypto.Keyring
+
+	notif *cache.LRU[event.GlobalID, *event.Notification]
+	pseud *cache.LRU[string, string]
+	obs   atomic.Pointer[CacheObserver]
 }
 
 // record is the persisted form of a notification. PersonID holds either
@@ -52,7 +83,40 @@ type record struct {
 // New creates an index on st. Keys may be nil only for the E5 plaintext
 // baseline.
 func New(st *store.Store, keys *crypto.Keyring) *Index {
-	return &Index{st: st, keys: keys}
+	return &Index{
+		st:    st,
+		keys:  keys,
+		notif: cache.NewLRU[event.GlobalID, *event.Notification](notifCacheSize),
+		pseud: cache.NewLRU[string, string](pseudonymCacheSize),
+	}
+}
+
+// SetCacheObserver installs the cache hit/miss observer (nil disables).
+func (ix *Index) SetCacheObserver(o CacheObserver) {
+	if o == nil {
+		ix.obs.Store(nil)
+		return
+	}
+	ix.obs.Store(&o)
+}
+
+func (ix *Index) noteCache(cache string, hit bool) {
+	if o := ix.obs.Load(); o != nil {
+		(*o)(cache, hit)
+	}
+}
+
+// pseudonym returns the keyed pseudonym of a person identifier through
+// the read cache. Must only be called with a non-nil keyring.
+func (ix *Index) pseudonym(person string) string {
+	if p, ok := ix.pseud.Get(person); ok {
+		ix.noteCache("index.pseudonym", true)
+		return p
+	}
+	ix.noteCache("index.pseudonym", false)
+	p := ix.keys.Pseudonym(person)
+	ix.pseud.Put(person, p)
+	return p
 }
 
 // Put stores a published notification. The notification must carry its
@@ -81,7 +145,7 @@ func (ix *Index) Put(n *event.Notification) error {
 		}
 		r.PersonID = sealed
 		r.Encrypted = true
-		personKey = ix.keys.Pseudonym(n.PersonID)
+		personKey = ix.pseudonym(n.PersonID)
 	}
 	data, err := json.Marshal(&r)
 	if err != nil {
@@ -97,12 +161,26 @@ func (ix *Index) Put(n *event.Notification) error {
 	b.Put(personIdxKey(personKey, ts, n.ID), []byte(n.ID))
 	b.Put(classIdxKey(n.Class, ts, n.ID), []byte(n.ID))
 	b.Put(producerIdxKey(n.Producer, n.ID), []byte(n.ID))
-	return ix.st.Apply(&b)
+	if err := ix.st.Apply(&b); err != nil {
+		return err
+	}
+	// Invalidate after the write commits. Readers fill the cache only
+	// while holding the store's read lock, so any fill of the old value
+	// finished before Apply took the write lock — this delete removes it;
+	// fills that start after Apply see the new value.
+	ix.notif.Delete(n.ID)
+	return nil
 }
 
 // Get returns the notification with the given global ID, with the person
-// identifier decrypted.
+// identifier decrypted. The caller owns the returned notification (it is
+// never aliased by the cache).
 func (ix *Index) Get(id event.GlobalID) (*event.Notification, error) {
+	if n, ok := ix.notif.Get(id); ok {
+		ix.noteCache("index.notification", true)
+		return n.Clone(), nil
+	}
+	ix.noteCache("index.notification", false)
 	var n *event.Notification
 	err := ix.st.View(func(tx store.Tx) error {
 		v, ok := tx.Get(eventKey(id))
@@ -110,9 +188,14 @@ func (ix *Index) Get(id event.GlobalID) (*event.Notification, error) {
 			return fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
 		// decode copies everything it keeps, so the no-copy slice does
-		// not escape the transaction.
+		// not escape the transaction. The fill happens inside the read
+		// transaction so it is ordered before any later Put of this id
+		// (whose post-commit delete then removes this entry).
 		var derr error
 		n, derr = ix.decode(v)
+		if derr == nil {
+			ix.notif.Put(id, n.Clone())
+		}
 		return derr
 	})
 	if err != nil {
@@ -171,7 +254,7 @@ func (ix *Index) Inquire(q Inquiry) ([]*event.Notification, error) {
 	case q.PersonID != "":
 		personKey := q.PersonID
 		if ix.keys != nil {
-			personKey = ix.keys.Pseudonym(q.PersonID)
+			personKey = ix.pseudonym(q.PersonID)
 		}
 		return ix.scanIdx("p/"+personKey+"/", q)
 	case q.Class != "":
@@ -198,15 +281,24 @@ func (ix *Index) scanIdx(prefix string, q Inquiry) ([]*event.Notification, error
 				return false // left the prefix: stop
 			}
 			id := event.GlobalID(v)
-			pv, ok := tx.Get(eventKey(id))
-			if !ok {
-				innerErr = fmt.Errorf("%w: dangling index entry %s", ErrNotFound, id)
-				return false
-			}
-			n, err := ix.decode(pv)
-			if err != nil {
-				innerErr = err
-				return false
+			var n *event.Notification
+			if hit, ok := ix.notif.Get(id); ok {
+				ix.noteCache("index.notification", true)
+				n = hit.Clone()
+			} else {
+				ix.noteCache("index.notification", false)
+				pv, ok := tx.Get(eventKey(id))
+				if !ok {
+					innerErr = fmt.Errorf("%w: dangling index entry %s", ErrNotFound, id)
+					return false
+				}
+				var err error
+				n, err = ix.decode(pv)
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				ix.notif.Put(id, n.Clone())
 			}
 			if !matches(n, q) {
 				// Keys are time-ordered: once past To we can stop.

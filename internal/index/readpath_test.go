@@ -1,0 +1,133 @@
+package index
+
+import (
+	"testing"
+)
+
+func TestGetCachesDecodedNotification(t *testing.T) {
+	ix := newIndex(t)
+	var hits, misses int
+	ix.SetCacheObserver(func(cache string, hit bool) {
+		if cache != "index.notification" {
+			return
+		}
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+	})
+	if err := ix.Put(notif("evt-1", "PRS-1", "c.x", t0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ix.Get("evt-1"); err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+	}
+	if misses != 1 || hits != 2 {
+		t.Errorf("notification cache: %d misses / %d hits, want 1/2", misses, hits)
+	}
+}
+
+func TestGetReturnsPrivateClones(t *testing.T) {
+	ix := newIndex(t)
+	if err := ix.Put(notif("evt-1", "PRS-1", "c.x", t0)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ix.Get("evt-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Summary = "tampered by caller"
+	b, err := ix.Get("evt-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Summary != "something happened" {
+		t.Errorf("caller mutation leaked into the cache: %q", b.Summary)
+	}
+	if a == b {
+		t.Error("two Get calls returned the same *Notification instance")
+	}
+}
+
+func TestPutInvalidatesCachedNotification(t *testing.T) {
+	ix := newIndex(t)
+	n := notif("evt-1", "PRS-1", "c.x", t0)
+	if err := ix.Put(n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Get("evt-1"); err != nil { // fill the cache
+		t.Fatal(err)
+	}
+	updated := notif("evt-1", "PRS-1", "c.x", t0)
+	updated.Summary = "amended report"
+	if err := ix.Put(updated); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Get("evt-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary != "amended report" {
+		t.Errorf("Get after re-Put = %q, want the amended record (stale cache)", got.Summary)
+	}
+}
+
+func TestPseudonymCacheAvoidsRecomputation(t *testing.T) {
+	ix := newIndex(t)
+	var hits, misses int
+	ix.SetCacheObserver(func(cache string, hit bool) {
+		if cache != "index.pseudonym" {
+			return
+		}
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+	})
+	for i := 0; i < 4; i++ {
+		if err := ix.Put(notif(string(rune('a'+i))+"-evt", "PRS-SAME", "c.x", t0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if misses != 1 || hits != 3 {
+		t.Errorf("pseudonym cache: %d misses / %d hits, want 1/3", misses, hits)
+	}
+	// Same person must keep mapping to one pseudonym: all four events are
+	// found under a single person inquiry.
+	ns, err := ix.Inquire(Inquiry{PersonID: "PRS-SAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 4 {
+		t.Errorf("person inquiry found %d notifications, want 4", len(ns))
+	}
+}
+
+func TestInquireWarmPathUsesNotificationCache(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 3; i++ {
+		if err := ix.Put(notif(string(rune('a'+i))+"-evt", "PRS-1", "c.x", t0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ix.Inquire(Inquiry{PersonID: "PRS-1"}); err != nil { // cold: fills
+		t.Fatal(err)
+	}
+	var hits int
+	ix.SetCacheObserver(func(cache string, hit bool) {
+		if cache == "index.notification" && hit {
+			hits++
+		}
+	})
+	ns, err := ix.Inquire(Inquiry{PersonID: "PRS-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 || hits != 3 {
+		t.Errorf("warm inquiry: %d notifications, %d cache hits, want 3/3", len(ns), hits)
+	}
+}

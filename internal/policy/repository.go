@@ -125,6 +125,28 @@ func (r *Repository) Match(req *event.DetailRequest) (*Policy, error) {
 	return best.Clone(), nil
 }
 
+// MatchID returns the identifier of the policy Match would select,
+// without copying it. The enforcer's hot path needs only the identifier
+// (it hands the decision to the PDP by id), so this variant skips the
+// deep clone Match pays on every call.
+func (r *Repository) MatchID(req *event.DetailRequest) (ID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var best *Policy
+	for _, p := range r.byClass[req.Class] {
+		if !p.Matches(req) {
+			continue
+		}
+		if best == nil || moreSpecific(p, best) {
+			best = p
+		}
+	}
+	if best == nil {
+		return "", ErrNotFound
+	}
+	return best.ID, nil
+}
+
 // MatchAll returns every policy matching the request, most specific
 // first. Diagnostics and the E7 experiment use it.
 func (r *Repository) MatchAll(req *event.DetailRequest) []*Policy {

@@ -5,9 +5,11 @@ import (
 	"encoding/xml"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/identity"
@@ -78,8 +80,20 @@ func NewGatewayServer(gw *gateway.Gateway) *GatewayServer {
 	return NewGatewayServerWithRegistry(gw, telemetry.NewRegistry())
 }
 
-// NewGatewayServerWithRegistry wraps a gateway recording into reg.
+// NewGatewayServerWithRegistry wraps a gateway recording into reg. The
+// gateway's decoded-detail cache reports into the registry as
+// css_cache_events_total{cache,result} (last wiring wins if the gateway
+// is also attached to an in-process controller).
 func NewGatewayServerWithRegistry(gw *gateway.Gateway, reg *telemetry.Registry) *GatewayServer {
+	cacheEvents := reg.Counter("css_cache_events_total",
+		"Read-path cache lookups, by cache and result.", "cache", "result")
+	gw.SetCacheObserver(func(cache string, hit bool) {
+		if hit {
+			cacheEvents.Inc(cache, "hit")
+		} else {
+			cacheEvents.Inc(cache, "miss")
+		}
+	})
 	s := &GatewayServer{gw: gw, mux: http.NewServeMux(), reg: reg}
 	s.mux.HandleFunc("POST /gw/get-response", s.handleGetResponse)
 	s.mux.HandleFunc("POST /gw/persist", s.handlePersist)
@@ -138,17 +152,27 @@ func (s *GatewayServer) handleGetResponse(w http.ResponseWriter, r *http.Request
 // RemoteGateway is the controller-side client of a GatewayServer. It
 // implements enforcer.DetailSource, so a remote producer plugs into the
 // enforcement pipeline exactly like an in-process gateway.
+//
+// Concurrent GetResponse calls for the same (source, fieldset) coalesce
+// into one HTTP round-trip: followers wait on the in-flight leader and
+// receive a clone of its response. Nothing is retained once the flight
+// completes — the client never caches details (controller-side storage
+// of event details is prohibited; see the E13 ablation).
 type RemoteGateway struct {
-	base  string
-	http  *http.Client
-	token string
+	base    string
+	http    *http.Client
+	token   string
+	flights *cache.Group[string, *event.Detail]
 }
 
 // WithToken returns a copy of the remote gateway client that presents
-// the bearer token (the controller's identity) on every call.
+// the bearer token (the controller's identity) on every call. The copy
+// gets its own coalescing group, so calls never share a flight (and
+// hence a response) across identities.
 func (g *RemoteGateway) WithToken(token string) *RemoteGateway {
 	cp := *g
 	cp.token = token
+	cp.flights = &cache.Group[string, *event.Detail]{}
 	return &cp
 }
 
@@ -177,7 +201,7 @@ func NewRemoteGateway(base string, httpClient *http.Client) *RemoteGateway {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &RemoteGateway{base: base, http: httpClient}
+	return &RemoteGateway{base: base, http: httpClient, flights: &cache.Group[string, *event.Detail]{}}
 }
 
 // Persist ships a full detail message to the gateway's persist endpoint
@@ -202,8 +226,23 @@ func (g *RemoteGateway) GetResponse(src event.SourceID, fields []event.FieldName
 // GetResponseTraced implements enforcer.TracedDetailSource: the flow's
 // trace ID crosses the process boundary as the X-Trace-Id header, so the
 // gateway-side metrics and logs of the fetch correlate with the
-// controller-side detail request.
+// controller-side detail request. Identical concurrent calls share one
+// round-trip (and the leader's trace); followers get their own clone.
 func (g *RemoteGateway) GetResponseTraced(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
+	d, shared, err := g.flights.Do(fetchKey(src, fields), func() (*event.Detail, error) {
+		return g.getResponse(trace, src, fields)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		d = d.Clone()
+	}
+	return d, nil
+}
+
+// getResponse performs the actual HTTP round-trip of Algorithm 2.
+func (g *RemoteGateway) getResponse(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
 	body, err := encodeXML(&getResponseRequest{Source: src, Fields: fields})
 	if err != nil {
 		return nil, err
@@ -217,6 +256,19 @@ func (g *RemoteGateway) GetResponseTraced(trace string, src event.SourceID, fiel
 		return nil, err
 	}
 	return &d, nil
+}
+
+// fetchKey canonicalizes a fetch for coalescing: source id plus the
+// sorted field set, separated by characters field names cannot contain.
+// Exact string keys (not hashes) — two different fetches must never
+// collide into one shared response.
+func fetchKey(src event.SourceID, fields []event.FieldName) string {
+	names := make([]string, len(fields))
+	for i, f := range fields {
+		names[i] = string(f)
+	}
+	sort.Strings(names)
+	return string(src) + "\x1f" + strings.Join(names, "\x1e")
 }
 
 // encodeXML marshals v, reporting marshalling problems with context.

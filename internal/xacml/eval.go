@@ -81,10 +81,15 @@ func (d *PDP) Remove(id string) error {
 	return nil
 }
 
+// removePolicy deletes p from list copy-on-write: Evaluate hands bucket
+// slices out of the read lock, so removal must never shift elements in
+// the backing array a concurrent evaluation may still be walking.
 func removePolicy(list []*Policy, p *Policy) []*Policy {
 	for i, q := range list {
 		if q == p {
-			return append(list[:i], list[i+1:]...)
+			out := make([]*Policy, 0, len(list)-1)
+			out = append(out, list[:i]...)
+			return append(out, list[i+1:]...)
 		}
 	}
 	return list
@@ -130,10 +135,16 @@ func (d *PDP) Evaluate(req *Request) Response {
 	candidates := d.catchAll
 	if rid, ok := get(req.Resource, AttrResourceID); ok {
 		if indexed := d.byResource[rid]; len(indexed) > 0 {
-			merged := make([]*Policy, 0, len(indexed)+len(d.catchAll))
-			merged = append(merged, indexed...)
-			merged = append(merged, d.catchAll...)
-			candidates = merged
+			if len(d.catchAll) == 0 {
+				// Common case: every policy is resource-indexed, so the
+				// bucket alone is the candidate set — no merged slice.
+				candidates = indexed
+			} else {
+				merged := make([]*Policy, 0, len(indexed)+len(d.catchAll))
+				merged = append(merged, indexed...)
+				merged = append(merged, d.catchAll...)
+				candidates = merged
+			}
 		}
 	} else {
 		candidates = d.policies
