@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,7 +62,7 @@ func main() {
 }
 
 func runCatalog(client *transport.Client) {
-	schemas, err := client.Catalog()
+	schemas, err := client.Catalog(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,6 +82,8 @@ func runSubscribe(client *transport.Client, actor event.Actor, args []string) {
 	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
 	class := fs.String("class", "", "event class (required)")
 	listen := fs.String("listen", "127.0.0.1:0", "callback listen address")
+	probe := fs.Duration("resubscribe", transport.DefaultProbeInterval,
+		"subscription liveness probe interval (0 disables re-subscription)")
 	fs.Parse(args)
 	if *class == "" {
 		log.Fatal("-class is required")
@@ -97,11 +100,33 @@ func runSubscribe(client *transport.Client, actor event.Actor, args []string) {
 	go http.Serve(ln, receiver)
 	callback := "http://" + ln.Addr().String()
 
-	id, err := client.Subscribe(actor, event.ClassID(*class), callback)
-	if err != nil {
-		log.Fatalf("subscribe: %v", err)
+	ctx := context.Background()
+	if *probe <= 0 {
+		id, err := client.Subscribe(ctx, actor, event.ClassID(*class), callback)
+		if err != nil {
+			log.Fatalf("subscribe: %v", err)
+		}
+		log.Printf("subscribed as %s (callback %s); ctrl-c to stop", id, callback)
+	} else {
+		// Keep the subscription alive across controller restarts: the
+		// controller holds subscriptions in memory, so after a restart the
+		// probe sees "unknown subscription" and re-subscribes.
+		sub, err := transport.NewResubscriber(ctx, client, transport.ResubscribeConfig{
+			Actor:    actor,
+			Class:    event.ClassID(*class),
+			Callback: callback,
+			Interval: *probe,
+			OnChange: func(oldID, newID string) {
+				log.Printf("controller lost subscription %s; re-subscribed as %s", oldID, newID)
+			},
+		})
+		if err != nil {
+			log.Fatalf("subscribe: %v", err)
+		}
+		defer sub.Close()
+		log.Printf("subscribed as %s (callback %s, probe every %s); ctrl-c to stop",
+			sub.ID(), callback, *probe)
 	}
-	log.Printf("subscribed as %s (callback %s); ctrl-c to stop", id, callback)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
@@ -114,7 +139,7 @@ func runInquire(client *transport.Client, actor event.Actor, args []string) {
 	limit := fs.Int("limit", 50, "max results")
 	fs.Parse(args)
 
-	res, err := client.InquireIndex(actor, index.Inquiry{
+	res, err := client.InquireIndex(context.Background(), actor, index.Inquiry{
 		PersonID: *person,
 		Class:    event.ClassID(*class),
 		Limit:    *limit,
@@ -139,7 +164,7 @@ func runDetails(client *transport.Client, actor event.Actor, args []string) {
 		log.Fatal("-event and -class are required")
 	}
 
-	d, err := client.RequestDetails(&event.DetailRequest{
+	d, err := client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: actor,
 		Class:     event.ClassID(*class),
 		EventID:   event.GlobalID(*id),

@@ -36,11 +36,27 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/identity"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
+
+// gatewayFlags collects repeatable -gateway producer=URL mappings.
+type gatewayFlags map[string]string
+
+func (g gatewayFlags) String() string { return fmt.Sprint(map[string]string(g)) }
+
+func (g gatewayFlags) Set(v string) error {
+	producer, url, ok := strings.Cut(v, "=")
+	if !ok || producer == "" || url == "" {
+		return fmt.Errorf("want producer=URL, got %q", v)
+	}
+	g[producer] = url
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -52,6 +68,9 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "structured JSON logs on stderr")
 	slow := flag.Duration("slow", telemetry.DefaultSlowThreshold, "slow-operation warning threshold")
+	gateways := gatewayFlags{}
+	flag.Var(gateways, "gateway", "attach a remote cooperation gateway as producer=URL (repeatable)")
+	gatewayToken := flag.String("gateway-token", "", "bearer token presented to remote gateways (auth-enabled gateways)")
 	flag.Parse()
 
 	telemetry.SetLogger(telemetry.NewLogger(*logJSON, slog.LevelInfo))
@@ -91,6 +110,32 @@ func main() {
 	}
 
 	srv := transport.NewServer(ctrl)
+	if len(gateways) > 0 {
+		// Remote detail sources get a shared retry policy and one circuit
+		// breaker per gateway; breaker states show up on /healthz so an
+		// operator can see at a glance which producer is unreachable.
+		resMetrics := resilience.NewMetrics(telemetry.Default())
+		breakers := resilience.NewGroup(resilience.BreakerConfig{Metrics: resMetrics})
+		retrier := resilience.NewRetrier(resilience.RetryPolicy{Metrics: resMetrics})
+		for producer, url := range gateways {
+			rg := transport.NewRemoteGateway(url, nil,
+				transport.WithRetrier(retrier), transport.WithBreakerGroup(breakers))
+			if *gatewayToken != "" {
+				rg = rg.WithToken(*gatewayToken)
+			}
+			if err := ctrl.AttachGateway(event.ProducerID(producer), rg); err != nil {
+				log.Fatalf("attach gateway %s: %v", producer, err)
+			}
+			telemetry.Logger().Info("remote gateway attached", "producer", producer, "url", url)
+		}
+		srv.AddHealthDetail(func() map[string]string {
+			out := make(map[string]string)
+			for name, state := range breakers.States() {
+				out["breaker "+name] = state.String()
+			}
+			return out
+		})
+	}
 	if *authKeyFile != "" {
 		key, err := loadOrCreateKey(*authKeyFile)
 		if err != nil {

@@ -12,7 +12,11 @@
 //	-producer    owning producer id (required)
 //	-data        data directory for the detail store (default: in-memory)
 //	-controller  controller base URL; when set, the gateway fetches the
-//	             event catalog and validates persisted details against it
+//	             event catalog, validates persisted details against it,
+//	             and mounts POST /gw/publish — a publish relay that
+//	             forwards notifications to the controller and parks them
+//	             in a durable outbox (outbox.wal under -data) while the
+//	             controller is unreachable
 //	-pprof       expose net/http/pprof under /debug/pprof/ (opt-in)
 //	-log-json    structured JSON logs on stderr (default: text)
 //
@@ -21,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -34,6 +39,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/identity"
+	"repro/internal/resilience"
 	"repro/internal/schema"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -80,12 +86,17 @@ func main() {
 	defer st.Close()
 
 	var schemas gateway.SchemaSource
+	var client *transport.Client
+	resMetrics := resilience.NewMetrics(telemetry.Default())
 	if *controller != "" {
-		client := transport.NewClient(*controller, nil)
+		breakers := resilience.NewGroup(resilience.BreakerConfig{Metrics: resMetrics})
+		client = transport.NewClient(*controller, nil,
+			transport.WithRetrier(resilience.NewRetrier(resilience.RetryPolicy{Metrics: resMetrics})),
+			transport.WithBreakerGroup(breakers))
 		if *token != "" {
 			client = client.WithToken(*token)
 		}
-		list, err := client.Catalog()
+		list, err := client.Catalog(context.Background())
 		if err != nil {
 			log.Fatalf("fetch catalog: %v", err)
 		}
@@ -102,6 +113,29 @@ func main() {
 		log.Fatalf("gateway: %v", err)
 	}
 	srv := transport.NewGatewayServerWithRegistry(gw, telemetry.Default())
+	if client != nil {
+		// With a controller configured, the gateway also relays the source
+		// system's publishes: POST /gw/publish forwards to the controller
+		// and parks notifications in a durable outbox during outages.
+		var obStore *store.Store
+		if *dataDir == "" {
+			obStore = store.OpenMemory()
+		} else {
+			obStore, err = store.Open(filepath.Join(*dataDir, "outbox.wal"), store.Options{})
+			if err != nil {
+				log.Fatalf("outbox store: %v", err)
+			}
+		}
+		defer obStore.Close()
+		qp, err := transport.NewQueuedPublisher(client, obStore, resMetrics, 0)
+		if err != nil {
+			log.Fatalf("outbox: %v", err)
+		}
+		defer qp.Close()
+		srv.EnablePublishRelay(qp)
+		telemetry.Logger().Info("publish relay enabled",
+			"controller", *controller, "outbox_depth", qp.Depth())
+	}
 	if *authKeyFile != "" {
 		raw, err := os.ReadFile(*authKeyFile)
 		if err != nil {

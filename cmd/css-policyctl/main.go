@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -67,7 +68,7 @@ func main() {
 }
 
 func fetchSchema(client *transport.Client, class string) *schema.Schema {
-	schemas, err := client.Catalog()
+	schemas, err := client.Catalog(context.Background())
 	if err != nil {
 		log.Fatalf("catalog: %v", err)
 	}
@@ -156,7 +157,7 @@ func runDefine(client *transport.Client, args []string, dryRunXACML bool) {
 	}
 
 	for _, p := range policies {
-		stored, err := client.DefinePolicy(p)
+		stored, err := client.DefinePolicy(context.Background(), p)
 		if err != nil {
 			log.Fatalf("define (%s): %v", p.Actor, err)
 		}
@@ -181,7 +182,7 @@ func runPending(client *transport.Client, args []string) {
 	if *producer == "" {
 		log.Fatal("-producer is required")
 	}
-	pending, err := client.PendingRequests(event.ProducerID(*producer))
+	pending, err := client.PendingRequests(context.Background(), event.ProducerID(*producer))
 	if err != nil {
 		log.Fatalf("pending: %v", err)
 	}
@@ -207,7 +208,7 @@ func runExport(client *transport.Client, args []string) {
 	if *producer == "" {
 		log.Fatal("-producer is required")
 	}
-	policies, err := client.Policies(event.ProducerID(*producer))
+	policies, err := client.Policies(context.Background(), event.ProducerID(*producer))
 	if err != nil {
 		log.Fatalf("policies: %v", err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -68,10 +69,11 @@ func main() {
 	}))
 	fmt.Printf("doctor callback listening at %s\n\n", cbURL)
 
+	ctx := context.Background()
 	client := transport.NewClient(ctrlURL, nil)
 
 	// The hospital (also a remote party) elicits its policy via the API.
-	if _, err := client.DefinePolicy(&policy.Policy{
+	if _, err := client.DefinePolicy(ctx, &policy.Policy{
 		Producer: "hospital",
 		Actor:    "family-doctor",
 		Class:    schema.ClassBloodTest,
@@ -80,7 +82,7 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	subID, err := client.Subscribe("family-doctor", schema.ClassBloodTest, cbURL)
+	subID, err := client.Subscribe(ctx, "family-doctor", schema.ClassBloodTest, cbURL)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func main() {
 	if err := gw.Persist(d); err != nil {
 		log.Fatal(err)
 	}
-	eventID, err := client.Publish(&css.Notification{
+	eventID, err := client.Publish(ctx, &css.Notification{
 		SourceID: "lab-777", Class: schema.ClassBloodTest, PersonID: "PRS-000042",
 		Summary: "blood test completed", OccurredAt: time.Date(2010, 6, 1, 9, 0, 0, 0, time.UTC),
 		Producer: "hospital",
@@ -113,7 +115,7 @@ func main() {
 	}
 
 	// Detail request across three services: client → controller → gateway.
-	detail, err := client.RequestDetails(&event.DetailRequest{
+	detail, err := client.RequestDetails(ctx, &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: eventID, Purpose: css.PurposeHealthcareTreatment,
 	})
@@ -125,7 +127,7 @@ func main() {
 	fmt.Printf("details over the wire: hemoglobin=%s, aids-test withheld=%v\n", hb, !leaked)
 
 	// Index inquiry over the wire.
-	res, err := client.InquireIndex("family-doctor", index.Inquiry{PersonID: "PRS-000042"})
+	res, err := client.InquireIndex(ctx, "family-doctor", index.Inquiry{PersonID: "PRS-000042"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package integration
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -130,7 +131,7 @@ func TestCLIScenario(t *testing.T) {
 	// Publish an event through the client SDK as the hospital (persist at
 	// an in-process gateway attached via the scenario provisioning).
 	client := transport.NewClient(url, nil).WithToken(hospitalTok)
-	gid, err := client.Publish(&event.Notification{
+	gid, err := client.Publish(context.Background(), &event.Notification{
 		SourceID: "cli-src-1", Class: schema.ClassBloodTest, PersonID: "PRS-0001",
 		Summary: "blood test", OccurredAt: time.Date(2010, 6, 1, 9, 0, 0, 0, time.UTC),
 		Producer: "hospital-s-maria",

@@ -11,8 +11,10 @@
 package bus
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -214,12 +216,22 @@ func (b *Broker) Subscriptions(topic string) []string {
 // Flush blocks until every subscription's queue is empty and no handler
 // is running, or the timeout elapses. It reports whether the broker
 // drained. Tests and graceful shutdown use it.
+func (b *Broker) Flush(timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return b.FlushContext(ctx) == nil
+}
+
+// FlushContext is Flush under a context: it blocks until the broker is
+// drained or ctx is done. On abort it returns an error naming every
+// wedged subscription (topic, name, queue depth, whether a handler is
+// still in flight), so a hung drain in a test points at its culprit
+// instead of a bare timeout.
 //
 // The poll interval backs off exponentially from 200µs to 5ms: a broker
 // that drains quickly is noticed almost immediately, while a long drain
 // does not pin a CPU busy-polling.
-func (b *Broker) Flush(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+func (b *Broker) FlushContext(ctx context.Context) error {
 	const (
 		minPoll = 200 * time.Microsecond
 		maxPoll = 5 * time.Millisecond
@@ -227,12 +239,13 @@ func (b *Broker) Flush(timeout time.Duration) bool {
 	poll := minPoll
 	for {
 		if b.idle() {
-			return true
+			return nil
 		}
-		if time.Now().After(deadline) {
-			return false
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("bus: flush aborted (%v): %s", ctx.Err(), b.busyReport())
+		case <-time.After(poll):
 		}
-		time.Sleep(poll)
 		if poll < maxPoll {
 			poll *= 2
 			if poll > maxPoll {
@@ -240,6 +253,34 @@ func (b *Broker) Flush(timeout time.Duration) bool {
 			}
 		}
 	}
+}
+
+// busyReport describes every non-idle subscription for flush failures.
+func (b *Broker) busyReport() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var sb strings.Builder
+	n := 0
+	for topic, subs := range b.topics {
+		for name, s := range subs {
+			queued, inFlight := s.busy()
+			if queued == 0 && !inFlight {
+				continue
+			}
+			if n > 0 {
+				sb.WriteString("; ")
+			}
+			n++
+			fmt.Fprintf(&sb, "%s/%s: %d queued", topic, name, queued)
+			if inFlight {
+				sb.WriteString(", handler in flight")
+			}
+		}
+	}
+	if n == 0 {
+		return "no busy subscriptions (drained after the deadline)"
+	}
+	return sb.String()
 }
 
 func (b *Broker) idle() bool {

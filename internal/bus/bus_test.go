@@ -1,8 +1,10 @@
 package bus
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -484,5 +486,68 @@ func TestPublishPayloadSharedAcrossSubscriptions(t *testing.T) {
 			t.Errorf("sub %d: plain Publish carried payload %v", i, c.msgs[1].Payload)
 		}
 		c.mu.Unlock()
+	}
+}
+
+func TestFlushContextNamesWedgedHandler(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	release := make(chan struct{})
+	b.Subscribe("labs", "slow-consumer", func(*Message) error {
+		<-release
+		return nil
+	})
+	b.Publish("labs", []byte("x"))
+	b.Publish("labs", []byte("y"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := b.FlushContext(ctx)
+	if err == nil {
+		t.Fatal("FlushContext returned nil while a handler was wedged")
+	}
+	// The error must say who is stuck, not just that something timed out.
+	for _, want := range []string{"labs/slow-consumer", "in flight"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("FlushContext error %q does not mention %q", err, want)
+		}
+	}
+
+	close(release)
+	if err := b.FlushContext(context.Background()); err != nil {
+		t.Fatalf("FlushContext after release: %v", err)
+	}
+}
+
+func TestFlushContextCancel(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	release := make(chan struct{})
+	defer close(release)
+	b.Subscribe("t", "stuck", func(*Message) error {
+		<-release
+		return nil
+	})
+	b.Publish("t", []byte("x"))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.FlushContext(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(ctx.Err(), context.Canceled) || err == nil {
+			t.Fatalf("FlushContext after cancel = %v", err)
+		}
+	case <-time.After(flushTimeout):
+		t.Fatal("FlushContext did not return after cancel")
+	}
+}
+
+func TestFlushContextEmptyBus(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	if err := b.FlushContext(context.Background()); err != nil {
+		t.Fatalf("FlushContext on idle bus: %v", err)
 	}
 }

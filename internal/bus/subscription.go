@@ -101,6 +101,13 @@ func (s *Subscription) idle() bool {
 	return len(s.queue) == 0 && !s.inFlight
 }
 
+// busy snapshots the queue depth and in-flight flag for flush reports.
+func (s *Subscription) busy() (queued int, inFlight bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue), s.inFlight
+}
+
 func (s *Subscription) dequeue() *Message {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -482,4 +483,21 @@ func (c *Controller) Healthy() error {
 // Flush waits until the bus drained all pending deliveries.
 func (c *Controller) Flush(timeout time.Duration) bool {
 	return c.brk.Flush(timeout)
+}
+
+// FlushContext is Flush under a context; on abort the error names the
+// wedged subscriptions (see bus.FlushContext).
+func (c *Controller) FlushContext(ctx context.Context) error {
+	return c.brk.FlushContext(ctx)
+}
+
+// HasSubscription reports whether the subscription id is currently
+// registered. Subscriptions live in controller memory, so a restarted
+// controller forgets them; remote consumers poll this (GET
+// /ws/subscription) to detect the loss and re-subscribe.
+func (c *Controller) HasSubscription(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.subs[id]
+	return ok
 }

@@ -293,8 +293,15 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 
 	d, out, err := c.enf.GetEventDetails(r)
 	if err != nil {
-		c.auditDetail(r, "deny", out.PolicyID, out.Reason)
-		finish("deny")
+		// An unreachable source after a permit is not a denial: the
+		// consumer was authorized and may retry. The audit trail keeps
+		// the two outcomes distinguishable.
+		outcome := "deny"
+		if errors.Is(err, enforcer.ErrSourceUnavailable) {
+			outcome = "unavailable"
+		}
+		c.auditDetail(r, outcome, out.PolicyID, out.Reason)
+		finish(outcome)
 		if errors.Is(err, enforcer.ErrDenied) {
 			// A policy-gap denial (not consent, not a missing event):
 			// surface it to the producer as a pending access request.

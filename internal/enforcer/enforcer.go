@@ -44,6 +44,12 @@ var (
 	// ErrUnsafeResponse reports a gateway response that exposed fields
 	// outside the authorized set (defense in depth; must never happen).
 	ErrUnsafeResponse = errors.New("enforcer: gateway response not privacy safe")
+	// ErrSourceUnavailable reports a permitted request whose producer
+	// gateway could not be reached (connection failure, timeout, open
+	// circuit, 5xx). It is deliberately distinct from ErrDenied: an
+	// unavailable source is a deferred answer, never a policy denial,
+	// and the audit trail records it as such.
+	ErrSourceUnavailable = errors.New("enforcer: event source unavailable")
 )
 
 // DetailSource is the producer-side interface of Algorithm 2: the local

@@ -1,0 +1,328 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a breaker state. The numeric values are exported as the
+// css_resilience_breaker_state gauge.
+type State int
+
+// Breaker states.
+const (
+	StateClosed   State = 0
+	StateHalfOpen State = 1
+	StateOpen     State = 2
+)
+
+// String returns the conventional lowercase state name.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerConfig configures a Breaker (and, via a Group, a family of
+// per-endpoint breakers sharing one policy).
+type BreakerConfig struct {
+	// ConsecutiveFailures trips the breaker when that many calls fail in
+	// a row. Zero means DefaultConsecutiveFailures.
+	ConsecutiveFailures int
+	// ErrorRate additionally trips the breaker when the failure fraction
+	// over the sliding sample window reaches it (with at least MinSamples
+	// observations). Zero means DefaultErrorRate; negative disables the
+	// rate trip.
+	ErrorRate float64
+	// MinSamples gates the error-rate trip. Zero means DefaultMinSamples.
+	MinSamples int
+	// WindowSize is the sliding window length. Zero means
+	// DefaultWindowSize.
+	WindowSize int
+	// OpenFor is the cooldown an open breaker waits before admitting
+	// half-open probes. Zero means DefaultOpenFor.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds the concurrent probe calls admitted while
+	// half-open. Zero means 1.
+	HalfOpenProbes int
+	// Now injects a clock for tests. Nil means time.Now.
+	Now func() time.Time
+	// Metrics exports state and transition counts. Nil disables.
+	Metrics *Metrics
+	// OnTransition, when set, observes every state change. Called outside
+	// the breaker lock; implementations must be fast and non-blocking.
+	OnTransition func(name string, from, to State)
+}
+
+// Defaults for BreakerConfig.
+const (
+	DefaultConsecutiveFailures = 5
+	DefaultErrorRate           = 0.5
+	DefaultMinSamples          = 20
+	DefaultWindowSize          = 40
+	DefaultOpenFor             = 2 * time.Second
+)
+
+// Breaker is a three-state circuit breaker guarding one remote endpoint.
+// Closed admits everything; consecutive failures or a high error rate
+// over the sample window open it; while open, calls are rejected with an
+// *OpenError (errors.Is(err, ErrOpen)) carrying the remaining cooldown
+// as a Retry-After hint; after the cooldown, a bounded number of probes
+// is admitted half-open, and one probe success recloses the circuit
+// while a probe failure reopens it for a fresh cooldown. Safe for
+// concurrent use.
+type Breaker struct {
+	name string
+	cfg  BreakerConfig
+	now  func() time.Time
+
+	mu        sync.Mutex
+	state     State
+	consec    int       // consecutive failures while closed
+	window    []bool    // ring of recent outcomes (true = failure)
+	widx      int       // next write position
+	wcount    int       // samples recorded (≤ len(window))
+	wfails    int       // failures among the recorded samples
+	openUntil time.Time // when half-open probes become admissible
+	probes    int       // outstanding half-open probes
+}
+
+// OpenError is the rejection an open breaker returns.
+type OpenError struct {
+	// Name identifies the guarded endpoint.
+	Name string
+	// After is the remaining cooldown before a probe will be admitted.
+	After time.Duration
+}
+
+// Error implements the error interface.
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("resilience: circuit open for %s (retry in %s)", e.Name, e.After)
+}
+
+// Is makes errors.Is(err, ErrOpen) true for open-breaker rejections.
+func (e *OpenError) Is(target error) bool { return target == ErrOpen }
+
+// RetryAfter returns the remaining cooldown (the Retry-After hint).
+func (e *OpenError) RetryAfter() time.Duration { return e.After }
+
+// NewBreaker creates a breaker named name (the metrics endpoint label);
+// zero config fields assume the defaults.
+func NewBreaker(name string, cfg BreakerConfig) *Breaker {
+	if cfg.ConsecutiveFailures <= 0 {
+		cfg.ConsecutiveFailures = DefaultConsecutiveFailures
+	}
+	if cfg.ErrorRate == 0 {
+		cfg.ErrorRate = DefaultErrorRate
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = DefaultMinSamples
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = DefaultWindowSize
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = DefaultOpenFor
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	b := &Breaker{name: name, cfg: cfg, now: now, window: make([]bool, cfg.WindowSize)}
+	cfg.Metrics.breakerState(name, StateClosed)
+	return b
+}
+
+// Name returns the endpoint label the breaker was created with.
+func (b *Breaker) Name() string { return b.name }
+
+// State returns the current state, accounting for an elapsed cooldown
+// (an open breaker whose cooldown passed reports half-open).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && !b.now().Before(b.openUntil) {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Acquire asks permission for one call. On permit it returns a release
+// function that must be invoked exactly once with the call's outcome
+// (failure=true for transport-level failures; application-level denials
+// are successes — the endpoint answered). On rejection it returns a nil
+// release and an *OpenError.
+func (b *Breaker) Acquire() (release func(failure bool), err error) {
+	b.mu.Lock()
+	now := b.now()
+	switch b.state {
+	case StateOpen:
+		if now.Before(b.openUntil) {
+			after := b.openUntil.Sub(now)
+			b.mu.Unlock()
+			return nil, &OpenError{Name: b.name, After: after}
+		}
+		b.transitionLocked(StateHalfOpen)
+		fallthrough
+	case StateHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			after := b.cfg.OpenFor // conservatively a full cooldown
+			b.mu.Unlock()
+			return nil, &OpenError{Name: b.name, After: after}
+		}
+		b.probes++
+		b.mu.Unlock()
+		return b.releaseProbe, nil
+	default: // StateClosed
+		b.mu.Unlock()
+		return b.releaseClosed, nil
+	}
+}
+
+// releaseClosed settles a call admitted while closed.
+func (b *Breaker) releaseClosed(failure bool) {
+	b.mu.Lock()
+	b.observeLocked(failure)
+	if b.state == StateClosed && b.tripLocked() {
+		b.openLocked()
+	}
+	b.mu.Unlock()
+}
+
+// releaseProbe settles a half-open probe.
+func (b *Breaker) releaseProbe(failure bool) {
+	b.mu.Lock()
+	if b.probes > 0 {
+		b.probes--
+	}
+	if b.state != StateHalfOpen {
+		// The circuit settled (another probe closed or reopened it)
+		// while this probe was in flight; just record the sample.
+		b.observeLocked(failure)
+		b.mu.Unlock()
+		return
+	}
+	if failure {
+		b.openLocked()
+	} else {
+		b.resetLocked()
+		b.transitionLocked(StateClosed)
+	}
+	b.mu.Unlock()
+}
+
+// observeLocked records one outcome in the counters and the window.
+func (b *Breaker) observeLocked(failure bool) {
+	if failure {
+		b.consec++
+	} else {
+		b.consec = 0
+	}
+	if b.wcount == len(b.window) {
+		if b.window[b.widx] {
+			b.wfails--
+		}
+	} else {
+		b.wcount++
+	}
+	b.window[b.widx] = failure
+	if failure {
+		b.wfails++
+	}
+	b.widx = (b.widx + 1) % len(b.window)
+}
+
+// tripLocked evaluates the trip conditions.
+func (b *Breaker) tripLocked() bool {
+	if b.consec >= b.cfg.ConsecutiveFailures {
+		return true
+	}
+	if b.cfg.ErrorRate > 0 && b.wcount >= b.cfg.MinSamples {
+		if float64(b.wfails)/float64(b.wcount) >= b.cfg.ErrorRate {
+			return true
+		}
+	}
+	return false
+}
+
+// openLocked opens the circuit for a fresh cooldown.
+func (b *Breaker) openLocked() {
+	b.openUntil = b.now().Add(b.cfg.OpenFor)
+	b.probes = 0
+	b.resetLocked()
+	b.transitionLocked(StateOpen)
+}
+
+// resetLocked clears the failure accounting.
+func (b *Breaker) resetLocked() {
+	b.consec = 0
+	b.wcount, b.wfails, b.widx = 0, 0, 0
+}
+
+// transitionLocked moves to state to, emitting metrics and the observer
+// callback. Callers hold b.mu; the callback is deferred until after the
+// state is set but runs under the lock deliberately — it keeps the
+// (state, notification) pairs ordered, and observers are required to be
+// non-blocking.
+func (b *Breaker) transitionLocked(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	b.cfg.Metrics.breakerState(b.name, to)
+	b.cfg.Metrics.breakerTransition(b.name, to)
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(b.name, from, to)
+	}
+}
+
+// Group manages one breaker per endpoint name under a shared config —
+// the per-endpoint family the transport clients use (one breaker per
+// controller route, one per producer gateway).
+type Group struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewGroup creates a breaker family.
+func NewGroup(cfg BreakerConfig) *Group {
+	return &Group{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// Breaker returns the breaker for name, creating it on first use.
+func (g *Group) Breaker(name string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.m[name]
+	if b == nil {
+		b = NewBreaker(name, g.cfg)
+		g.m[name] = b
+	}
+	return b
+}
+
+// States snapshots every member breaker's state, keyed by endpoint name
+// (surfaced on /healthz).
+func (g *Group) States() map[string]State {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]State, len(g.m))
+	for name, b := range g.m {
+		out[name] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for deterministic breaker
+// phases.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock, probes int) *Breaker {
+	return NewBreaker("ep", BreakerConfig{
+		ConsecutiveFailures: 3,
+		ErrorRate:           -1, // consecutive-only for the deterministic tests
+		OpenFor:             time.Second,
+		HalfOpenProbes:      probes,
+		Now:                 clk.Now,
+	})
+}
+
+// fail records one failed call through b; ok one successful call.
+func fail(t *testing.T, b *Breaker) {
+	t.Helper()
+	release, err := b.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	release(true)
+}
+
+func ok(t *testing.T, b *Breaker) {
+	t.Helper()
+	release, err := b.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	release(false)
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1)
+	fail(t, b)
+	fail(t, b)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after 2 failures, want closed (threshold 3)", b.State())
+	}
+	fail(t, b)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after 3 failures, want open", b.State())
+	}
+	if _, err := b.Acquire(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Acquire on open breaker: err = %v, want ErrOpen", err)
+	}
+	if after, okh := RetryAfterOf(mustOpenErr(t, b)); !okh || after <= 0 || after > time.Second {
+		t.Fatalf("open rejection Retry-After = %v, %v; want (0, 1s]", after, okh)
+	}
+}
+
+func mustOpenErr(t *testing.T, b *Breaker) error {
+	t.Helper()
+	_, err := b.Acquire()
+	if err == nil {
+		t.Fatal("Acquire unexpectedly permitted")
+	}
+	return err
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1)
+	fail(t, b)
+	fail(t, b)
+	ok(t, b)
+	fail(t, b)
+	fail(t, b)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed (success reset the streak)", b.State())
+	}
+}
+
+func TestBreakerTripsOnErrorRate(t *testing.T) {
+	b := NewBreaker("ep", BreakerConfig{
+		ConsecutiveFailures: 1000, // rate trip only
+		ErrorRate:           0.5,
+		MinSamples:          10,
+		WindowSize:          10,
+		OpenFor:             time.Second,
+		Now:                 newFakeClock().Now,
+	})
+	// Alternate success/failure: 50% over the full window trips at the
+	// tenth sample.
+	for i := 0; i < 10; i++ {
+		release, err := b.Acquire()
+		if err != nil {
+			t.Fatalf("Acquire sample %d: %v", i, err)
+		}
+		release(i%2 == 0)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after 50%% failures over window, want open", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeRecloses(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1)
+	fail(t, b)
+	fail(t, b)
+	fail(t, b) // open
+	clk.Advance(time.Second)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", b.State())
+	}
+	release, err := b.Acquire()
+	if err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	// A second concurrent probe exceeds HalfOpenProbes=1.
+	if _, err := b.Acquire(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe: err = %v, want ErrOpen", err)
+	}
+	release(false)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1)
+	fail(t, b)
+	fail(t, b)
+	fail(t, b) // open
+	clk.Advance(time.Second)
+	release, err := b.Acquire()
+	if err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	release(true)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after probe failure, want open (fresh cooldown)", b.State())
+	}
+	if _, err := b.Acquire(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Acquire after reopen: err = %v, want ErrOpen", err)
+	}
+}
+
+func TestBreakerObservesTransitions(t *testing.T) {
+	clk := newFakeClock()
+	var got []string
+	b := NewBreaker("ep", BreakerConfig{
+		ConsecutiveFailures: 1,
+		ErrorRate:           -1,
+		OpenFor:             time.Second,
+		Now:                 clk.Now,
+		OnTransition: func(name string, from, to State) {
+			got = append(got, from.String()+">"+to.String())
+		},
+	})
+	fail(t, b) // closed > open
+	clk.Advance(time.Second)
+	release, err := b.Acquire() // open > half-open
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	release(false) // half-open > closed
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBreakerStorm is the -race storm: deterministic phases assert that
+// a fully open breaker never yields a permit and a half-open breaker
+// admits at most HalfOpenProbes concurrent probes; a final chaotic
+// phase hammers Acquire/release from many goroutines purely for race
+// coverage.
+func TestBreakerStorm(t *testing.T) {
+	clk := newFakeClock()
+	const probeCap = 2
+	b := testBreaker(clk, probeCap)
+
+	// Trip it.
+	fail(t, b)
+	fail(t, b)
+	fail(t, b)
+
+	// Phase 1: fully open (cooldown not elapsed). No goroutine may get
+	// a permit.
+	var wg sync.WaitGroup
+	var permits atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				release, err := b.Acquire()
+				if err == nil {
+					permits.Add(1)
+					release(false)
+				} else if !errors.Is(err, ErrOpen) {
+					t.Errorf("unexpected rejection: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := permits.Load(); n != 0 {
+		t.Fatalf("open breaker yielded %d permits, want 0", n)
+	}
+
+	// Phase 2: half-open. At most probeCap permits may be outstanding at
+	// once; hold every permit until the phase ends so the cap is exact.
+	clk.Advance(time.Second)
+	var held []func(bool)
+	var heldMu sync.Mutex
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				release, err := b.Acquire()
+				if err == nil {
+					heldMu.Lock()
+					held = append(held, release)
+					heldMu.Unlock()
+				} else if !errors.Is(err, ErrOpen) {
+					t.Errorf("unexpected rejection: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(held) == 0 || len(held) > probeCap {
+		t.Fatalf("half-open admitted %d concurrent probes, want 1..%d", len(held), probeCap)
+	}
+	for _, release := range held {
+		release(false) // first success recloses; the rest record samples
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+
+	// Phase 3: chaotic concurrent trips/probes/resets for -race coverage.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if i%97 == 0 {
+					clk.Advance(100 * time.Millisecond)
+				}
+				release, err := b.Acquire()
+				if err != nil {
+					_ = b.State()
+					continue
+				}
+				release((i+g)%3 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestGroupSharesConfigAndSnapshotsStates(t *testing.T) {
+	clk := newFakeClock()
+	g := NewGroup(BreakerConfig{ConsecutiveFailures: 1, ErrorRate: -1, OpenFor: time.Second, Now: clk.Now})
+	if g.Breaker("a") != g.Breaker("a") {
+		t.Fatal("Group.Breaker must memoize per name")
+	}
+	fail(t, g.Breaker("a"))
+	ok(t, g.Breaker("b"))
+	states := g.States()
+	if states["a"] != StateOpen || states["b"] != StateClosed {
+		t.Fatalf("States() = %v, want a open / b closed", states)
+	}
+}

@@ -1,0 +1,255 @@
+package resilience_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/index"
+	"repro/internal/resilience"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+func note(src, person string) *event.Notification {
+	return &event.Notification{
+		SourceID:   event.SourceID(src),
+		Class:      schema.ClassBloodTest,
+		PersonID:   person,
+		Summary:    "blood test completed",
+		OccurredAt: time.Date(2010, 6, 1, 8, 0, 0, 0, time.UTC),
+		Producer:   "hospital",
+	}
+}
+
+func TestOutboxEnqueueDrainAck(t *testing.T) {
+	o, err := resilience.OpenOutbox(store.OpenMemory(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		queued, err := o.Enqueue(note(fmt.Sprintf("src-%d", i), "maria"))
+		if err != nil || !queued {
+			t.Fatalf("Enqueue %d = %v, %v; want true, nil", i, queued, err)
+		}
+	}
+	if o.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", o.Depth())
+	}
+	// Drain in FIFO order.
+	for i := 0; i < 3; i++ {
+		n, seq, ok, err := o.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next %d = %v, %v; want entry", i, ok, err)
+		}
+		if want := event.SourceID(fmt.Sprintf("src-%d", i)); n.SourceID != want {
+			t.Fatalf("Next %d: source = %q, want %q (FIFO)", i, n.SourceID, want)
+		}
+		if err := o.Ack(seq, n); err != nil {
+			t.Fatalf("Ack %d: %v", i, err)
+		}
+	}
+	if o.Depth() != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", o.Depth())
+	}
+	if _, _, ok, err := o.Next(); ok || err != nil {
+		t.Fatalf("Next on empty outbox = %v, %v; want no entry", ok, err)
+	}
+}
+
+func TestOutboxDedupsSameSourceEvent(t *testing.T) {
+	o, err := resilience.OpenOutbox(store.OpenMemory(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued, err := o.Enqueue(note("src-1", "maria")); err != nil || !queued {
+		t.Fatalf("first Enqueue = %v, %v", queued, err)
+	}
+	if queued, err := o.Enqueue(note("src-1", "maria")); err != nil || queued {
+		t.Fatalf("duplicate Enqueue = %v, %v; want false (deduped)", queued, err)
+	}
+	if o.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", o.Depth())
+	}
+	// After an acked drain the origin may legitimately be reused.
+	n, seq, _, _ := o.Next()
+	if err := o.Ack(seq, n); err != nil {
+		t.Fatal(err)
+	}
+	if queued, err := o.Enqueue(note("src-1", "maria")); err != nil || !queued {
+		t.Fatalf("Enqueue after Ack = %v, %v; want true", queued, err)
+	}
+}
+
+func TestOutboxDeadLettersPoisonedEntries(t *testing.T) {
+	st := store.OpenMemory()
+	o, err := resilience.OpenOutbox(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Enqueue(note("src-ok", "maria")); err != nil {
+		t.Fatal(err)
+	}
+	n, seq, _, _ := o.Next()
+	if err := o.Reject(seq, n); err != nil {
+		t.Fatalf("Reject: %v", err)
+	}
+	if o.Depth() != 0 || o.Dead() != 1 {
+		t.Fatalf("Depth, Dead = %d, %d; want 0, 1", o.Depth(), o.Dead())
+	}
+	if _, _, ok, _ := o.Next(); ok {
+		t.Fatal("dead-lettered entry still drains")
+	}
+
+	// A corrupt payload (torn write that survived recovery) is skipped,
+	// not returned and not wedging the queue.
+	if err := st.Put("q/00000000000000ff", []byte("<not-xml")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := o.Next(); ok || err != nil {
+		t.Fatalf("Next over corrupt entry = %v, %v; want skipped", ok, err)
+	}
+}
+
+// TestOutboxCrashRestartExactlyOnce is the crash-restart satellite: a
+// producer drains its outbox into the controller, crashes after the
+// publish but before the Ack, restarts, re-drains — and the events index
+// still holds exactly one record per event, because replay is deduped by
+// the controller's (producer, source id) idempotency.
+func TestOutboxCrashRestartExactlyOnce(t *testing.T) {
+	ctrl, err := core.New(core.Config{DefaultConsent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if err := ctrl.RegisterProducer("hospital", "Hospital S. Maria"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.DeclareClass("hospital", schema.BloodTest()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "outbox.db")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := resilience.OpenOutbox(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	people := []string{"maria", "joao", "ana"}
+	for i, person := range people {
+		if _, err := o.Enqueue(note(fmt.Sprintf("src-%d", i), person)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drain the first entry fully (publish + ack), then "crash" mid-drain
+	// on the second: the publish reaches the controller but the Ack never
+	// happens, so the entry stays queued.
+	for i := 0; i < 2; i++ {
+		n, seq, ok, err := o.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next: %v, %v", ok, err)
+		}
+		if _, err := ctrl.Publish(n); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if err := o.Ack(seq, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil { // process dies here
+		t.Fatal(err)
+	}
+
+	// Restart: reopen the store, recover the outbox, drain everything.
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	o2, err := resilience.OpenOutbox(st2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Depth() != 2 {
+		t.Fatalf("recovered Depth = %d, want 2 (one acked before the crash)", o2.Depth())
+	}
+	for {
+		n, seq, ok, err := o2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if _, err := ctrl.Publish(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := o2.Ack(seq, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o2.Depth() != 0 {
+		t.Fatalf("Depth after re-drain = %d, want 0", o2.Depth())
+	}
+
+	// Exactly-once at the index: one record per person, even for the
+	// entry published twice (before and after the crash).
+	for _, person := range people {
+		got, err := ctrl.InquireOwn(person, index.Inquiry{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("index holds %d records for %s, want exactly 1", len(got), person)
+		}
+	}
+}
+
+// TestOutboxRecoversSequenceAcrossRestart guards against sequence reuse:
+// entries enqueued after a restart must sort after the survivors.
+func TestOutboxRecoversSequenceAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.db")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := resilience.OpenOutbox(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Enqueue(note("src-old", "maria")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	o2, err := resilience.OpenOutbox(st2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o2.Enqueue(note("src-new", "joao")); err != nil {
+		t.Fatal(err)
+	}
+	n, _, ok, err := o2.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v, %v", ok, err)
+	}
+	if n.SourceID != "src-old" {
+		t.Fatalf("first drained = %q, want the pre-restart entry first", n.SourceID)
+	}
+}

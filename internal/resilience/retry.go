@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures a Retrier.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries, including the first. Zero means
+	// DefaultMaxAttempts; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry. Zero means
+	// DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. Zero means DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Budget, when set, is consulted before every retry (never before the
+	// first attempt): a dry budget converts the transient error into
+	// ErrBudgetExhausted instead of amplifying an outage with a storm.
+	Budget *Budget
+	// Seed makes the jitter deterministic for reproducible tests. Zero
+	// seeds from the clock.
+	Seed int64
+	// Metrics counts retry attempts (css_resilience_retries_total). Nil
+	// disables.
+	Metrics *Metrics
+}
+
+// Defaults for RetryPolicy.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 50 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+)
+
+// Retrier re-runs transient-failing operations under a policy of capped
+// exponential backoff with full jitter (delay drawn uniformly from
+// (0, min(MaxDelay, BaseDelay·2^attempt)]): the spread desynchronizes
+// the retry herd a controller outage would otherwise create. Safe for
+// concurrent use.
+type Retrier struct {
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier creates a retrier; zero policy fields assume the defaults.
+func NewRetrier(p RetryPolicy) *Retrier {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Retrier{policy: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Do runs op until it succeeds, fails permanently, exhausts the policy,
+// or ctx is done. Only errors for which Retryable reports true are
+// retried; everything else returns immediately. The error of the last
+// attempt is returned (wrapped with the attempt count when retries
+// happened), so errors.Is/As keep working against the underlying cause.
+//
+// op receives ctx unchanged; per-attempt timeouts belong to the caller
+// (an http.Client timeout bounds each try, ctx bounds the whole call).
+func (r *Retrier) Do(ctx context.Context, op string, fn func(ctx context.Context) error) error {
+	if r == nil {
+		return fn(ctx)
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		err = fn(ctx)
+		if err == nil || !Retryable(err) {
+			return err
+		}
+		if attempt >= r.policy.MaxAttempts {
+			return fmt.Errorf("resilience: %s failed after %d attempts: %w", op, attempt, err)
+		}
+		if b := r.policy.Budget; b != nil && !b.Withdraw() {
+			return fmt.Errorf("%w (%s): %w", ErrBudgetExhausted, op, err)
+		}
+		delay := r.backoff(attempt)
+		if after, ok := RetryAfterOf(err); ok && after > delay {
+			delay = after
+		}
+		r.policy.Metrics.retry(op)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// backoff draws the full-jitter delay for the given 1-based attempt.
+func (r *Retrier) backoff(attempt int) time.Duration {
+	ceil := r.policy.BaseDelay
+	for i := 1; i < attempt && ceil < r.policy.MaxDelay; i++ {
+		ceil *= 2
+	}
+	if ceil > r.policy.MaxDelay {
+		ceil = r.policy.MaxDelay
+	}
+	r.mu.Lock()
+	d := time.Duration(r.rng.Int63n(int64(ceil))) + 1
+	r.mu.Unlock()
+	return d
+}
+
+// Budget is a token bucket shared by the retriers of one process: each
+// retry withdraws one token, and tokens refill at a steady rate. When
+// the bucket is dry, retries are suppressed (first attempts never are),
+// bounding the load amplification a dependency outage can cause.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	rate   float64 // tokens per second
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewBudget creates a budget holding at most max tokens, refilling at
+// rate tokens per second. It starts full.
+func NewBudget(max, rate float64) *Budget {
+	if max <= 0 {
+		max = 1
+	}
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Budget{tokens: max, max: max, rate: rate, now: time.Now}
+}
+
+// Withdraw takes one token, reporting whether one was available.
+func (b *Budget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

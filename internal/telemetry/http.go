@@ -1,8 +1,11 @@
 package telemetry
 
 import (
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"time"
 )
 
@@ -111,6 +114,39 @@ func HealthzHandler(check func() error) http.Handler {
 			}
 		}
 		w.Write([]byte("ok\n"))
+	})
+}
+
+// HealthzDetailHandler is HealthzHandler with an optional detail
+// function: its key/value pairs are appended to the probe body as
+// sorted "key: value" lines (circuit breaker states, outbox depth, …),
+// so degraded modes are visible from one curl. The detail lines are
+// printed for unhealthy responses too — that is when they matter most.
+func HealthzDetailHandler(check func() error, detail func() map[string]string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		status := http.StatusOK
+		head := "ok\n"
+		if check != nil {
+			if err := check(); err != nil {
+				status = http.StatusServiceUnavailable
+				head = "unhealthy: " + err.Error() + "\n"
+			}
+		}
+		w.WriteHeader(status)
+		io.WriteString(w, head)
+		if detail == nil {
+			return
+		}
+		kv := detail()
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s: %s\n", k, kv[k])
+		}
 	})
 }
 

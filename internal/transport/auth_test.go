@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -86,14 +87,14 @@ func (r *authRig) seed(t *testing.T) event.GlobalID {
 		t.Fatal(err)
 	}
 	hospital := r.client.WithToken(r.token(t, "hospital"))
-	if _, err := hospital.DefinePolicy(&policy.Policy{
+	if _, err := hospital.DefinePolicy(context.Background(), &policy.Policy{
 		Producer: "hospital", Actor: "family-doctor", Class: schema.ClassBloodTest,
 		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
 		Fields:   []event.FieldName{"patient-id", "hemoglobin"},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	gid, err := hospital.Publish(&event.Notification{
+	gid, err := hospital.Publish(context.Background(), &event.Notification{
 		SourceID: "src-1", Class: schema.ClassBloodTest, PersonID: "PRS-1",
 		OccurredAt: time.Date(2010, 6, 1, 9, 0, 0, 0, time.UTC), Producer: "hospital",
 	})
@@ -106,28 +107,28 @@ func (r *authRig) seed(t *testing.T) event.GlobalID {
 func TestAuthRejectsAnonymous(t *testing.T) {
 	r := newAuthRig(t)
 	// Every endpoint refuses a token-less client.
-	if _, err := r.client.Catalog(); err == nil {
+	if _, err := r.client.Catalog(context.Background()); err == nil {
 		t.Error("anonymous catalog accepted")
 	}
-	if _, err := r.client.Publish(&event.Notification{
+	if _, err := r.client.Publish(context.Background(), &event.Notification{
 		SourceID: "s", Class: schema.ClassBloodTest, PersonID: "P",
 		OccurredAt: time.Now(), Producer: "hospital",
 	}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("anonymous publish = %v", err)
 	}
-	if _, err := r.client.RequestDetails(&event.DetailRequest{
+	if _, err := r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: "evt-x", Purpose: "care",
 	}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("anonymous details = %v", err)
 	}
-	if _, err := r.client.InquireIndex("family-doctor", index.Inquiry{}); !errors.Is(err, ErrUnauthorized) {
+	if _, err := r.client.InquireIndex(context.Background(), "family-doctor", index.Inquiry{}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("anonymous inquire = %v", err)
 	}
-	if _, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, "http://127.0.0.1:1/cb"); !errors.Is(err, ErrUnauthorized) {
+	if _, err := r.client.Subscribe(context.Background(), "family-doctor", schema.ClassBloodTest, "http://127.0.0.1:1/cb"); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("anonymous subscribe = %v", err)
 	}
-	if _, err := r.client.RecordConsent(consent.Directive{PersonID: "P", Allow: false}); !errors.Is(err, ErrUnauthorized) {
+	if _, err := r.client.RecordConsent(context.Background(), consent.Directive{PersonID: "P", Allow: false}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("anonymous consent = %v", err)
 	}
 }
@@ -136,7 +137,7 @@ func TestAuthHappyPath(t *testing.T) {
 	r := newAuthRig(t)
 	gid := r.seed(t)
 	doctor := r.client.WithToken(r.token(t, "family-doctor"))
-	d, err := doctor.RequestDetails(&event.DetailRequest{
+	d, err := doctor.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
@@ -146,10 +147,10 @@ func TestAuthHappyPath(t *testing.T) {
 	if v, _ := d.Get("hemoglobin"); v != "12.0" {
 		t.Errorf("hemoglobin = %q", v)
 	}
-	if _, err := doctor.Catalog(); err != nil {
+	if _, err := doctor.Catalog(context.Background()); err != nil {
 		t.Errorf("authorized catalog: %v", err)
 	}
-	if _, err := doctor.InquireIndex("family-doctor", index.Inquiry{PersonID: "PRS-1"}); err != nil {
+	if _, err := doctor.InquireIndex(context.Background(), "family-doctor", index.Inquiry{PersonID: "PRS-1"}); err != nil {
 		t.Errorf("authorized inquire: %v", err)
 	}
 }
@@ -159,7 +160,7 @@ func TestAuthRejectsImpersonation(t *testing.T) {
 	gid := r.seed(t)
 	// A token for another org cannot act as the doctor.
 	intruder := r.client.WithToken(r.token(t, "insurance-co"))
-	if _, err := intruder.RequestDetails(&event.DetailRequest{
+	if _, err := intruder.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	}); !errors.Is(err, ErrUnauthorized) {
@@ -167,14 +168,14 @@ func TestAuthRejectsImpersonation(t *testing.T) {
 	}
 	// A consumer token cannot publish as the hospital.
 	doctor := r.client.WithToken(r.token(t, "family-doctor"))
-	if _, err := doctor.Publish(&event.Notification{
+	if _, err := doctor.Publish(context.Background(), &event.Notification{
 		SourceID: "s2", Class: schema.ClassBloodTest, PersonID: "P",
 		OccurredAt: time.Now(), Producer: "hospital",
 	}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("impersonated publish = %v", err)
 	}
 	// Nor define policies for the hospital's classes.
-	if _, err := doctor.DefinePolicy(&policy.Policy{
+	if _, err := doctor.DefinePolicy(context.Background(), &policy.Policy{
 		Producer: "hospital", Actor: "family-doctor", Class: schema.ClassBloodTest,
 		Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
 	}); !errors.Is(err, ErrUnauthorized) {
@@ -187,12 +188,12 @@ func TestAuthOrgTokenCoversDepartment(t *testing.T) {
 	r.seed(t)
 	orgToken := r.client.WithToken(r.token(t, "family-doctor"))
 	// Department-level inquiry under an org token.
-	if _, err := orgToken.InquireIndex("family-doctor/north-district", index.Inquiry{}); err != nil {
+	if _, err := orgToken.InquireIndex(context.Background(), "family-doctor/north-district", index.Inquiry{}); err != nil {
 		t.Errorf("org token over department = %v", err)
 	}
 	// But a department token cannot act as the organization.
 	deptToken := r.client.WithToken(r.token(t, "family-doctor/north-district"))
-	if _, err := deptToken.InquireIndex("family-doctor", index.Inquiry{}); !errors.Is(err, ErrUnauthorized) {
+	if _, err := deptToken.InquireIndex(context.Background(), "family-doctor", index.Inquiry{}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("department token over org = %v", err)
 	}
 }
@@ -205,15 +206,15 @@ func TestAuthRevocationAndExpiry(t *testing.T) {
 		t.Fatal(err)
 	}
 	doctor := r.client.WithToken(tok)
-	if _, err := doctor.InquireIndex("family-doctor", index.Inquiry{}); err != nil {
+	if _, err := doctor.InquireIndex(context.Background(), "family-doctor", index.Inquiry{}); err != nil {
 		t.Fatalf("pre-revocation: %v", err)
 	}
 	r.authority.Revoke(claims.TokenID)
-	if _, err := doctor.InquireIndex("family-doctor", index.Inquiry{}); !errors.Is(err, ErrUnauthorized) {
+	if _, err := doctor.InquireIndex(context.Background(), "family-doctor", index.Inquiry{}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("post-revocation = %v", err)
 	}
 	// Garbage token.
-	if _, err := r.client.WithToken("junk.token").Catalog(); err == nil {
+	if _, err := r.client.WithToken("junk.token").Catalog(context.Background()); err == nil {
 		t.Error("garbage token accepted")
 	}
 }
@@ -221,17 +222,17 @@ func TestAuthRevocationAndExpiry(t *testing.T) {
 func TestAuthPendingRequests(t *testing.T) {
 	r := newAuthRig(t)
 	// Anonymous polling is refused.
-	if _, err := r.client.PendingRequests("hospital"); !errors.Is(err, ErrUnauthorized) {
+	if _, err := r.client.PendingRequests(context.Background(), "hospital"); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("anonymous pending = %v", err)
 	}
 	// A consumer token cannot read the hospital's queue.
 	doctor := r.client.WithToken(r.token(t, "family-doctor"))
-	if _, err := doctor.PendingRequests("hospital"); !errors.Is(err, ErrUnauthorized) {
+	if _, err := doctor.PendingRequests(context.Background(), "hospital"); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("impersonated pending = %v", err)
 	}
 	// The hospital's own token works.
 	hospital := r.client.WithToken(r.token(t, "hospital"))
-	if _, err := hospital.PendingRequests("hospital"); err != nil {
+	if _, err := hospital.PendingRequests(context.Background(), "hospital"); err != nil {
 		t.Errorf("own pending = %v", err)
 	}
 }
@@ -259,15 +260,15 @@ func TestGatewayAuth(t *testing.T) {
 
 	// Persist requires the producer's token.
 	anon := NewRemoteGateway(srv.URL, nil)
-	if err := anon.Persist(d); !errors.Is(err, ErrUnauthorized) {
+	if err := anon.Persist(context.Background(), d); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("anonymous persist = %v", err)
 	}
 	wrong := anon.WithToken(mint("someone-else"))
-	if err := wrong.Persist(d); !errors.Is(err, ErrUnauthorized) {
+	if err := wrong.Persist(context.Background(), d); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("foreign persist = %v", err)
 	}
 	producer := anon.WithToken(mint("hospital"))
-	if err := producer.Persist(d); err != nil {
+	if err := producer.Persist(context.Background(), d); err != nil {
 		t.Fatalf("producer persist = %v", err)
 	}
 

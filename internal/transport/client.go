@@ -2,44 +2,131 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/consent"
+	"repro/internal/enforcer"
 	"repro/internal/event"
 	"repro/internal/index"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/schema"
 )
+
+// DefaultHTTPTimeout bounds each HTTP attempt of the transport clients
+// when the caller supplies no http.Client of its own.
+const DefaultHTTPTimeout = 10 * time.Second
+
+// Option configures a Client or RemoteGateway.
+type Option func(*clientOptions)
+
+type clientOptions struct {
+	timeout  time.Duration
+	retrier  *resilience.Retrier
+	breakers *resilience.Group
+}
+
+// WithTimeout sets the per-attempt HTTP timeout used when no custom
+// http.Client is supplied (callers providing their own client own its
+// timeout). The retrier multiplies attempts; each one is bounded by
+// this, and the caller's context bounds the whole call.
+func WithTimeout(d time.Duration) Option {
+	return func(o *clientOptions) { o.timeout = d }
+}
+
+// WithRetrier makes the client retry transient failures (connection
+// errors, 5xx, truncated responses) under the retrier's policy. Without
+// it every failure surfaces immediately, as before.
+func WithRetrier(r *resilience.Retrier) Option {
+	return func(o *clientOptions) { o.retrier = r }
+}
+
+// WithBreakerGroup guards every route with a circuit breaker from the
+// group (one breaker per endpoint path). While a breaker is open, calls
+// fail fast with an error satisfying errors.Is(err, resilience.ErrOpen).
+func WithBreakerGroup(g *resilience.Group) Option {
+	return func(o *clientOptions) { o.breakers = g }
+}
+
+func applyOptions(opts []Option) clientOptions {
+	o := clientOptions{timeout: DefaultHTTPTimeout}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// breakerFailure classifies an attempt outcome for the circuit breaker:
+// transport-level failures (connection errors, 5xx, truncated bodies)
+// count against the endpoint; application-level faults are successes —
+// the endpoint answered. A source-unavailable fault is transient but
+// names a failure *behind* the answering endpoint, so it does not trip
+// the breaker of the hop that reported it.
+func breakerFailure(err error) bool {
+	return err != nil && resilience.Retryable(err) &&
+		!errors.Is(err, enforcer.ErrSourceUnavailable) &&
+		!errors.Is(err, resilience.ErrOpen)
+}
+
+// acquire obtains a breaker permit for endpoint when breakers are
+// configured; the returned release is nil-safe to call.
+func acquire(g *resilience.Group, endpoint string) (func(bool), error) {
+	if g == nil {
+		return func(bool) {}, nil
+	}
+	return g.Breaker(endpoint).Acquire()
+}
 
 // Client is the consumer/producer-side SDK for a remote data controller.
 // Its methods mirror the controller API over the web-service binding, and
 // they surface the same sentinel errors (errors.Is works transparently).
+// Every method takes a context bounding the whole call, retries included.
+//
+// By default the client is as fragile as the network: supply WithRetrier
+// and WithBreakerGroup to make it fault-tolerant.
 type Client struct {
-	base  string
-	http  *http.Client
-	token string // optional bearer token (see WithToken)
+	base     string
+	http     *http.Client
+	token    string // optional bearer token (see WithToken)
+	retrier  *resilience.Retrier
+	breakers *resilience.Group
 }
 
 // NewClient creates a client for the controller at base (e.g.
-// "http://controller:8080"). httpClient may be nil for a default with a
-// 10-second timeout.
-func NewClient(base string, httpClient *http.Client) *Client {
+// "http://controller:8080"). httpClient may be nil for a default whose
+// timeout is WithTimeout (10 seconds unless overridden).
+func NewClient(base string, httpClient *http.Client, opts ...Option) *Client {
+	o := applyOptions(opts)
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 10 * time.Second}
+		httpClient = &http.Client{Timeout: o.timeout}
 	}
-	return &Client{base: base, http: httpClient}
+	return &Client{base: base, http: httpClient, retrier: o.retrier, breakers: o.breakers}
 }
 
-func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+// endpointOf strips the query so breaker names stay per-route.
+func endpointOf(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// roundTrip performs one HTTP attempt and returns the raw 2xx body.
+// Connection-level failures are marked transient for the retrier.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	var reader io.Reader
 	if body != nil {
+		// A fresh reader per attempt: retries must resend the full body.
 		reader = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.base+path, reader)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %s %s: %w", method, path, err)
 	}
@@ -51,27 +138,75 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("transport: %s %s: %w", method, path, err)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller's deadline elapsed: not retryable, the budget
+			// is gone.
+			return nil, fmt.Errorf("transport: %s %s: %w", method, path, err)
+		}
+		return nil, resilience.MarkRetryable(fmt.Errorf("transport: %s %s: %w", method, path, err))
 	}
-	return resp, nil
+	return readResult(resp)
 }
 
-func (c *Client) post(path string, body []byte, out any) error {
-	resp, err := c.do(http.MethodPost, path, body)
-	if err != nil {
+// call runs one logical operation: breaker permit, HTTP attempt, response
+// decode, outcome classification — repeated under the retry policy when
+// configured. decode (nil to skip) runs INSIDE the loop: a garbled or
+// truncated 2xx body is a transient transfer failure and must trigger a
+// fresh attempt, not a permanent error.
+func (c *Client) call(ctx context.Context, method, path string, body []byte, decode func([]byte) error) error {
+	endpoint := endpointOf(path)
+	return c.retrier.Do(ctx, endpoint, func(ctx context.Context) error {
+		release, err := acquire(c.breakers, endpoint)
+		if err != nil {
+			return err
+		}
+		err = func() error {
+			data, err := c.roundTrip(ctx, method, path, body)
+			if err != nil {
+				return err
+			}
+			if decode == nil {
+				return nil
+			}
+			return decode(data)
+		}()
+		release(breakerFailure(err))
 		return err
+	})
+}
+
+// decodeXMLInto adapts xml.Unmarshal for call: decode failures of a 2xx
+// body are marked transient (truncated or garbled transfer).
+func decodeXMLInto(out any) func([]byte) error {
+	if out == nil {
+		return nil
 	}
-	return decodeResponse(resp, out)
+	return func(data []byte) error {
+		if err := xml.Unmarshal(data, out); err != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode response: %w", err))
+		}
+		return nil
+	}
+}
+
+// post sends an XML body and decodes the XML response into out.
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	return c.call(ctx, http.MethodPost, path, body, decodeXMLInto(out))
+}
+
+// get fetches path and decodes the XML response into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	return c.call(ctx, http.MethodGet, path, nil, decodeXMLInto(out))
 }
 
 // Publish sends a notification and returns the assigned global event id.
-func (c *Client) Publish(n *event.Notification) (event.GlobalID, error) {
+func (c *Client) Publish(ctx context.Context, n *event.Notification) (event.GlobalID, error) {
 	body, err := event.EncodeNotification(n)
 	if err != nil {
 		return "", err
 	}
 	var out publishResponse
-	if err := c.post("/ws/publish", body, &out); err != nil {
+	if err := c.post(ctx, "/ws/publish", body, &out); err != nil {
 		return "", err
 	}
 	return out.EventID, nil
@@ -80,34 +215,55 @@ func (c *Client) Publish(n *event.Notification) (event.GlobalID, error) {
 // Subscribe registers a callback URL for the notifications of a class and
 // returns the subscription id. The caller must run a NotificationReceiver
 // (or equivalent endpoint) at the callback URL.
-func (c *Client) Subscribe(actor event.Actor, class event.ClassID, callbackURL string) (string, error) {
+func (c *Client) Subscribe(ctx context.Context, actor event.Actor, class event.ClassID, callbackURL string) (string, error) {
 	body, err := encodeXML(&subscribeRequest{Actor: actor, Class: class, Callback: callbackURL})
 	if err != nil {
 		return "", err
 	}
 	var out subscribeResponse
-	if err := c.post("/ws/subscribe", body, &out); err != nil {
+	if err := c.post(ctx, "/ws/subscribe", body, &out); err != nil {
 		return "", err
 	}
 	return out.ID, nil
 }
 
+// SubscriptionActive probes whether a subscription id is still live on
+// the controller. Subscriptions are controller memory: a restart loses
+// them silently, so consumers poll this and re-subscribe on false. An
+// error reports only the probe failing (controller unreachable), never
+// a missing subscription.
+func (c *Client) SubscriptionActive(ctx context.Context, id string) (bool, error) {
+	var out subscribeResponse
+	err := c.get(ctx, "/ws/subscription?id="+id, &out)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, ErrUnknownSubscription):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
 // RequestDetails resolves a request for details against the remote
-// controller and returns the privacy-aware detail.
-func (c *Client) RequestDetails(r *event.DetailRequest) (*event.Detail, error) {
+// controller and returns the privacy-aware detail. When the producer
+// behind the event is down, the error satisfies
+// errors.Is(err, enforcer.ErrSourceUnavailable) — a deferred answer,
+// distinct from a policy denial.
+func (c *Client) RequestDetails(ctx context.Context, r *event.DetailRequest) (*event.Detail, error) {
 	body, err := encodeXML(r)
 	if err != nil {
 		return nil, err
 	}
 	var d event.Detail
-	if err := c.post("/ws/details", body, &d); err != nil {
+	if err := c.post(ctx, "/ws/details", body, &d); err != nil {
 		return nil, err
 	}
 	return &d, nil
 }
 
 // InquireIndex queries the remote events index.
-func (c *Client) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
+func (c *Client) InquireIndex(ctx context.Context, actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
 	req := inquiryRequest{
 		Actor:    actor,
 		PersonID: q.PersonID,
@@ -126,7 +282,7 @@ func (c *Client) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.Noti
 		return nil, err
 	}
 	var out inquiryResponse
-	if err := c.post("/ws/inquire", body, &out); err != nil {
+	if err := c.post(ctx, "/ws/inquire", body, &out); err != nil {
 		return nil, err
 	}
 	notifications := make([]*event.Notification, 0, len(out.Notifications))
@@ -142,60 +298,48 @@ func (c *Client) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.Noti
 
 // DefinePolicy submits an elicited privacy policy and returns the stored
 // form (with its assigned id).
-func (c *Client) DefinePolicy(p *policy.Policy) (*policy.Policy, error) {
+func (c *Client) DefinePolicy(ctx context.Context, p *policy.Policy) (*policy.Policy, error) {
 	body, err := policy.Encode(p)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(http.MethodPost, "/ws/policy", body)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var f Fault
-		if xmlErr := decodeFault(buf.Bytes(), &f); xmlErr == nil && f.Code != "" {
-			return nil, errorFor(&f)
+	var stored *policy.Policy
+	err = c.call(ctx, http.MethodPost, "/ws/policy", body, func(data []byte) error {
+		p, err := policy.Decode(data)
+		if err != nil {
+			return resilience.MarkRetryable(err)
 		}
-		return nil, fmt.Errorf("transport: http %d: %s", resp.StatusCode, buf.String())
-	}
-	return policy.Decode(buf.Bytes())
+		stored = p
+		return nil
+	})
+	return stored, err
 }
 
 // Catalog fetches the event catalog: the schemas of every declared
 // class, as a candidate consumer browses them before subscribing.
-func (c *Client) Catalog() ([]*schema.Schema, error) {
-	resp, err := c.do(http.MethodGet, "/ws/catalog", nil)
+func (c *Client) Catalog(ctx context.Context) ([]*schema.Schema, error) {
+	var out []*schema.Schema
+	err := c.call(ctx, http.MethodGet, "/ws/catalog", nil, func(data []byte) error {
+		var wrapper struct {
+			Schemas []catalogSchemaXML `xml:"eventSchema"`
+		}
+		if err := xml.Unmarshal(data, &wrapper); err != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode catalog: %w", err))
+		}
+		out = make([]*schema.Schema, 0, len(wrapper.Schemas))
+		for _, raw := range wrapper.Schemas {
+			element := fmt.Sprintf(`<eventSchema class=%q version="%d">%s</eventSchema>`,
+				raw.Class, raw.Version, raw.Raw)
+			s, err := schema.Decode([]byte(element))
+			if err != nil {
+				return resilience.MarkRetryable(err)
+			}
+			out = append(out, s)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("transport: catalog http %d", resp.StatusCode)
-	}
-	var wrapper struct {
-		Schemas []catalogSchemaXML `xml:"eventSchema"`
-	}
-	if err := xml.Unmarshal(buf.Bytes(), &wrapper); err != nil {
-		return nil, fmt.Errorf("transport: decode catalog: %w", err)
-	}
-	out := make([]*schema.Schema, 0, len(wrapper.Schemas))
-	for _, raw := range wrapper.Schemas {
-		element := fmt.Sprintf(`<eventSchema class=%q version="%d">%s</eventSchema>`,
-			raw.Class, raw.Version, raw.Raw)
-		s, err := schema.Decode([]byte(element))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
 	}
 	return out, nil
 }
@@ -219,11 +363,7 @@ type PendingRequest struct {
 }
 
 // PendingRequests polls the producer's unresolved access requests.
-func (c *Client) PendingRequests(producer event.ProducerID) ([]PendingRequest, error) {
-	resp, err := c.do(http.MethodGet, "/ws/pending?producer="+string(producer), nil)
-	if err != nil {
-		return nil, err
-	}
+func (c *Client) PendingRequests(ctx context.Context, producer event.ProducerID) ([]PendingRequest, error) {
 	var out struct {
 		Requests []struct {
 			Actor   event.Actor   `xml:"actor"`
@@ -234,7 +374,7 @@ func (c *Client) PendingRequests(producer event.ProducerID) ([]PendingRequest, e
 			LastAt  string        `xml:"lastAt"`
 		} `xml:"request"`
 	}
-	if err := decodeResponse(resp, &out); err != nil {
+	if err := c.get(ctx, "/ws/pending?producer="+string(producer), &out); err != nil {
 		return nil, err
 	}
 	pending := make([]PendingRequest, 0, len(out.Requests))
@@ -256,37 +396,28 @@ func (c *Client) PendingRequests(producer event.ProducerID) ([]PendingRequest, e
 }
 
 // Policies fetches a producer's stored policies (compact XML list).
-func (c *Client) Policies(producer event.ProducerID) ([]*policy.Policy, error) {
-	resp, err := c.do(http.MethodGet, "/ws/policies?producer="+string(producer), nil)
+func (c *Client) Policies(ctx context.Context, producer event.ProducerID) ([]*policy.Policy, error) {
+	var out []*policy.Policy
+	err := c.call(ctx, http.MethodGet, "/ws/policies?producer="+string(producer), nil, func(data []byte) error {
+		var wrapper struct {
+			Policies []policyRawXML `xml:"privacyPolicy"`
+		}
+		if err := xml.Unmarshal(data, &wrapper); err != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode policies: %w", err))
+		}
+		out = make([]*policy.Policy, 0, len(wrapper.Policies))
+		for _, raw := range wrapper.Policies {
+			element := fmt.Sprintf(`<privacyPolicy id=%q>%s</privacyPolicy>`, raw.ID, raw.Raw)
+			p, err := policy.Decode([]byte(element))
+			if err != nil {
+				return resilience.MarkRetryable(err)
+			}
+			out = append(out, p)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var f Fault
-		if xmlErr := decodeFault(buf.Bytes(), &f); xmlErr == nil && f.Code != "" {
-			return nil, errorFor(&f)
-		}
-		return nil, fmt.Errorf("transport: policies http %d", resp.StatusCode)
-	}
-	var wrapper struct {
-		Policies []policyRawXML `xml:"privacyPolicy"`
-	}
-	if err := xml.Unmarshal(buf.Bytes(), &wrapper); err != nil {
-		return nil, fmt.Errorf("transport: decode policies: %w", err)
-	}
-	out := make([]*policy.Policy, 0, len(wrapper.Policies))
-	for _, raw := range wrapper.Policies {
-		element := fmt.Sprintf(`<privacyPolicy id=%q>%s</privacyPolicy>`, raw.ID, raw.Raw)
-		p, err := policy.Decode([]byte(element))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
 	}
 	return out, nil
 }
@@ -309,20 +440,16 @@ type Stats struct {
 }
 
 // Stats fetches the controller's operational counters.
-func (c *Client) Stats() (Stats, error) {
-	resp, err := c.do(http.MethodGet, "/ws/stats", nil)
-	if err != nil {
-		return Stats{}, err
-	}
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
-	if err := decodeResponse(resp, &out); err != nil {
+	if err := c.get(ctx, "/ws/stats", &out); err != nil {
 		return Stats{}, err
 	}
 	return out, nil
 }
 
 // RecordConsent submits a consent directive.
-func (c *Client) RecordConsent(d consent.Directive) (consent.Directive, error) {
+func (c *Client) RecordConsent(ctx context.Context, d consent.Directive) (consent.Directive, error) {
 	body, err := encodeXML(&consentDirectiveXML{
 		PersonID: d.PersonID, Allow: d.Allow,
 		Class: d.Scope.Class, Consumer: d.Scope.Consumer, Purpose: d.Scope.Purpose,
@@ -331,7 +458,7 @@ func (c *Client) RecordConsent(d consent.Directive) (consent.Directive, error) {
 		return consent.Directive{}, err
 	}
 	var out consentDirectiveXML
-	if err := c.post("/ws/consent", body, &out); err != nil {
+	if err := c.post(ctx, "/ws/consent", body, &out); err != nil {
 		return consent.Directive{}, err
 	}
 	return consent.Directive{

@@ -2,17 +2,22 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/enforcer"
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/identity"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
 
@@ -39,6 +44,53 @@ type GatewayServer struct {
 	// covering the owning producer.
 	auth            *identity.Authority
 	controllerActor event.Actor
+	// publisher, when set via EnablePublishRelay, backs POST /gw/publish:
+	// the producer-side durable outbox toward the data controller.
+	publisher *QueuedPublisher
+	// healthMu guards healthDetails (registered at setup, read per probe).
+	healthMu sync.Mutex
+	// healthDetails contribute key/value lines to /healthz.
+	healthDetails []func() map[string]string
+}
+
+// AddHealthDetail registers a /healthz detail contributor (outbox depth,
+// breaker states).
+func (s *GatewayServer) AddHealthDetail(fn func() map[string]string) *GatewayServer {
+	s.healthMu.Lock()
+	s.healthDetails = append(s.healthDetails, fn)
+	s.healthMu.Unlock()
+	return s
+}
+
+// healthDetail merges the registered contributors.
+func (s *GatewayServer) healthDetail() map[string]string {
+	s.healthMu.Lock()
+	fns := make([]func() map[string]string, len(s.healthDetails))
+	copy(fns, s.healthDetails)
+	s.healthMu.Unlock()
+	out := make(map[string]string)
+	for _, fn := range fns {
+		for k, v := range fn() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// EnablePublishRelay mounts POST /gw/publish backed by qp: the source
+// system hands its notification to the *local* gateway, which forwards
+// it to the data controller — or parks it durably when the controller
+// is down (202 Accepted, empty event id). Call during setup, before
+// serving. The outbox depth joins /healthz automatically.
+func (s *GatewayServer) EnablePublishRelay(qp *QueuedPublisher) *GatewayServer {
+	s.publisher = qp
+	s.AddHealthDetail(func() map[string]string {
+		return map[string]string{
+			"outbox_depth": strconv.Itoa(qp.Depth()),
+			"outbox_dead":  strconv.Itoa(qp.Dead()),
+		}
+	})
+	return s
 }
 
 // RequireAuth restricts the gateway's endpoints: only tokens covering
@@ -97,8 +149,9 @@ func NewGatewayServerWithRegistry(gw *gateway.Gateway, reg *telemetry.Registry) 
 	s := &GatewayServer{gw: gw, mux: http.NewServeMux(), reg: reg}
 	s.mux.HandleFunc("POST /gw/get-response", s.handleGetResponse)
 	s.mux.HandleFunc("POST /gw/persist", s.handlePersist)
+	s.mux.HandleFunc("POST /gw/publish", s.handlePublishRelay)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(reg))
-	s.mux.Handle("GET /healthz", telemetry.HealthzHandler(nil))
+	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(nil, s.healthDetail))
 	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(reg, "css_gateway"), s.mux)
 	return s
 }
@@ -124,6 +177,37 @@ func (s *GatewayServer) handlePersist(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePublishRelay accepts a notification from the source system and
+// forwards it to the data controller through the durable outbox: 200
+// with the assigned event id when the controller answered directly, 202
+// with an empty id when the notification was parked for later delivery.
+// Only the owning producer's bearer may publish through its gateway.
+func (s *GatewayServer) handlePublishRelay(w http.ResponseWriter, r *http.Request) {
+	if s.publisher == nil {
+		writeXML(w, http.StatusNotFound, &Fault{Code: CodeNotFound, Message: "publish relay not enabled"})
+		return
+	}
+	if err := s.authorize(r, event.Actor(s.gw.Producer())); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	var n event.Notification
+	if err := readBody(r, &n); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	gid, queued, err := s.publisher.Publish(r.Context(), &n)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	status := http.StatusOK
+	if queued {
+		status = http.StatusAccepted
+	}
+	writeXML(w, status, &publishResponse{EventID: gid})
 }
 
 // ServeHTTP implements http.Handler.
@@ -158,17 +242,27 @@ func (s *GatewayServer) handleGetResponse(w http.ResponseWriter, r *http.Request
 // receive a clone of its response. Nothing is retained once the flight
 // completes — the client never caches details (controller-side storage
 // of event details is prohibited; see the E13 ablation).
+//
+// With WithRetrier / WithBreakerGroup, fetches retry transient failures
+// and the gateway is guarded by a circuit breaker named after its base
+// URL. When the gateway stays unreachable, errors satisfy
+// errors.Is(err, enforcer.ErrSourceUnavailable), so the controller
+// audits the outcome as "unavailable" — never as a policy denial.
 type RemoteGateway struct {
-	base    string
-	http    *http.Client
-	token   string
-	flights *cache.Group[string, *event.Detail]
+	base     string
+	http     *http.Client
+	token    string
+	timeout  time.Duration
+	retrier  *resilience.Retrier
+	breakers *resilience.Group
+	flights  *cache.Group[string, *event.Detail]
 }
 
 // WithToken returns a copy of the remote gateway client that presents
 // the bearer token (the controller's identity) on every call. The copy
 // gets its own coalescing group, so calls never share a flight (and
-// hence a response) across identities.
+// hence a response) across identities. Retry policy and breakers stay
+// shared — the endpoint's health is identity-independent.
 func (g *RemoteGateway) WithToken(token string) *RemoteGateway {
 	cp := *g
 	cp.token = token
@@ -177,8 +271,9 @@ func (g *RemoteGateway) WithToken(token string) *RemoteGateway {
 }
 
 // postXML sends an XML body with the optional bearer token and trace ID.
-func (g *RemoteGateway) postXML(path, trace string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequest(http.MethodPost, g.base+path, bytes.NewReader(body))
+// Connection-level failures are marked transient for the retrier.
+func (g *RemoteGateway) postXML(ctx context.Context, path, trace string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("transport: gateway request: %w", err)
 	}
@@ -191,31 +286,61 @@ func (g *RemoteGateway) postXML(path, trace string, body []byte) (*http.Response
 	}
 	resp, err := g.http.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("transport: gateway post: %w", err)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: gateway post: %w", err)
+		}
+		return nil, resilience.MarkRetryable(fmt.Errorf("transport: gateway post: %w", err))
 	}
 	return resp, nil
 }
 
-// NewRemoteGateway creates a client for the gateway at base.
-func NewRemoteGateway(base string, httpClient *http.Client) *RemoteGateway {
+// NewRemoteGateway creates a client for the gateway at base. Pass
+// WithRetrier / WithBreakerGroup to make the controller→gateway hop
+// fault-tolerant, WithTimeout to bound each attempt.
+func NewRemoteGateway(base string, httpClient *http.Client, opts ...Option) *RemoteGateway {
+	o := applyOptions(opts)
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 10 * time.Second}
+		httpClient = &http.Client{Timeout: o.timeout}
 	}
-	return &RemoteGateway{base: base, http: httpClient, flights: &cache.Group[string, *event.Detail]{}}
+	return &RemoteGateway{
+		base:     base,
+		http:     httpClient,
+		timeout:  o.timeout,
+		retrier:  o.retrier,
+		breakers: o.breakers,
+		flights:  &cache.Group[string, *event.Detail]{},
+	}
+}
+
+// callGateway runs one gateway operation under the breaker and retry
+// policy. The breaker is named after the gateway base URL: one circuit
+// per producer gateway, surfaced on /healthz.
+func (g *RemoteGateway) callGateway(ctx context.Context, path, trace string, body []byte, out any) error {
+	return g.retrier.Do(ctx, g.base, func(ctx context.Context) error {
+		release, err := acquire(g.breakers, g.base)
+		if err != nil {
+			return err
+		}
+		err = func() error {
+			resp, err := g.postXML(ctx, path, trace, body)
+			if err != nil {
+				return err
+			}
+			return decodeResponse(resp, out)
+		}()
+		release(breakerFailure(err))
+		return err
+	})
 }
 
 // Persist ships a full detail message to the gateway's persist endpoint
 // (source-system side).
-func (g *RemoteGateway) Persist(d *event.Detail) error {
+func (g *RemoteGateway) Persist(ctx context.Context, d *event.Detail) error {
 	body, err := event.EncodeDetail(d)
 	if err != nil {
 		return err
 	}
-	resp, err := g.postXML("/gw/persist", "", body)
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, nil)
+	return g.callGateway(ctx, "/gw/persist", "", body, nil)
 }
 
 // GetResponse implements enforcer.DetailSource over HTTP.
@@ -228,6 +353,11 @@ func (g *RemoteGateway) GetResponse(src event.SourceID, fields []event.FieldName
 // gateway-side metrics and logs of the fetch correlate with the
 // controller-side detail request. Identical concurrent calls share one
 // round-trip (and the leader's trace); followers get their own clone.
+//
+// The DetailSource interface carries no context, so each fetch runs
+// under its own deadline (the configured per-attempt timeout times the
+// retry allowance). A gateway that stays unreachable yields an error
+// satisfying errors.Is(err, enforcer.ErrSourceUnavailable).
 func (g *RemoteGateway) GetResponseTraced(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
 	d, shared, err := g.flights.Do(fetchKey(src, fields), func() (*event.Detail, error) {
 		return g.getResponse(trace, src, fields)
@@ -247,12 +377,13 @@ func (g *RemoteGateway) getResponse(trace string, src event.SourceID, fields []e
 	if err != nil {
 		return nil, err
 	}
-	resp, err := g.postXML("/gw/get-response", trace, body)
-	if err != nil {
-		return nil, err
-	}
 	var d event.Detail
-	if err := decodeResponse(resp, &d); err != nil {
+	if err := g.callGateway(context.Background(), "/gw/get-response", trace, body, &d); err != nil {
+		if resilience.Retryable(err) {
+			// The producer side never answered (or answered 5xx): report
+			// unavailability, keeping the cause in the chain.
+			return nil, fmt.Errorf("%w: %w", enforcer.ErrSourceUnavailable, err)
+		}
 		return nil, err
 	}
 	return &d, nil

@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/resilience"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// DefaultDrainInterval is how often a QueuedPublisher retries its
+// parked notifications when no publish kicks the drainer earlier.
+const DefaultDrainInterval = 500 * time.Millisecond
+
+// QueuedPublisher publishes notifications to a remote controller with a
+// durable fallback: when the controller is unreachable (connection
+// failure, 5xx, open breaker), the notification is parked in a
+// store-backed outbox — one crash-atomic WAL batch per entry — and
+// drained by a background loop with at-least-once semantics once the
+// controller answers again. Replays are deduplicated by the
+// controller's (producer, source id) idempotency, so the effect at the
+// events index is exactly-once.
+//
+// This is the producer half of the paper's availability claim: a source
+// system keeps emitting events during a controller outage, and the
+// platform catches up instead of losing them.
+type QueuedPublisher struct {
+	client   *Client
+	outbox   *resilience.Outbox
+	interval time.Duration
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// NewQueuedPublisher wraps client with the outbox persisted in st.
+// Entries surviving from a previous run begin draining immediately.
+// drainInterval ≤ 0 means DefaultDrainInterval. metrics may be nil.
+func NewQueuedPublisher(client *Client, st *store.Store, metrics *resilience.Metrics, drainInterval time.Duration) (*QueuedPublisher, error) {
+	ob, err := resilience.OpenOutbox(st, metrics)
+	if err != nil {
+		return nil, err
+	}
+	if drainInterval <= 0 {
+		drainInterval = DefaultDrainInterval
+	}
+	q := &QueuedPublisher{
+		client:   client,
+		outbox:   ob,
+		interval: drainInterval,
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go q.drainLoop()
+	return q, nil
+}
+
+// Publish attempts a direct publish; on transport-level failure the
+// notification is parked durably and queued=true is returned with an
+// empty global id (the controller assigns it at drain time). Permanent
+// rejections (unknown producer, bad class, auth) are returned as-is —
+// queueing cannot fix them.
+func (q *QueuedPublisher) Publish(ctx context.Context, n *event.Notification) (gid event.GlobalID, queued bool, err error) {
+	gid, err = q.client.Publish(ctx, n)
+	if err == nil {
+		return gid, false, nil
+	}
+	if !resilience.Retryable(err) && !errors.Is(err, context.DeadlineExceeded) {
+		return "", false, err
+	}
+	if _, qerr := q.outbox.Enqueue(n); qerr != nil {
+		// The fallback itself failed; surface the original cause too.
+		return "", false, errors.Join(qerr, err)
+	}
+	q.kick()
+	return "", true, nil
+}
+
+// kick nudges the drain loop without waiting for the ticker.
+func (q *QueuedPublisher) kick() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Depth reports the pending outbox entries.
+func (q *QueuedPublisher) Depth() int { return q.outbox.Depth() }
+
+// Dead reports the dead-lettered outbox entries.
+func (q *QueuedPublisher) Dead() int { return q.outbox.Dead() }
+
+// Close stops the drain loop (pending entries stay durable for the next
+// run).
+func (q *QueuedPublisher) Close() {
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return
+	}
+	q.stopped = true
+	close(q.stop)
+	q.mu.Unlock()
+	<-q.done
+}
+
+// drainLoop retries parked notifications until the outbox is empty,
+// waking on every failed publish and on a steady tick.
+func (q *QueuedPublisher) drainLoop() {
+	defer close(q.done)
+	ticker := time.NewTicker(q.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-q.stop:
+			return
+		case <-q.wake:
+		case <-ticker.C:
+		}
+		q.drainOnce()
+	}
+}
+
+// drainOnce publishes queued entries oldest-first until the queue is
+// empty or the controller stops answering. A replayed entry the
+// controller already indexed just returns the original global id —
+// exactly-once at the index. Permanently rejected entries are
+// dead-lettered so one poisoned notification cannot wedge the queue.
+func (q *QueuedPublisher) drainOnce() {
+	for {
+		select {
+		case <-q.stop:
+			return
+		default:
+		}
+		n, seq, ok, err := q.outbox.Next()
+		if err != nil || !ok {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), q.interval*4)
+		_, err = q.client.Publish(ctx, n)
+		cancel()
+		switch {
+		case err == nil:
+			if err := q.outbox.Ack(seq, n); err != nil {
+				telemetry.Logger().Error("outbox ack failed",
+					"producer", string(n.Producer), "source", string(n.SourceID), "err", err)
+				return
+			}
+		case resilience.Retryable(err) || errors.Is(err, context.DeadlineExceeded):
+			// Controller still unreachable; try again next round.
+			return
+		default:
+			telemetry.Logger().Error("outbox entry rejected permanently, dead-lettering",
+				"producer", string(n.Producer), "source", string(n.SourceID), "err", err)
+			if err := q.outbox.Reject(seq, n); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/telemetry"
+)
+
+// DefaultProbeInterval is how often a Resubscriber checks that its
+// subscription is still held by the controller.
+const DefaultProbeInterval = 2 * time.Second
+
+// Resubscriber keeps a consumer subscription alive across controller
+// restarts. Subscriptions are held in controller memory, so a restarted
+// controller forgets them silently: callbacks just stop arriving. The
+// resubscriber probes the subscription id at an interval and, when the
+// controller reports it unknown, re-establishes the subscription and
+// reports the new id through the optional OnChange hook.
+//
+// Probe failures (controller unreachable) are not treated as loss — the
+// subscription may well survive on the other side; the prober simply
+// tries again next tick.
+type Resubscriber struct {
+	client   *Client
+	actor    event.Actor
+	class    event.ClassID
+	callback string
+	interval time.Duration
+	onChange func(oldID, newID string)
+
+	mu sync.Mutex
+	id string
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// ResubscribeConfig parameterizes NewResubscriber. Interval ≤ 0 means
+// DefaultProbeInterval; OnChange may be nil.
+type ResubscribeConfig struct {
+	Actor    event.Actor
+	Class    event.ClassID
+	Callback string
+	Interval time.Duration
+	OnChange func(oldID, newID string)
+}
+
+// NewResubscriber subscribes once and starts the liveness loop. The
+// initial subscribe failing is fatal (returned); later losses are
+// repaired in the background.
+func NewResubscriber(ctx context.Context, client *Client, cfg ResubscribeConfig) (*Resubscriber, error) {
+	id, err := client.Subscribe(ctx, cfg.Actor, cfg.Class, cfg.Callback)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	r := &Resubscriber{
+		client:   client,
+		actor:    cfg.Actor,
+		class:    cfg.Class,
+		callback: cfg.Callback,
+		interval: cfg.Interval,
+		onChange: cfg.OnChange,
+		id:       id,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go r.loop()
+	return r, nil
+}
+
+// ID returns the current subscription id.
+func (r *Resubscriber) ID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.id
+}
+
+// Close stops the probe loop. The subscription itself is left in place.
+func (r *Resubscriber) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// loop probes and repairs until closed.
+func (r *Resubscriber) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		r.probe()
+	}
+}
+
+// probe checks the subscription and re-subscribes if the controller no
+// longer knows it.
+func (r *Resubscriber) probe() {
+	ctx, cancel := context.WithTimeout(context.Background(), r.interval)
+	defer cancel()
+	old := r.ID()
+	active, err := r.client.SubscriptionActive(ctx, old)
+	if err != nil || active {
+		// Unreachable controllers prove nothing about the subscription;
+		// only a definite "unknown" (active=false, err=nil) triggers repair.
+		return
+	}
+	id, err := r.client.Subscribe(ctx, r.actor, r.class, r.callback)
+	if err != nil {
+		telemetry.Logger().Error("resubscribe failed",
+			"actor", string(r.actor), "class", string(r.class), "err", err)
+		return
+	}
+	r.mu.Lock()
+	r.id = id
+	r.mu.Unlock()
+	telemetry.Logger().Info("subscription re-established",
+		"actor", string(r.actor), "class", string(r.class), "old", old, "new", id)
+	if r.onChange != nil {
+		r.onChange(old, id)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/audit"
@@ -23,6 +24,8 @@ import (
 //
 //	POST /ws/publish     — notification XML → publishResponse
 //	POST /ws/subscribe   — subscribeRequest (with callback URL) → subscribeResponse
+//	GET  /ws/subscription — ?id= liveness probe: held → subscribeResponse,
+//	                        forgotten → unknown-subscription fault (404)
 //	POST /ws/details     — detail request XML → privacy-aware detail XML
 //	POST /ws/inquire     — inquiryRequest → inquiryResponse
 //	POST /ws/policy      — compact policy XML → stored policy XML
@@ -56,6 +59,36 @@ type Server struct {
 	// deliveriesFailed counts callback deliveries that did not reach the
 	// subscriber (css_deliveries_failed_total{reason}).
 	deliveriesFailed *telemetry.Counter
+	// healthMu guards healthDetails (registered at setup, read per probe).
+	healthMu sync.Mutex
+	// healthDetails contribute key/value lines to /healthz (breaker
+	// states of attached remote gateways, outbox depths, …).
+	healthDetails []func() map[string]string
+}
+
+// AddHealthDetail registers a detail contributor for /healthz: its
+// key/value pairs are appended to every probe response. Daemons use it
+// to surface circuit-breaker states and outbox depth next to liveness.
+func (s *Server) AddHealthDetail(fn func() map[string]string) *Server {
+	s.healthMu.Lock()
+	s.healthDetails = append(s.healthDetails, fn)
+	s.healthMu.Unlock()
+	return s
+}
+
+// healthDetail merges the registered contributors.
+func (s *Server) healthDetail() map[string]string {
+	s.healthMu.Lock()
+	fns := make([]func() map[string]string, len(s.healthDetails))
+	copy(fns, s.healthDetails)
+	s.healthMu.Unlock()
+	out := make(map[string]string)
+	for _, fn := range fns {
+		for k, v := range fn() {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // NewServer wraps a controller.
@@ -79,8 +112,9 @@ func NewServer(ctrl *core.Controller) *Server {
 	s.mux.HandleFunc("GET /ws/stats", s.handleStats)
 	s.mux.HandleFunc("GET /ws/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /ws/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /ws/subscription", s.handleSubscriptionProbe)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(ctrl.Metrics()))
-	s.mux.Handle("GET /healthz", telemetry.HealthzHandler(ctrl.Healthy))
+	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(ctrl.Healthy, s.healthDetail))
 	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(ctrl.Metrics(), "css"), s.mux)
 	return s
 }
@@ -179,6 +213,28 @@ func (s *Server) deliverCallback(url, subscriber string, n *event.Notification) 
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		fail("status", fmt.Errorf("subscriber returned %s", resp.Status))
 	}
+}
+
+// handleSubscriptionProbe answers a consumer's liveness check for its
+// subscription (?id=). Subscriptions are controller memory; after a
+// restart this returns the unknown-subscription fault and the consumer
+// re-subscribes. Any authenticated member may probe — the response
+// carries no data beyond the id's existence.
+func (s *Server) handleSubscriptionProbe(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authenticate(r); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "missing id parameter"})
+		return
+	}
+	if !s.ctrl.HasSubscription(id) {
+		writeFault(w, fmt.Errorf("%w: %s", ErrUnknownSubscription, id))
+		return
+	}
+	writeXML(w, http.StatusOK, &subscribeResponse{ID: id})
 }
 
 func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -35,13 +36,13 @@ func TestMetricsEndpointExposesFlowCounters(t *testing.T) {
 	r := newRig(t)
 	r.doctorPolicy(t)
 	gid := r.produce(t, "src-1", "PRS-1")
-	if _, err := r.client.RequestDetails(&event.DetailRequest{
+	if _, err := r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.client.RequestDetails(&event.DetailRequest{
+	if _, err := r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeStatisticalAnalysis,
 	}); err == nil {
@@ -93,7 +94,7 @@ func TestFailedCallbackDeliveryIsCounted(t *testing.T) {
 		w.WriteHeader(http.StatusInternalServerError)
 	}))
 	defer broken.Close()
-	if _, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, broken.URL); err != nil {
+	if _, err := r.client.Subscribe(context.Background(), "family-doctor", schema.ClassBloodTest, broken.URL); err != nil {
 		t.Fatal(err)
 	}
 	r.produce(t, "src-1", "PRS-1")
@@ -131,7 +132,7 @@ func TestCallbackCarriesTraceHeaderAndAttr(t *testing.T) {
 		mu.Unlock()
 	}))
 	defer receiver.Close()
-	if _, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, receiver.URL); err != nil {
+	if _, err := r.client.Subscribe(context.Background(), "family-doctor", schema.ClassBloodTest, receiver.URL); err != nil {
 		t.Fatal(err)
 	}
 	r.produce(t, "src-1", "PRS-1")

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -86,7 +87,7 @@ func (r *rig) produce(t *testing.T, src event.SourceID, person string) event.Glo
 	if err := r.gw.Persist(d); err != nil {
 		t.Fatal(err)
 	}
-	gid, err := r.client.Publish(&event.Notification{
+	gid, err := r.client.Publish(context.Background(), &event.Notification{
 		SourceID: src, Class: schema.ClassBloodTest, PersonID: person,
 		Summary: "blood test", OccurredAt: time.Date(2010, 5, 30, 9, 0, 0, 0, time.UTC),
 		Producer: "hospital",
@@ -99,7 +100,7 @@ func (r *rig) produce(t *testing.T, src event.SourceID, person string) event.Glo
 
 func (r *rig) doctorPolicy(t *testing.T) *policy.Policy {
 	t.Helper()
-	p, err := r.client.DefinePolicy(&policy.Policy{
+	p, err := r.client.DefinePolicy(context.Background(), &policy.Policy{
 		Producer: "hospital", Actor: "family-doctor", Class: schema.ClassBloodTest,
 		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
 		Fields:   []event.FieldName{"patient-id", "hemoglobin"},
@@ -117,7 +118,7 @@ func TestRemotePublishAndDetails(t *testing.T) {
 		t.Fatal("remote DefinePolicy returned no id")
 	}
 	gid := r.produce(t, "src-1", "PRS-1")
-	d, err := r.client.RequestDetails(&event.DetailRequest{
+	d, err := r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
@@ -136,7 +137,7 @@ func TestRemoteErrorsKeepIdentity(t *testing.T) {
 	r := newRig(t)
 	gid := r.produce(t, "src-1", "PRS-1")
 	// Deny-by-default crosses the wire as enforcer.ErrDenied.
-	_, err := r.client.RequestDetails(&event.DetailRequest{
+	_, err := r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
@@ -145,7 +146,7 @@ func TestRemoteErrorsKeepIdentity(t *testing.T) {
 	}
 	// Unknown event.
 	r.doctorPolicy(t)
-	_, err = r.client.RequestDetails(&event.DetailRequest{
+	_, err = r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: "evt-ghost", Purpose: event.PurposeHealthcareTreatment,
 	})
@@ -153,7 +154,7 @@ func TestRemoteErrorsKeepIdentity(t *testing.T) {
 		t.Errorf("unknown event = %v", err)
 	}
 	// Unknown consumer.
-	_, err = r.client.RequestDetails(&event.DetailRequest{
+	_, err = r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "ghost", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
@@ -161,7 +162,7 @@ func TestRemoteErrorsKeepIdentity(t *testing.T) {
 		t.Errorf("unknown consumer = %v", err)
 	}
 	// Publish guards.
-	_, err = r.client.Publish(&event.Notification{
+	_, err = r.client.Publish(context.Background(), &event.Notification{
 		SourceID: "s", Class: "never.declared", PersonID: "P",
 		OccurredAt: time.Now(), Producer: "hospital",
 	})
@@ -169,7 +170,7 @@ func TestRemoteErrorsKeepIdentity(t *testing.T) {
 		t.Errorf("unknown class = %v", err)
 	}
 	// Policy guard: field outside schema (400-level fault without sentinel).
-	_, err = r.client.DefinePolicy(&policy.Policy{
+	_, err = r.client.DefinePolicy(context.Background(), &policy.Policy{
 		Producer: "hospital", Actor: "a", Class: schema.ClassBloodTest,
 		Purposes: []event.Purpose{"s"}, Fields: []event.FieldName{"no-such-field"},
 	})
@@ -191,7 +192,7 @@ func TestRemoteSubscribeWithCallback(t *testing.T) {
 	}))
 	defer receiver.Close()
 
-	subID, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, receiver.URL)
+	subID, err := r.client.Subscribe(context.Background(), "family-doctor", schema.ClassBloodTest, receiver.URL)
 	if err != nil {
 		t.Fatalf("Subscribe: %v", err)
 	}
@@ -225,12 +226,12 @@ func TestRemoteSubscribeWithCallback(t *testing.T) {
 
 func TestRemoteSubscribeDenied(t *testing.T) {
 	r := newRig(t)
-	_, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, "http://127.0.0.1:1/cb")
+	_, err := r.client.Subscribe(context.Background(), "family-doctor", schema.ClassBloodTest, "http://127.0.0.1:1/cb")
 	if !errors.Is(err, core.ErrSubscriptionDeny) {
 		t.Errorf("subscribe without policy = %v", err)
 	}
 	// Missing callback is a bad request.
-	if _, err := r.client.Subscribe("family-doctor", schema.ClassBloodTest, ""); err == nil {
+	if _, err := r.client.Subscribe(context.Background(), "family-doctor", schema.ClassBloodTest, ""); err == nil {
 		t.Error("missing callback accepted")
 	}
 }
@@ -242,7 +243,7 @@ func TestRemoteInquiry(t *testing.T) {
 	r.produce(t, "src-2", "PRS-B")
 	r.produce(t, "src-3", "PRS-A")
 
-	got, err := r.client.InquireIndex("family-doctor", index.Inquiry{PersonID: "PRS-A"})
+	got, err := r.client.InquireIndex(context.Background(), "family-doctor", index.Inquiry{PersonID: "PRS-A"})
 	if err != nil {
 		t.Fatalf("InquireIndex: %v", err)
 	}
@@ -250,7 +251,7 @@ func TestRemoteInquiry(t *testing.T) {
 		t.Fatalf("inquiry = %d results", len(got))
 	}
 	// Time-window over the wire.
-	got2, err := r.client.InquireIndex("family-doctor", index.Inquiry{
+	got2, err := r.client.InquireIndex(context.Background(), "family-doctor", index.Inquiry{
 		From:  time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC),
 		To:    time.Date(2010, 12, 31, 0, 0, 0, 0, time.UTC),
 		Limit: 2,
@@ -264,7 +265,7 @@ func TestRemoteConsent(t *testing.T) {
 	r := newRig(t)
 	r.doctorPolicy(t)
 	gid := r.produce(t, "src-1", "PRS-1")
-	stored, err := r.client.RecordConsent(consent.Directive{
+	stored, err := r.client.RecordConsent(context.Background(), consent.Directive{
 		PersonID: "PRS-1", Allow: false,
 		Scope: consent.Scope{Purpose: event.PurposeHealthcareTreatment},
 	})
@@ -274,7 +275,7 @@ func TestRemoteConsent(t *testing.T) {
 	if stored.Seq == 0 {
 		t.Error("stored directive has no seq")
 	}
-	_, err = r.client.RequestDetails(&event.DetailRequest{
+	_, err = r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
@@ -375,7 +376,7 @@ func TestNotificationReceiverRejectsGarbage(t *testing.T) {
 
 func TestClientCatalog(t *testing.T) {
 	r := newRig(t)
-	schemas, err := r.client.Catalog()
+	schemas, err := r.client.Catalog(context.Background())
 	if err != nil {
 		t.Fatalf("Catalog: %v", err)
 	}
@@ -397,7 +398,7 @@ func TestRemoteGatewayPersist(t *testing.T) {
 		Set("patient-id", "PRS-77").
 		Set("exam-date", "2010-06-02").
 		Set("hemoglobin", "15.0")
-	if err := remote.Persist(d); err != nil {
+	if err := remote.Persist(context.Background(), d); err != nil {
 		t.Fatalf("Persist: %v", err)
 	}
 	got, err := remote.GetResponse("src-remote", []event.FieldName{"patient-id"})
@@ -410,7 +411,7 @@ func TestRemoteGatewayPersist(t *testing.T) {
 	// Schema validation still applies remotely.
 	bad := event.NewDetail(schema.ClassBloodTest, "src-bad", "hospital").
 		Set("hemoglobin", "not-a-number")
-	if err := remote.Persist(bad); err == nil {
+	if err := remote.Persist(context.Background(), bad); err == nil {
 		t.Error("remote persist accepted schema-invalid detail")
 	}
 }
@@ -419,11 +420,11 @@ func TestPendingRequestsOverTheWire(t *testing.T) {
 	r := newRig(t)
 	gid := r.produce(t, "src-1", "PRS-1")
 	// Denied for lack of policy: queued for the hospital.
-	r.client.RequestDetails(&event.DetailRequest{
+	r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
-	pending, err := r.client.PendingRequests("hospital")
+	pending, err := r.client.PendingRequests(context.Background(), "hospital")
 	if err != nil {
 		t.Fatalf("PendingRequests: %v", err)
 	}
@@ -440,7 +441,7 @@ func TestPendingRequestsOverTheWire(t *testing.T) {
 	}
 	// Defining the policy remotely resolves it.
 	r.doctorPolicy(t)
-	pending, err = r.client.PendingRequests("hospital")
+	pending, err = r.client.PendingRequests(context.Background(), "hospital")
 	if err != nil || len(pending) != 0 {
 		t.Errorf("pending after policy = %d, %v", len(pending), err)
 	}
@@ -459,11 +460,11 @@ func TestStatsEndpoint(t *testing.T) {
 	r := newRig(t)
 	r.doctorPolicy(t)
 	gid := r.produce(t, "src-1", "PRS-1")
-	r.client.RequestDetails(&event.DetailRequest{
+	r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
-	st, err := r.client.Stats()
+	st, err := r.client.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -476,7 +477,7 @@ func TestAuditEndpointUnauthenticated(t *testing.T) {
 	r := newRig(t)
 	r.doctorPolicy(t)
 	gid := r.produce(t, "src-1", "PRS-1")
-	r.client.RequestDetails(&event.DetailRequest{
+	r.client.RequestDetails(context.Background(), &event.DetailRequest{
 		Requester: "family-doctor", Class: schema.ClassBloodTest,
 		EventID: gid, Purpose: event.PurposeHealthcareTreatment,
 	})
@@ -507,7 +508,7 @@ func TestAuditEndpointUnauthenticated(t *testing.T) {
 func TestPoliciesListingAndExport(t *testing.T) {
 	r := newRig(t)
 	stored := r.doctorPolicy(t)
-	got, err := r.client.Policies("hospital")
+	got, err := r.client.Policies(context.Background(), "hospital")
 	if err != nil {
 		t.Fatalf("Policies: %v", err)
 	}
@@ -533,7 +534,7 @@ func TestPoliciesListingAndExport(t *testing.T) {
 		t.Errorf("missing producer = %d", resp.StatusCode)
 	}
 	// Unknown producer: empty list, not an error.
-	empty, err := r.client.Policies("ghost")
+	empty, err := r.client.Policies(context.Background(), "ghost")
 	if err != nil || len(empty) != 0 {
 		t.Errorf("unknown producer = %d, %v", len(empty), err)
 	}

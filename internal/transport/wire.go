@@ -17,27 +17,37 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/enforcer"
 	"repro/internal/event"
 	"repro/internal/gateway"
+	"repro/internal/resilience"
 )
 
 // Fault codes carried by error responses.
 const (
-	CodeBadRequest       = "bad-request"
-	CodeNotProducer      = "not-producer"
-	CodeNotConsumer      = "not-consumer"
-	CodeUnknownClass     = "unknown-class"
-	CodeNotClassOwner    = "not-class-owner"
-	CodeSubscriptionDeny = "subscription-denied"
-	CodeConsentDeny      = "consent-denied"
-	CodeAccessDenied     = "access-denied"
-	CodeUnknownEvent     = "unknown-event"
-	CodeNotFound         = "not-found"
-	CodeInternal         = "internal"
+	CodeBadRequest          = "bad-request"
+	CodeNotProducer         = "not-producer"
+	CodeNotConsumer         = "not-consumer"
+	CodeUnknownClass        = "unknown-class"
+	CodeNotClassOwner       = "not-class-owner"
+	CodeSubscriptionDeny    = "subscription-denied"
+	CodeConsentDeny         = "consent-denied"
+	CodeAccessDenied        = "access-denied"
+	CodeUnknownEvent        = "unknown-event"
+	CodeNotFound            = "not-found"
+	CodeSourceUnavailable   = "source-unavailable"
+	CodeUnknownSubscription = "unknown-subscription"
+	CodeInternal            = "internal"
 )
+
+// ErrUnknownSubscription reports a liveness probe for a subscription id
+// the controller does not hold (it restarted, or the id was never
+// assigned). Consumers react by re-subscribing.
+var ErrUnknownSubscription = errors.New("transport: unknown subscription")
 
 // Fault is the XML error payload.
 type Fault struct {
@@ -72,6 +82,10 @@ func faultFor(err error) (string, int) {
 		return CodeUnknownEvent, http.StatusNotFound
 	case errors.Is(err, gateway.ErrNotFound):
 		return CodeNotFound, http.StatusNotFound
+	case errors.Is(err, enforcer.ErrSourceUnavailable):
+		return CodeSourceUnavailable, http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownSubscription):
+		return CodeUnknownSubscription, http.StatusNotFound
 	default:
 		return CodeInternal, http.StatusInternalServerError
 	}
@@ -102,15 +116,23 @@ func errorFor(f *Fault) error {
 		base = enforcer.ErrUnknownEvent
 	case CodeNotFound:
 		base = gateway.ErrNotFound
+	case CodeSourceUnavailable:
+		base = enforcer.ErrSourceUnavailable
+	case CodeUnknownSubscription:
+		base = ErrUnknownSubscription
 	default:
 		return f
 	}
 	return fmt.Errorf("%w (remote: %s)", base, f.Message)
 }
 
-// writeFault sends an error response.
+// writeFault sends an error response. Unavailability faults (503) carry
+// a Retry-After hint so well-behaved clients pace their retries.
 func writeFault(w http.ResponseWriter, err error) {
 	code, status := faultFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeXML(w, status, &Fault{Code: code, Message: err.Error()})
 }
 
@@ -136,28 +158,78 @@ func readBody(r *http.Request, v any) error {
 
 const maxBodyBytes = 4 << 20
 
-// decodeResponse reads an HTTP response: on 2xx it decodes into v (when v
-// is non-nil); otherwise it parses the fault and reconstructs the error.
-func decodeResponse(resp *http.Response, v any) error {
-	defer resp.Body.Close()
+// drainClose drains any unread remainder of an HTTP response body and
+// closes it. Draining (rather than just closing) lets net/http return
+// the connection to the keep-alive pool instead of tearing it down —
+// error paths must not leak or churn connections.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, maxBodyBytes))
+	body.Close()
+}
+
+// transientStatus reports whether an HTTP status indicates a condition
+// worth retrying (server-side failures and throttling).
+func transientStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// retryAfterHeader parses a Retry-After seconds value, zero if absent.
+func retryAfterHeader(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// readResult consumes an HTTP response and returns the raw body on 2xx.
+// On other statuses it reconstructs the platform error from the fault
+// payload, and classifies it for the retrier: 5xx and 429 are marked
+// transient (with the server's Retry-After hint), as are read failures
+// mid-body — a truncated response says nothing about the next attempt.
+// 4xx faults stay permanent.
+func readResult(resp *http.Response) ([]byte, error) {
+	defer drainClose(resp.Body)
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return fmt.Errorf("transport: read response: %w", err)
+		return nil, resilience.MarkRetryable(fmt.Errorf("transport: read response: %w", err))
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		if v == nil {
-			return nil
-		}
-		if err := xml.Unmarshal(data, v); err != nil {
-			return fmt.Errorf("transport: decode response: %w", err)
-		}
+		return data, nil
+	}
+	var rerr error
+	var f Fault
+	if xmlErr := xml.Unmarshal(data, &f); xmlErr == nil && f.Code != "" {
+		rerr = errorFor(&f)
+	} else {
+		rerr = fmt.Errorf("transport: http %d: %s", resp.StatusCode, data)
+	}
+	if transientStatus(resp.StatusCode) {
+		return nil, resilience.MarkRetryableAfter(rerr, retryAfterHeader(resp))
+	}
+	return nil, rerr
+}
+
+// decodeResponse reads an HTTP response: on 2xx it decodes into v (when v
+// is non-nil); otherwise it parses the fault and reconstructs the error.
+// Decode failures of a 2xx body are marked transient — the dominant
+// cause is a truncated or garbled transfer, not a protocol mismatch.
+func decodeResponse(resp *http.Response, v any) error {
+	data, err := readResult(resp)
+	if err != nil {
+		return err
+	}
+	if v == nil {
 		return nil
 	}
-	var f Fault
-	if err := xml.Unmarshal(data, &f); err != nil || f.Code == "" {
-		return fmt.Errorf("transport: http %d: %s", resp.StatusCode, data)
+	if err := xml.Unmarshal(data, v); err != nil {
+		return resilience.MarkRetryable(fmt.Errorf("transport: decode response: %w", err))
 	}
-	return errorFor(&f)
+	return nil
 }
 
 // Wire messages shared by client and server.
