@@ -3,15 +3,16 @@
 GO ?= go
 BENCH_LABEL ?= local
 
-.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-tables bench-quick chaos chaos-smoke examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-tables bench-quick chaos chaos-smoke overload-smoke examples fuzz clean
 
 all: check
 
 # The default gate: compile, vet+gofmt, unit tests, the race detector
-# over the whole tree, a short fault-injected smoke, then a 1-iteration
-# smoke of the publish-path benchmarks (catches benchmarks broken by
-# refactors without the cost of a measured run).
-check: build vet test race chaos-smoke bench-smoke
+# over the whole tree, a short fault-injected smoke, an overload-storm
+# smoke, then a 1-iteration smoke of the publish-path benchmarks
+# (catches benchmarks broken by refactors without the cost of a
+# measured run).
+check: build vet test race chaos-smoke overload-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -61,15 +62,24 @@ bench-quick:
 
 # Fault-injected integration suite under the race detector: 20%
 # connection failures on the consumer/producer hop, 10% on the
-# controller→gateway hop, plus a scripted 5-second controller blackout.
-# Seeds are fixed {1,2,3} and logged (-v), so a failure is replayable.
+# controller→gateway hop, plus a scripted 5-second controller blackout —
+# and the overload storm stretched to 5 fixed seeds with 12 hot
+# producers. Seeds are fixed and logged (-v), so a failure is replayable.
 chaos:
-	CHAOS_BLACKOUT=5s $(GO) test -race -count 1 -v -run 'TestChaos' ./internal/transport/
+	CHAOS_BLACKOUT=5s CHAOS_STORM_SEEDS=1,2,3,4,5 CHAOS_STORM_N=12 \
+		$(GO) test -race -count 1 -v -run 'TestChaos' ./internal/transport/
 
 # The same harness with its default sub-second blackout — fast enough
 # for the `make check` gate.
 chaos-smoke:
 	$(GO) test -count 1 -run 'TestChaos' ./internal/transport/
+
+# Overload-protection smoke: the storm chaos test (admission sheds,
+# bounded queues, drain-under-wedge) and the SIGTERM kill-under-load
+# scenario against the built binaries, both under the race detector.
+overload-smoke:
+	$(GO) test -race -count 1 -run 'TestChaosOverloadStorm' ./internal/transport/
+	$(GO) test -race -count 1 -run 'TestKillUnderLoad' ./integration/
 
 # testing.B micro-benchmarks, one per experiment.
 microbench:

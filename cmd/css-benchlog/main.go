@@ -109,12 +109,17 @@ func parse(sc *bufio.Scanner) (*Run, error) {
 		}
 		name := procSuffix.ReplaceAllString(f[0], "")
 		var s sample
-		seen := false
+		seen, garbled := false, false
 		// After the name and iteration count come value/unit pairs.
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad value %q in %q", f[i], line)
+				// A log line interleaved into the benchmark output mid-line
+				// (test binaries share stdout with their loggers); drop the
+				// corrupted sample rather than losing the whole run.
+				fmt.Fprintf(os.Stderr, "css-benchlog: skipping garbled line %q\n", line)
+				garbled = true
+				break
 			}
 			switch f[i+1] {
 			case "ns/op":
@@ -125,7 +130,7 @@ func parse(sc *bufio.Scanner) (*Run, error) {
 				s.allocs = v
 			}
 		}
-		if !seen {
+		if garbled || !seen {
 			continue
 		}
 		if _, dup := samples[name]; !dup {

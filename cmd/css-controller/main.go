@@ -15,6 +15,15 @@
 //	           enable on a public interface)
 //	-log-json  structured JSON logs on stderr (default: text)
 //	-slow      slow-operation warning threshold (default 250ms)
+//	-max-inflight   global concurrent-request budget (default 256);
+//	                requests beyond it are shed 429 by priority
+//	-actor-rps      per-actor admission rate in requests/second
+//	                (default 50; negative: unlimited)
+//	-queue-cap      per-subscription bus queue bound (default 1024;
+//	                <=0: unbounded)
+//	-drain-timeout  graceful-shutdown budget on SIGTERM/SIGINT
+//	                (default 10s): stop admitting, finish in-flight
+//	                requests, flush the bus, fsync and close the stores
 //
 // The controller always serves /metrics (Prometheus text format) and
 // /healthz alongside the /ws/ API.
@@ -24,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"flag"
@@ -32,12 +42,16 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/identity"
+	"repro/internal/overload"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -68,6 +82,10 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "structured JSON logs on stderr")
 	slow := flag.Duration("slow", telemetry.DefaultSlowThreshold, "slow-operation warning threshold")
+	maxInflight := flag.Int("max-inflight", overload.DefaultMaxInFlight, "global concurrent-request budget (negative: unbounded)")
+	actorRPS := flag.Float64("actor-rps", overload.DefaultActorRPS, "per-actor admission rate, requests/second (negative: unlimited)")
+	queueCap := flag.Int("queue-cap", 1024, "per-subscription bus queue bound (<=0: unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
 	gateways := gatewayFlags{}
 	flag.Var(gateways, "gateway", "attach a remote cooperation gateway as producer=URL (repeatable)")
 	gatewayToken := flag.String("gateway-token", "", "bearer token presented to remote gateways (auth-enabled gateways)")
@@ -80,6 +98,12 @@ func main() {
 		DataDir:        *dataDir,
 		DefaultConsent: !*denyDefault,
 		Metrics:        telemetry.Default(),
+	}
+	if *queueCap > 0 {
+		// Bounded subscription queues: a wedged consumer sheds its own
+		// oldest-unread traffic to the capped DLQ instead of growing the
+		// broker without bound.
+		cfg.Bus.MaxPending = *queueCap
 	}
 	if *keyFile != "" {
 		key, err := loadOrCreateKey(*keyFile)
@@ -149,6 +173,13 @@ func main() {
 		telemetry.Logger().Info("bearer-token authentication enabled", "key", *authKeyFile)
 	}
 
+	gate := overload.NewGate(overload.Config{
+		MaxInFlight: *maxInflight,
+		ActorRPS:    *actorRPS,
+		Metrics:     telemetry.Default(),
+	})
+	srv.SetAdmission(gate)
+
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	if *pprofFlag {
@@ -158,9 +189,37 @@ func main() {
 	telemetry.Logger().Info("CSS data controller listening",
 		"addr", *addr, "data", orMem(*dataDir),
 		"metrics", "/metrics", "healthz", "/healthz",
+		"max_inflight", *maxInflight, "actor_rps", *actorRPS,
+		"queue_cap", *queueCap, "drain_timeout", drainTimeout.String(),
 		"slow_threshold", slow.String())
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: the gate refuses new admissions first (503s carry
+	// Retry-After, so clients back off onto a healthy replica), then each
+	// step runs under the remaining -drain-timeout budget. Accepted work
+	// is never abandoned: in-flight requests finish, queued bus messages
+	// flush, and the stores fsync on Close.
+	telemetry.Logger().Info("shutdown signal received, draining", "timeout", drainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = overload.Drain(drainCtx, gate,
+		overload.Step{Name: "http-shutdown", Run: httpSrv.Shutdown},
+		overload.Step{Name: "bus-flush", Run: ctrl.FlushContext},
+		overload.Step{Name: "store-close", Run: ctrl.CloseContext},
+	)
+	if err != nil {
+		telemetry.Logger().Error("drain incomplete", "err", err)
+		os.Exit(1)
 	}
 }
 

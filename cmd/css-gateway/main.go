@@ -19,6 +19,11 @@
 //	             controller is unreachable
 //	-pprof       expose net/http/pprof under /debug/pprof/ (opt-in)
 //	-log-json    structured JSON logs on stderr (default: text)
+//	-max-inflight   global concurrent-request budget (default 256)
+//	-actor-rps      per-actor admission rate, requests/second (default 50)
+//	-drain-timeout  graceful-shutdown budget on SIGTERM (default 10s):
+//	                stop admitting, drain the outbox toward the
+//	                controller, fsync and close the stores
 //
 // The gateway always serves /metrics (Prometheus text format) and
 // /healthz alongside the /gw/ API.
@@ -33,12 +38,16 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/identity"
+	"repro/internal/overload"
 	"repro/internal/resilience"
 	"repro/internal/schema"
 	"repro/internal/store"
@@ -67,6 +76,9 @@ func main() {
 	controllerActor := flag.String("controller-actor", "data-controller", "actor the data controller's tokens are issued for")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "structured JSON logs on stderr")
+	maxInflight := flag.Int("max-inflight", overload.DefaultMaxInFlight, "global concurrent-request budget (negative: unbounded)")
+	actorRPS := flag.Float64("actor-rps", overload.DefaultActorRPS, "per-actor admission rate, requests/second (negative: unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
 	flag.Parse()
 	if *producer == "" {
 		log.Fatal("-producer is required")
@@ -113,6 +125,7 @@ func main() {
 		log.Fatalf("gateway: %v", err)
 	}
 	srv := transport.NewGatewayServerWithRegistry(gw, telemetry.Default())
+	var qp *transport.QueuedPublisher
 	if client != nil {
 		// With a controller configured, the gateway also relays the source
 		// system's publishes: POST /gw/publish forwards to the controller
@@ -127,7 +140,7 @@ func main() {
 			}
 		}
 		defer obStore.Close()
-		qp, err := transport.NewQueuedPublisher(client, obStore, resMetrics, 0)
+		qp, err = transport.NewQueuedPublisher(client, obStore, resMetrics, 0)
 		if err != nil {
 			log.Fatalf("outbox: %v", err)
 		}
@@ -153,6 +166,13 @@ func main() {
 		telemetry.Logger().Info("bearer-token authentication enabled", "controller_actor", *controllerActor)
 	}
 
+	gate := overload.NewGate(overload.Config{
+		MaxInFlight: *maxInflight,
+		ActorRPS:    *actorRPS,
+		Metrics:     telemetry.Default(),
+	})
+	srv.SetAdmission(gate)
+
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	if *pprofFlag {
@@ -161,8 +181,37 @@ func main() {
 	}
 	telemetry.Logger().Info("local cooperation gateway listening",
 		"producer", *producer, "addr", *addr,
-		"metrics", "/metrics", "healthz", "/healthz")
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+		"metrics", "/metrics", "healthz", "/healthz",
+		"max_inflight", *maxInflight, "drain_timeout", drainTimeout.String())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, finish in-flight requests, give the
+	// outbox one bounded chance to hand its backlog to the controller
+	// (entries left behind stay durable in the WAL), then fsync the detail
+	// store on Close.
+	telemetry.Logger().Info("shutdown signal received, draining", "timeout", drainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	steps := []overload.Step{
+		{Name: "http-shutdown", Run: httpSrv.Shutdown},
+	}
+	if qp != nil {
+		steps = append(steps, overload.Step{Name: "outbox-drain", Run: qp.DrainContext})
+		steps = append(steps, overload.Step{Name: "outbox-close", Run: func(context.Context) error { qp.Close(); return nil }})
+	}
+	steps = append(steps, overload.Step{Name: "store-close", Run: func(context.Context) error { return st.Close() }})
+	if err := overload.Drain(drainCtx, gate, steps...); err != nil {
+		telemetry.Logger().Error("drain incomplete", "err", err)
+		os.Exit(1)
 	}
 }

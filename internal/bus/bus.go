@@ -4,10 +4,14 @@
 // with named (durable) subscriptions, at-least-once delivery, bounded
 // retries with backoff, and a dead-letter queue per subscription.
 //
-// Publishers never block: each subscription owns an unbounded FIFO queue
-// drained by a dedicated delivery goroutine, so a slow consumer delays
-// only itself (the decoupling property that motivates EDA over
-// point-to-point SOA in §3 of the paper).
+// Each subscription owns a FIFO queue drained by a dedicated delivery
+// goroutine, so a slow consumer delays only itself (the decoupling
+// property that motivates EDA over point-to-point SOA in §3 of the
+// paper). Queues are bounded by MaxPending with a configurable overflow
+// policy — shed-newest / shed-oldest to the DLQ, reject, or
+// block-with-deadline — and the dead-letter queue itself is capped
+// (MaxDead) with an eviction counter, so neither a wedged consumer nor a
+// poison one can grow broker memory without bound.
 package bus
 
 import (
@@ -47,6 +51,57 @@ type Handler func(m *Message) error
 // ErrClosed is returned when operating on a closed broker.
 var ErrClosed = errors.New("bus: broker closed")
 
+// OverflowPolicy selects what a full subscription queue does with load.
+type OverflowPolicy int
+
+const (
+	// ShedNewest diverts the arriving message to the DLQ (default). The
+	// publisher never blocks; the overflow is observable and redrivable.
+	ShedNewest OverflowPolicy = iota
+	// ShedOldest evicts the head of the queue to the DLQ and enqueues
+	// the arriving message: consumers prefer fresh notifications, the
+	// displaced ones stay recoverable via Redrive or the events index.
+	ShedOldest
+	// Reject refuses the arriving message outright: nothing is queued or
+	// dead-lettered for this subscription and Publish reports
+	// ErrQueueFull (other subscriptions of the topic still received it).
+	Reject
+	// Block parks the publisher until the queue has space or
+	// BlockTimeout elapses, then falls back to ShedNewest. Backpressure
+	// for in-process publishers that prefer waiting over shedding.
+	Block
+)
+
+// String names the policy for overflow observers.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case ShedOldest:
+		return "shed-oldest"
+	case Reject:
+		return "reject"
+	case Block:
+		return "block"
+	default:
+		return "shed-newest"
+	}
+}
+
+// Observer receives broker load signals. All callbacks must be fast and
+// non-blocking (they run on publish and delivery paths); any field may
+// be nil. The controller wires them to css_bus_* telemetry.
+type Observer struct {
+	// QueueDepth reports enqueue (+1) / dequeue (-1) transitions summed
+	// over all subscriptions.
+	QueueDepth func(delta int)
+	// QueueHWM reports a new broker-wide queue-depth high-water mark.
+	QueueHWM func(depth int)
+	// Overflow reports one message diverted, evicted or rejected by a
+	// full queue, labeled with the policy that applied.
+	Overflow func(policy string)
+	// DLQEvicted reports one dead letter dropped by the MaxDead cap.
+	DLQEvicted func()
+}
+
 // Options configure a Broker.
 type Options struct {
 	// MaxAttempts bounds delivery attempts per message per subscription.
@@ -55,18 +110,34 @@ type Options struct {
 	// RetryBackoff is the pause between redelivery attempts. Zero means
 	// DefaultRetryBackoff.
 	RetryBackoff time.Duration
-	// MaxPending bounds each subscription's queue. When a queue is full
-	// the newest message is diverted straight to the subscription's
-	// dead-letter queue (publishers still never block; the overflow is
-	// observable and redrivable). Zero means unbounded.
+	// MaxPending bounds each subscription's queue; Policy selects the
+	// overflow behavior when it fills. Zero means unbounded.
 	MaxPending int
+	// Policy is the overflow policy of full queues (default ShedNewest).
+	Policy OverflowPolicy
+	// BlockTimeout bounds how long a Block-policy publish waits for
+	// space. Zero means DefaultBlockTimeout.
+	BlockTimeout time.Duration
+	// MaxDead caps each subscription's dead-letter queue: when full, the
+	// oldest dead letter is evicted (counted, not silently) to admit the
+	// new one. Zero means DefaultMaxDead; negative means unbounded.
+	MaxDead int
+	// Observer receives load signals (queue depth, high-water marks,
+	// overflow and DLQ evictions).
+	Observer Observer
 }
 
 // Defaults for Options.
 const (
 	DefaultMaxAttempts  = 3
 	DefaultRetryBackoff = time.Millisecond
+	DefaultBlockTimeout = 50 * time.Millisecond
+	DefaultMaxDead      = 4096
 )
+
+// ErrQueueFull is returned by Publish under the Reject policy when at
+// least one subscription refused the message.
+var ErrQueueFull = errors.New("bus: subscription queue full")
 
 // Broker routes published messages to the subscriptions of their topic.
 type Broker struct {
@@ -82,6 +153,13 @@ type Broker struct {
 	redeliver atomic.Uint64
 	dead      atomic.Uint64
 	overflow  atomic.Uint64
+	rejected  atomic.Uint64
+	dlqEvict  atomic.Uint64
+	depth     atomic.Int64 // queued messages across all subscriptions
+	depthHWM  atomic.Int64 // high-water mark of depth
+
+	drainMu sync.Mutex
+	drained []*Message // queued messages captured at Close
 }
 
 // New creates a broker.
@@ -92,6 +170,12 @@ func New(opts Options) *Broker {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = DefaultRetryBackoff
 	}
+	if opts.BlockTimeout <= 0 {
+		opts.BlockTimeout = DefaultBlockTimeout
+	}
+	if opts.MaxDead == 0 {
+		opts.MaxDead = DefaultMaxDead
+	}
 	return &Broker{opts: opts, topics: make(map[string]map[string]*Subscription)}
 }
 
@@ -101,7 +185,11 @@ type Stats struct {
 	Delivered   uint64 // successful handler completions
 	Redelivered uint64 // retry attempts after handler errors
 	DeadLetters uint64 // messages exhausted and dead-lettered
-	Overflowed  uint64 // messages diverted to DLQs by full queues
+	Overflowed  uint64 // messages diverted/evicted to DLQs by full queues
+	Rejected    uint64 // messages refused by the Reject overflow policy
+	DLQEvicted  uint64 // dead letters dropped by the MaxDead cap
+	QueueDepth  int64  // currently queued messages, all subscriptions
+	QueueHWM    int64  // high-water mark of QueueDepth
 }
 
 // Stats returns a snapshot of the broker counters.
@@ -112,6 +200,54 @@ func (b *Broker) Stats() Stats {
 		Redelivered: b.redeliver.Load(),
 		DeadLetters: b.dead.Load(),
 		Overflowed:  b.overflow.Load(),
+		Rejected:    b.rejected.Load(),
+		DLQEvicted:  b.dlqEvict.Load(),
+		QueueDepth:  b.depth.Load(),
+		QueueHWM:    b.depthHWM.Load(),
+	}
+}
+
+// noteEnqueue updates the depth accounting (and its high-water mark) for
+// one message entering a subscription queue.
+func (b *Broker) noteEnqueue() {
+	d := b.depth.Add(1)
+	if fn := b.opts.Observer.QueueDepth; fn != nil {
+		fn(1)
+	}
+	for {
+		hwm := b.depthHWM.Load()
+		if d <= hwm {
+			return
+		}
+		if b.depthHWM.CompareAndSwap(hwm, d) {
+			if fn := b.opts.Observer.QueueHWM; fn != nil {
+				fn(int(d))
+			}
+			return
+		}
+	}
+}
+
+// noteDequeue is the counterpart of noteEnqueue.
+func (b *Broker) noteDequeue(n int) {
+	if n == 0 {
+		return
+	}
+	b.depth.Add(int64(-n))
+	if fn := b.opts.Observer.QueueDepth; fn != nil {
+		fn(-n)
+	}
+}
+
+// noteOverflow counts one message a full queue could not take normally.
+func (b *Broker) noteOverflow(rejected bool) {
+	if rejected {
+		b.rejected.Add(1)
+	} else {
+		b.overflow.Add(1)
+	}
+	if fn := b.opts.Observer.Overflow; fn != nil {
+		fn(b.opts.Policy.String())
 	}
 }
 
@@ -148,6 +284,7 @@ func (b *Broker) Subscribe(topic, name string, h Handler) (*Subscription, error)
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	s.space = sync.NewCond(&s.qmu)
 	subs[name] = s
 	go s.run()
 	return s, nil
@@ -170,8 +307,10 @@ func (b *Broker) Unsubscribe(topic, name string) error {
 	return nil
 }
 
-// Publish delivers body to every subscription of topic. It never blocks
-// on consumers. The assigned sequence number is returned.
+// Publish delivers body to every subscription of topic. Only the Block
+// overflow policy can make it wait on consumers (bounded by
+// BlockTimeout); every other policy keeps publishers non-blocking. The
+// assigned sequence number is returned.
 func (b *Broker) Publish(topic string, body []byte) (uint64, error) {
 	return b.PublishPayload(topic, body, nil)
 }
@@ -182,6 +321,11 @@ func (b *Broker) Publish(topic string, body []byte) (uint64, error) {
 // wire bytes; in exchange, everyone downstream must treat it as
 // read-only. The body remains the authoritative wire representation
 // (transports that re-encode or relay use it, not the payload).
+//
+// Under the Reject overflow policy a full subscription refuses the
+// message: the publish still reaches the topic's other subscriptions,
+// the message is accepted (a sequence number is returned), and the error
+// satisfies errors.Is(err, ErrQueueFull) so the publisher can slow down.
 func (b *Broker) PublishPayload(topic string, body []byte, payload any) (uint64, error) {
 	if topic == "" {
 		return 0, errors.New("bus: empty topic")
@@ -193,11 +337,25 @@ func (b *Broker) PublishPayload(topic string, body []byte, payload any) (uint64,
 	}
 	seq := b.seq.Add(1)
 	m := &Message{Topic: topic, Seq: seq, Body: body, Payload: payload, PublishedAt: time.Now()}
+	// Snapshot the fan-out set, then enqueue outside the broker lock: a
+	// Block-policy enqueue may park until the consumer makes space, and
+	// that wait must not hold up Subscribe/Close on the broker mutex.
+	subs := make([]*Subscription, 0, len(b.topics[topic]))
 	for _, s := range b.topics[topic] {
-		s.enqueue(m)
+		subs = append(subs, s)
 	}
 	b.mu.RUnlock()
+	var rejected int
+	for _, s := range subs {
+		if !s.enqueue(m) {
+			rejected++
+		}
+	}
 	b.published.Add(1)
+	if rejected > 0 {
+		return seq, fmt.Errorf("%w: %d of %d subscriptions refused seq %d on %s",
+			ErrQueueFull, rejected, len(subs), seq, topic)
+	}
 	return seq, nil
 }
 
@@ -296,12 +454,25 @@ func (b *Broker) idle() bool {
 	return true
 }
 
-// Close stops all subscriptions and rejects further operations.
+// Close stops all subscriptions and rejects further operations. The
+// in-flight delivery of each subscription completes; messages still
+// queued are captured in the drain snapshot (DrainSnapshot) rather than
+// silently dropped, so a graceful shutdown can account for them.
 func (b *Broker) Close() {
+	b.CloseContext(context.Background())
+}
+
+// CloseContext is Close bounded by a deadline: a subscription whose
+// handler is wedged mid-delivery is abandoned once ctx expires instead
+// of blocking shutdown forever (the process is exiting; the goroutine
+// leaks into it deliberately). Queued messages are still captured in
+// the drain snapshot either way. It returns the first timeout hit, nil
+// when every subscription settled.
+func (b *Broker) CloseContext(ctx context.Context) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return
+		return nil
 	}
 	b.closed = true
 	var all []*Subscription
@@ -312,7 +483,27 @@ func (b *Broker) Close() {
 	}
 	b.topics = make(map[string]map[string]*Subscription)
 	b.mu.Unlock()
+	var first error
 	for _, s := range all {
-		s.shutdown()
+		if err := s.shutdownContext(ctx); err != nil && first == nil {
+			first = fmt.Errorf("bus: subscription %s on %s still delivering at close: %w", s.name, s.topic, err)
+		}
+		if rest := s.drainRemaining(); len(rest) > 0 {
+			b.drainMu.Lock()
+			b.drained = append(b.drained, rest...)
+			b.drainMu.Unlock()
+		}
 	}
+	return first
+}
+
+// DrainSnapshot returns the messages that were still queued (accepted
+// but undelivered) when Close stopped their subscriptions. Shutdown
+// sequences use it to log or persist what the drain deadline cut off.
+func (b *Broker) DrainSnapshot() []*Message {
+	b.drainMu.Lock()
+	defer b.drainMu.Unlock()
+	out := make([]*Message, len(b.drained))
+	copy(out, b.drained)
+	return out
 }

@@ -1,13 +1,14 @@
 package bus
 
 import (
+	"context"
 	"sync"
 	"time"
 )
 
 // Subscription is one durable consumer of a topic. Messages are delivered
 // in publish order, one at a time, with bounded retries; exhausted
-// messages land in the dead-letter queue.
+// messages land in the dead-letter queue (itself capped by MaxDead).
 type Subscription struct {
 	broker  *Broker
 	topic   string
@@ -17,6 +18,8 @@ type Subscription struct {
 	qmu      sync.Mutex
 	queue    []*Message // FIFO of pending messages
 	inFlight bool
+	stopped  bool       // set while shutting down: no further enqueues
+	space    *sync.Cond // signaled on dequeue for Block-policy publishers
 
 	dlmu sync.Mutex
 	dead []*Message
@@ -42,7 +45,7 @@ func (s *Subscription) Pending() int {
 }
 
 // DeadLetters returns a snapshot of the messages that exhausted their
-// delivery attempts.
+// delivery attempts (or were diverted by a full queue).
 func (s *Subscription) DeadLetters() []*Message {
 	s.dlmu.Lock()
 	defer s.dlmu.Unlock()
@@ -53,7 +56,10 @@ func (s *Subscription) DeadLetters() []*Message {
 
 // Redrive moves the dead letters back onto the subscription's queue for
 // a fresh round of delivery attempts (an operator action after fixing
-// the consumer). It returns the number of messages requeued.
+// the consumer). It returns the number of messages requeued. The
+// requeued batch is bounded by the MaxDead cap, and it deliberately
+// bypasses MaxPending: a redriven message must not bounce straight back
+// to the DLQ.
 func (s *Subscription) Redrive() int {
 	s.dlmu.Lock()
 	dead := s.dead
@@ -62,11 +68,17 @@ func (s *Subscription) Redrive() int {
 	for _, m := range dead {
 		cp := *m
 		cp.Attempt = 0
-		// Bypass MaxPending: redrive is a deliberate operator action and
-		// must not bounce straight back to the DLQ.
 		s.qmu.Lock()
+		if s.stopped {
+			s.qmu.Unlock()
+			// Shutting down: park it back as a dead letter instead of
+			// losing it on a queue nobody will drain.
+			s.deadLetter(&cp)
+			continue
+		}
 		s.queue = append(s.queue, &cp)
 		s.qmu.Unlock()
+		s.broker.noteEnqueue()
 		select {
 		case s.wake <- struct{}{}:
 		default:
@@ -75,24 +87,93 @@ func (s *Subscription) Redrive() int {
 	return len(dead)
 }
 
-func (s *Subscription) enqueue(m *Message) {
+// enqueue places m on the queue, applying the overflow policy when the
+// queue is at MaxPending. It reports false only when the message was
+// rejected outright (Reject policy); diverted and evicted messages count
+// as accepted — they are observable in the DLQ.
+func (s *Subscription) enqueue(m *Message) bool {
 	max := s.broker.opts.MaxPending
 	s.qmu.Lock()
-	if max > 0 && len(s.queue) >= max {
+	if s.stopped {
+		// The subscription is shutting down (broker Close). Keep the
+		// accepted message observable in the drain snapshot.
 		s.qmu.Unlock()
-		// Queue full: divert to the DLQ instead of growing without bound.
-		// The message stays recoverable via Redrive once the consumer
-		// catches up.
-		s.deadLetter(m)
-		s.broker.overflow.Add(1)
-		return
+		s.broker.drainMu.Lock()
+		s.broker.drained = append(s.broker.drained, m)
+		s.broker.drainMu.Unlock()
+		return true
+	}
+	if max > 0 && len(s.queue) >= max {
+		switch s.broker.opts.Policy {
+		case ShedOldest:
+			// Evict the head to the DLQ, then enqueue m below.
+			oldest := s.queue[0]
+			s.queue = s.queue[1:]
+			s.qmu.Unlock()
+			s.broker.noteDequeue(1)
+			s.deadLetter(oldest)
+			s.broker.noteOverflow(false)
+			s.qmu.Lock()
+		case Reject:
+			s.qmu.Unlock()
+			s.broker.noteOverflow(true)
+			return false
+		case Block:
+			if !s.waitForSpaceLocked(max) {
+				stopped := s.stopped
+				s.qmu.Unlock()
+				if stopped {
+					// The subscription went away while we were parked:
+					// hand the message to the Close drain snapshot.
+					s.broker.drainMu.Lock()
+					s.broker.drained = append(s.broker.drained, m)
+					s.broker.drainMu.Unlock()
+					return true
+				}
+				// Still full at the deadline: fall back to shed-newest.
+				s.deadLetter(m)
+				s.broker.noteOverflow(false)
+				return true
+			}
+		default: // ShedNewest
+			s.qmu.Unlock()
+			// Queue full: divert to the DLQ instead of growing without
+			// bound. The message stays recoverable via Redrive once the
+			// consumer catches up.
+			s.deadLetter(m)
+			s.broker.noteOverflow(false)
+			return true
+		}
 	}
 	s.queue = append(s.queue, m)
 	s.qmu.Unlock()
+	s.broker.noteEnqueue()
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
+	return true
+}
+
+// waitForSpaceLocked blocks (qmu held, via the cond) until the queue is
+// below max, the subscription stops, or BlockTimeout elapses. It returns
+// with qmu held and reports whether space opened up.
+func (s *Subscription) waitForSpaceLocked(max int) bool {
+	deadline := time.Now().Add(s.broker.opts.BlockTimeout)
+	// sync.Cond has no timed wait; a timer broadcast bounds the park.
+	timer := time.AfterFunc(s.broker.opts.BlockTimeout, func() {
+		s.qmu.Lock()
+		s.qmu.Unlock() //nolint:staticcheck // pairs the broadcast with the waiter's critical section
+		s.space.Broadcast()
+	})
+	defer timer.Stop()
+	for len(s.queue) >= max && !s.stopped {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		s.space.Wait()
+	}
+	return !s.stopped
 }
 
 func (s *Subscription) idle() bool {
@@ -110,13 +191,16 @@ func (s *Subscription) busy() (queued int, inFlight bool) {
 
 func (s *Subscription) dequeue() *Message {
 	s.qmu.Lock()
-	defer s.qmu.Unlock()
 	if len(s.queue) == 0 {
+		s.qmu.Unlock()
 		return nil
 	}
 	m := s.queue[0]
 	s.queue = s.queue[1:]
 	s.inFlight = true
+	s.space.Broadcast()
+	s.qmu.Unlock()
+	s.broker.noteDequeue(1)
 	return m
 }
 
@@ -126,10 +210,31 @@ func (s *Subscription) settled() {
 	s.qmu.Unlock()
 }
 
-// run is the delivery loop.
+// drainRemaining marks the subscription stopped and hands back whatever
+// was still queued, for the broker's Close drain snapshot. Must only be
+// called after the delivery goroutine exited.
+func (s *Subscription) drainRemaining() []*Message {
+	s.qmu.Lock()
+	s.stopped = true
+	rest := s.queue
+	s.queue = nil
+	s.space.Broadcast()
+	s.qmu.Unlock()
+	s.broker.noteDequeue(len(rest))
+	return rest
+}
+
+// run is the delivery loop. It checks stop before each dequeue so that
+// shutdown halts after the in-flight delivery: the remaining queue is
+// captured by drainRemaining, not raced out by this loop.
 func (s *Subscription) run() {
 	defer close(s.done)
 	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
 		m := s.dequeue()
 		if m == nil {
 			select {
@@ -188,14 +293,45 @@ type panicError struct{ v any }
 
 func (p panicError) Error() string { return "bus: handler panic" }
 
+// deadLetter parks m on the DLQ, evicting the oldest dead letter when
+// the MaxDead cap is reached — a poison consumer must not OOM the broker
+// through its dead letters either. Evictions are counted
+// (Stats.DLQEvicted, css_bus_dlq_evicted_total), never silent.
 func (s *Subscription) deadLetter(m *Message) {
+	max := s.broker.opts.MaxDead
 	s.dlmu.Lock()
+	if max > 0 && len(s.dead) >= max {
+		evicted := len(s.dead) - max + 1
+		s.dead = append(s.dead[:0], s.dead[evicted:]...)
+		s.dlmu.Unlock()
+		s.broker.dlqEvict.Add(uint64(evicted))
+		for i := 0; i < evicted; i++ {
+			if fn := s.broker.opts.Observer.DLQEvicted; fn != nil {
+				fn()
+			}
+		}
+		s.dlmu.Lock()
+	}
 	s.dead = append(s.dead, m)
 	s.dlmu.Unlock()
 	s.broker.dead.Add(1)
 }
 
 func (s *Subscription) shutdown() {
+	s.shutdownContext(context.Background())
+}
+
+// shutdownContext stops the delivery loop and waits for any in-flight
+// delivery to settle, giving up when ctx expires. On timeout the
+// delivery goroutine is abandoned to the exiting process — the wedged
+// handler still holds its message, so nothing accepted is silently
+// dropped; it simply never settled.
+func (s *Subscription) shutdownContext(ctx context.Context) error {
 	s.stopOnce.Do(func() { close(s.stop) })
-	<-s.done
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/enforcer"
+	"repro/internal/event"
+)
+
+// countingSource wraps a detail source, counting fetches that reach the
+// producer side.
+type countingSource struct {
+	inner enforcer.DetailSource
+	calls atomic.Int64
+}
+
+func (s *countingSource) GetResponse(src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
+	s.calls.Add(1)
+	return s.inner.GetResponse(src, fields)
+}
+
+// TestCancelledDetailRequestStopsBeforeGatewayFetch: a detail request
+// whose context is already cancelled must not reach the producer's
+// gateway, and the audit trail must record outcome "cancelled" — never
+// "deny", because no policy decision was rendered against the consumer.
+func TestCancelledDetailRequestStopsBeforeGatewayFetch(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "bt-cancel", "PERSON-C")
+	w.doctorPolicy(t)
+
+	counting := &countingSource{inner: w.gw}
+	if err := w.c.AttachGateway("hospital", counting); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the consumer hung up before the request was processed
+
+	d, err := w.c.RequestDetailsContext(ctx, w.request(gid))
+	if d != nil {
+		t.Fatal("cancelled request released a detail")
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if errors.Is(err, enforcer.ErrDenied) {
+		t.Fatal("cancellation surfaced as a policy denial")
+	}
+	if got := counting.calls.Load(); got != 0 {
+		t.Fatalf("gateway fetched %d times for a cancelled request", got)
+	}
+
+	recs, aerr := w.c.Audit().Search(audit.Query{Kind: audit.KindDetailRequest})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("audit records = %d, want 1", len(recs))
+	}
+	if recs[0].Outcome != "cancelled" {
+		t.Fatalf("audit outcome = %q, want \"cancelled\"", recs[0].Outcome)
+	}
+
+	// The same request with a live context succeeds — nothing about the
+	// cancellation poisoned later flows.
+	if _, err := w.c.RequestDetailsContext(context.Background(), w.request(gid)); err != nil {
+		t.Fatalf("follow-up request failed: %v", err)
+	}
+	if got := counting.calls.Load(); got != 1 {
+		t.Fatalf("gateway fetches after live request = %d, want 1", got)
+	}
+	denied, _ := w.c.Audit().Search(audit.Query{Kind: audit.KindDetailRequest, Outcome: "deny"})
+	if len(denied) != 0 {
+		t.Fatalf("deny records = %d, want none", len(denied))
+	}
+}
+
+// TestCancelledMidFlowAuditsCancelled: a context that expires after the
+// consent check but before the enforcer's gateway step still yields
+// outcome "cancelled" (the enforcer's pre-fetch check catches it).
+func TestCancelledMidFlowAuditsCancelled(t *testing.T) {
+	w := newWorld(t)
+	gid := w.producePublish(t, "bt-cancel-2", "PERSON-D")
+	w.doctorPolicy(t)
+
+	counting := &countingSource{inner: w.gw}
+	if err := w.c.AttachGateway("hospital", counting); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deadline in the past: ctx.Err() is non-nil at the enforcer's
+	// pre-fetch check even though entry validation already passed once.
+	ctx, cancel := context.WithDeadline(context.Background(), w.now.Add(-time.Hour))
+	defer cancel()
+	_, err := w.c.RequestDetailsContext(ctx, w.request(gid))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if got := counting.calls.Load(); got != 0 {
+		t.Fatalf("gateway fetched %d times past the deadline", got)
+	}
+}

@@ -46,6 +46,11 @@ var (
 	ErrUnknownClass      = errors.New("core: class not declared in the event catalog")
 	ErrClosed            = errors.New("core: controller closed")
 	ErrPlaintextConflict = errors.New("core: plaintext index requested together with a master key")
+	// ErrCancelled reports a flow abandoned by its caller (context
+	// cancelled or deadline exceeded) — deliberately distinct from every
+	// denial error: an abandoned request is not a policy decision, and
+	// the audit trail records it as outcome "cancelled", never "deny".
+	ErrCancelled = errors.New("core: request cancelled")
 )
 
 // Config configures a Controller.
@@ -101,10 +106,56 @@ type instruments struct {
 	inquiries    *telemetry.Counter // css_index_inquiries_total
 	cacheEvents  *telemetry.Counter // css_cache_events_total{cache,result}
 
+	busDepth      *telemetry.Gauge   // css_bus_queue_depth
+	busHWM        *telemetry.Gauge   // css_bus_queue_depth_hwm
+	busOverflow   *telemetry.Counter // css_bus_overflow_total{policy}
+	busDLQEvicted *telemetry.Counter // css_bus_dlq_evicted_total
+
 	publishSeconds  *telemetry.Histogram // css_publish_seconds
 	deliverySeconds *telemetry.Histogram // css_delivery_seconds
 	detailSeconds   *telemetry.Histogram // css_detail_request_seconds{outcome}
 	stageSeconds    *telemetry.Histogram // css_stage_seconds{stage}
+}
+
+// composeBusObserver chains a caller-supplied bus observer with the
+// controller's metric wiring; either side's nil callbacks are skipped.
+func composeBusObserver(user, met bus.Observer) bus.Observer {
+	pick := func(a, b func(int)) func(int) {
+		switch {
+		case a == nil:
+			return b
+		case b == nil:
+			return a
+		default:
+			return func(v int) { a(v); b(v) }
+		}
+	}
+	pickS := func(a, b func(string)) func(string) {
+		switch {
+		case a == nil:
+			return b
+		case b == nil:
+			return a
+		default:
+			return func(v string) { a(v); b(v) }
+		}
+	}
+	pick0 := func(a, b func()) func() {
+		switch {
+		case a == nil:
+			return b
+		case b == nil:
+			return a
+		default:
+			return func() { a(); b() }
+		}
+	}
+	return bus.Observer{
+		QueueDepth: pick(user.QueueDepth, met.QueueDepth),
+		QueueHWM:   pick(user.QueueHWM, met.QueueHWM),
+		Overflow:   pickS(user.Overflow, met.Overflow),
+		DLQEvicted: pick0(user.DLQEvicted, met.DLQEvicted),
+	}
 }
 
 func newInstruments(reg *telemetry.Registry) instruments {
@@ -126,6 +177,15 @@ func newInstruments(reg *telemetry.Registry) instruments {
 				"index.pseudonym, gateway.detail, gateway.flight) and result; for "+
 				"gateway.flight a hit means the fetch coalesced onto an in-flight twin.",
 			"cache", "result"),
+		busDepth: reg.Gauge("css_bus_queue_depth",
+			"Messages currently queued across all bus subscriptions."),
+		busHWM: reg.Gauge("css_bus_queue_depth_hwm",
+			"High-water mark of css_bus_queue_depth since start."),
+		busOverflow: reg.Counter("css_bus_overflow_total",
+			"Messages a full subscription queue diverted, evicted or rejected, by policy.",
+			"policy"),
+		busDLQEvicted: reg.Counter("css_bus_dlq_evicted_total",
+			"Dead letters dropped by the per-subscription DLQ cap."),
 		publishSeconds: reg.Histogram("css_publish_seconds",
 			"Publish latency (validate, index, audit, route) in seconds."),
 		deliverySeconds: reg.Histogram("css_delivery_seconds",
@@ -241,6 +301,14 @@ func New(cfg Config) (*Controller, error) {
 	c.enf.SetObserver(c.recordStage)
 	c.enf.SetCacheObserver(c.recordCacheEvent)
 	c.idx.SetCacheObserver(c.recordCacheEvent)
+	// Export the broker's load signals as css_bus_* metrics, composing
+	// with (not replacing) any observer the caller installed.
+	cfg.Bus.Observer = composeBusObserver(cfg.Bus.Observer, bus.Observer{
+		QueueDepth: func(delta int) { c.met.busDepth.Add(float64(delta)) },
+		QueueHWM:   func(depth int) { c.met.busHWM.Set(float64(depth)) },
+		Overflow:   func(policy string) { c.met.busOverflow.Inc(policy) },
+		DLQEvicted: func() { c.met.busDLQEvicted.Inc() },
+	})
 	c.brk = bus.New(cfg.Bus)
 	c.pending = newPendingBook()
 
@@ -258,8 +326,17 @@ func New(cfg Config) (*Controller, error) {
 	return c, nil
 }
 
-// Close flushes and shuts down the controller.
+// Close flushes and shuts down the controller, waiting indefinitely for
+// in-flight bus deliveries to settle.
 func (c *Controller) Close() error {
+	return c.CloseContext(context.Background())
+}
+
+// CloseContext is Close bounded by a deadline: a consumer handler wedged
+// mid-delivery is abandoned once ctx expires so the stores still fsync
+// and close — a graceful drain must not hang on one stuck subscriber.
+// Messages still queued at close are captured in the bus drain snapshot.
+func (c *Controller) CloseContext(ctx context.Context) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -267,8 +344,7 @@ func (c *Controller) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	c.brk.Close()
-	var first error
+	first := c.brk.CloseContext(ctx)
 	for _, st := range c.stores {
 		if err := st.Close(); err != nil && first == nil {
 			first = err

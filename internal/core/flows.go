@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -25,6 +26,18 @@ import (
 // original global id without duplicating index entries or deliveries
 // beyond the bus's at-least-once semantics.
 func (c *Controller) Publish(n *event.Notification) (event.GlobalID, error) {
+	return c.PublishContext(context.Background(), n)
+}
+
+// PublishContext is Publish under a request context. The context gates
+// admission only: a publication already cancelled on arrival is refused
+// before any state changes, but once accepted the flow runs to
+// completion — a publish that assigned an id and touched the index must
+// be fully indexed, audited and routed, never half-aborted.
+func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) (event.GlobalID, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
 	if c.isClosed() {
 		return "", ErrClosed
 	}
@@ -240,6 +253,15 @@ func (c *Controller) deliver(actor event.Actor, class event.ClassID, h Handler, 
 // field filtering at the producer's gateway), with the outcome audited
 // whichever way it goes.
 func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, error) {
+	return c.RequestDetailsContext(context.Background(), r)
+}
+
+// RequestDetailsContext is RequestDetails under a request context: the
+// caller's deadline (or hang-up) propagates through the PDP evaluation
+// into the gateway fetch. An abandoned request stops before the producer
+// round-trip and is audited with outcome "cancelled" — never "deny",
+// since no policy decision was rendered against the consumer.
+func (c *Controller) RequestDetailsContext(ctx context.Context, r *event.DetailRequest) (*event.Detail, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
@@ -271,6 +293,14 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 		telemetry.LogIfSlow("request-details", r.Trace, elapsed)
 	}
 
+	// A request already abandoned on arrival is stopped before any
+	// lookup, decision or fetch runs on its behalf.
+	if err := ctx.Err(); err != nil {
+		c.auditDetail(r, "cancelled", "", err.Error())
+		finish("cancelled")
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+
 	// The notification record gives us the data subject for the consent
 	// check (and proves the event exists).
 	n, err := c.idx.Get(r.EventID)
@@ -291,14 +321,19 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 		return nil, ErrConsentDeny
 	}
 
-	d, out, err := c.enf.GetEventDetails(r)
+	d, out, err := c.enf.GetEventDetailsContext(ctx, r)
 	if err != nil {
-		// An unreachable source after a permit is not a denial: the
-		// consumer was authorized and may retry. The audit trail keeps
-		// the two outcomes distinguishable.
+		// Neither an unreachable source after a permit nor an abandoned
+		// request is a denial: the first is a deferred answer the
+		// consumer may retry, the second never got a policy decision.
+		// The audit trail keeps all three outcomes distinguishable.
 		outcome := "deny"
-		if errors.Is(err, enforcer.ErrSourceUnavailable) {
+		switch {
+		case errors.Is(err, enforcer.ErrSourceUnavailable):
 			outcome = "unavailable"
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			outcome = "cancelled"
+			err = fmt.Errorf("%w: %w", ErrCancelled, err)
 		}
 		c.auditDetail(r, outcome, out.PolicyID, out.Reason)
 		finish(outcome)
@@ -323,6 +358,16 @@ func (c *Controller) RequestDetails(r *event.DetailRequest) (*event.Detail, erro
 // so the flow is not audited as an access; controller-side storage of
 // details stays prohibited (E13).
 func (c *Controller) PrefetchDetails(r *event.DetailRequest) error {
+	return c.PrefetchDetailsContext(context.Background(), r)
+}
+
+// PrefetchDetailsContext is PrefetchDetails under a request context. A
+// prefetch is speculative by definition, so it honors cancellation at
+// every stage and is the first flow an overloaded deployment sheds.
+func (c *Controller) PrefetchDetailsContext(ctx context.Context, r *event.DetailRequest) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
 	if c.isClosed() {
 		return ErrClosed
 	}
@@ -342,7 +387,13 @@ func (c *Controller) PrefetchDetails(r *event.DetailRequest) error {
 	if !c.con.Allows(n.PersonID, r.Class, r.Requester, r.Purpose) {
 		return ErrConsentDeny
 	}
-	return c.enf.Prefetch(r)
+	if err := c.enf.PrefetchContext(ctx, r); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %w", ErrCancelled, err)
+		}
+		return err
+	}
+	return nil
 }
 
 func (c *Controller) auditDetail(r *event.DetailRequest, outcome, policyID, note string) {
@@ -368,6 +419,17 @@ func (c *Controller) auditDetail(r *event.DetailRequest, outcome, policyID, note
 // to data subjects whose consent allows the flow; source identifiers are
 // redacted.
 func (c *Controller) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
+	return c.InquireIndexContext(context.Background(), actor, q)
+}
+
+// InquireIndexContext is InquireIndex under a request context: an
+// inquiry whose caller is gone is refused up front, and the
+// authorization filter loop stops scanning on cancellation instead of
+// finishing a potentially large result set for nobody.
+func (c *Controller) InquireIndexContext(ctx context.Context, actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
@@ -394,7 +456,10 @@ func (c *Controller) InquireIndex(actor event.Actor, q index.Inquiry) ([]*event.
 		return nil, err
 	}
 	var out []*event.Notification
-	for _, n := range raw {
+	for i, n := range raw {
+		if i%256 == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+		}
 		if !c.enf.Repository().AllowsSubscription(actor, n.Class, now) {
 			continue
 		}

@@ -15,6 +15,7 @@
 package enforcer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -65,6 +66,15 @@ type DetailSource interface {
 // The enforcer prefers it over plain GetResponse when available.
 type TracedDetailSource interface {
 	GetResponseTraced(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error)
+}
+
+// ContextDetailSource is optionally implemented by detail sources that
+// honor a request context end to end: the consumer's deadline (or its
+// hang-up) cancels the producer round-trip instead of leaving it to run
+// to completion for nobody. Preferred over TracedDetailSource and
+// GetResponse when available.
+type ContextDetailSource interface {
+	GetResponseContext(ctx context.Context, trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error)
 }
 
 // StageObserver receives the duration of one named enforcement stage of
@@ -359,8 +369,14 @@ func (e *Enforcer) evaluate(r *event.DetailRequest) decision {
 // call share the leader's result (and its trace). shared reports whether
 // the detail came from another caller's flight — the caller must clone
 // it before handing it on.
-func (e *Enforcer) fetch(g DetailSource, trace string, src event.SourceID, policyID string, fields []event.FieldName) (*event.Detail, bool, error) {
+// A follower joining an in-flight fetch shares the leader's context: its
+// own deadline cannot cut the shared round-trip short (the leader's
+// does), which errs on the side of completing work already paid for.
+func (e *Enforcer) fetch(ctx context.Context, g DetailSource, trace string, src event.SourceID, policyID string, fields []event.FieldName) (*event.Detail, bool, error) {
 	d, shared, err := e.flights.Do(flightKey{source: src, policyID: policyID}, func() (*event.Detail, error) {
+		if cg, ok := g.(ContextDetailSource); ok {
+			return cg.GetResponseContext(ctx, trace, src, fields)
+		}
 		if tg, ok := g.(TracedDetailSource); ok && trace != "" {
 			return tg.GetResponseTraced(trace, src, fields)
 		}
@@ -370,11 +386,22 @@ func (e *Enforcer) fetch(g DetailSource, trace string, src event.SourceID, polic
 	return d, shared, err
 }
 
-// GetEventDetails resolves a detail request — Algorithm 1. On permit it
-// returns the privacy-aware detail produced by the gateway plus the
-// outcome; on deny it returns a nil detail, the outcome with the reason,
-// and ErrDenied.
+// GetEventDetails resolves a detail request — Algorithm 1 — under no
+// particular deadline. See GetEventDetailsContext.
 func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outcome, error) {
+	return e.GetEventDetailsContext(context.Background(), r)
+}
+
+// GetEventDetailsContext resolves a detail request — Algorithm 1. On
+// permit it returns the privacy-aware detail produced by the gateway
+// plus the outcome; on deny it returns a nil detail, the outcome with
+// the reason, and ErrDenied.
+//
+// The context bounds the flow: a request already cancelled when the
+// gateway fetch would start is stopped before any producer round-trip,
+// and the returned error is the context's (never ErrDenied — an
+// abandoned request is not a policy denial).
+func (e *Enforcer) GetEventDetailsContext(ctx context.Context, r *event.DetailRequest) (*event.Detail, Outcome, error) {
 	if err := r.Validate(); err != nil {
 		return nil, Outcome{Decision: event.Deny, Reason: err.Error()}, err
 	}
@@ -411,6 +438,15 @@ func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outco
 		return nil, out, ErrDenied
 	}
 
+	// The caller may be gone (hung up, or past its deadline) by the time
+	// the decision lands: stop here, before spending a producer
+	// round-trip on an answer nobody is waiting for.
+	if err := ctx.Err(); err != nil {
+		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
+			PolicyID: dec.policyID, Reason: "request cancelled before gateway fetch"}
+		return nil, out, err
+	}
+
 	// Step 4 — the producer applies the obligations (Algorithm 2).
 	g, err := e.gateway(m.Producer)
 	if err != nil {
@@ -422,7 +458,7 @@ func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outco
 	if obs != nil {
 		fetchStart = time.Now()
 	}
-	d, shared, err := e.fetch(g, r.Trace, m.Source, dec.policyID, dec.fields)
+	d, shared, err := e.fetch(ctx, g, r.Trace, m.Source, dec.policyID, dec.fields)
 	if obs != nil {
 		obs(r.Trace, "gateway.fetch", fetchStart, time.Since(fetchStart))
 	}
@@ -462,6 +498,13 @@ func (e *Enforcer) GetEventDetails(r *event.DetailRequest) (*event.Detail, Outco
 // round-trip. Nothing is stored controller-side (E13: event details must
 // not be duplicated outside the producer's control).
 func (e *Enforcer) Prefetch(r *event.DetailRequest) error {
+	return e.PrefetchContext(context.Background(), r)
+}
+
+// PrefetchContext is Prefetch bounded by a context: the speculative
+// gateway fetch is skipped when the context is already done (a prefetch
+// is the first work to shed under pressure).
+func (e *Enforcer) PrefetchContext(ctx context.Context, r *event.DetailRequest) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
@@ -479,10 +522,13 @@ func (e *Enforcer) Prefetch(r *event.DetailRequest) error {
 	if !dec.permit {
 		return ErrDenied
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	g, err := e.gateway(m.Producer)
 	if err != nil {
 		return err
 	}
-	_, _, err = e.fetch(g, r.Trace, m.Source, dec.policyID, dec.fields)
+	_, _, err = e.fetch(ctx, g, r.Trace, m.Source, dec.policyID, dec.fields)
 	return err
 }

@@ -1,0 +1,81 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// maxActors bounds the bucket table so an attacker cycling actor names
+// cannot grow it without bound. Idle buckets (refilled to burst) are
+// reclaimed on overflow.
+const maxActors = 4096
+
+// bucket is one actor's token bucket. Guarded by bucketTable.mu (actor
+// admission is far from the contention hot path — one map lookup and a
+// few float ops per request).
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// bucketTable holds the per-actor token buckets.
+type bucketTable struct {
+	rps   float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newBucketTable(rps, burst float64, now func() time.Time) *bucketTable {
+	return &bucketTable{
+		rps:     rps,
+		burst:   burst,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// take removes one token from actor's bucket, reporting whether one was
+// available. New actors start with a full bucket.
+func (t *bucketTable) take(actor string) bool {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.buckets[actor]
+	if !ok {
+		if len(t.buckets) >= maxActors {
+			t.evictIdleLocked(now)
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.buckets[actor] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * t.rps
+			if b.tokens > t.burst {
+				b.tokens = t.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictIdleLocked reclaims buckets that have refilled to burst (their
+// actor has been idle at least burst/rps seconds). If every bucket is
+// active the table is allowed to exceed maxActors temporarily rather
+// than punish a live actor.
+func (t *bucketTable) evictIdleLocked(now time.Time) {
+	for actor, b := range t.buckets {
+		idle := now.Sub(b.last).Seconds()
+		if b.tokens+idle*t.rps >= t.burst {
+			delete(t.buckets, actor)
+		}
+	}
+}

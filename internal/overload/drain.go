@@ -1,0 +1,51 @@
+package overload
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Step is one named stage of a graceful drain (stop HTTP intake, flush
+// the bus, drain the outbox, close stores). Steps run in order under the
+// drain deadline; a step that fails does not stop the remaining steps —
+// a wedged bus flush must not prevent the stores from fsyncing.
+type Step struct {
+	Name string
+	Run  func(ctx context.Context) error
+}
+
+// Drain executes the shutdown sequence of a daemon under one deadline:
+// the gate stops admitting first (so load cannot outrun the drain), then
+// each step runs with the remaining time budget. The total duration is
+// recorded on css_overload_drain_seconds and every step outcome is
+// logged. The first step error is returned after all steps ran.
+func Drain(ctx context.Context, g *Gate, steps ...Step) error {
+	start := time.Now()
+	if g != nil {
+		g.BeginDrain()
+	}
+	var first error
+	for _, s := range steps {
+		stepStart := time.Now()
+		err := s.Run(ctx)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("drain step %s: %w", s.Name, err)
+			}
+			telemetry.Logger().Error("drain step failed",
+				"step", s.Name, "elapsed", time.Since(stepStart).String(), "err", err)
+			continue
+		}
+		telemetry.Logger().Info("drain step complete",
+			"step", s.Name, "elapsed", time.Since(stepStart).String())
+	}
+	total := time.Since(start)
+	if g != nil {
+		g.RecordDrainDuration(total)
+	}
+	telemetry.Logger().Info("drain complete", "elapsed", total.String())
+	return first
+}

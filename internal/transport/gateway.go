@@ -17,6 +17,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/identity"
+	"repro/internal/overload"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
@@ -47,6 +48,9 @@ type GatewayServer struct {
 	// publisher, when set via EnablePublishRelay, backs POST /gw/publish:
 	// the producer-side durable outbox toward the data controller.
 	publisher *QueuedPublisher
+	// gate, when set via SetAdmission, sheds /gw requests beyond
+	// capacity and refuses new work while draining.
+	gate *overload.Gate
 	// healthMu guards healthDetails (registered at setup, read per probe).
 	healthMu sync.Mutex
 	// healthDetails contribute key/value lines to /healthz.
@@ -152,7 +156,17 @@ func NewGatewayServerWithRegistry(gw *gateway.Gateway, reg *telemetry.Registry) 
 	s.mux.HandleFunc("POST /gw/publish", s.handlePublishRelay)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(reg))
 	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(nil, s.healthDetail))
-	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(reg, "css_gateway"), s.mux)
+	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(reg, "css_gateway"),
+		withGate(func() *overload.Gate { return s.gate }, gwRouteClassFor, s.mux))
+	return s
+}
+
+// SetAdmission installs an overload gate in front of the /gw routes
+// (shed requests answer 429 + Retry-After; /metrics and /healthz stay
+// exempt). Call during setup, before serving. A nil gate disables
+// admission control.
+func (s *GatewayServer) SetAdmission(g *overload.Gate) *GatewayServer {
+	s.gate = g
 	return s
 }
 
@@ -359,8 +373,17 @@ func (g *RemoteGateway) GetResponse(src event.SourceID, fields []event.FieldName
 // retry allowance). A gateway that stays unreachable yields an error
 // satisfying errors.Is(err, enforcer.ErrSourceUnavailable).
 func (g *RemoteGateway) GetResponseTraced(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
+	return g.GetResponseContext(context.Background(), trace, src, fields)
+}
+
+// GetResponseContext implements enforcer.ContextDetailSource: the
+// consumer's deadline rides the fetch end to end — it cancels the HTTP
+// round-trip (and any retry sleeps) the moment the caller gives up.
+// Identical concurrent calls still share one round-trip under the
+// leader's context; followers get their own clone.
+func (g *RemoteGateway) GetResponseContext(ctx context.Context, trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
 	d, shared, err := g.flights.Do(fetchKey(src, fields), func() (*event.Detail, error) {
-		return g.getResponse(trace, src, fields)
+		return g.getResponse(ctx, trace, src, fields)
 	})
 	if err != nil {
 		return nil, err
@@ -372,13 +395,18 @@ func (g *RemoteGateway) GetResponseTraced(trace string, src event.SourceID, fiel
 }
 
 // getResponse performs the actual HTTP round-trip of Algorithm 2.
-func (g *RemoteGateway) getResponse(trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
+func (g *RemoteGateway) getResponse(ctx context.Context, trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error) {
 	body, err := encodeXML(&getResponseRequest{Source: src, Fields: fields})
 	if err != nil {
 		return nil, err
 	}
 	var d event.Detail
-	if err := g.callGateway(context.Background(), "/gw/get-response", trace, body, &d); err != nil {
+	if err := g.callGateway(ctx, "/gw/get-response", trace, body, &d); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's deadline (or hang-up) cut the fetch short: that
+			// is the caller's condition, not the producer's unavailability.
+			return nil, cerr
+		}
 		if resilience.Retryable(err) {
 			// The producer side never answered (or answered 5xx): report
 			// unavailability, keeping the cause in the chain.

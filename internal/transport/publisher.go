@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -98,6 +99,34 @@ func (q *QueuedPublisher) Depth() int { return q.outbox.Depth() }
 
 // Dead reports the dead-lettered outbox entries.
 func (q *QueuedPublisher) Dead() int { return q.outbox.Dead() }
+
+// DrainContext blocks until the outbox is empty or ctx expires, kicking
+// the drain loop so parked notifications are pushed out immediately
+// rather than on the next tick. It is the graceful-shutdown hook: a
+// SIGTERM'd gateway gets one bounded chance to hand its backlog to the
+// controller. On timeout the remaining entries are NOT lost — they stay
+// durable in the WAL and resume draining on the next run; the returned
+// error just reports how many were left behind.
+func (q *QueuedPublisher) DrainContext(ctx context.Context) error {
+	pause := 5 * time.Millisecond
+	for {
+		d := q.outbox.Depth()
+		if d == 0 {
+			return nil
+		}
+		q.kick()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("transport: outbox drain: %d entries still parked (durable, resume next run): %w", d, ctx.Err())
+		case <-q.stop:
+			return fmt.Errorf("transport: outbox drain: publisher closed with %d entries parked", d)
+		case <-time.After(pause):
+		}
+		if pause < 80*time.Millisecond {
+			pause *= 2
+		}
+	}
+}
 
 // Close stops the drain loop (pending entries stay durable for the next
 // run).

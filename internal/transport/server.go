@@ -15,6 +15,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/identity"
 	"repro/internal/index"
+	"repro/internal/overload"
 	"repro/internal/policy"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
@@ -56,6 +57,8 @@ type Server struct {
 	httpClient *http.Client
 	// auth, when set via RequireAuth, authenticates every call.
 	auth *identity.Authority
+	// gate, when set via SetAdmission, admission-controls every /ws call.
+	gate *overload.Gate
 	// deliveriesFailed counts callback deliveries that did not reach the
 	// subscriber (css_deliveries_failed_total{reason}).
 	deliveriesFailed *telemetry.Counter
@@ -115,7 +118,10 @@ func NewServer(ctrl *core.Controller) *Server {
 	s.mux.HandleFunc("GET /ws/subscription", s.handleSubscriptionProbe)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(ctrl.Metrics()))
 	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(ctrl.Healthy, s.healthDetail))
-	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(ctrl.Metrics(), "css"), s.mux)
+	// Admission sits inside the telemetry middleware so shed requests
+	// (429) show up in the per-route HTTP metrics; it is a no-op until
+	// SetAdmission installs a gate.
+	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(ctrl.Metrics(), "css"), s.withAdmission(s.mux))
 	return s
 }
 
@@ -144,7 +150,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		// middleware when the producer sent none) as the flow trace.
 		n.Trace = telemetry.TraceFrom(r.Context())
 	}
-	gid, err := s.ctrl.Publish(&n)
+	gid, err := s.ctrl.PublishContext(r.Context(), &n)
 	if err != nil {
 		writeFault(w, err)
 		return
@@ -250,7 +256,7 @@ func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
 	if req.Trace == "" {
 		req.Trace = telemetry.TraceFrom(r.Context())
 	}
-	d, err := s.ctrl.RequestDetails(&req)
+	d, err := s.ctrl.RequestDetailsContext(r.Context(), &req)
 	if err != nil {
 		writeFault(w, err)
 		return
@@ -283,7 +289,7 @@ func (s *Server) handleInquire(w http.ResponseWriter, r *http.Request) {
 		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
-	res, err := s.ctrl.InquireIndex(req.Actor, q)
+	res, err := s.ctrl.InquireIndexContext(r.Context(), req.Actor, q)
 	if err != nil {
 		writeFault(w, err)
 		return

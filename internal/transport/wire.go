@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -41,13 +42,26 @@ const (
 	CodeNotFound            = "not-found"
 	CodeSourceUnavailable   = "source-unavailable"
 	CodeUnknownSubscription = "unknown-subscription"
+	CodeOverloaded          = "overloaded"
+	CodeTimeout             = "timeout"
+	CodeCancelled           = "cancelled"
 	CodeInternal            = "internal"
 )
+
+// StatusClientClosedRequest is the de-facto standard status (nginx's
+// 499) for a request abandoned by its client: no standard 4xx fits, and
+// a 5xx would page operators for the client's own hang-up.
+const StatusClientClosedRequest = 499
 
 // ErrUnknownSubscription reports a liveness probe for a subscription id
 // the controller does not hold (it restarted, or the id was never
 // assigned). Consumers react by re-subscribing.
 var ErrUnknownSubscription = errors.New("transport: unknown subscription")
+
+// ErrOverloaded reports a request shed by the server's admission
+// controller (HTTP 429). It is transient by construction — the fault
+// carries a Retry-After hint the client retriers honor.
+var ErrOverloaded = errors.New("transport: server overloaded")
 
 // Fault is the XML error payload.
 type Fault struct {
@@ -86,6 +100,12 @@ func faultFor(err error) (string, int) {
 		return CodeSourceUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownSubscription):
 		return CodeUnknownSubscription, http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-endpoint deadline expired mid-flow: a gateway timeout,
+		// retryable (504 is transient for the client's retrier).
+		return CodeTimeout, http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrCancelled), errors.Is(err, context.Canceled):
+		return CodeCancelled, StatusClientClosedRequest
 	default:
 		return CodeInternal, http.StatusInternalServerError
 	}
@@ -120,6 +140,12 @@ func errorFor(f *Fault) error {
 		base = enforcer.ErrSourceUnavailable
 	case CodeUnknownSubscription:
 		base = ErrUnknownSubscription
+	case CodeOverloaded:
+		base = ErrOverloaded
+	case CodeTimeout:
+		base = context.DeadlineExceeded
+	case CodeCancelled:
+		base = core.ErrCancelled
 	default:
 		return f
 	}
