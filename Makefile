@@ -3,16 +3,17 @@
 GO ?= go
 BENCH_LABEL ?= local
 
-.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-tables bench-quick chaos chaos-smoke overload-smoke examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-tables bench-quick chaos chaos-smoke overload-smoke trace-smoke lint-traceid examples fuzz clean
 
 all: check
 
-# The default gate: compile, vet+gofmt, unit tests, the race detector
-# over the whole tree, a short fault-injected smoke, an overload-storm
-# smoke, then a 1-iteration smoke of the publish-path benchmarks
-# (catches benchmarks broken by refactors without the cost of a
-# measured run).
-check: build vet test race chaos-smoke overload-smoke bench-smoke
+# The default gate: compile, vet+gofmt+trace-ID lint, unit tests, the
+# race detector over the whole tree, a short fault-injected smoke, an
+# overload-storm smoke, the distributed-tracing smoke (one flow across
+# three processes must yield one parent-linked span tree), then a
+# 1-iteration smoke of the publish-path benchmarks (catches benchmarks
+# broken by refactors without the cost of a measured run).
+check: build vet lint-traceid test race chaos-smoke overload-smoke trace-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -80,6 +81,28 @@ chaos-smoke:
 overload-smoke:
 	$(GO) test -race -count 1 -run 'TestChaosOverloadStorm' ./internal/transport/
 	$(GO) test -race -count 1 -run 'TestKillUnderLoad' ./integration/
+
+# Distributed-tracing smoke: a publish→notify→detail flow across
+# controller, gateway and consumer processes must produce ONE trace
+# whose spans form a parent-linked tree (no orphans) covering every
+# pipeline stage, reconstructable by css-trace from the merged export.
+trace-smoke:
+	TRACE_SMOKE=1 $(GO) test -count 1 -run 'TestTraceSmoke' ./integration/
+
+# Flow traces must be minted only at the two sanctioned flow roots
+# (publish, detail-request — both in internal/core/flows.go) or inside
+# the telemetry package itself. A NewTraceID call anywhere else splits
+# flows into disconnected traces; reject it.
+lint-traceid:
+	@bad=$$(grep -rn 'telemetry\.NewTraceID(' --include='*.go' \
+		internal cmd examples 2>/dev/null \
+		| grep -v '_test\.go' \
+		| grep -v '^internal/core/flows\.go:' \
+		| grep -v '^internal/telemetry/'); \
+	if [ -n "$$bad" ]; then \
+		echo "trace IDs may be minted only at sanctioned flow roots:"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # testing.B micro-benchmarks, one per experiment.
 microbench:

@@ -15,17 +15,23 @@
 //	-trace    filter by trace/correlation id (all records of one flow)
 //	-limit    max records (default 100)
 //	-verify   only verify chain integrity and exit
+//	-spans    span export file (JSONL); with -trace, also print the
+//	          flow's span-derived stage timings
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/event"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +43,7 @@ func main() {
 	trace := flag.String("trace", "", "filter: trace/correlation id")
 	limit := flag.Int("limit", 100, "max records")
 	verifyOnly := flag.Bool("verify", false, "verify chain integrity and exit")
+	spansFile := flag.String("spans", "", "span export file (JSONL); with -trace, print the flow's stage timings after the audit records")
 	flag.Parse()
 	if *dataDir == "" {
 		log.Fatal("-data is required")
@@ -89,4 +96,39 @@ func main() {
 		fmt.Println(line)
 	}
 	fmt.Printf("(%d records shown)\n", len(recs))
+
+	if *spansFile != "" && *trace != "" {
+		printStageTimings(*spansFile, *trace)
+	}
+}
+
+// printStageTimings joins the audit view with the distributed trace:
+// for the flow selected by -trace it prints each exported span's stage
+// and duration, so the guarantor sees not only that an access happened
+// but where its time went.
+func printStageTimings(path, trace string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open spans: %v", err)
+	}
+	defer f.Close()
+	recs, err := telemetry.DecodeSpans(f)
+	if err != nil {
+		log.Fatalf("decode spans: %v", err)
+	}
+	var matched []telemetry.SpanRecord
+	for _, r := range recs {
+		if r.Trace == trace {
+			matched = append(matched, r)
+		}
+	}
+	fmt.Printf("\nstage timings for trace %s (%d spans):\n", trace, len(matched))
+	sort.SliceStable(matched, func(i, j int) bool { return matched[i].Start.Before(matched[j].Start) })
+	for _, r := range matched {
+		line := fmt.Sprintf("  %-28s %10s  proc=%s", r.Stage, time.Duration(r.Duration)*time.Microsecond, r.Proc)
+		if r.Error != "" {
+			line += fmt.Sprintf("  error=%q", r.Error)
+		}
+		fmt.Println(line)
+	}
 }

@@ -34,9 +34,12 @@ type Bench struct {
 
 // Run is one labeled invocation of the benchmark suite.
 type Run struct {
-	Label      string  `json:"label"`
-	Date       string  `json:"date"`
-	CPU        string  `json:"cpu,omitempty"`
+	Label string `json:"label"`
+	Date  string `json:"date"`
+	CPU   string `json:"cpu,omitempty"`
+	// Note records methodology caveats (e.g. a rebaseline run pairing)
+	// so later readers compare the right labels.
+	Note       string  `json:"note,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
 }
 

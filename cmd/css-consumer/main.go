@@ -12,8 +12,9 @@
 //	                             a callback endpoint; -listen addr)
 //	inquire [-person P] [-class C] [-limit N]
 //	                             query the events index
-//	details -event ID -class C -purpose P
+//	details -event ID -class C -purpose P [-trace T]
 //	                             request the details of an event
+//	                             (-trace joins an existing flow's trace)
 package main
 
 import (
@@ -159,6 +160,7 @@ func runDetails(client *transport.Client, actor event.Actor, args []string) {
 	id := fs.String("event", "", "global event id (required)")
 	class := fs.String("class", "", "event class (required)")
 	purpose := fs.String("purpose", string(event.PurposeHealthcareTreatment), "purpose of use")
+	trace := fs.String("trace", "", "trace id to continue (joins the publish flow's trace; empty: fresh)")
 	fs.Parse(args)
 	if *id == "" || *class == "" {
 		log.Fatal("-event and -class are required")
@@ -169,6 +171,7 @@ func runDetails(client *transport.Client, actor event.Actor, args []string) {
 		Class:     event.ClassID(*class),
 		EventID:   event.GlobalID(*id),
 		Purpose:   event.Purpose(*purpose),
+		Trace:     *trace,
 	})
 	if err != nil {
 		log.Fatalf("details: %v", err)

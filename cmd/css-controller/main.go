@@ -24,9 +24,15 @@
 //	-drain-timeout  graceful-shutdown budget on SIGTERM/SIGINT
 //	                (default 10s): stop admitting, finish in-flight
 //	                requests, flush the bus, fsync and close the stores
+//	-span-file      durable span export file (JSONL ring; empty: disabled)
+//	-span-sample    head-sampling rate for span recording and export
+//	                (default 0.1; errors and slow spans are always kept)
+//	-span-slow      tail-keep threshold for exported spans (default 100ms)
 //
-// The controller always serves /metrics (Prometheus text format) and
-// /healthz alongside the /ws/ API.
+// The controller always serves /metrics (Prometheus text format),
+// /healthz, /slo (latency-objective burn rates) and /debug/spans (the
+// in-process span ring as JSONL, for cmd/css-trace) alongside the /ws/
+// API.
 //
 // Without -scenario the controller starts empty; members join through
 // the web-service API (see internal/transport for the endpoints).
@@ -86,6 +92,9 @@ func main() {
 	actorRPS := flag.Float64("actor-rps", overload.DefaultActorRPS, "per-actor admission rate, requests/second (negative: unlimited)")
 	queueCap := flag.Int("queue-cap", 1024, "per-subscription bus queue bound (<=0: unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
+	spanFile := flag.String("span-file", "", "durable span export file (JSONL ring; empty: disabled)")
+	spanSample := flag.Float64("span-sample", telemetry.DefaultSampleRate, "head-sampling rate for span recording and export (0..1)")
+	spanSlow := flag.Duration("span-slow", telemetry.DefaultSlowTail, "tail-keep exported spans at least this slow (negative: disabled)")
 	gateways := gatewayFlags{}
 	flag.Var(gateways, "gateway", "attach a remote cooperation gateway as producer=URL (repeatable)")
 	gatewayToken := flag.String("gateway-token", "", "bearer token presented to remote gateways (auth-enabled gateways)")
@@ -98,6 +107,13 @@ func main() {
 		DataDir:        *dataDir,
 		DefaultConsent: !*denyDefault,
 		Metrics:        telemetry.Default(),
+		// One sampling knob: the same rate decides which traces the
+		// tracer records (ring + /debug/spans) and which the exporter
+		// writes; the FNV draw keeps both layers consistent.
+		SpanSampleRate: *spanSample,
+	}
+	if *spanSample <= 0 {
+		cfg.SpanSampleRate = -1 // explicit zero means "record nothing"
 	}
 	if *queueCap > 0 {
 		// Bounded subscription queues: a wedged consumer sheds its own
@@ -119,6 +135,24 @@ func main() {
 	}
 	defer ctrl.Close()
 
+	// Durable span export: head-sampled plus error/latency tail, flushed
+	// and fsynced as a drain step so a post-mortem always has the spans
+	// of the flows that were in flight.
+	var spanExporter *telemetry.Exporter
+	if *spanFile != "" {
+		spanExporter, err = telemetry.NewExporter(telemetry.ExporterConfig{
+			Path:       *spanFile,
+			SampleRate: *spanSample,
+			SlowTail:   *spanSlow,
+		}, "controller")
+		if err != nil {
+			log.Fatalf("span exporter: %v", err)
+		}
+		ctrl.Tracer().SetExporter(spanExporter)
+		telemetry.Logger().Info("span export enabled",
+			"file", *spanFile, "sample", *spanSample, "slow_tail", spanSlow.String())
+	}
+
 	if *scenario {
 		platform, err := workload.Provision(ctrl)
 		if err != nil {
@@ -139,7 +173,13 @@ func main() {
 		// breaker per gateway; breaker states show up on /healthz so an
 		// operator can see at a glance which producer is unreachable.
 		resMetrics := resilience.NewMetrics(telemetry.Default())
-		breakers := resilience.NewGroup(resilience.BreakerConfig{Metrics: resMetrics})
+		breakers := resilience.NewGroup(resilience.BreakerConfig{
+			Metrics: resMetrics,
+			// Breaker state changes get their own timeline entries, so a
+			// css-trace waterfall shows when the circuit opened relative to
+			// the flows that tripped it.
+			OnTransition: resilience.TraceTransitions(ctrl.Tracer(), nil),
+		})
 		retrier := resilience.NewRetrier(resilience.RetryPolicy{Metrics: resMetrics})
 		for producer, url := range gateways {
 			rg := transport.NewRemoteGateway(url, nil,
@@ -180,6 +220,20 @@ func main() {
 	})
 	srv.SetAdmission(gate)
 
+	// Per-flow latency objectives, computed from the same histogram
+	// families /metrics exposes. Targets sit on bucket bounds.
+	reg := telemetry.Default()
+	slo := telemetry.NewSLO(telemetry.SLOConfig{},
+		telemetry.Objective{Name: "publish", Target: 0.25, Goal: 0.99,
+			Hist: reg.Histogram("css_publish_seconds", "")},
+		telemetry.Objective{Name: "deliver", Target: 0.25, Goal: 0.99,
+			Hist: reg.Histogram("css_delivery_seconds", "")},
+		telemetry.Objective{Name: "detail-permit", Target: 0.5, Goal: 0.99,
+			Hist:        reg.Histogram("css_detail_request_seconds", "", "outcome"),
+			LabelValues: []string{"permit"}},
+	)
+	srv.SetSLO(slo)
+
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	if *pprofFlag {
@@ -196,6 +250,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go slo.Run(ctx)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	select {
@@ -212,11 +267,17 @@ func main() {
 	telemetry.Logger().Info("shutdown signal received, draining", "timeout", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	err = overload.Drain(drainCtx, gate,
-		overload.Step{Name: "http-shutdown", Run: httpSrv.Shutdown},
-		overload.Step{Name: "bus-flush", Run: ctrl.FlushContext},
-		overload.Step{Name: "store-close", Run: ctrl.CloseContext},
-	)
+	steps := []overload.Step{
+		{Name: "http-shutdown", Run: httpSrv.Shutdown},
+		{Name: "bus-flush", Run: ctrl.FlushContext},
+	}
+	if spanExporter != nil {
+		steps = append(steps, overload.Step{Name: "span-flush", Run: func(context.Context) error {
+			return spanExporter.Close()
+		}})
+	}
+	steps = append(steps, overload.Step{Name: "store-close", Run: ctrl.CloseContext})
+	err = overload.Drain(drainCtx, gate, steps...)
 	if err != nil {
 		telemetry.Logger().Error("drain incomplete", "err", err)
 		os.Exit(1)

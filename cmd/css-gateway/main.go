@@ -24,9 +24,12 @@
 //	-drain-timeout  graceful-shutdown budget on SIGTERM (default 10s):
 //	                stop admitting, drain the outbox toward the
 //	                controller, fsync and close the stores
+//	-span-file      durable span export file (JSONL ring; empty: disabled)
+//	-span-sample    head-sampling rate for span recording and export (default 0.1)
+//	-span-slow      tail-keep threshold for exported spans (default 100ms)
 //
-// The gateway always serves /metrics (Prometheus text format) and
-// /healthz alongside the /gw/ API.
+// The gateway always serves /metrics (Prometheus text format),
+// /healthz, /slo and /debug/spans alongside the /gw/ API.
 package main
 
 import (
@@ -79,6 +82,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", overload.DefaultMaxInFlight, "global concurrent-request budget (negative: unbounded)")
 	actorRPS := flag.Float64("actor-rps", overload.DefaultActorRPS, "per-actor admission rate, requests/second (negative: unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
+	spanFile := flag.String("span-file", "", "durable span export file (JSONL ring; empty: disabled)")
+	spanSample := flag.Float64("span-sample", telemetry.DefaultSampleRate, "head-sampling rate for span recording and export (0..1)")
+	spanSlow := flag.Duration("span-slow", telemetry.DefaultSlowTail, "tail-keep exported spans at least this slow (negative: disabled)")
 	flag.Parse()
 	if *producer == "" {
 		log.Fatal("-producer is required")
@@ -125,6 +131,30 @@ func main() {
 		log.Fatalf("gateway: %v", err)
 	}
 	srv := transport.NewGatewayServerWithRegistry(gw, telemetry.Default())
+	srv.Tracer().SetSampleRate(*spanSample)
+	var spanExporter *telemetry.Exporter
+	if *spanFile != "" {
+		spanExporter, err = telemetry.NewExporter(telemetry.ExporterConfig{
+			Path:       *spanFile,
+			SampleRate: *spanSample,
+			SlowTail:   *spanSlow,
+		}, "gateway")
+		if err != nil {
+			log.Fatalf("span exporter: %v", err)
+		}
+		srv.Tracer().SetExporter(spanExporter)
+		telemetry.Logger().Info("span export enabled",
+			"file", *spanFile, "sample", *spanSample, "slow_tail", spanSlow.String())
+	}
+	// The gateway's latency objective rides its own HTTP histogram: the
+	// filtered-retrieval endpoint is the producer-side stage of the
+	// detail flow.
+	slo := telemetry.NewSLO(telemetry.SLOConfig{},
+		telemetry.Objective{Name: "gw-get-response", Target: 0.25, Goal: 0.99,
+			Hist:        telemetry.Default().Histogram("css_gateway_http_request_seconds", "", "route"),
+			LabelValues: []string{"/gw/get-response"}},
+	)
+	srv.SetSLO(slo)
 	var qp *transport.QueuedPublisher
 	if client != nil {
 		// With a controller configured, the gateway also relays the source
@@ -187,6 +217,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go slo.Run(ctx)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	select {
@@ -208,6 +239,11 @@ func main() {
 	if qp != nil {
 		steps = append(steps, overload.Step{Name: "outbox-drain", Run: qp.DrainContext})
 		steps = append(steps, overload.Step{Name: "outbox-close", Run: func(context.Context) error { qp.Close(); return nil }})
+	}
+	if spanExporter != nil {
+		steps = append(steps, overload.Step{Name: "span-flush", Run: func(context.Context) error {
+			return spanExporter.Close()
+		}})
 	}
 	steps = append(steps, overload.Step{Name: "store-close", Run: func(context.Context) error { return st.Close() }})
 	if err := overload.Drain(drainCtx, gate, steps...); err != nil {

@@ -1,0 +1,323 @@
+// css-trace reconstructs distributed flows from exported spans. It
+// reads one or more span sources — JSONL export files written by the
+// daemons' -span-file exporters, or live /debug/spans endpoints — and
+// renders each trace as a parent-linked tree with a waterfall of stage
+// timings, so a publish→notify→detail flow that crossed the
+// controller, a gateway and a consumer reads as one timeline.
+//
+// Usage:
+//
+//	css-trace [flags] <source>...
+//
+// A source is a span JSONL file path or an http(s):// URL of a
+// /debug/spans endpoint (the endpoint path is appended when missing).
+//
+//	-trace ID       show the waterfall of one trace
+//	-stages         aggregate: slowest stages across all traces
+//	-stage PREFIX   keep only spans whose stage has this prefix
+//	-min-duration D keep only spans at least this slow (e.g. 50ms)
+//	-errors-only    keep only spans that recorded an error
+//	-limit N        max traces listed (default 50, newest first)
+//
+// Without -trace or -stages it lists traces: one line per trace with
+// span count, processes involved, total wall time and error count.
+//
+// Exit status is 2 when a requested trace has orphan spans (a parent
+// ID that is missing from the trace) — the signal an instrumentation
+// regression broke the tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	traceID := flag.String("trace", "", "show the waterfall of one trace")
+	stages := flag.Bool("stages", false, "aggregate slowest stages across all traces")
+	stagePrefix := flag.String("stage", "", "filter: stage prefix")
+	minDur := flag.Duration("min-duration", 0, "filter: keep spans at least this slow")
+	errorsOnly := flag.Bool("errors-only", false, "filter: keep only spans with errors")
+	limit := flag.Int("limit", 50, "max traces listed")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var spans []telemetry.SpanRecord
+	for _, src := range flag.Args() {
+		recs, err := load(src)
+		if err != nil {
+			log.Fatalf("load %s: %v", src, err)
+		}
+		spans = append(spans, recs...)
+	}
+	spans = filter(spans, *stagePrefix, *minDur, *errorsOnly)
+	if len(spans) == 0 {
+		fmt.Println("no spans matched")
+		return
+	}
+
+	switch {
+	case *traceID != "":
+		if !printWaterfall(spans, *traceID) {
+			os.Exit(2)
+		}
+	case *stages:
+		printStages(spans)
+	default:
+		printTraces(spans, *limit)
+	}
+}
+
+// load reads a span source: a JSONL file or a /debug/spans URL.
+func load(src string) ([]telemetry.SpanRecord, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		if !strings.Contains(src, "/debug/spans") {
+			src = strings.TrimRight(src, "/") + "/debug/spans"
+		}
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return nil, fmt.Errorf("%s answered %s", src, resp.Status)
+		}
+		return telemetry.DecodeSpans(resp.Body)
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.DecodeSpans(f)
+}
+
+func filter(spans []telemetry.SpanRecord, stagePrefix string, minDur time.Duration, errorsOnly bool) []telemetry.SpanRecord {
+	out := spans[:0]
+	for _, s := range spans {
+		if stagePrefix != "" && !strings.HasPrefix(s.Stage, stagePrefix) {
+			continue
+		}
+		if minDur > 0 && time.Duration(s.Duration)*time.Microsecond < minDur {
+			continue
+		}
+		if errorsOnly && s.Error == "" {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// traceSummary aggregates one trace for the listing view.
+type traceSummary struct {
+	trace  string
+	spans  int
+	errors int
+	start  time.Time
+	end    time.Time
+	procs  map[string]bool
+}
+
+func printTraces(spans []telemetry.SpanRecord, limit int) {
+	byTrace := map[string]*traceSummary{}
+	for _, s := range spans {
+		t := byTrace[s.Trace]
+		if t == nil {
+			t = &traceSummary{trace: s.Trace, start: s.Start, procs: map[string]bool{}}
+			byTrace[s.Trace] = t
+		}
+		t.spans++
+		if s.Error != "" {
+			t.errors++
+		}
+		if s.Start.Before(t.start) {
+			t.start = s.Start
+		}
+		if end := s.Start.Add(time.Duration(s.Duration) * time.Microsecond); end.After(t.end) {
+			t.end = end
+		}
+		if s.Proc != "" {
+			t.procs[s.Proc] = true
+		}
+	}
+	list := make([]*traceSummary, 0, len(byTrace))
+	for _, t := range byTrace {
+		list = append(list, t)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].start.After(list[j].start) })
+	if limit > 0 && len(list) > limit {
+		list = list[:limit]
+	}
+	for _, t := range list {
+		procs := make([]string, 0, len(t.procs))
+		for p := range t.procs {
+			procs = append(procs, p)
+		}
+		sort.Strings(procs)
+		line := fmt.Sprintf("%s  %s  spans=%-3d wall=%-12s procs=%s",
+			t.trace, t.start.Format("15:04:05.000"), t.spans,
+			t.end.Sub(t.start).Round(time.Microsecond), strings.Join(procs, ","))
+		if t.errors > 0 {
+			line += fmt.Sprintf("  errors=%d", t.errors)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("(%d traces)\n", len(list))
+}
+
+// printWaterfall renders one trace as an indented parent-linked tree
+// with proportional duration bars. Returns false when the trace has
+// orphan spans (parent recorded but absent), which signals a broken
+// propagation chain.
+func printWaterfall(spans []telemetry.SpanRecord, trace string) (ok bool) {
+	var flow []telemetry.SpanRecord
+	for _, s := range spans {
+		if s.Trace == trace {
+			flow = append(flow, s)
+		}
+	}
+	if len(flow) == 0 {
+		fmt.Printf("trace %s: no spans\n", trace)
+		return false
+	}
+	sort.SliceStable(flow, func(i, j int) bool { return flow[i].Start.Before(flow[j].Start) })
+
+	ids := map[string]bool{}
+	for _, s := range flow {
+		if s.ID != "" {
+			ids[s.ID] = true
+		}
+	}
+	children := map[string][]telemetry.SpanRecord{}
+	var roots, orphans []telemetry.SpanRecord
+	for _, s := range flow {
+		switch {
+		case s.Parent == "":
+			roots = append(roots, s)
+		case ids[s.Parent]:
+			children[s.Parent] = append(children[s.Parent], s)
+		default:
+			orphans = append(orphans, s)
+		}
+	}
+
+	t0 := flow[0].Start
+	var tEnd time.Time
+	for _, s := range flow {
+		if end := s.Start.Add(time.Duration(s.Duration) * time.Microsecond); end.After(tEnd) {
+			tEnd = end
+		}
+	}
+	wall := tEnd.Sub(t0)
+	if wall <= 0 {
+		wall = time.Microsecond
+	}
+	fmt.Printf("trace %s — %d spans, wall %s\n", trace, len(flow), wall.Round(time.Microsecond))
+
+	var walk func(s telemetry.SpanRecord, depth int)
+	walk = func(s telemetry.SpanRecord, depth int) {
+		printSpan(s, depth, t0, wall)
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	if len(orphans) > 0 {
+		fmt.Printf("ORPHAN SPANS (%d) — parent missing from trace:\n", len(orphans))
+		for _, s := range orphans {
+			printSpan(s, 1, t0, wall)
+		}
+		return false
+	}
+	return true
+}
+
+// printSpan renders one waterfall line: indented stage, offset bar,
+// duration, process, error.
+func printSpan(s telemetry.SpanRecord, depth int, t0 time.Time, wall time.Duration) {
+	const barWidth = 30
+	dur := time.Duration(s.Duration) * time.Microsecond
+	offset := s.Start.Sub(t0)
+	lead := int(int64(barWidth) * int64(offset) / int64(wall))
+	fill := int(int64(barWidth) * int64(dur) / int64(wall))
+	if fill < 1 {
+		fill = 1
+	}
+	if lead+fill > barWidth {
+		lead = barWidth - fill
+		if lead < 0 {
+			lead = 0
+			fill = barWidth
+		}
+	}
+	bar := strings.Repeat(" ", lead) + strings.Repeat("▇", fill) + strings.Repeat(" ", barWidth-lead-fill)
+	name := strings.Repeat("  ", depth) + s.Stage
+	line := fmt.Sprintf("  %-44s |%s| %10s", name, bar, dur.Round(time.Microsecond))
+	if s.Proc != "" {
+		line += "  " + s.Proc
+	}
+	for _, a := range s.Attrs {
+		line += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+	}
+	if s.Error != "" {
+		line += fmt.Sprintf("  ERROR=%q", s.Error)
+	}
+	fmt.Println(line)
+}
+
+// stageAgg aggregates durations per stage for the -stages view.
+type stageAgg struct {
+	stage  string
+	count  int
+	errors int
+	total  time.Duration
+	max    time.Duration
+}
+
+func printStages(spans []telemetry.SpanRecord) {
+	byStage := map[string]*stageAgg{}
+	for _, s := range spans {
+		a := byStage[s.Stage]
+		if a == nil {
+			a = &stageAgg{stage: s.Stage}
+			byStage[s.Stage] = a
+		}
+		d := time.Duration(s.Duration) * time.Microsecond
+		a.count++
+		a.total += d
+		if d > a.max {
+			a.max = d
+		}
+		if s.Error != "" {
+			a.errors++
+		}
+	}
+	list := make([]*stageAgg, 0, len(byStage))
+	for _, a := range byStage {
+		list = append(list, a)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].total > list[j].total })
+	fmt.Printf("%-32s %8s %12s %12s %12s %7s\n", "stage", "count", "total", "mean", "max", "errors")
+	for _, a := range list {
+		mean := a.total / time.Duration(a.count)
+		fmt.Printf("%-32s %8d %12s %12s %12s %7d\n",
+			a.stage, a.count, a.total.Round(time.Microsecond),
+			mean.Round(time.Microsecond), a.max.Round(time.Microsecond), a.errors)
+	}
+}

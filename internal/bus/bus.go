@@ -41,6 +41,11 @@ type Message struct {
 	PublishedAt time.Time
 	// Attempt is the 1-based delivery attempt number, visible to handlers.
 	Attempt int
+	// SpanParent optionally carries the span ID of the publisher's
+	// "bus.publish" span, so delivery-side spans parent under it and a
+	// cross-goroutine trace stays one tree. The broker never interprets
+	// it.
+	SpanParent string
 }
 
 // Handler consumes a delivered message. Returning an error triggers a
@@ -327,6 +332,12 @@ func (b *Broker) Publish(topic string, body []byte) (uint64, error) {
 // the message is accepted (a sequence number is returned), and the error
 // satisfies errors.Is(err, ErrQueueFull) so the publisher can slow down.
 func (b *Broker) PublishPayload(topic string, body []byte, payload any) (uint64, error) {
+	return b.PublishPayloadSpan(topic, body, payload, "")
+}
+
+// PublishPayloadSpan is PublishPayload with the publisher's span ID
+// riding on the message (see Message.SpanParent).
+func (b *Broker) PublishPayloadSpan(topic string, body []byte, payload any, spanParent string) (uint64, error) {
 	if topic == "" {
 		return 0, errors.New("bus: empty topic")
 	}
@@ -336,7 +347,7 @@ func (b *Broker) PublishPayload(topic string, body []byte, payload any) (uint64,
 		return 0, ErrClosed
 	}
 	seq := b.seq.Add(1)
-	m := &Message{Topic: topic, Seq: seq, Body: body, Payload: payload, PublishedAt: time.Now()}
+	m := &Message{Topic: topic, Seq: seq, Body: body, Payload: payload, PublishedAt: time.Now(), SpanParent: spanParent}
 	// Snapshot the fan-out set, then enqueue outside the broker lock: a
 	// Block-policy enqueue may park until the consumer makes space, and
 	// that wait must not hold up Subscribe/Close on the broker mutex.

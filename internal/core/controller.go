@@ -82,6 +82,13 @@ type Config struct {
 	// SpanCapacity bounds the in-process span recorder (0 means
 	// telemetry.DefaultSpanCapacity).
 	SpanCapacity int
+	// SpanSampleRate is the head-sampling fraction of traces whose
+	// spans are recorded (ring + export). 0 means
+	// telemetry.DefaultSampleRate; set 1 to record every span
+	// (integration tests, debugging), negative to record none.
+	// Latency metrics are observed for every span regardless, and
+	// failed or slow spans are tail-kept past the draw.
+	SpanSampleRate float64
 }
 
 // Stats aggregates controller counters. It is a compatibility view over
@@ -214,9 +221,9 @@ type Controller struct {
 
 	persist persistence
 
-	tel   *telemetry.Registry
-	spans *telemetry.SpanLog
-	met   instruments
+	tel    *telemetry.Registry
+	tracer *telemetry.Tracer
+	met    instruments
 
 	mu     sync.Mutex
 	subSeq int
@@ -239,8 +246,29 @@ func New(cfg Config) (*Controller, error) {
 	if c.tel == nil {
 		c.tel = telemetry.NewRegistry()
 	}
-	c.spans = telemetry.NewSpanLog(cfg.SpanCapacity)
+	c.tracer = telemetry.NewTracer(cfg.SpanCapacity)
+	switch {
+	case cfg.SpanSampleRate == 0:
+		c.tracer.SetSampleRate(telemetry.DefaultSampleRate)
+	case cfg.SpanSampleRate < 0:
+		c.tracer.SetSampleRate(0)
+	default:
+		c.tracer.SetSampleRate(cfg.SpanSampleRate)
+	}
 	c.met = newInstruments(c.tel)
+	// Every finished span feeds the per-stage latency histogram, with the
+	// trace as exemplar — one recording path for ring, histogram and (when
+	// a daemon attaches one) the durable exporter. The hook runs once per
+	// span (19 times per 16-subscriber publish), so the per-stage series
+	// handles are cached instead of re-resolving labels on every call.
+	var stageChildren sync.Map // stage name -> *telemetry.HistogramChild
+	c.tracer.SetOnEnd(func(s *telemetry.Span) {
+		ch, ok := stageChildren.Load(s.Stage)
+		if !ok {
+			ch, _ = stageChildren.LoadOrStore(s.Stage, c.met.stageSeconds.Child(s.Stage))
+		}
+		ch.(*telemetry.HistogramChild).ObserveDurationTrace(s.Duration, s.Trace)
+	})
 
 	if !cfg.PlaintextIndex {
 		var err error
@@ -298,7 +326,6 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.enf.SetObserver(c.recordStage)
 	c.enf.SetCacheObserver(c.recordCacheEvent)
 	c.idx.SetCacheObserver(c.recordCacheEvent)
 	// Export the broker's load signals as css_bus_* metrics, composing
@@ -527,14 +554,11 @@ func (c *Controller) Metrics() *telemetry.Registry { return c.tel }
 
 // Spans exposes the in-process span recorder with the per-stage timings
 // of recent traced flows.
-func (c *Controller) Spans() *telemetry.SpanLog { return c.spans }
+func (c *Controller) Spans() *telemetry.SpanLog { return c.tracer.Spans() }
 
-// recordStage feeds one stage timing to both the span ring and the
-// css_stage_seconds histogram; it doubles as the enforcer's observer.
-func (c *Controller) recordStage(trace, stage string, start time.Time, d time.Duration) {
-	c.spans.Record(trace, stage, start, d)
-	c.met.stageSeconds.ObserveDuration(d, stage)
-}
+// Tracer exposes the controller's tracer; the serving layer attaches it
+// to request contexts and daemons attach the durable span exporter.
+func (c *Controller) Tracer() *telemetry.Tracer { return c.tracer }
 
 // recordCacheEvent counts one read-path cache lookup; it is the cache
 // observer wired into the enforcer, the events index, and any

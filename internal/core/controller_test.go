@@ -36,6 +36,7 @@ func newWorld(t *testing.T) *world {
 		MasterKey:      bytes.Repeat([]byte{5}, crypto.KeySize),
 		DefaultConsent: true,
 		Now:            func() time.Time { return w.now },
+		SpanSampleRate: 1, // tests assert on recorded spans
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -57,38 +57,49 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 
 	// Mint the flow's trace ID unless the producer supplied one; it rides
 	// on the stamped notification through the bus and onto every audit
-	// record and span of the flow.
+	// record and span of the flow. The root "publish" span is one of the
+	// two sanctioned flow roots; every stage below hangs off it.
 	trace := n.Trace
 	if trace == "" {
 		trace = telemetry.NewTraceID()
 	}
+	ctx, pubSpan := c.tracer.StartSpan(flowRootCtx(ctx, trace), "publish")
 	start := time.Now()
+	fail := func(err error) (event.GlobalID, error) {
+		pubSpan.SetError(err)
+		pubSpan.End()
+		return "", err
+	}
 
 	gid, err := c.ids.Assign(n.Producer, n.SourceID, n.Class)
 	if err != nil {
-		return "", err
+		return fail(err)
 	}
 	stamped := n.Clone()
 	stamped.ID = gid
 	stamped.Trace = trace
 	stamped.PublishedAt = c.now()
-	putStart := time.Now()
-	if err := c.idx.Put(stamped); err != nil {
-		return "", err
+	putSpan := pubSpan.StartChild("index.put")
+	err = c.idx.Put(stamped)
+	putSpan.SetError(err)
+	putSpan.End()
+	if err != nil {
+		return fail(err)
 	}
-	c.recordStage(trace, "index.put", putStart, time.Since(putStart))
-	audStart := time.Now()
-	if _, err := c.aud.Append(audit.Record{
+	audSpan := pubSpan.StartChild("audit.append")
+	_, err = c.aud.Append(audit.Record{
 		Kind:    audit.KindPublish,
 		Actor:   string(n.Producer),
 		EventID: gid,
 		Class:   n.Class,
 		Outcome: "ok",
 		Trace:   trace,
-	}); err != nil {
-		return "", err
+	})
+	audSpan.SetError(err)
+	audSpan.End()
+	if err != nil {
+		return fail(err)
 	}
-	c.recordStage(trace, "audit.append", audStart, time.Since(audStart))
 	// Route the redacted notification. Per-subscriber consent is applied
 	// at delivery time by each subscription's handler wrapper. The decoded
 	// form rides the bus alongside the wire bytes: it is encoded (and
@@ -98,21 +109,38 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	redacted := stamped.Redact()
 	wire, err := event.EncodeNotification(redacted)
 	if err != nil {
-		return "", err
+		return fail(err)
 	}
-	busStart := time.Now()
-	if _, err := c.brk.PublishPayload(classTopic(n.Class), wire, redacted); err != nil {
-		return "", err
+	// The bus.publish span ID rides the message so each asynchronous
+	// delivery parents its bus.deliver span under it.
+	busSpan := pubSpan.StartChild("bus.publish")
+	_, err = c.brk.PublishPayloadSpan(classTopic(n.Class), wire, redacted, busSpan.ID())
+	busSpan.SetError(err)
+	busSpan.End()
+	if err != nil {
+		return fail(err)
 	}
-	c.recordStage(trace, "bus.publish", busStart, time.Since(busStart))
+	pubSpan.End()
 	c.met.published.Inc()
 	elapsed := time.Since(start)
-	c.met.publishSeconds.ObserveDuration(elapsed)
+	c.met.publishSeconds.ObserveDurationTrace(elapsed, trace)
 	telemetry.LogIfSlow("publish", trace, elapsed)
 	return gid, nil
 }
 
 func classTopic(class event.ClassID) string { return "class/" + string(class) }
+
+// flowRootCtx prepares the context for a flow's root span under trace.
+// When the incoming context carries a *different* trace (e.g. the HTTP
+// middleware minted one but the request body quoted the originating
+// flow's), the context's span would parent the root into a foreign
+// trace; clear it so the root starts a clean tree instead of an orphan.
+func flowRootCtx(ctx context.Context, trace string) context.Context {
+	if telemetry.TraceFrom(ctx) == trace {
+		return ctx
+	}
+	return telemetry.WithTraceSpan(ctx, trace, "")
+}
 
 // --- subscribe ---------------------------------------------------------------
 
@@ -121,6 +149,12 @@ func classTopic(class event.ClassID) string { return "class/" + string(class) }
 // fanned out to, so handlers must treat it as immutable; call
 // n.Clone() before mutating.
 type Handler func(n *event.Notification)
+
+// HandlerCtx is Handler with the delivery context: it carries the
+// publication's trace and the "bus.deliver" span as current, so
+// handlers that call onward (e.g. the HTTP callback to a remote
+// consumer) keep the trace one parent-linked tree.
+type HandlerCtx func(ctx context.Context, n *event.Notification)
 
 // Subscription is a consumer's durable subscription to an event class.
 type Subscription struct {
@@ -150,6 +184,20 @@ func (s *Subscription) Cancel() error { return s.cancel() }
 // and re-checks the authorization, so policy revocations take effect on
 // live subscriptions.
 func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler) (*Subscription, error) {
+	if h == nil {
+		return nil, errors.New("core: nil handler")
+	}
+	// ctxFree: the handler cannot read the context, so delivery skips
+	// building one (the delivery span is opened detached instead).
+	return c.subscribe(actor, class, func(_ context.Context, n *event.Notification) { h(n) }, true)
+}
+
+// SubscribeCtx is Subscribe for context-aware handlers (see HandlerCtx).
+func (c *Controller) SubscribeCtx(actor event.Actor, class event.ClassID, h HandlerCtx) (*Subscription, error) {
+	return c.subscribe(actor, class, h, false)
+}
+
+func (c *Controller) subscribe(actor event.Actor, class event.ClassID, h HandlerCtx, ctxFree bool) (*Subscription, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
@@ -183,7 +231,7 @@ func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler
 	c.mu.Unlock()
 
 	busSub, err := c.brk.Subscribe(classTopic(class), id, func(m *bus.Message) error {
-		return c.deliver(actor, class, h, m)
+		return c.deliver(actor, class, h, m, ctxFree)
 	})
 	if err != nil {
 		return nil, err
@@ -217,7 +265,7 @@ func (c *Controller) Subscribe(actor event.Actor, class event.ClassID, h Handler
 // in-process path), deliver hands that shared instance to the handler
 // without re-decoding; the wire body is only parsed as a fallback for
 // messages published by other means.
-func (c *Controller) deliver(actor event.Actor, class event.ClassID, h Handler, m *bus.Message) error {
+func (c *Controller) deliver(actor event.Actor, class event.ClassID, h HandlerCtx, m *bus.Message, ctxFree bool) error {
 	n, ok := m.Payload.(*event.Notification)
 	if !ok {
 		var err error
@@ -226,23 +274,44 @@ func (c *Controller) deliver(actor event.Actor, class event.ClassID, h Handler, 
 			return err
 		}
 	}
-	start := time.Now()
+	// Delivery runs on a bus goroutine: rebuild the trace context from
+	// the notification and parent the span under the publisher's
+	// bus.publish span (riding on the message). Context-free handlers
+	// (plain Subscribe) never look at the context, so their delivery
+	// span is opened detached and the two context allocations are
+	// skipped — the dominant per-subscriber cost of the publish fan-out.
+	var ctx context.Context
+	var span *telemetry.ActiveSpan
+	if ctxFree {
+		ctx = context.Background()
+		span = c.tracer.StartDetached("bus.deliver", n.Trace, m.SpanParent)
+	} else {
+		ctx, span = c.tracer.StartSpanFrom(context.Background(), "bus.deliver", n.Trace, m.SpanParent)
+	}
+	span.SetAttr("subscriber", string(actor))
 	// Consent: purpose-agnostic routing check.
 	if !c.con.Allows(n.PersonID, class, actor, "") {
 		c.met.consentDrops.Inc()
+		span.SetAttr("outcome", "consent-drop")
+		span.End()
 		return nil // suppressed, not an error (no redelivery)
 	}
 	// Authorization may have been revoked since subscription time.
 	if !c.enf.Repository().AllowsSubscription(actor, class, c.now()) {
 		c.met.consentDrops.Inc()
+		span.SetAttr("outcome", "authorization-drop")
+		span.End()
 		return nil
 	}
-	h(n)
+	h(ctx, n)
 	c.met.delivered.Inc()
-	elapsed := time.Since(start)
-	c.met.deliverySeconds.ObserveDuration(elapsed)
-	c.recordStage(n.Trace, "bus.deliver", start, elapsed)
-	telemetry.LogIfSlow("deliver "+string(actor), n.Trace, elapsed)
+	// The span's own duration doubles as the delivery latency sample, so
+	// the hot path reads the clock once at start and once at End.
+	elapsed := span.End()
+	c.met.deliverySeconds.ObserveDurationTrace(elapsed, n.Trace)
+	if elapsed >= telemetry.SlowThreshold() {
+		telemetry.LogIfSlow("deliver "+string(actor), n.Trace, elapsed)
+	}
 	return nil
 }
 
@@ -285,11 +354,18 @@ func (c *Controller) RequestDetailsContext(ctx context.Context, r *event.DetailR
 		}
 		r = &rc
 	}
+	// The root "detail.request" span is the second sanctioned flow root;
+	// the consent check, PDP decision and gateway fetch nest beneath it.
+	ctx, reqSpan := c.tracer.StartSpan(flowRootCtx(ctx, r.Trace), "detail.request")
+	reqSpan.SetAttr("requester", string(r.Requester))
 	start := time.Now()
-	finish := func(outcome string) {
+	finish := func(outcome string, spanErr error) {
 		c.met.decisions.Inc(outcome)
 		elapsed := time.Since(start)
-		c.met.detailSeconds.ObserveDuration(elapsed, outcome)
+		c.met.detailSeconds.ObserveDurationTrace(elapsed, r.Trace, outcome)
+		reqSpan.SetAttr("outcome", outcome)
+		reqSpan.SetError(spanErr)
+		reqSpan.End()
 		telemetry.LogIfSlow("request-details", r.Trace, elapsed)
 	}
 
@@ -297,7 +373,7 @@ func (c *Controller) RequestDetailsContext(ctx context.Context, r *event.DetailR
 	// lookup, decision or fetch runs on its behalf.
 	if err := ctx.Err(); err != nil {
 		c.auditDetail(r, "cancelled", "", err.Error())
-		finish("cancelled")
+		finish("cancelled", err)
 		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
 
@@ -306,18 +382,18 @@ func (c *Controller) RequestDetailsContext(ctx context.Context, r *event.DetailR
 	n, err := c.idx.Get(r.EventID)
 	if err != nil {
 		c.auditDetail(r, "deny", "", "unknown event id")
-		finish("deny")
+		finish("deny", nil)
 		if errors.Is(err, index.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %s", enforcer.ErrUnknownEvent, r.EventID)
 		}
 		return nil, err
 	}
-	conStart := time.Now()
+	_, conSpan := telemetry.StartSpan(ctx, "consent.check")
 	allowed := c.con.Allows(n.PersonID, r.Class, r.Requester, r.Purpose)
-	c.recordStage(r.Trace, "consent.check", conStart, time.Since(conStart))
+	conSpan.End()
 	if !allowed {
 		c.auditDetail(r, "deny", "", "data subject consent")
-		finish("deny")
+		finish("deny", nil)
 		return nil, ErrConsentDeny
 	}
 
@@ -335,8 +411,14 @@ func (c *Controller) RequestDetailsContext(ctx context.Context, r *event.DetailR
 			outcome = "cancelled"
 			err = fmt.Errorf("%w: %w", ErrCancelled, err)
 		}
+		var spanErr error
+		if outcome != "deny" {
+			// A policy denial is a rendered decision, not a failure; only
+			// unavailable sources and abandoned requests mark the span.
+			spanErr = err
+		}
 		c.auditDetail(r, outcome, out.PolicyID, out.Reason)
-		finish(outcome)
+		finish(outcome, spanErr)
 		if errors.Is(err, enforcer.ErrDenied) {
 			// A policy-gap denial (not consent, not a missing event):
 			// surface it to the producer as a pending access request.
@@ -345,7 +427,7 @@ func (c *Controller) RequestDetailsContext(ctx context.Context, r *event.DetailR
 		return nil, err
 	}
 	c.auditDetail(r, "permit", out.PolicyID, "")
-	finish("permit")
+	finish("permit", nil)
 	return d, nil
 }
 

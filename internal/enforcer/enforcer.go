@@ -20,12 +20,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/cache"
 	"repro/internal/event"
 	"repro/internal/idmap"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 	"repro/internal/xacml"
 )
 
@@ -76,12 +76,6 @@ type TracedDetailSource interface {
 type ContextDetailSource interface {
 	GetResponseContext(ctx context.Context, trace string, src event.SourceID, fields []event.FieldName) (*event.Detail, error)
 }
-
-// StageObserver receives the duration of one named enforcement stage of
-// a traced flow ("pdp.decide", "gateway.fetch"). Observers must be fast
-// and must not block; the controller installs one that records spans
-// and latency histograms.
-type StageObserver func(trace, stage string, start time.Time, d time.Duration)
 
 // CacheObserver receives the outcome of one read-path cache lookup. The
 // alias form (not a defined type) lets wiring code treat any component
@@ -169,7 +163,6 @@ type Enforcer struct {
 
 	mu       sync.RWMutex
 	gateways map[event.ProducerID]DetailSource
-	observe  StageObserver
 
 	epoch       atomic.Uint64
 	timeBounded atomic.Int64
@@ -195,23 +188,6 @@ func New(repo *policy.Repository, ids *idmap.Map) (*Enforcer, error) {
 		gateways:  make(map[event.ProducerID]DetailSource),
 		decisions: cache.NewLRU[decisionKey, decision](decisionCacheSize),
 	}, nil
-}
-
-// SetObserver installs the stage observer (nil disables observation).
-func (e *Enforcer) SetObserver(o StageObserver) {
-	e.mu.Lock()
-	e.observe = o
-	e.mu.Unlock()
-}
-
-// observer returns the installed stage observer (nil when unset). The
-// hot path reads it once up front and gates every clock read on it, so
-// an unobserved enforcer never calls time.Now.
-func (e *Enforcer) observer() StageObserver {
-	e.mu.RLock()
-	o := e.observe
-	e.mu.RUnlock()
-	return o
 }
 
 // SetCacheObserver installs the cache hit/miss observer (nil disables).
@@ -421,22 +397,19 @@ func (e *Enforcer) GetEventDetailsContext(ctx context.Context, r *event.DetailRe
 		return nil, out, ErrClassMismatch
 	}
 
-	// Steps 2–3, behind the decision cache. The clock is read only when
-	// an observer is installed.
-	obs := e.observer()
-	var pdpStart time.Time
-	if obs != nil {
-		pdpStart = time.Now()
-	}
+	// Steps 2–3, behind the decision cache. The span is a no-op (no
+	// clock read) unless the context carries a tracer.
+	_, pdpSpan := telemetry.StartSpan(ctx, "pdp.decide")
 	dec := e.decide(r)
-	if obs != nil {
-		obs(r.Trace, "pdp.decide", pdpStart, time.Since(pdpStart))
-	}
 	if !dec.permit {
+		pdpSpan.SetAttr("reason", dec.reason)
+		pdpSpan.End()
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
 			PolicyID: dec.policyID, Reason: dec.reason}
 		return nil, out, ErrDenied
 	}
+	pdpSpan.SetAttr("policy", dec.policyID)
+	pdpSpan.End()
 
 	// The caller may be gone (hung up, or past its deadline) by the time
 	// the decision lands: stop here, before spending a producer
@@ -454,14 +427,13 @@ func (e *Enforcer) GetEventDetailsContext(ctx context.Context, r *event.DetailRe
 			PolicyID: dec.policyID, Reason: err.Error()}
 		return nil, out, err
 	}
-	var fetchStart time.Time
-	if obs != nil {
-		fetchStart = time.Now()
-	}
-	d, shared, err := e.fetch(ctx, g, r.Trace, m.Source, dec.policyID, dec.fields)
-	if obs != nil {
-		obs(r.Trace, "gateway.fetch", fetchStart, time.Since(fetchStart))
-	}
+	// The fetch span's context rides into the gateway client, so the
+	// producer-side HTTP server span parents under "gateway.fetch".
+	fetchCtx, fetchSpan := telemetry.StartSpan(ctx, "gateway.fetch")
+	fetchSpan.SetAttr("producer", string(m.Producer))
+	d, shared, err := e.fetch(fetchCtx, g, r.Trace, m.Source, dec.policyID, dec.fields)
+	fetchSpan.SetError(err)
+	fetchSpan.End()
 	if err != nil {
 		out := Outcome{Decision: event.Deny, Producer: m.Producer, Source: m.Source,
 			PolicyID: dec.policyID, Reason: "gateway: " + err.Error()}

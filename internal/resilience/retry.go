@@ -2,10 +2,14 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // RetryPolicy configures a Retrier.
@@ -84,19 +88,40 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(ctx context.Context
 		if err = ctx.Err(); err != nil {
 			return err
 		}
-		err = fn(ctx)
+		// Each attempt is a child span (no-op unless the context carries a
+		// tracer), so a chaos-run trace shows why a flow took 3 attempts.
+		attemptCtx, span := telemetry.StartSpan(ctx, "retry.attempt")
+		if span != nil {
+			span.SetAttr("op", op)
+			span.SetAttr("attempt", strconv.Itoa(attempt))
+		}
+		err = fn(attemptCtx)
 		if err == nil || !Retryable(err) {
+			span.SetError(err)
+			span.End()
 			return err
 		}
+		if span != nil {
+			span.SetError(err)
+			if errors.Is(err, ErrOpen) {
+				span.AddEvent("breaker.open")
+			}
+		}
 		if attempt >= r.policy.MaxAttempts {
+			span.End()
 			return fmt.Errorf("resilience: %s failed after %d attempts: %w", op, attempt, err)
 		}
 		if b := r.policy.Budget; b != nil && !b.Withdraw() {
+			span.End()
 			return fmt.Errorf("%w (%s): %w", ErrBudgetExhausted, op, err)
 		}
 		delay := r.backoff(attempt)
 		if after, ok := RetryAfterOf(err); ok && after > delay {
 			delay = after
+		}
+		if span != nil {
+			span.SetAttr("backoff", delay.String())
+			span.End()
 		}
 		r.policy.Metrics.retry(op)
 		select {

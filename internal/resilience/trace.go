@@ -1,0 +1,28 @@
+package resilience
+
+import (
+	"context"
+
+	"repro/internal/telemetry"
+)
+
+// TraceTransitions returns a BreakerConfig.OnTransition hook that
+// records every breaker state change as an instantaneous
+// "breaker.transition" span on tracer (attrs: breaker, from, to), then
+// chains to next (which may be nil). Flow-side visibility comes from
+// the retrier's "breaker.open" span events; this hook gives transitions
+// their own timeline entry in css-trace even when no flow is in flight.
+// It is non-blocking (a ring write plus a buffered export), as the
+// breaker requires of transition observers.
+func TraceTransitions(tracer *telemetry.Tracer, next func(name string, from, to State)) func(name string, from, to State) {
+	return func(name string, from, to State) {
+		_, span := tracer.StartSpan(context.Background(), "breaker.transition")
+		span.SetAttr("breaker", name)
+		span.SetAttr("from", from.String())
+		span.SetAttr("to", to.String())
+		span.End()
+		if next != nil {
+			next(name, from, to)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,6 +15,61 @@ import (
 // across process boundaries: clients may set it; servers echo it on
 // responses and mint a fresh ID when absent.
 const TraceHeader = "X-Trace-Id"
+
+// TraceparentHeader is the W3C trace-context header carrying both the
+// trace ID and the caller's span ID, so spans opened on the server side
+// parent correctly under the client's span. X-Trace-Id remains as the
+// human-friendly legacy header; traceparent wins when both are present.
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a W3C traceparent value. The platform's
+// 16-hex trace IDs are left-padded to the 32-hex wire width; span is a
+// 16-hex span ID ("" becomes all-zero, meaning "no parent").
+func FormatTraceparent(trace, span string) string {
+	if len(trace) < 32 {
+		trace = zeros32[:32-len(trace)] + trace
+	}
+	if span == "" {
+		span = zeros32[:16]
+	}
+	return "00-" + trace + "-" + span + "-01"
+}
+
+const zeros32 = "00000000000000000000000000000000"
+
+// ParseTraceparent extracts (trace, parent span) from a traceparent
+// value. Padded 16-hex platform trace IDs are unpadded back; foreign
+// full-width IDs are kept verbatim. ok is false on malformed input.
+func ParseTraceparent(v string) (trace, span string, ok bool) {
+	// version "-" trace(32) "-" span(16) "-" flags
+	if len(v) < 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", "", false
+	}
+	if v[:2] == "ff" {
+		return "", "", false
+	}
+	trace, span = v[3:35], v[36:52]
+	if !isHex(trace) || !isHex(span) {
+		return "", "", false
+	}
+	if trace == zeros32 || span == zeros32[:16] {
+		return "", "", false
+	}
+	if trace[:16] == zeros32[:16] {
+		trace = trace[16:]
+	}
+	return trace, span, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // HTTPMetrics are the instruments the middleware records into.
 type HTTPMetrics struct {
@@ -59,14 +116,37 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // Middleware wraps next with request instrumentation: per-route latency
 // and status counters, in-flight gauge, trace ID extraction/minting
 // (request context + response header), and the slow-request log.
+// Equivalent to TracingMiddleware with no tracer.
 func Middleware(m *HTTPMetrics, next http.Handler) http.Handler {
+	return TracingMiddleware(m, nil, next)
+}
+
+// TracingMiddleware is Middleware plus distributed tracing: it parses
+// the W3C traceparent header (falling back to X-Trace-Id, minting when
+// both are absent), attaches the tracer to the request context, opens a
+// server span parented under the caller's span, and records the
+// request latency with the trace as exemplar. tracer may be nil.
+func TracingMiddleware(m *HTTPMetrics, tracer *Tracer, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		trace := r.Header.Get(TraceHeader)
-		if trace == "" {
-			trace = NewTraceID()
+		trace, parent, ok := ParseTraceparent(r.Header.Get(TraceparentHeader))
+		if !ok {
+			trace = r.Header.Get(TraceHeader)
+			if trace == "" {
+				trace = NewTraceID()
+			}
 		}
 		w.Header().Set(TraceHeader, trace)
-		r = r.WithContext(WithTrace(r.Context(), trace))
+		route := r.URL.Path
+
+		// Trace, caller's span and tracer attach in one context value
+		// (in-package fast path; external callers use WithTrace et al).
+		ctx := context.WithValue(r.Context(), ctxKey{},
+			&traceCtx{trace: trace, span: parent, tracer: tracer})
+		var span *ActiveSpan
+		if tracer != nil && spanWorthy(route) {
+			ctx, span = tracer.StartSpan(ctx, "http "+r.Method+" "+route)
+		}
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w}
 		m.inflight.Add(1)
@@ -78,11 +158,28 @@ func Middleware(m *HTTPMetrics, next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		route := r.URL.Path
+		if span != nil {
+			if sw.status >= 500 {
+				span.SetError(fmt.Errorf("http status %d", sw.status))
+			} else if sw.status >= 400 {
+				span.SetAttr("status", itoa(sw.status))
+			}
+			span.End()
+		}
 		m.requests.Inc(route, r.Method, itoa(sw.status))
-		m.latency.ObserveDuration(elapsed, route)
+		m.latency.ObserveDurationTrace(elapsed, trace, route)
 		LogIfSlow("http "+r.Method+" "+route, trace, elapsed)
 	})
+}
+
+// spanWorthy excludes scrape/probe/debug endpoints from span creation:
+// they would dominate the ring without ever being part of a flow.
+func spanWorthy(route string) bool {
+	switch route {
+	case "/metrics", "/healthz", "/slo":
+		return false
+	}
+	return len(route) < 7 || route[:7] != "/debug/"
 }
 
 // itoa formats a 3-digit HTTP status without fmt.
@@ -91,6 +188,45 @@ func itoa(n int) string {
 		n = 0
 	}
 	return string([]byte{byte('0' + n/100), byte('0' + n/10%10), byte('0' + n%10)})
+}
+
+// SpansHandler serves the span ring as JSONL (one SpanRecord per
+// line), newest last. Filters: ?trace=<id>, ?stage=<prefix>,
+// ?limit=<n> (most recent n after filtering). proc labels each record
+// with the serving process. This is what cmd/css-trace scrapes when
+// pointed at a live daemon instead of an export file.
+func SpansHandler(log *SpanLog, proc string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		trace, stagePrefix := q.Get("trace"), q.Get("stage")
+		limit := 0
+		if s := q.Get("limit"); s != "" {
+			fmt.Sscanf(s, "%d", &limit)
+		}
+		spans := log.Snapshot()
+		out := spans[:0]
+		for _, s := range spans {
+			if trace != "" && s.Trace != trace {
+				continue
+			}
+			if stagePrefix != "" && !hasPrefix(s.Stage, stagePrefix) {
+				continue
+			}
+			out = append(out, s)
+		}
+		if limit > 0 && len(out) > limit {
+			out = out[len(out)-limit:]
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, s := range out {
+			enc.Encode(ToRecord(s, proc))
+		}
+	})
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
 }
 
 // MetricsHandler serves the registry in Prometheus text format.

@@ -68,10 +68,37 @@ type child struct {
 	values []string // label values, parallel to family.labels
 
 	count atomic.Uint64 // counter value / histogram observation count
-	bits  atomic.Uint64 // gauge value / histogram sum (float64 bits)
+	bits  atomic.Uint64 // gauge value (float64 bits)
+
+	// sumNanos is the histogram observation sum in integer nanoseconds:
+	// a single atomic add on the observe hot path, where a float64 sum
+	// would need a compare-and-swap loop that spins under the 16-way
+	// fan-out of a publish. Sub-nanosecond precision is irrelevant for
+	// latency histograms; the float sum is reconstructed at scrape time.
+	sumNanos atomic.Int64
 
 	bucketCounts []atomic.Uint64 // histogram: per-bucket (non-cumulative)
+
+	// exemplars holds, per bucket (plus one +Inf slot at the end), the
+	// most recently sampled traced observation. Stores are sampled
+	// 1-in-exemplarInterval (riding the observation count, no extra
+	// atomic) once a slot is occupied, bounding hot-path allocation to
+	// ~1 pointer write per 8 traced observations.
+	exemplars []atomic.Pointer[Exemplar] // histogram: per bucket + +Inf
 }
+
+// Exemplar links a histogram bucket to a recent trace that landed in
+// it, in the OpenMetrics exemplar spirit: a p99 spike on /metrics
+// becomes a concrete trace ID to pull up in css-trace.
+type Exemplar struct {
+	Trace string    // trace ID of the sampled observation
+	Value float64   // observed value, seconds
+	At    time.Time // when it was observed
+}
+
+// exemplarInterval samples 1-in-8 traced observations per child once
+// every bucket slot has been seeded.
+const exemplarInterval = 8
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
@@ -132,6 +159,7 @@ func (f *family) get(values []string) *child {
 	c = &child{values: append([]string(nil), values...)}
 	if f.kind == kindHistogram {
 		c.bucketCounts = make([]atomic.Uint64, len(f.buckets))
+		c.exemplars = make([]atomic.Pointer[Exemplar], len(f.buckets)+1)
 	}
 	f.children[k] = c
 	return c
@@ -222,26 +250,104 @@ func (r *Registry) HistogramBuckets(name, help string, buckets []float64, labels
 
 // Observe records one observation in seconds.
 func (h *Histogram) Observe(seconds float64, labelValues ...string) {
-	c := h.f.get(labelValues)
-	for i, ub := range h.f.buckets {
-		if seconds <= ub {
-			c.bucketCounts[i].Add(1)
-			break
-		}
-	}
-	c.count.Add(1)
-	for {
-		old := c.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + seconds)
-		if c.bits.CompareAndSwap(old, next) {
-			return
-		}
-	}
+	h.observeChild(h.f.get(labelValues), seconds, "")
 }
 
 // ObserveDuration records a time.Duration observation.
 func (h *Histogram) ObserveDuration(d time.Duration, labelValues ...string) {
 	h.Observe(d.Seconds(), labelValues...)
+}
+
+// ObserveTrace records an observation and, when trace is non-empty,
+// considers it as the exemplar of the bucket it lands in. A bucket's
+// first traced observation always seeds its exemplar; after that,
+// stores are sampled 1-in-exemplarInterval to keep the hot path cheap.
+func (h *Histogram) ObserveTrace(seconds float64, trace string, labelValues ...string) {
+	h.observeChild(h.f.get(labelValues), seconds, trace)
+}
+
+func (h *Histogram) observeChild(c *child, seconds float64, trace string) {
+	idx := len(h.f.buckets) // +Inf slot
+	for i, ub := range h.f.buckets {
+		if seconds <= ub {
+			c.bucketCounts[i].Add(1)
+			idx = i
+			break
+		}
+	}
+	n := c.count.Add(1)
+	c.sumNanos.Add(int64(seconds * 1e9))
+	if trace == "" {
+		return
+	}
+	if c.exemplars[idx].Load() == nil || n%exemplarInterval == 0 {
+		c.exemplars[idx].Store(&Exemplar{Trace: trace, Value: seconds, At: time.Now()})
+	}
+}
+
+// ObserveDurationTrace records a traced duration observation.
+func (h *Histogram) ObserveDurationTrace(d time.Duration, trace string, labelValues ...string) {
+	h.ObserveTrace(d.Seconds(), trace, labelValues...)
+}
+
+// HistogramChild is one pre-resolved labeled series of a histogram.
+// Observing through it skips the per-call variadic slice, label join
+// and child map lookup — worth holding on to for per-span hooks that
+// fire many times per request. Obtain via Histogram.Child; safe for
+// concurrent use.
+type HistogramChild struct {
+	h *Histogram
+	c *child
+}
+
+// Child resolves (creating on first use) the series for labelValues.
+func (h *Histogram) Child(labelValues ...string) *HistogramChild {
+	return &HistogramChild{h: h, c: h.f.get(labelValues)}
+}
+
+// ObserveTrace records a traced observation in seconds on this series.
+func (hc *HistogramChild) ObserveTrace(seconds float64, trace string) {
+	hc.h.observeChild(hc.c, seconds, trace)
+}
+
+// ObserveDurationTrace records a traced duration observation.
+func (hc *HistogramChild) ObserveDurationTrace(d time.Duration, trace string) {
+	hc.h.observeChild(hc.c, d.Seconds(), trace)
+}
+
+// Exemplars returns the currently held exemplars of one child, keyed by
+// bucket upper bound (+Inf for the overflow slot). Buckets that never
+// saw a traced observation are absent.
+func (h *Histogram) Exemplars(labelValues ...string) map[float64]Exemplar {
+	c := h.f.get(labelValues)
+	out := make(map[float64]Exemplar)
+	for i := range c.exemplars {
+		if e := c.exemplars[i].Load(); e != nil {
+			ub := math.Inf(1)
+			if i < len(h.f.buckets) {
+				ub = h.f.buckets[i]
+			}
+			out[ub] = *e
+		}
+	}
+	return out
+}
+
+// Buckets returns the histogram's upper bounds (in seconds).
+func (h *Histogram) Buckets() []float64 {
+	return append([]float64(nil), h.f.buckets...)
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts and the
+// total observation count of one child. Observations above the last
+// bound are counted only in total.
+func (h *Histogram) BucketCounts(labelValues ...string) (counts []uint64, total uint64) {
+	c := h.f.get(labelValues)
+	counts = make([]uint64, len(c.bucketCounts))
+	for i := range c.bucketCounts {
+		counts[i] = c.bucketCounts[i].Load()
+	}
+	return counts, c.count.Load()
 }
 
 // Count returns the observation count of one child.
@@ -251,7 +357,7 @@ func (h *Histogram) Count(labelValues ...string) uint64 {
 
 // Sum returns the observation sum (seconds) of one child.
 func (h *Histogram) Sum(labelValues ...string) float64 {
-	return math.Float64frombits(h.f.get(labelValues).bits.Load())
+	return float64(h.f.get(labelValues).sumNanos.Load()) / 1e9
 }
 
 // --- exposition -------------------------------------------------------------
@@ -311,16 +417,30 @@ func (f *family) write(w io.Writer) error {
 			var cum uint64
 			for i, ub := range f.buckets {
 				cum += c.bucketCounts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.values, "le", ub), cum)
+				fmt.Fprintf(&b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, c.values, "le", ub), cum, exemplarSuffix(c, i))
 			}
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.values, "le", math.Inf(1)), c.count.Load())
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, c.values, "le", math.Inf(1)), c.count.Load(), exemplarSuffix(c, len(f.buckets)))
 			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(f.labels, c.values, "", 0),
-				formatFloat(math.Float64frombits(c.bits.Load())))
+				formatFloat(float64(c.sumNanos.Load())/1e9))
 			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(f.labels, c.values, "", 0), c.count.Load())
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exemplarSuffix renders an OpenMetrics-style exemplar annotation
+// (` # {trace_id="..."} value timestamp`) for bucket slot i, or "".
+func exemplarSuffix(c *child, i int) string {
+	if c.exemplars == nil || i >= len(c.exemplars) {
+		return ""
+	}
+	e := c.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id=%q} %s %d.%03d`, e.Trace, formatFloat(e.Value),
+		e.At.Unix(), e.At.Nanosecond()/int(time.Millisecond))
 }
 
 // labelString renders {k="v",...}, optionally appending an le bound.

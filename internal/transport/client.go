@@ -18,6 +18,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/resilience"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 )
 
 // DefaultHTTPTimeout bounds each HTTP attempt of the transport clients
@@ -136,6 +137,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
+	setTraceHeaders(req, ctx)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -146,6 +148,19 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		return nil, resilience.MarkRetryable(fmt.Errorf("transport: %s %s: %w", method, path, err))
 	}
 	return readResult(resp)
+}
+
+// setTraceHeaders stamps the outgoing request with the context's trace:
+// the legacy X-Trace-Id plus the W3C traceparent carrying the current
+// span ID, so the server side parents its spans under the caller's.
+func setTraceHeaders(req *http.Request, ctx context.Context) {
+	trace := telemetry.TraceFrom(ctx)
+	if trace == "" {
+		return
+	}
+	req.Header.Set(telemetry.TraceHeader, trace)
+	req.Header.Set(telemetry.TraceparentHeader,
+		telemetry.FormatTraceparent(trace, telemetry.SpanIDFrom(ctx)))
 }
 
 // call runs one logical operation: breaker permit, HTTP attempt, response
@@ -201,6 +216,9 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 
 // Publish sends a notification and returns the assigned global event id.
 func (c *Client) Publish(ctx context.Context, n *event.Notification) (event.GlobalID, error) {
+	if n.Trace != "" && telemetry.TraceFrom(ctx) == "" {
+		ctx = telemetry.WithTrace(ctx, n.Trace)
+	}
 	body, err := event.EncodeNotification(n)
 	if err != nil {
 		return "", err
@@ -251,6 +269,12 @@ func (c *Client) SubscriptionActive(ctx context.Context, id string) (bool, error
 // errors.Is(err, enforcer.ErrSourceUnavailable) — a deferred answer,
 // distinct from a policy denial.
 func (c *Client) RequestDetails(ctx context.Context, r *event.DetailRequest) (*event.Detail, error) {
+	if r.Trace != "" && telemetry.TraceFrom(ctx) == "" {
+		// A quoted trace (continuing the originating notification's flow)
+		// also rides the request headers, so the controller-side server
+		// span joins the same trace instead of minting a fresh one.
+		ctx = telemetry.WithTrace(ctx, r.Trace)
+	}
 	body, err := encodeXML(r)
 	if err != nil {
 		return nil, err

@@ -40,6 +40,7 @@ type GatewayServer struct {
 	mux     *http.ServeMux
 	handler http.Handler
 	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
 	// auth, when set, restricts the endpoints: get-response to bearers
 	// covering controllerActor (the data controller), persist to bearers
 	// covering the owning producer.
@@ -150,14 +151,30 @@ func NewGatewayServerWithRegistry(gw *gateway.Gateway, reg *telemetry.Registry) 
 			cacheEvents.Inc(cache, "miss")
 		}
 	})
-	s := &GatewayServer{gw: gw, mux: http.NewServeMux(), reg: reg}
+	s := &GatewayServer{gw: gw, mux: http.NewServeMux(), reg: reg,
+		tracer: telemetry.NewTracer(0)}
 	s.mux.HandleFunc("POST /gw/get-response", s.handleGetResponse)
 	s.mux.HandleFunc("POST /gw/persist", s.handlePersist)
 	s.mux.HandleFunc("POST /gw/publish", s.handlePublishRelay)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(reg))
 	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(nil, s.healthDetail))
-	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(reg, "css_gateway"),
+	s.mux.Handle("GET /debug/spans", telemetry.SpansHandler(s.tracer.Spans(), "gateway"))
+	s.handler = telemetry.TracingMiddleware(telemetry.NewHTTPMetrics(reg, "css_gateway"), s.tracer,
 		withGate(func() *overload.Gate { return s.gate }, gwRouteClassFor, s.mux))
+	return s
+}
+
+// Tracer exposes the gateway server's tracer so daemons can attach a
+// span exporter.
+func (s *GatewayServer) Tracer() *telemetry.Tracer { return s.tracer }
+
+// SetSLO mounts the latency-objective report at GET /slo and adds a
+// one-line burn-rate summary to /healthz. Call before serving.
+func (s *GatewayServer) SetSLO(slo *telemetry.SLO) *GatewayServer {
+	s.mux.Handle("GET /slo", telemetry.SLOHandler(slo))
+	s.AddHealthDetail(func() map[string]string {
+		return map[string]string{"slo": slo.HealthDetail()}
+	})
 	return s
 }
 
@@ -211,6 +228,13 @@ func (s *GatewayServer) handlePublishRelay(w http.ResponseWriter, r *http.Reques
 	if err := readBody(r, &n); err != nil {
 		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
 		return
+	}
+	if n.Trace == "" {
+		// Stamp the relay request's trace onto the notification before the
+		// outbox may park it: the parked redelivery runs under a background
+		// context, so the trace must travel on the notification itself for
+		// the flow to stay stitched end to end.
+		n.Trace = telemetry.TraceFrom(r.Context())
 	}
 	gid, queued, err := s.publisher.Publish(r.Context(), &n)
 	if err != nil {
@@ -295,8 +319,16 @@ func (g *RemoteGateway) postXML(ctx context.Context, path, trace string, body []
 	if g.token != "" {
 		req.Header.Set("Authorization", "Bearer "+g.token)
 	}
+	if trace == "" {
+		trace = telemetry.TraceFrom(ctx)
+	}
 	if trace != "" {
 		req.Header.Set(telemetry.TraceHeader, trace)
+		// Carry the caller's span (the enforcer's gateway.fetch, or the
+		// retrier's attempt span) so the gateway-side server span parents
+		// under it and the cross-process tree stays connected.
+		req.Header.Set(telemetry.TraceparentHeader,
+			telemetry.FormatTraceparent(trace, telemetry.SpanIDFrom(ctx)))
 	}
 	resp, err := g.http.Do(req)
 	if err != nil {

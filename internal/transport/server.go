@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"net/http"
@@ -118,10 +119,22 @@ func NewServer(ctrl *core.Controller) *Server {
 	s.mux.HandleFunc("GET /ws/subscription", s.handleSubscriptionProbe)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(ctrl.Metrics()))
 	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(ctrl.Healthy, s.healthDetail))
+	s.mux.Handle("GET /debug/spans", telemetry.SpansHandler(ctrl.Tracer().Spans(), "controller"))
 	// Admission sits inside the telemetry middleware so shed requests
 	// (429) show up in the per-route HTTP metrics; it is a no-op until
 	// SetAdmission installs a gate.
-	s.handler = telemetry.Middleware(telemetry.NewHTTPMetrics(ctrl.Metrics(), "css"), s.withAdmission(s.mux))
+	s.handler = telemetry.TracingMiddleware(telemetry.NewHTTPMetrics(ctrl.Metrics(), "css"),
+		ctrl.Tracer(), s.withAdmission(s.mux))
+	return s
+}
+
+// SetSLO mounts the latency-objective report at GET /slo and adds a
+// one-line burn-rate summary to /healthz. Call before serving.
+func (s *Server) SetSLO(slo *telemetry.SLO) *Server {
+	s.mux.Handle("GET /slo", telemetry.SLOHandler(slo))
+	s.AddHealthDetail(func() map[string]string {
+		return map[string]string{"slo": slo.HealthDetail()}
+	})
 	return s
 }
 
@@ -174,8 +187,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	callback := req.Callback
 	subscriber := string(req.Actor)
-	sub, err := s.ctrl.Subscribe(req.Actor, req.Class, func(n *event.Notification) {
-		s.deliverCallback(callback, subscriber, n)
+	sub, err := s.ctrl.SubscribeCtx(req.Actor, req.Class, func(ctx context.Context, n *event.Notification) {
+		s.deliverCallback(ctx, callback, subscriber, n)
 	})
 	if err != nil {
 		writeFault(w, err)
@@ -185,13 +198,16 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 }
 
 // deliverCallback POSTs the notification to the subscriber's endpoint,
-// forwarding the flow's trace ID in the X-Trace-Id header. The
-// controller-side handler signature is fire-and-forget — the paper's
-// temporal decoupling is provided by the events index, which the
-// consumer can inquire to catch up — but a failed delivery is never
-// silent: it is logged with the trace ID and counted in
-// css_deliveries_failed_total so operators see subscriber outages.
-func (s *Server) deliverCallback(url, subscriber string, n *event.Notification) {
+// forwarding the flow's trace ID in the X-Trace-Id header and the
+// delivery span in the W3C traceparent header, so spans the consumer
+// opens while handling the callback parent under this flow's
+// bus.deliver span. The controller-side handler signature is
+// fire-and-forget — the paper's temporal decoupling is provided by the
+// events index, which the consumer can inquire to catch up — but a
+// failed delivery is never silent: it is logged with the trace ID and
+// counted in css_deliveries_failed_total so operators see subscriber
+// outages.
+func (s *Server) deliverCallback(ctx context.Context, url, subscriber string, n *event.Notification) {
 	fail := func(reason string, err error) {
 		s.deliveriesFailed.Inc(reason)
 		telemetry.Logger().Error("callback delivery failed",
@@ -210,6 +226,10 @@ func (s *Server) deliverCallback(url, subscriber string, n *event.Notification) 
 	}
 	req.Header.Set("Content-Type", "application/xml")
 	req.Header.Set(telemetry.TraceHeader, n.Trace)
+	if trace := telemetry.TraceFrom(ctx); trace != "" {
+		req.Header.Set(telemetry.TraceparentHeader,
+			telemetry.FormatTraceparent(trace, telemetry.SpanIDFrom(ctx)))
+	}
 	resp, err := s.httpClient.Do(req)
 	if err != nil {
 		fail("connect", err)
