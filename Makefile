@@ -3,17 +3,19 @@
 GO ?= go
 BENCH_LABEL ?= local
 
-.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-tables bench-quick chaos chaos-smoke overload-smoke trace-smoke lint-traceid examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-gate bench-baseline bench-tables bench-quick chaos chaos-smoke overload-smoke trace-smoke lint-traceid lint-hotpath examples fuzz clean
 
 all: check
 
-# The default gate: compile, vet+gofmt+trace-ID lint, unit tests, the
-# race detector over the whole tree, a short fault-injected smoke, an
-# overload-storm smoke, the distributed-tracing smoke (one flow across
-# three processes must yield one parent-linked span tree), then a
-# 1-iteration smoke of the publish-path benchmarks (catches benchmarks
-# broken by refactors without the cost of a measured run).
-check: build vet lint-traceid test race chaos-smoke overload-smoke trace-smoke bench-smoke
+# The default gate: compile, vet+gofmt+trace-ID+hot-path lints, unit
+# tests, the race detector over the whole tree, a short fault-injected
+# smoke, an overload-storm smoke, the distributed-tracing smoke (one
+# flow across three processes must yield one parent-linked span tree;
+# also runs the mixed-codec fan-out check), a 1-iteration smoke of the
+# publish-path benchmarks (catches benchmarks broken by refactors
+# without the cost of a measured run), and the allocation-regression
+# gate over the E1 publish benchmarks.
+check: build vet lint-traceid lint-hotpath test race chaos-smoke overload-smoke trace-smoke bench-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -53,6 +55,24 @@ bench-details:
 # One iteration of both suites, as a compile-and-run smoke.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1|E2_|E5|E6|ED_' -benchtime 1x -benchmem . > /dev/null
+
+# Allocation-regression gate: allocs/op of the E1 publish benchmarks
+# must stay within 5% of the committed BENCH_baseline.json. Allocation
+# counts are deterministic for a fixed code path (unlike ns/op), so a
+# short fixed-iteration run gates reliably on any machine.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'E1_PublishRoute' -benchtime 2000x -benchmem . > benchgate.out \
+		|| (cat benchgate.out; rm -f benchgate.out; exit 1)
+	$(GO) run ./cmd/css-benchgate -baseline BENCH_baseline.json < benchgate.out
+	@rm -f benchgate.out
+
+# Rewrite the allocation baseline from a fresh run (after an intentional
+# change; the diff is reviewed like any other).
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'E1_PublishRoute' -benchtime 2000x -benchmem . > benchgate.out \
+		|| (cat benchgate.out; rm -f benchgate.out; exit 1)
+	$(GO) run ./cmd/css-benchgate -baseline BENCH_baseline.json -update < benchgate.out
+	@rm -f benchgate.out
 
 # Full experiment tables (EXPERIMENTS.md reference run). ~2 minutes.
 bench-tables:
@@ -104,6 +124,19 @@ lint-traceid:
 		echo "$$bad"; exit 1; \
 	fi
 
+# The publish hot path must stay free of reflection-driven formatting
+# and the XML encoder: no fmt.Sprintf and no encoding/xml import in the
+# files the E1 benchmarks flow through. Test files are exempt.
+HOTPATH_FILES = internal/event/codec.go internal/core/flows.go internal/audit/audit.go \
+	internal/index/index.go internal/idmap/idmap.go \
+	$(filter-out %_test.go,$(wildcard internal/bus/*.go))
+lint-hotpath:
+	@bad=$$(grep -n 'fmt\.Sprintf\|"encoding/xml"' $(HOTPATH_FILES) /dev/null | grep -v '_test\.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "hot-path files must not use fmt.Sprintf or encoding/xml:"; \
+		echo "$$bad"; exit 1; \
+	fi
+
 # testing.B micro-benchmarks, one per experiment.
 microbench:
 	$(GO) test -bench=. -benchmem .
@@ -117,9 +150,14 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDetail -fuzztime=15s ./internal/event/
 	$(GO) test -fuzz=FuzzDecodeNotification -fuzztime=15s ./internal/event/
+	$(GO) test -fuzz=FuzzBinaryNotification -fuzztime=15s ./internal/event/
+	$(GO) test -fuzz=FuzzBinaryDetail -fuzztime=15s ./internal/event/
+	$(GO) test -fuzz=FuzzBinaryDetailRequest -fuzztime=15s ./internal/event/
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=15s ./internal/store/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/xacml/
 
+# git clean keeps the committed seed corpus and removes only the
+# crasher inputs the fuzzer writes next to it.
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz
+	git clean -qfd internal/*/testdata/ 2>/dev/null || rm -rf internal/*/testdata/fuzz

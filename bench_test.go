@@ -7,8 +7,11 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/reporting"
 	"repro/internal/schema"
 	"repro/internal/store"
+	"repro/internal/transport"
 	"repro/internal/workload"
 	"repro/internal/xacml"
 )
@@ -88,6 +92,153 @@ func BenchmarkE1_PublishRoute(b *testing.B) {
 		}
 	}
 	wg.Wait()
+}
+
+// BenchmarkE1_PublishRouteBinary is E1_PublishRoute with the controller
+// pre-encoding bus payloads in the binary framing instead of XML — the
+// codec is the only variable, so the delta between the two benchmarks
+// is the wire-format cost of the publish path.
+func BenchmarkE1_PublishRouteBinary(b *testing.B) {
+	c, err := core.New(core.Config{DefaultConsent: true, Codec: event.Binary})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RegisterProducer("hospital", "H"); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterConsumer("org", "O"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.DefinePolicy(&policy.Policy{
+		Producer: "hospital", Actor: "org", Class: schema.ClassBloodTest,
+		Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		if _, err := c.Subscribe(event.Actor(fmt.Sprintf("org/d%02d", i)), schema.ClassBloodTest,
+			func(*event.Notification) { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	wg.Add(b.N * 16)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Publish(&event.Notification{
+			SourceID: event.SourceID(fmt.Sprintf("s-%09d", i)), Class: schema.ClassBloodTest,
+			PersonID: "PRS-1", OccurredAt: time.Now(), Producer: "hospital",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// satSeq keeps saturation source ids unique across sub-benchmarks and
+// across the framework's b.N growth reruns, so no iteration ever lands
+// on the idempotent re-publish fast path.
+var satSeq atomic.Int64
+
+// BenchmarkE1_Saturation measures the full web-service publish path —
+// HTTP server, codec negotiation, controller pipeline, commit barrier —
+// swept over connection counts and wire codecs. Each sub-benchmark
+// reports sustained publishes/sec and the client-observed p99 latency,
+// the pair EXPERIMENTS.md's saturation table is built from.
+func BenchmarkE1_Saturation(b *testing.B) {
+	for _, codec := range []event.Codec{event.XML, event.Binary} {
+		for _, conns := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("codec=%s/conns=%d", codec.Name(), conns), func(b *testing.B) {
+				c, err := core.New(core.Config{DefaultConsent: true, Codec: codec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.RegisterProducer("hospital", "H"); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.RegisterConsumer("org", "O"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.DefinePolicy(&policy.Policy{
+					Producer: "hospital", Actor: "org", Class: schema.ClassBloodTest,
+					Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
+				}); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < 4; i++ {
+					if _, err := c.Subscribe(event.Actor(fmt.Sprintf("org/d%02d", i)), schema.ClassBloodTest,
+						func(*event.Notification) {}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv := httptest.NewServer(transport.NewServer(c))
+				defer srv.Close()
+				client := transport.NewClient(srv.URL, nil, transport.WithCodec(codec))
+				publish := func() (time.Duration, error) {
+					i := satSeq.Add(1)
+					t0 := time.Now()
+					_, err := client.Publish(context.Background(), &event.Notification{
+						SourceID: event.SourceID(fmt.Sprintf("sat-%012d", i)), Class: schema.ClassBloodTest,
+						PersonID: "PRS-1", OccurredAt: time.Now(), Producer: "hospital",
+					})
+					return time.Since(t0), err
+				}
+				// Warm the keep-alive pool before the timed region.
+				if _, err := publish(); err != nil {
+					b.Fatal(err)
+				}
+				var (
+					mu   sync.Mutex
+					lats = make([]time.Duration, 0, b.N)
+					next atomic.Int64
+					wg   sync.WaitGroup
+				)
+				b.ResetTimer()
+				start := time.Now()
+				for w := 0; w < conns; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						local := make([]time.Duration, 0, b.N/conns+1)
+						for next.Add(1) <= int64(b.N) {
+							d, err := publish()
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							local = append(local, d)
+						}
+						mu.Lock()
+						lats = append(lats, local...)
+						mu.Unlock()
+					}()
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				if b.Failed() || len(lats) == 0 {
+					return
+				}
+				sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+				idx := len(lats) * 99 / 100
+				if idx >= len(lats) {
+					idx = len(lats) - 1
+				}
+				p99 := lats[idx]
+				b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "pub/s")
+				b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+				c.Flush(time.Minute)
+			})
+		}
+	}
 }
 
 // benchPublishSetup provisions a minimal publish pipeline with the given

@@ -1,0 +1,134 @@
+// Command css-benchgate guards the publish path against allocation
+// regressions. It reads `go test -bench -benchmem` output on stdin,
+// extracts allocs/op for the benchmarks named in a committed baseline
+// file, and exits non-zero when any of them regressed beyond the
+// tolerance. Allocation counts — unlike wall-clock ns/op — are
+// deterministic for a fixed code path, so the gate is stable across
+// machines and load, and a single short `-benchtime 2000x` run is
+// enough to drive it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'E1_PublishRoute' -benchtime 2000x -benchmem . \
+//	    | css-benchgate -baseline BENCH_baseline.json
+//
+// Pass -update to rewrite the baseline from the measured run instead of
+// gating (after an intentional improvement or regression, reviewed in
+// the diff like any other change).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline is the committed allocation budget.
+type baseline struct {
+	// TolerancePct is the allowed relative regression in percent.
+	TolerancePct float64 `json:"tolerancePct"`
+	// AllocsPerOp maps benchmark name (no -N GOMAXPROCS suffix) to the
+	// recorded allocs/op.
+	AllocsPerOp map[string]int64 `json:"allocsPerOp"`
+}
+
+// benchLine matches one -benchmem result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op\s+\S+ B/op\s+(\d+) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed allocation baseline")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	flag.Parse()
+
+	measured := map[string]int64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		// Keep the worst (highest) sample when -count produced several.
+		if prev, ok := measured[m[1]]; !ok || n > prev {
+			measured[m[1]] = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("no -benchmem result lines on stdin (run with -benchmem)")
+	}
+
+	if *update {
+		writeBaseline(*baselinePath, measured)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v (run with -update to create it)", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+	if base.TolerancePct <= 0 {
+		base.TolerancePct = 5
+	}
+
+	names := make([]string, 0, len(base.AllocsPerOp))
+	for name := range base.AllocsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := base.AllocsPerOp[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL %s: in baseline but absent from the measured run\n", name)
+			failed = true
+			continue
+		}
+		limit := float64(want) * (1 + base.TolerancePct/100)
+		switch {
+		case float64(got) > limit:
+			fmt.Fprintf(os.Stderr, "FAIL %s: %d allocs/op, baseline %d (+%.1f%% > %.0f%% tolerance)\n",
+				name, got, want, 100*float64(got-want)/float64(want), base.TolerancePct)
+			failed = true
+		case got < want:
+			fmt.Printf("ok   %s: %d allocs/op (baseline %d — improved; consider -update)\n", name, got, want)
+		default:
+			fmt.Printf("ok   %s: %d allocs/op (baseline %d)\n", name, got, want)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeBaseline(path string, measured map[string]int64) {
+	out := baseline{TolerancePct: 5, AllocsPerOp: measured}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatalf("encode baseline: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("write baseline: %v", err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(measured))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "css-benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

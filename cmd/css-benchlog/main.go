@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,10 @@ type Bench struct {
 	MinNsPerOp  float64 `json:"minNsPerOp"` // fastest sample
 	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
 	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	// Metrics holds benchmark-reported custom units (b.ReportMetric),
+	// e.g. the saturation suite's pub/s and p99-ns, averaged over
+	// samples like the built-in columns.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is one labeled invocation of the benchmark suite.
@@ -37,6 +42,14 @@ type Run struct {
 	Label string `json:"label"`
 	Date  string `json:"date"`
 	CPU   string `json:"cpu,omitempty"`
+	// GoVersion and MaxProcs pin the toolchain and parallelism the run
+	// was taken under — numbers from different toolchains or core
+	// counts are not comparable and the file spans both.
+	GoVersion string `json:"goVersion,omitempty"`
+	MaxProcs  int    `json:"maxProcs,omitempty"`
+	// Codec labels which wire format the run measured ("xml",
+	// "binary", or "" for codec-independent suites).
+	Codec string `json:"codec,omitempty"`
 	// Note records methodology caveats (e.g. a rebaseline run pairing)
 	// so later readers compare the right labels.
 	Note       string  `json:"note,omitempty"`
@@ -52,6 +65,8 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	label := flag.String("label", "local", "label recorded on this run")
+	codec := flag.String("codec", "", `wire codec this run measured ("xml", "binary"; empty: codec-independent)`)
+	note := flag.String("note", "", "methodology note recorded on this run")
 	out := flag.String("out", "BENCH_publish.json", "JSON log file to append to")
 	flag.Parse()
 
@@ -65,7 +80,14 @@ func main() {
 		os.Exit(1)
 	}
 	run.Label = *label
+	run.Codec = *codec
+	run.Note = *note
 	run.Date = time.Now().UTC().Format(time.RFC3339)
+	// The environment lines of `go test -bench` output carry the
+	// toolchain too, but recording it from this process keeps the field
+	// present even when the caller pipes a filtered stream.
+	run.GoVersion = runtime.Version()
+	run.MaxProcs = runtime.GOMAXPROCS(0)
 
 	var log Log
 	if data, err := os.ReadFile(*out); err == nil {
@@ -91,6 +113,7 @@ func main() {
 // sample is one parsed benchmark output line.
 type sample struct {
 	ns, bytes, allocs float64
+	metrics           map[string]float64
 }
 
 func parse(sc *bufio.Scanner) (*Run, error) {
@@ -131,6 +154,11 @@ func parse(sc *bufio.Scanner) (*Run, error) {
 				s.bytes = v
 			case "allocs/op":
 				s.allocs = v
+			default:
+				if s.metrics == nil {
+					s.metrics = map[string]float64{}
+				}
+				s.metrics[f[i+1]] = v
 			}
 		}
 		if garbled || !seen {
@@ -154,6 +182,12 @@ func parse(sc *bufio.Scanner) (*Run, error) {
 			agg.AllocsPerOp += s.allocs / float64(len(ss))
 			if s.ns < agg.MinNsPerOp {
 				agg.MinNsPerOp = s.ns
+			}
+			for unit, v := range s.metrics {
+				if agg.Metrics == nil {
+					agg.Metrics = map[string]float64{}
+				}
+				agg.Metrics[unit] += v / float64(len(ss))
 			}
 		}
 		run.Benchmarks = append(run.Benchmarks, agg)

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	css-consumer -controller URL -actor ACTOR <command> [flags]
+//	css-consumer -controller URL -actor ACTOR [-codec xml|binary] <command> [flags]
+//
+// With -codec binary the client speaks the compact framing on every
+// route, and its subscriptions ask for binary callback deliveries; the
+// default is the paper's XML binding.
 //
 // Commands:
 //
@@ -36,12 +40,17 @@ func main() {
 	controller := flag.String("controller", "http://localhost:8080", "controller base URL")
 	token := flag.String("token", "", "bearer token (for auth-enabled controllers)")
 	actor := flag.String("actor", "", "consumer actor (required)")
+	codecName := flag.String("codec", "", `wire codec: "xml" (default) or "binary"`)
 	flag.Parse()
 	if *actor == "" || flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	client := transport.NewClient(*controller, nil)
+	codec, err := event.CodecByName(*codecName)
+	if err != nil {
+		log.Fatalf("-codec: %v", err)
+	}
+	client := transport.NewClient(*controller, nil, transport.WithCodec(codec))
 	if *token != "" {
 		client = client.WithToken(*token)
 	}

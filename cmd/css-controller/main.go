@@ -21,6 +21,10 @@
 //	                (default 50; negative: unlimited)
 //	-queue-cap      per-subscription bus queue bound (default 1024;
 //	                <=0: unbounded)
+//	-codec     wire codec pre-encoded on the publish path: "xml"
+//	           (default, paper fidelity) or "binary" (compact framing;
+//	           see DESIGN.md §8). Inbound requests and callback
+//	           deliveries still negotiate per peer either way.
 //	-drain-timeout  graceful-shutdown budget on SIGTERM/SIGINT
 //	                (default 10s): stop admitting, finish in-flight
 //	                requests, flush the bus, fsync and close the stores
@@ -91,6 +95,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", overload.DefaultMaxInFlight, "global concurrent-request budget (negative: unbounded)")
 	actorRPS := flag.Float64("actor-rps", overload.DefaultActorRPS, "per-actor admission rate, requests/second (negative: unlimited)")
 	queueCap := flag.Int("queue-cap", 1024, "per-subscription bus queue bound (<=0: unbounded)")
+	codecName := flag.String("codec", "", `internal wire codec: "xml" (default) or "binary"`)
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
 	spanFile := flag.String("span-file", "", "durable span export file (JSONL ring; empty: disabled)")
 	spanSample := flag.Float64("span-sample", telemetry.DefaultSampleRate, "head-sampling rate for span recording and export (0..1)")
@@ -112,6 +117,15 @@ func main() {
 		// writes; the FNV draw keeps both layers consistent.
 		SpanSampleRate: *spanSample,
 	}
+	// -codec picks the format the controller uses where IT is the
+	// client: callback deliveries it originates default to this codec.
+	// Inbound requests always negotiate per message, so XML peers keep
+	// working regardless of the flag.
+	codec, err := event.CodecByName(*codecName)
+	if err != nil {
+		log.Fatalf("-codec: %v", err)
+	}
+	cfg.Codec = codec
 	if *spanSample <= 0 {
 		cfg.SpanSampleRate = -1 // explicit zero means "record nothing"
 	}

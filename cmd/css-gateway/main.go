@@ -27,6 +27,8 @@
 //	-span-file      durable span export file (JSONL ring; empty: disabled)
 //	-span-sample    head-sampling rate for span recording and export (default 0.1)
 //	-span-slow      tail-keep threshold for exported spans (default 100ms)
+//	-codec       wire codec toward the controller for the publish relay
+//	             and catalog fetch: "xml" (default) or "binary"
 //
 // The gateway always serves /metrics (Prometheus text format),
 // /healthz, /slo and /debug/spans alongside the /gw/ API.
@@ -85,14 +87,18 @@ func main() {
 	spanFile := flag.String("span-file", "", "durable span export file (JSONL ring; empty: disabled)")
 	spanSample := flag.Float64("span-sample", telemetry.DefaultSampleRate, "head-sampling rate for span recording and export (0..1)")
 	spanSlow := flag.Duration("span-slow", telemetry.DefaultSlowTail, "tail-keep exported spans at least this slow (negative: disabled)")
+	codecName := flag.String("codec", "", `wire codec toward the controller: "xml" (default) or "binary"`)
 	flag.Parse()
 	if *producer == "" {
 		log.Fatal("-producer is required")
 	}
+	codec, err := event.CodecByName(*codecName)
+	if err != nil {
+		log.Fatalf("-codec: %v", err)
+	}
 	telemetry.SetLogger(telemetry.NewLogger(*logJSON, slog.LevelInfo))
 
 	var st *store.Store
-	var err error
 	if *dataDir == "" {
 		st = store.OpenMemory()
 	} else {
@@ -109,6 +115,7 @@ func main() {
 	if *controller != "" {
 		breakers := resilience.NewGroup(resilience.BreakerConfig{Metrics: resMetrics})
 		client = transport.NewClient(*controller, nil,
+			transport.WithCodec(codec),
 			transport.WithRetrier(resilience.NewRetrier(resilience.RetryPolicy{Metrics: resMetrics})),
 			transport.WithBreakerGroup(breakers))
 		if *token != "" {

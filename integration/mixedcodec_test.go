@@ -1,0 +1,119 @@
+package integration
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+	"repro/internal/transport"
+)
+
+// TestTraceSmokeMixedCodec proves codec negotiation is invisible to
+// consumers: an XML subscriber and a binary-frame subscriber on the
+// same class, each a separate css-consumer process, receive the SAME
+// notification — byte-identical as printed — from one publication that
+// itself arrives at the controller in the binary framing. The name
+// shares the TestTraceSmoke prefix so `make trace-smoke` runs it.
+func TestTraceSmokeMixedCodec(t *testing.T) {
+	if os.Getenv("TRACE_SMOKE") == "" {
+		t.Skip("set TRACE_SMOKE=1 to run")
+	}
+	dataDir := t.TempDir()
+	addr := freePort(t)
+	url := "http://" + addr
+
+	ctrl := startProcess(t, "css-controller", "-addr", addr, "-data", dataDir, "-scenario")
+	_ = ctrl
+	waitReady(t, url)
+
+	// Two consumer processes subscribe to the same class, one per codec.
+	consumers := map[string]*lockedBuffer{}
+	for _, codec := range []string{"xml", "binary"} {
+		out := startProcess(t, "css-consumer",
+			"-controller", url, "-actor", "family-doctor", "-codec", codec,
+			"subscribe", "-class", "hospital.blood-test")
+		consumers[codec] = out
+	}
+	for codec, out := range consumers {
+		deadline := time.Now().Add(10 * time.Second)
+		for !strings.Contains(out.String(), "subscribed as") {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s consumer did not subscribe:\n%s", codec, out.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Publish once, over the binary framing, as the scenario's hospital.
+	pub := transport.NewClient(url, nil, transport.WithCodec(event.Binary))
+	gid, err := pub.Publish(context.Background(), &event.Notification{
+		SourceID: "mixed-src-1", Class: schema.ClassBloodTest, PersonID: "PRS-MIXED",
+		Summary:    "blood test completed",
+		OccurredAt: time.Date(2010, 6, 1, 9, 0, 0, 0, time.UTC),
+		Producer:   "hospital-s-maria",
+	})
+	if err != nil {
+		t.Fatalf("binary publish: %v", err)
+	}
+	if gid == "" {
+		t.Fatal("binary publish returned empty event id")
+	}
+
+	// Both consumers print the delivery in the same format; the lines
+	// must match exactly (class, person, producer, trace, summary).
+	lines := map[string]string{}
+	for codec, out := range consumers {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if l := deliveryLine(out.String()); l != "" {
+				lines[codec] = l
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s consumer never saw the notification:\n%s", codec, out.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if lines["xml"] != lines["binary"] {
+		t.Fatalf("mixed-codec deliveries diverge:\n xml:    %s\n binary: %s",
+			lines["xml"], lines["binary"])
+	}
+	if !strings.Contains(lines["xml"], "person=PRS-MIXED") ||
+		!strings.Contains(lines["xml"], "from=hospital-s-maria") {
+		t.Fatalf("delivery line missing expected fields: %s", lines["xml"])
+	}
+}
+
+// startProcess launches a built binary, captures its combined output,
+// and guarantees teardown.
+func startProcess(t *testing.T, name string, args ...string) *lockedBuffer {
+	t.Helper()
+	cmd := exec.Command(bin(name), args...)
+	var out lockedBuffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return &out
+}
+
+// deliveryLine extracts the first notification-delivery line ("[...] ...
+// person=...") from a consumer's output.
+func deliveryLine(s string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "[") && strings.Contains(l, "person=") {
+			return l
+		}
+	}
+	return ""
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/jsonx"
 	"repro/internal/store"
 )
 
@@ -111,110 +112,194 @@ func Open(st *store.Store) (*Log, error) {
 	return l, nil
 }
 
-// recordBody mirrors the descriptive fields of Record — everything
-// except the chain fields (Seq, PrevHash, Hash) — with identical JSON
-// tags, so its encoding can be produced before the chain position is
-// known and spliced into the persisted record under the lock.
-type recordBody struct {
-	At       time.Time      `json:"at"`
-	Kind     Kind           `json:"kind"`
-	Actor    string         `json:"actor"`
-	EventID  event.GlobalID `json:"eventId,omitempty"`
-	Class    event.ClassID  `json:"class,omitempty"`
-	Purpose  event.Purpose  `json:"purpose,omitempty"`
-	Outcome  string         `json:"outcome"`
-	PolicyID string         `json:"policyId,omitempty"`
-	Note     string         `json:"note,omitempty"`
-	Trace    string         `json:"trace,omitempty"`
+// bufPool recycles the scratch buffer used to build hash inputs and the
+// JSON body, so a steady-state append does not allocate for either.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
 }
 
 // Append adds a record to the chain. Seq, PrevHash and Hash are assigned
 // by the log; the caller fills the descriptive fields. The stored record
-// is returned.
+// is returned. Append is AppendStaged followed immediately by the commit
+// barrier.
+func (l *Log) Append(r Record) (Record, error) {
+	rec, c, err := l.AppendStaged(r)
+	if err != nil {
+		return Record{}, err
+	}
+	return rec, c.Wait()
+}
+
+// AppendStaged adds a record to the chain but returns before the store's
+// fsync barrier: the record is in memory and in the WAL, and the
+// returned Commit's Wait makes it durable. Callers overlap the fsync
+// with downstream work (the controller runs bus fan-out meanwhile) and
+// must Wait before acknowledging the audited interaction.
 //
 // The expensive work — JSON-encoding the record body and SHA-hashing it
 // — happens before the chain mutex is taken; the lock covers only the
 // seq/prev-hash assignment, a small finalizing hash, the splice of the
-// chain fields into the prebuilt JSON, and the store append (which must
-// stay inside the lock so the persisted order matches the chain order).
-func (l *Log) Append(r Record) (Record, error) {
+// chain fields around the prebuilt body, and the store append (which
+// must stay inside the lock so the persisted order matches the chain
+// order).
+func (l *Log) AppendStaged(r Record) (Record, store.Commit, error) {
 	if r.Kind == "" || r.Actor == "" || r.Outcome == "" {
-		return Record{}, errors.New("audit: record missing kind, actor or outcome")
+		return Record{}, store.Commit{}, errors.New("audit: record missing kind, actor or outcome")
 	}
 	if r.At.IsZero() {
 		r.At = time.Now()
 	}
-	body, err := json.Marshal(&recordBody{
-		At: r.At, Kind: r.Kind, Actor: r.Actor, EventID: r.EventID,
-		Class: r.Class, Purpose: r.Purpose, Outcome: r.Outcome,
-		PolicyID: r.PolicyID, Note: r.Note, Trace: r.Trace,
-	})
-	if err != nil {
-		return Record{}, fmt.Errorf("audit: encode: %w", err)
-	}
 	sum := hashBody(&r)
+	bp := bufPool.Get().(*[]byte)
+	body := appendBodyJSON((*bp)[:0], &r)
 
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	r.Seq = l.seq + 1
 	r.PrevHash = l.last
 	r.Hash = chainHash(r.Seq, r.PrevHash, sum)
-	if err := l.st.Put(key(r.Seq), spliceChainFields(body, r.Seq, r.PrevHash, r.Hash)); err != nil {
-		return Record{}, err
+	out := make([]byte, 0, len(body)+len(r.PrevHash)+len(r.Hash)+48)
+	out = append(out, `{"seq":`...)
+	out = strconv.AppendUint(out, r.Seq, 10)
+	out = append(out, ',')
+	out = append(out, body...)
+	out = append(out, `,"prevHash":"`...)
+	out = append(out, r.PrevHash...)
+	out = append(out, `","hash":"`...)
+	out = append(out, r.Hash...)
+	out = append(out, `"}`...)
+	c, err := l.st.StagePut(key(r.Seq), out)
+	if err != nil {
+		l.mu.Unlock()
+		return Record{}, store.Commit{}, err
 	}
 	l.seq = r.Seq
 	l.last = r.Hash
-	return r, nil
+	l.mu.Unlock()
+
+	*bp = body[:0]
+	bufPool.Put(bp)
+	return r, c, nil
 }
 
-// spliceChainFields assembles the persisted JSON from the pre-encoded
-// body and the chain fields assigned under the lock. Seq is a number and
-// the hashes are hex strings (or the genesis constant), so no JSON
-// escaping is needed; unmarshaling into Record is field-order agnostic.
-func spliceChainFields(body []byte, seq uint64, prevHash, hash string) []byte {
-	out := make([]byte, 0, len(body)+len(prevHash)+len(hash)+48)
-	out = append(out, `{"seq":`...)
-	out = strconv.AppendUint(out, seq, 10)
-	out = append(out, ',')
-	out = append(out, body[1:len(body)-1]...) // body fields, braces stripped
-	out = append(out, `,"prevHash":"`...)
-	out = append(out, prevHash...)
-	out = append(out, `","hash":"`...)
-	out = append(out, hash...)
-	out = append(out, `"}`...)
-	return out
+// appendBodyJSON renders the descriptive fields (everything but the
+// chain fields) as a brace-less JSON fragment with the same tags and
+// omitempty behavior encoding/json produced historically, so records
+// written by older builds and by this one unmarshal identically.
+func appendBodyJSON(dst []byte, r *Record) []byte {
+	dst = append(dst, `"at":"`...)
+	dst = r.At.UTC().AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","kind":`...)
+	dst = jsonx.AppendString(dst, string(r.Kind))
+	dst = append(dst, `,"actor":`...)
+	dst = jsonx.AppendString(dst, r.Actor)
+	if r.EventID != "" {
+		dst = append(dst, `,"eventId":`...)
+		dst = jsonx.AppendString(dst, string(r.EventID))
+	}
+	if r.Class != "" {
+		dst = append(dst, `,"class":`...)
+		dst = jsonx.AppendString(dst, string(r.Class))
+	}
+	if r.Purpose != "" {
+		dst = append(dst, `,"purpose":`...)
+		dst = jsonx.AppendString(dst, string(r.Purpose))
+	}
+	dst = append(dst, `,"outcome":`...)
+	dst = jsonx.AppendString(dst, r.Outcome)
+	if r.PolicyID != "" {
+		dst = append(dst, `,"policyId":`...)
+		dst = jsonx.AppendString(dst, r.PolicyID)
+	}
+	if r.Note != "" {
+		dst = append(dst, `,"note":`...)
+		dst = jsonx.AppendString(dst, r.Note)
+	}
+	if r.Trace != "" {
+		dst = append(dst, `,"trace":`...)
+		dst = jsonx.AppendString(dst, r.Trace)
+	}
+	return dst
 }
 
 // hashBody digests the record's descriptive fields (everything the
 // caller supplies). It needs no chain state, so Append computes it
-// outside the mutex.
+// outside the mutex. The digest input is the '|'-joined field list the
+// log has always used, so existing chains keep verifying.
 func hashBody(r *Record) [sha256.Size]byte {
-	h := sha256.New()
-	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%s|%s|%s|%s|%s",
-		r.At.UTC().Format(time.RFC3339Nano), r.Kind, r.Actor,
-		r.EventID, r.Class, r.Purpose, r.Outcome, r.PolicyID, r.Note, r.Trace)
-	var sum [sha256.Size]byte
-	h.Sum(sum[:0])
+	bp := bufPool.Get().(*[]byte)
+	buf := r.At.UTC().AppendFormat((*bp)[:0], time.RFC3339Nano)
+	buf = append(buf, '|')
+	buf = append(buf, r.Kind...)
+	buf = append(buf, '|')
+	buf = append(buf, r.Actor...)
+	buf = append(buf, '|')
+	buf = append(buf, r.EventID...)
+	buf = append(buf, '|')
+	buf = append(buf, r.Class...)
+	buf = append(buf, '|')
+	buf = append(buf, r.Purpose...)
+	buf = append(buf, '|')
+	buf = append(buf, r.Outcome...)
+	buf = append(buf, '|')
+	buf = append(buf, r.PolicyID...)
+	buf = append(buf, '|')
+	buf = append(buf, r.Note...)
+	buf = append(buf, '|')
+	buf = append(buf, r.Trace...)
+	sum := sha256.Sum256(buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
 	return sum
 }
 
-// chainHash finalizes a record hash from its chain position, the
-// predecessor hash and the body digest. It is the only hashing done
-// under the chain mutex.
+// chainSum finalizes a record digest from its chain position, the
+// predecessor hash and the body digest. The input is
+// "<seq>|<prevHash>|<lowercase hex body>", unchanged across versions.
+func chainSum(seq uint64, prevHash string, body [sha256.Size]byte) [sha256.Size]byte {
+	var hexBody [2 * sha256.Size]byte
+	hex.Encode(hexBody[:], body[:])
+	bp := bufPool.Get().(*[]byte)
+	buf := strconv.AppendUint((*bp)[:0], seq, 10)
+	buf = append(buf, '|')
+	buf = append(buf, prevHash...)
+	buf = append(buf, '|')
+	buf = append(buf, hexBody[:]...)
+	sum := sha256.Sum256(buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	return sum
+}
+
+// chainHash is chainSum rendered as the hex string stored in Hash. It is
+// the only hashing done under the chain mutex. The hex digits go through
+// a stack buffer so the only heap allocation is the returned string.
 func chainHash(seq uint64, prevHash string, body [sha256.Size]byte) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%d|%s|%x", seq, prevHash, body)
-	return hex.EncodeToString(h.Sum(nil))
+	sum := chainSum(seq, prevHash, body)
+	var hx [2 * sha256.Size]byte
+	hex.Encode(hx[:], sum[:])
+	return string(hx[:])
 }
 
-// hashRecord recomputes the chained hash of a fully-assigned record
-// (used by Verify). The Hash field itself is excluded.
-func hashRecord(r *Record) string {
-	return chainHash(r.Seq, r.PrevHash, hashBody(r))
+// recordHashMatches recomputes the chained hash of a fully-assigned
+// record and compares it to the stored Hash without materializing the
+// hex string on the heap (Verify calls this once per record).
+func recordHashMatches(r *Record) bool {
+	sum := chainSum(r.Seq, r.PrevHash, hashBody(r))
+	var hx [2 * sha256.Size]byte
+	hex.Encode(hx[:], sum[:])
+	return string(hx[:]) == r.Hash
 }
 
-// key renders a sequence number as a sortable store key.
-func key(seq uint64) string { return fmt.Sprintf("a/%020d", seq) }
+// key renders a sequence number as a sortable store key ("a/%020d").
+func key(seq uint64) string {
+	var b [22]byte
+	b[0], b[1] = 'a', '/'
+	for i := len(b) - 1; i >= 2; i-- {
+		b[i] = byte('0' + seq%10)
+		seq /= 10
+	}
+	return string(b[:])
+}
 
 // Len returns the number of records.
 func (l *Log) Len() uint64 {
@@ -226,6 +311,13 @@ func (l *Log) Len() uint64 {
 // Verify walks the whole chain and checks every link. It returns
 // ErrTampered (wrapped with the offending sequence number) if a record
 // was modified, reordered or removed.
+//
+// The walk streams: records are decoded one at a time from the store's
+// internal value slices under a single read transaction (no per-record
+// value copy, no accumulated slice) and the recomputed hash is compared
+// in place, so verifying a large chain costs O(1) extra memory. Each
+// link still needs its predecessor's hash only, which the walk carries
+// in two reusable buffers.
 func (l *Log) Verify() error {
 	l.mu.Lock()
 	seq := l.seq
@@ -233,27 +325,31 @@ func (l *Log) Verify() error {
 	prev := genesisHash
 	var want uint64 = 1
 	var verr error
-	err := l.st.AscendPrefix("a/", func(k string, v []byte) bool {
-		var r Record
-		if err := json.Unmarshal(v, &r); err != nil {
-			verr = fmt.Errorf("%w: undecodable record at %s", ErrTampered, k)
-			return false
-		}
-		if r.Seq != want {
-			verr = fmt.Errorf("%w: gap at seq %d (found %d)", ErrTampered, want, r.Seq)
-			return false
-		}
-		if r.PrevHash != prev {
-			verr = fmt.Errorf("%w: broken link at seq %d", ErrTampered, r.Seq)
-			return false
-		}
-		if hashRecord(&r) != r.Hash {
-			verr = fmt.Errorf("%w: content hash mismatch at seq %d", ErrTampered, r.Seq)
-			return false
-		}
-		prev = r.Hash
-		want++
-		return true
+	var r Record
+	err := l.st.View(func(tx store.Tx) error {
+		tx.AscendPrefix("a/", func(k string, v []byte) bool {
+			r = Record{}
+			if err := json.Unmarshal(v, &r); err != nil {
+				verr = fmt.Errorf("%w: undecodable record at %s", ErrTampered, k)
+				return false
+			}
+			if r.Seq != want {
+				verr = fmt.Errorf("%w: gap at seq %d (found %d)", ErrTampered, want, r.Seq)
+				return false
+			}
+			if r.PrevHash != prev {
+				verr = fmt.Errorf("%w: broken link at seq %d", ErrTampered, r.Seq)
+				return false
+			}
+			if !recordHashMatches(&r) {
+				verr = fmt.Errorf("%w: content hash mismatch at seq %d", ErrTampered, r.Seq)
+				return false
+			}
+			prev = r.Hash // fresh string from Unmarshal, safe to retain
+			want++
+			return true
+		})
+		return nil
 	})
 	if err != nil {
 		return err
@@ -280,42 +376,47 @@ type Query struct {
 	Limit   int
 }
 
-// Search returns the records matching q, in chain order.
+// Search returns the records matching q, in chain order. Like Verify it
+// streams under one read transaction: non-matching records cost a decode
+// but no value copy.
 func (l *Log) Search(q Query) ([]Record, error) {
 	var out []Record
 	var derr error
-	err := l.st.AscendPrefix("a/", func(k string, v []byte) bool {
-		var r Record
-		if err := json.Unmarshal(v, &r); err != nil {
-			derr = fmt.Errorf("audit: corrupt record %s: %w", k, err)
-			return false
-		}
-		if q.Kind != "" && r.Kind != q.Kind {
-			return true
-		}
-		if q.Actor != "" && r.Actor != q.Actor {
-			return true
-		}
-		if q.EventID != "" && r.EventID != q.EventID {
-			return true
-		}
-		if q.Class != "" && r.Class != q.Class {
-			return true
-		}
-		if q.Outcome != "" && r.Outcome != q.Outcome {
-			return true
-		}
-		if q.Trace != "" && r.Trace != q.Trace {
-			return true
-		}
-		if !q.From.IsZero() && r.At.Before(q.From) {
-			return true
-		}
-		if !q.To.IsZero() && r.At.After(q.To) {
-			return true
-		}
-		out = append(out, r)
-		return q.Limit <= 0 || len(out) < q.Limit
+	err := l.st.View(func(tx store.Tx) error {
+		tx.AscendPrefix("a/", func(k string, v []byte) bool {
+			var r Record
+			if err := json.Unmarshal(v, &r); err != nil {
+				derr = fmt.Errorf("audit: corrupt record %s: %w", k, err)
+				return false
+			}
+			if q.Kind != "" && r.Kind != q.Kind {
+				return true
+			}
+			if q.Actor != "" && r.Actor != q.Actor {
+				return true
+			}
+			if q.EventID != "" && r.EventID != q.EventID {
+				return true
+			}
+			if q.Class != "" && r.Class != q.Class {
+				return true
+			}
+			if q.Outcome != "" && r.Outcome != q.Outcome {
+				return true
+			}
+			if q.Trace != "" && r.Trace != q.Trace {
+				return true
+			}
+			if !q.From.IsZero() && r.At.Before(q.From) {
+				return true
+			}
+			if !q.To.IsZero() && r.At.After(q.To) {
+				return true
+			}
+			out = append(out, r)
+			return q.Limit <= 0 || len(out) < q.Limit
+		})
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -25,7 +25,13 @@ import (
 )
 
 // Message is one unit of distribution: an opaque body published to a
-// topic. The CSS controller publishes XML-encoded notification messages.
+// topic. The CSS controller publishes encoded notification messages.
+//
+// A topic's subscriptions all receive the same *Message on their first
+// delivery attempt (retries get a private copy), so handlers must treat
+// the whole message as read-only — the same contract Payload always
+// had. Sharing the first attempt is what keeps the publish fan-out free
+// of per-subscription allocations.
 type Message struct {
 	// Topic the message was published to.
 	Topic string
@@ -347,11 +353,17 @@ func (b *Broker) PublishPayloadSpan(topic string, body []byte, payload any, span
 		return 0, ErrClosed
 	}
 	seq := b.seq.Add(1)
-	m := &Message{Topic: topic, Seq: seq, Body: body, Payload: payload, PublishedAt: time.Now(), SpanParent: spanParent}
+	// Attempt is preset to 1 before the message becomes visible to any
+	// delivery goroutine: first attempts then hand this shared message to
+	// handlers as-is (no copy, no post-publish writes, no race).
+	m := &Message{Topic: topic, Seq: seq, Body: body, Payload: payload, PublishedAt: time.Now(), Attempt: 1, SpanParent: spanParent}
 	// Snapshot the fan-out set, then enqueue outside the broker lock: a
 	// Block-policy enqueue may park until the consumer makes space, and
 	// that wait must not hold up Subscribe/Close on the broker mutex.
-	subs := make([]*Subscription, 0, len(b.topics[topic]))
+	// The snapshot buffer is pooled — fan-out runs once per publish and
+	// the slice never escapes this call.
+	sp := fanoutPool.Get().(*[]*Subscription)
+	subs := (*sp)[:0]
 	for _, s := range b.topics[topic] {
 		subs = append(subs, s)
 	}
@@ -362,13 +374,20 @@ func (b *Broker) PublishPayloadSpan(topic string, body []byte, payload any, span
 			rejected++
 		}
 	}
+	total := len(subs)
+	clear(subs)
+	*sp = subs[:0]
+	fanoutPool.Put(sp)
 	b.published.Add(1)
 	if rejected > 0 {
 		return seq, fmt.Errorf("%w: %d of %d subscriptions refused seq %d on %s",
-			ErrQueueFull, rejected, len(subs), seq, topic)
+			ErrQueueFull, rejected, total, seq, topic)
 	}
 	return seq, nil
 }
+
+// fanoutPool recycles the per-publish subscription snapshot buffers.
+var fanoutPool = sync.Pool{New: func() any { s := make([]*Subscription, 0, 16); return &s }}
 
 // Subscriptions returns the subscription names currently registered on a
 // topic, in unspecified order.

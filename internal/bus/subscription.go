@@ -16,7 +16,8 @@ type Subscription struct {
 	handler Handler
 
 	qmu      sync.Mutex
-	queue    []*Message // FIFO of pending messages
+	queue    []*Message // FIFO ring: live entries are queue[head:]
+	head     int        // index of the next message to dequeue
 	inFlight bool
 	stopped  bool       // set while shutting down: no further enqueues
 	space    *sync.Cond // signaled on dequeue for Block-policy publishers
@@ -41,8 +42,11 @@ func (s *Subscription) Name() string { return s.name }
 func (s *Subscription) Pending() int {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
-	return len(s.queue)
+	return len(s.queue) - s.head
 }
+
+// qlenLocked reports the live queue depth; qmu must be held.
+func (s *Subscription) qlenLocked() int { return len(s.queue) - s.head }
 
 // DeadLetters returns a snapshot of the messages that exhausted their
 // delivery attempts (or were diverted by a full queue).
@@ -67,7 +71,7 @@ func (s *Subscription) Redrive() int {
 	s.dlmu.Unlock()
 	for _, m := range dead {
 		cp := *m
-		cp.Attempt = 0
+		cp.Attempt = 1
 		s.qmu.Lock()
 		if s.stopped {
 			s.qmu.Unlock()
@@ -103,12 +107,13 @@ func (s *Subscription) enqueue(m *Message) bool {
 		s.broker.drainMu.Unlock()
 		return true
 	}
-	if max > 0 && len(s.queue) >= max {
+	if max > 0 && s.qlenLocked() >= max {
 		switch s.broker.opts.Policy {
 		case ShedOldest:
 			// Evict the head to the DLQ, then enqueue m below.
-			oldest := s.queue[0]
-			s.queue = s.queue[1:]
+			oldest := s.queue[s.head]
+			s.queue[s.head] = nil
+			s.head++
 			s.qmu.Unlock()
 			s.broker.noteDequeue(1)
 			s.deadLetter(oldest)
@@ -167,7 +172,7 @@ func (s *Subscription) waitForSpaceLocked(max int) bool {
 		s.space.Broadcast()
 	})
 	defer timer.Stop()
-	for len(s.queue) >= max && !s.stopped {
+	for s.qlenLocked() >= max && !s.stopped {
 		if !time.Now().Before(deadline) {
 			return false
 		}
@@ -179,24 +184,32 @@ func (s *Subscription) waitForSpaceLocked(max int) bool {
 func (s *Subscription) idle() bool {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
-	return len(s.queue) == 0 && !s.inFlight
+	return s.qlenLocked() == 0 && !s.inFlight
 }
 
 // busy snapshots the queue depth and in-flight flag for flush reports.
 func (s *Subscription) busy() (queued int, inFlight bool) {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
-	return len(s.queue), s.inFlight
+	return s.qlenLocked(), s.inFlight
 }
 
 func (s *Subscription) dequeue() *Message {
 	s.qmu.Lock()
-	if len(s.queue) == 0 {
+	if s.qlenLocked() == 0 {
 		s.qmu.Unlock()
 		return nil
 	}
-	m := s.queue[0]
-	s.queue = s.queue[1:]
+	m := s.queue[s.head]
+	s.queue[s.head] = nil // release the slot for GC
+	s.head++
+	if s.head == len(s.queue) {
+		// Drained: reset so the backing array is reused from the front
+		// instead of the slice marching through memory (queue[1:] kept the
+		// prefix reachable and forced append to reallocate every cycle).
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
 	s.inFlight = true
 	s.space.Broadcast()
 	s.qmu.Unlock()
@@ -216,8 +229,9 @@ func (s *Subscription) settled() {
 func (s *Subscription) drainRemaining() []*Message {
 	s.qmu.Lock()
 	s.stopped = true
-	rest := s.queue
+	rest := s.queue[s.head:]
 	s.queue = nil
+	s.head = 0
 	s.space.Broadcast()
 	s.qmu.Unlock()
 	s.broker.noteDequeue(len(rest))
@@ -249,15 +263,23 @@ func (s *Subscription) run() {
 	}
 }
 
-// deliver attempts the message up to MaxAttempts times. A copy of the
-// message is handed to the handler per attempt so that Attempt is
-// accurate and handlers cannot corrupt the queued message.
+// deliver attempts the message up to MaxAttempts times. The first
+// attempt hands the queued message to the handler directly — it already
+// carries Attempt == 1 and handlers are bound by the read-only contract
+// (see Message), so the common success path delivers to every
+// subscription with zero copies. Retries are rare, so they take a
+// private copy to stamp an accurate Attempt without racing sibling
+// subscriptions that share the same message.
 func (s *Subscription) deliver(m *Message) {
 	max := s.broker.opts.MaxAttempts
 	for attempt := 1; attempt <= max; attempt++ {
-		cp := *m
-		cp.Attempt = attempt
-		err := s.safeHandle(&cp)
+		h := m
+		if attempt > 1 {
+			cp := *m
+			cp.Attempt = attempt
+			h = &cp
+		}
+		err := s.safeHandle(h)
 		if err == nil {
 			s.broker.delivered.Add(1)
 			return

@@ -89,6 +89,12 @@ type Config struct {
 	// Latency metrics are observed for every span regardless, and
 	// failed or slow spans are tail-kept past the draw.
 	SpanSampleRate float64
+	// Codec encodes the notification wire body that rides the service
+	// bus (and is re-served to pull consumers / callback posts that do
+	// not negotiate their own). Nil means event.XML — the paper's wire
+	// format; daemons pass event.Binary via -codec=binary for the
+	// compact framing.
+	Codec event.Codec
 }
 
 // Stats aggregates controller counters. It is a compatibility view over
@@ -118,10 +124,14 @@ type instruments struct {
 	busOverflow   *telemetry.Counter // css_bus_overflow_total{policy}
 	busDLQEvicted *telemetry.Counter // css_bus_dlq_evicted_total
 
-	publishSeconds  *telemetry.Histogram // css_publish_seconds
-	deliverySeconds *telemetry.Histogram // css_delivery_seconds
-	detailSeconds   *telemetry.Histogram // css_detail_request_seconds{outcome}
-	stageSeconds    *telemetry.Histogram // css_stage_seconds{stage}
+	// The publish and delivery histograms are unlabeled and observed on
+	// every publish (deliverySeconds once per subscriber), so they are
+	// held as pre-resolved children: no label join, lock or child-map
+	// lookup on the hot path.
+	publishSeconds  *telemetry.HistogramChild // css_publish_seconds
+	deliverySeconds *telemetry.HistogramChild // css_delivery_seconds
+	detailSeconds   *telemetry.Histogram      // css_detail_request_seconds{outcome}
+	stageSeconds    *telemetry.Histogram      // css_stage_seconds{stage}
 }
 
 // composeBusObserver chains a caller-supplied bus observer with the
@@ -194,9 +204,9 @@ func newInstruments(reg *telemetry.Registry) instruments {
 		busDLQEvicted: reg.Counter("css_bus_dlq_evicted_total",
 			"Dead letters dropped by the per-subscription DLQ cap."),
 		publishSeconds: reg.Histogram("css_publish_seconds",
-			"Publish latency (validate, index, audit, route) in seconds."),
+			"Publish latency (validate, index, audit, route) in seconds.").Child(),
 		deliverySeconds: reg.Histogram("css_delivery_seconds",
-			"Per-subscriber delivery latency (consent check + handler) in seconds."),
+			"Per-subscriber delivery latency (consent check + handler) in seconds.").Child(),
 		detailSeconds: reg.Histogram("css_detail_request_seconds",
 			"Detail-request latency in seconds, by outcome.", "outcome"),
 		stageSeconds: reg.Histogram("css_stage_seconds",
@@ -206,9 +216,10 @@ func newInstruments(reg *telemetry.Registry) instruments {
 
 // Controller is the data controller. Safe for concurrent use.
 type Controller struct {
-	cfg  Config
-	now  func() time.Time
-	keys *crypto.Keyring
+	cfg   Config
+	now   func() time.Time
+	keys  *crypto.Keyring
+	codec event.Codec
 
 	reg     *registry.Registry
 	enf     *enforcer.Enforcer
@@ -241,6 +252,10 @@ func New(cfg Config) (*Controller, error) {
 	c.now = cfg.Now
 	if c.now == nil {
 		c.now = time.Now
+	}
+	c.codec = cfg.Codec
+	if c.codec == nil {
+		c.codec = event.XML
 	}
 	c.tel = cfg.Metrics
 	if c.tel == nil {
@@ -457,6 +472,10 @@ func (c *Controller) AttachGateway(p event.ProducerID, g enforcer.DetailSource) 
 
 // Catalog exposes the event catalog for discovery.
 func (c *Controller) Catalog() *registry.Registry { return c.reg }
+
+// Codec returns the wire codec notifications are encoded with on the
+// service bus (never nil; defaults to event.XML).
+func (c *Controller) Codec() event.Codec { return c.codec }
 
 // Audit exposes the audit log for inquiry and verification.
 func (c *Controller) Audit() *audit.Log { return c.aud }

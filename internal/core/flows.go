@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/audit"
@@ -58,12 +60,18 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	// Mint the flow's trace ID unless the producer supplied one; it rides
 	// on the stamped notification through the bus and onto every audit
 	// record and span of the flow. The root "publish" span is one of the
-	// two sanctioned flow roots; every stage below hangs off it.
+	// two sanctioned flow roots; every stage below hangs off it — opened
+	// detached because nothing below reads the context, which skips the
+	// span-in-context allocations on the hottest flow in the system.
 	trace := n.Trace
 	if trace == "" {
 		trace = telemetry.NewTraceID()
 	}
-	ctx, pubSpan := c.tracer.StartSpan(flowRootCtx(ctx, trace), "publish")
+	var parent string
+	if telemetry.TraceFrom(ctx) == trace {
+		parent = telemetry.SpanIDFrom(ctx)
+	}
+	pubSpan := c.tracer.StartDetached("publish", trace, parent)
 	start := time.Now()
 	fail := func(err error) (event.GlobalID, error) {
 		pubSpan.SetError(err)
@@ -71,6 +79,10 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 		return "", err
 	}
 
+	// The id assignment stays fully synchronous (assign + fsync before
+	// anything else): if a global id were handed out before its mapping
+	// was durable, a crash plus producer retry could mint two ids for one
+	// source event.
 	gid, err := c.ids.Assign(n.Producer, n.SourceID, n.Class)
 	if err != nil {
 		return fail(err)
@@ -79,15 +91,27 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	stamped.ID = gid
 	stamped.Trace = trace
 	stamped.PublishedAt = c.now()
+	// Pipelined group commit: the index batch and the audit record are
+	// staged (written to their WALs, visible to reads) and their fsyncs
+	// kicked in the background, so encoding and bus fan-out overlap the
+	// disk barrier instead of queueing behind it. The publisher is acked
+	// only after both Waits below — exactly-once indexing holds because a
+	// crash before the barrier loses whole WAL frames and the unacked
+	// producer retries under the same global id (Assign is idempotent).
 	putSpan := pubSpan.StartChild("index.put")
-	err = c.idx.Put(stamped)
+	idxCommit, err := c.idx.PutStaged(stamped)
 	putSpan.SetError(err)
 	putSpan.End()
 	if err != nil {
 		return fail(err)
 	}
+	if idxCommit.Pending() {
+		// A failed background fsync never advances the WAL's sync mark, so
+		// its error (discarded here) resurfaces from the barrier Wait.
+		go idxCommit.Wait()
+	}
 	audSpan := pubSpan.StartChild("audit.append")
-	_, err = c.aud.Append(audit.Record{
+	_, audCommit, err := c.aud.AppendStaged(audit.Record{
 		Kind:    audit.KindPublish,
 		Actor:   string(n.Producer),
 		EventID: gid,
@@ -100,14 +124,20 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	if err != nil {
 		return fail(err)
 	}
+	if audCommit.Pending() {
+		go audCommit.Wait()
+	}
 	// Route the redacted notification. Per-subscriber consent is applied
 	// at delivery time by each subscription's handler wrapper. The decoded
 	// form rides the bus alongside the wire bytes: it is encoded (and
 	// decoded) exactly once per publication, and every subscription shares
-	// the same immutable *event.Notification instead of re-parsing the XML
-	// per delivery.
-	redacted := stamped.Redact()
-	wire, err := event.EncodeNotification(redacted)
+	// the same immutable *event.Notification instead of re-parsing the
+	// wire body per delivery. stamped is this flow's private clone and the
+	// index does not retain it, so redaction mutates in place — no second
+	// clone per publish.
+	stamped.SourceID = ""
+	redacted := stamped
+	wire, err := c.codec.EncodeNotification(redacted)
 	if err != nil {
 		return fail(err)
 	}
@@ -120,6 +150,15 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	if err != nil {
 		return fail(err)
 	}
+	// Commit barrier: group commit means these usually return instantly,
+	// the fsync having been shared with concurrent publishers while the
+	// fan-out above ran.
+	if err := idxCommit.Wait(); err != nil {
+		return fail(err)
+	}
+	if err := audCommit.Wait(); err != nil {
+		return fail(err)
+	}
 	pubSpan.End()
 	c.met.published.Inc()
 	elapsed := time.Since(start)
@@ -128,7 +167,32 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	return gid, nil
 }
 
-func classTopic(class event.ClassID) string { return "class/" + string(class) }
+// classTopic maps an event class to its bus topic. The catalog is a
+// small, stable set while publishes are unbounded, so the concat is
+// cached (process-wide: equal class ids map to equal topics under any
+// controller).
+func classTopic(class event.ClassID) string {
+	if v, ok := topicCache.Load(class); ok {
+		return v.(string)
+	}
+	t := "class/" + string(class)
+	topicCache.Store(class, t)
+	return t
+}
+
+var topicCache sync.Map
+
+// subID renders the zero-padded subscription id ("sub-%06d" by hand —
+// this file is on the no-fmt hot-path allowlist).
+func subID(n int) string {
+	s := strconv.Itoa(n)
+	if len(s) >= 6 {
+		return "sub-" + s
+	}
+	buf := []byte("sub-000000")
+	copy(buf[len(buf)-len(s):], s)
+	return string(buf)
+}
 
 // flowRootCtx prepares the context for a flow's root span under trace.
 // When the incoming context carries a *different* trace (e.g. the HTTP
@@ -227,7 +291,7 @@ func (c *Controller) subscribe(actor event.Actor, class event.ClassID, h Handler
 
 	c.mu.Lock()
 	c.subSeq++
-	id := fmt.Sprintf("sub-%06d", c.subSeq)
+	id := subID(c.subSeq)
 	c.mu.Unlock()
 
 	busSub, err := c.brk.Subscribe(classTopic(class), id, func(m *bus.Message) error {
@@ -555,7 +619,7 @@ func (c *Controller) InquireIndexContext(ctx context.Context, actor event.Actor,
 	}
 	c.aud.Append(audit.Record{
 		Kind: audit.KindIndexInquiry, Actor: string(actor), Class: q.Class, Outcome: "permit",
-		Note: fmt.Sprintf("%d notifications", len(out)), Trace: trace,
+		Note: strconv.Itoa(len(out)) + " notifications", Trace: trace,
 	})
 	c.met.inquiries.Inc()
 	return out, nil
@@ -584,7 +648,7 @@ func (c *Controller) InquireOwn(personID string, q index.Inquiry) ([]*event.Noti
 	}
 	c.aud.Append(audit.Record{
 		Kind: audit.KindIndexInquiry, Actor: "citizen:" + personID, Outcome: "permit",
-		Note: fmt.Sprintf("%d own notifications", len(out)), Trace: telemetry.NewTraceID(),
+		Note: strconv.Itoa(len(out)) + " own notifications", Trace: telemetry.NewTraceID(),
 	})
 	c.met.inquiries.Inc()
 	return out, nil

@@ -25,7 +25,9 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"sync"
 )
 
 // KeySize is the size in bytes of the master key.
@@ -38,6 +40,8 @@ var ErrDecrypt = errors.New("crypto: message authentication failed")
 type Keyring struct {
 	aead    cipher.AEAD
 	pseuKey []byte
+	// hmacPool recycles HMAC states for Pseudonym.
+	hmacPool sync.Pool
 }
 
 // NewKeyring derives the sealing and pseudonym keys from a master key.
@@ -55,7 +59,9 @@ func NewKeyring(master []byte) (*Keyring, error) {
 	if err != nil {
 		return nil, fmt.Errorf("crypto: %w", err)
 	}
-	return &Keyring{aead: aead, pseuKey: pseuKey}, nil
+	k := &Keyring{aead: aead, pseuKey: pseuKey}
+	k.hmacPool.New = func() any { return hmac.New(sha256.New, k.pseuKey) }
+	return k, nil
 }
 
 // NewRandomKeyring generates a fresh random master key and returns the
@@ -80,9 +86,12 @@ func derive(master []byte, label string) []byte {
 }
 
 // Seal encrypts plaintext with a fresh random nonce. The result is
-// nonce‖ciphertext‖tag and is safe to store or transmit.
+// nonce‖ciphertext‖tag and is safe to store or transmit. The buffer is
+// sized for the whole sealed message up front so the AEAD appends in
+// place instead of reallocating.
 func (k *Keyring) Seal(plaintext []byte) ([]byte, error) {
-	nonce := make([]byte, k.aead.NonceSize())
+	ns := k.aead.NonceSize()
+	nonce := make([]byte, ns, ns+len(plaintext)+k.aead.Overhead())
 	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
 		return nil, fmt.Errorf("crypto: nonce: %w", err)
 	}
@@ -128,8 +137,17 @@ func (k *Keyring) OpenString(s string) (string, error) {
 // Pseudonym returns the deterministic keyed pseudonym of a person
 // identifier: equal identifiers map to equal pseudonyms (enabling index
 // lookups), while the identifier cannot be recovered without the key.
+// The HMAC state is pooled and the digest staged on the stack: one
+// pseudonym runs per indexed notification, and a fresh HMAC-SHA-256
+// costs several allocations that Reset makes recoverable.
 func (k *Keyring) Pseudonym(personID string) string {
-	m := hmac.New(sha256.New, k.pseuKey)
+	m := k.hmacPool.Get().(hash.Hash)
+	m.Reset()
 	m.Write([]byte(personID))
-	return base64.URLEncoding.EncodeToString(m.Sum(nil)[:18])
+	var sum [sha256.Size]byte
+	m.Sum(sum[:0])
+	k.hmacPool.Put(m)
+	var out [24]byte // base64 of 18 digest bytes
+	base64.URLEncoding.Encode(out[:], sum[:18])
+	return string(out[:])
 }

@@ -82,3 +82,38 @@ func DecodeNotification(data []byte) (*Notification, error) {
 	n := Notification(w)
 	return &n, nil
 }
+
+// EncodeDetailRequest serializes a detail request to its XML wire form.
+func EncodeDetailRequest(r *DetailRequest) ([]byte, error) {
+	return xml.Marshal(r)
+}
+
+// DecodeDetailRequest parses a detail request from its XML wire form.
+func DecodeDetailRequest(data []byte) (*DetailRequest, error) {
+	var r DetailRequest
+	if err := xml.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// xmlCodec adapts the package-level XML encode/decode functions to the
+// Codec interface. It lives in this file so that codec.go — part of the
+// binary hot path — never imports encoding/xml (enforced by lint-hotpath).
+type xmlCodec struct{}
+
+func (xmlCodec) Name() string        { return "xml" }
+func (xmlCodec) ContentType() string { return ContentTypeXML }
+
+func (xmlCodec) EncodeNotification(n *Notification) ([]byte, error) { return EncodeNotification(n) }
+func (xmlCodec) DecodeNotification(data []byte) (*Notification, error) {
+	return DecodeNotification(data)
+}
+func (xmlCodec) EncodeDetail(d *Detail) ([]byte, error)    { return EncodeDetail(d) }
+func (xmlCodec) DecodeDetail(data []byte) (*Detail, error) { return DecodeDetail(data) }
+func (xmlCodec) EncodeDetailRequest(r *DetailRequest) ([]byte, error) {
+	return EncodeDetailRequest(r)
+}
+func (xmlCodec) DecodeDetailRequest(data []byte) (*DetailRequest, error) {
+	return DecodeDetailRequest(data)
+}

@@ -65,15 +65,25 @@ func (m *Map) Assign(producer event.ProducerID, source event.SourceID, class eve
 	if err != nil {
 		return "", err
 	}
-	val := encodeMapping(producer, source, class)
-	if err := m.st.Put(globalKey(gid), []byte(val)); err != nil {
-		return "", err
-	}
-	if err := m.st.Put(rkey, []byte(gid)); err != nil {
+	// Both directions of the mapping commit as one batch: a single lock
+	// acquisition and WAL frame (instead of two, each with its own fsync
+	// in SyncEvery mode), and no crash window in which a global id exists
+	// without its reverse entry — which would let a publish retry mint a
+	// second global id for the same source event.
+	b := batchPool.Get().(*store.Batch)
+	b.Reset()
+	b.PutOwned(globalKey(gid), appendMapping(nil, producer, source, class))
+	b.PutOwned(rkey, []byte(gid))
+	err = m.st.Apply(b)
+	batchPool.Put(b)
+	if err != nil {
 		return "", err
 	}
 	return gid, nil
 }
+
+// batchPool recycles the batch (and its ops slice) across assignments.
+var batchPool = sync.Pool{New: func() any { return new(store.Batch) }}
 
 // Resolve returns the origin of a global identifier.
 func (m *Map) Resolve(gid event.GlobalID) (Mapping, error) {
@@ -111,18 +121,33 @@ func reverseKey(p event.ProducerID, s event.SourceID) string {
 }
 
 // newGlobalID mints a 128-bit random identifier with a readable prefix.
+// The id is assembled on the stack and converted once, instead of the
+// hex.EncodeToString + concatenation pair (two allocations per mint).
 func newGlobalID() (event.GlobalID, error) {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		return "", fmt.Errorf("idmap: generate id: %w", err)
 	}
-	return event.GlobalID("evt-" + hex.EncodeToString(b[:])), nil
+	var out [4 + 32]byte
+	out[0], out[1], out[2], out[3] = 'e', 'v', 't', '-'
+	hex.Encode(out[4:], b[:])
+	return event.GlobalID(out[:]), nil
 }
 
-// encodeMapping packs origin fields with NUL separators (none of the id
-// types admits NUL).
-func encodeMapping(p event.ProducerID, s event.SourceID, c event.ClassID) string {
-	return string(p) + "\x00" + string(s) + "\x00" + string(c)
+// appendMapping packs origin fields with NUL separators (none of the id
+// types admits NUL) into one exactly-sized byte slice — the value is
+// handed to the store as owned bytes, so building it as a string first
+// would just add a conversion copy.
+func appendMapping(dst []byte, p event.ProducerID, s event.SourceID, c event.ClassID) []byte {
+	if dst == nil {
+		dst = make([]byte, 0, len(p)+len(s)+len(c)+2)
+	}
+	dst = append(dst, p...)
+	dst = append(dst, 0)
+	dst = append(dst, s...)
+	dst = append(dst, 0)
+	dst = append(dst, c...)
+	return dst
 }
 
 func decodeMapping(v string) (event.ProducerID, event.SourceID, event.ClassID, error) {

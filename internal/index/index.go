@@ -13,15 +13,19 @@
 package index
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/crypto"
 	"repro/internal/event"
+	"repro/internal/jsonx"
 	"repro/internal/store"
 )
 
@@ -121,55 +125,109 @@ func (ix *Index) pseudonym(person string) string {
 
 // Put stores a published notification. The notification must carry its
 // controller-assigned global ID. Put is idempotent on the global ID.
+// Put is PutStaged followed immediately by the commit barrier.
 func (ix *Index) Put(n *event.Notification) error {
-	if n.ID == "" {
-		return errors.New("index: notification without global id")
-	}
-	if err := n.Class.Validate(); err != nil {
+	c, err := ix.PutStaged(n)
+	if err != nil {
 		return err
 	}
-	r := record{
-		ID:          n.ID,
-		Class:       n.Class,
-		PersonID:    n.PersonID,
-		Summary:     n.Summary,
-		OccurredAt:  n.OccurredAt,
-		Producer:    n.Producer,
-		PublishedAt: n.PublishedAt,
+	return c.Wait()
+}
+
+// batchPool recycles the batch (and its ops slice) across puts.
+var batchPool = sync.Pool{New: func() any { return new(store.Batch) }}
+
+// PutStaged stores a published notification but returns before the
+// store's fsync barrier: the record and its secondary keys are visible
+// and in the WAL, and the returned Commit's Wait makes them durable.
+// The controller overlaps that fsync with audit append and bus fan-out,
+// acking the publisher only after the barrier — exactly-once indexing
+// is unaffected because a crash before the barrier loses the whole
+// batch and the unacked publisher retries under the same global ID.
+func (ix *Index) PutStaged(n *event.Notification) (store.Commit, error) {
+	if n.ID == "" {
+		return store.Commit{}, errors.New("index: notification without global id")
+	}
+	if err := n.Class.Validate(); err != nil {
+		return store.Commit{}, err
 	}
 	personKey := n.PersonID
+	var sealed []byte
 	if ix.keys != nil {
-		sealed, err := ix.keys.SealString(n.PersonID)
+		var err error
+		sealed, err = ix.keys.Seal([]byte(n.PersonID))
 		if err != nil {
-			return err
+			return store.Commit{}, err
 		}
-		r.PersonID = sealed
-		r.Encrypted = true
 		personKey = ix.pseudonym(n.PersonID)
 	}
-	data, err := json.Marshal(&r)
-	if err != nil {
-		return fmt.Errorf("index: encode: %w", err)
-	}
+	data := appendRecordJSON(n, sealed)
 	// The primary record and its three secondary keys commit as one
 	// store batch: one lock acquisition, one WAL frame, and — because a
 	// batch frame replays all-or-nothing — no crash window in which a
 	// notification exists without its index entries (or vice versa).
+	// All values are freshly built per call, so they transfer to the
+	// store without defensive copies; the three secondary entries share
+	// one id slice.
 	ts := timeKey(n.OccurredAt)
-	var b store.Batch
-	b.Put(eventKey(n.ID), data)
-	b.Put(personIdxKey(personKey, ts, n.ID), []byte(n.ID))
-	b.Put(classIdxKey(n.Class, ts, n.ID), []byte(n.ID))
-	b.Put(producerIdxKey(n.Producer, n.ID), []byte(n.ID))
-	if err := ix.st.Apply(&b); err != nil {
-		return err
+	idVal := []byte(n.ID)
+	b := batchPool.Get().(*store.Batch)
+	b.Reset()
+	b.PutOwned(eventKey(n.ID), data)
+	b.PutOwned(personIdxKey(personKey, ts, n.ID), idVal)
+	b.PutOwned(classIdxKey(n.Class, ts, n.ID), idVal)
+	b.PutOwned(producerIdxKey(n.Producer, n.ID), idVal)
+	c, err := ix.st.StageApply(b)
+	batchPool.Put(b)
+	if err != nil {
+		return store.Commit{}, err
 	}
-	// Invalidate after the write commits. Readers fill the cache only
+	// Invalidate after the write is visible. Readers fill the cache only
 	// while holding the store's read lock, so any fill of the old value
-	// finished before Apply took the write lock — this delete removes it;
-	// fills that start after Apply see the new value.
+	// finished before StageApply took the write lock — this delete
+	// removes it; fills that start after see the new value.
 	ix.notif.Delete(n.ID)
-	return nil
+	return c, nil
+}
+
+// appendRecordJSON renders the persisted record by hand, with the same
+// field set, tags and value encoding the json.Marshal of record
+// produced, so existing stores decode identically. One exact-guess
+// allocation instead of reflection. A non-nil sealed ciphertext is
+// base64-encoded straight into the record (the URL-safe alphabet never
+// needs JSON escaping), producing the byte-identical personId value
+// SealString used to build through an intermediate string.
+func appendRecordJSON(n *event.Notification, sealed []byte) []byte {
+	personLen := len(n.PersonID)
+	if sealed != nil {
+		personLen = base64.URLEncoding.EncodedLen(len(sealed))
+	}
+	dst := make([]byte, 0, len(n.ID)+len(n.Class)+personLen+len(n.Summary)+
+		len(n.Producer)+2*len(time.RFC3339Nano)+112)
+	dst = append(dst, `{"id":`...)
+	dst = jsonx.AppendString(dst, string(n.ID))
+	dst = append(dst, `,"class":`...)
+	dst = jsonx.AppendString(dst, string(n.Class))
+	dst = append(dst, `,"personId":`...)
+	if sealed != nil {
+		dst = append(dst, '"')
+		dst = base64.URLEncoding.AppendEncode(dst, sealed)
+		dst = append(dst, '"')
+		dst = append(dst, `,"encrypted":true`...)
+	} else {
+		dst = jsonx.AppendString(dst, n.PersonID)
+		dst = append(dst, `,"encrypted":false`...)
+	}
+	dst = append(dst, `,"summary":`...)
+	dst = jsonx.AppendString(dst, n.Summary)
+	dst = append(dst, `,"occurredAt":"`...)
+	dst = n.OccurredAt.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","producer":`...)
+	dst = jsonx.AppendString(dst, string(n.Producer))
+	dst = append(dst, `,"publishedAt":"`...)
+	dst = n.PublishedAt.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `"}`...)
+	return dst
 }
 
 // Get returns the notification with the given global ID, with the person
@@ -388,7 +446,30 @@ func producerIdxKey(p event.ProducerID, id event.GlobalID) string {
 	return "s/" + string(p) + "/" + string(id)
 }
 
-// timeKey renders an instant as a fixed-width sortable key component.
+// timeKey renders an instant as a fixed-width sortable key component
+// ("%020d" of the UnixNano).
 func timeKey(t time.Time) string {
-	return fmt.Sprintf("%020d", t.UnixNano())
+	v := t.UnixNano()
+	if v < 0 {
+		// Pre-1970 instants: replicate fmt's sign-then-zero-pad layout.
+		s := strconv.FormatInt(v, 10)
+		if len(s) >= 20 {
+			return s
+		}
+		var b [20]byte
+		b[0] = '-'
+		pad := len(b) - len(s)
+		for i := 1; i <= pad; i++ {
+			b[i] = '0'
+		}
+		copy(b[1+pad:], s[1:])
+		return string(b[:])
+	}
+	var b [20]byte
+	u := uint64(v)
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = byte('0' + u%10)
+		u /= 10
+	}
+	return string(b[:])
 }

@@ -1,0 +1,41 @@
+// Package jsonx holds the tiny append-style JSON encoding helpers used
+// by hot paths that hand-roll their JSON (audit records, index records)
+// instead of paying encoding/json's reflection on every write. Decoding
+// stays on encoding/json; these helpers only ever produce output its
+// decoder understands.
+package jsonx
+
+const hexDigits = "0123456789abcdef"
+
+// AppendString appends s as a quoted JSON string, escaping only what
+// validity requires: quotes, backslashes and control characters. HTML
+// escaping (<, >, &) is deliberately skipped — it is an encoding/json
+// default for browser embedding, not a JSON validity rule.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+		}
+		start = i + 1
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

@@ -1,0 +1,41 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestAppendStringRoundTrips(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		`with "quotes" and \backslashes\`,
+		"control\n\r\t\x00\x1fchars",
+		"unicode ☃ and html <&>",
+		"trailing\\",
+	}
+	for _, in := range cases {
+		enc := AppendString(nil, in)
+		if !json.Valid(enc) {
+			t.Fatalf("AppendString(%q) produced invalid JSON: %s", in, enc)
+		}
+		var got string
+		if err := json.Unmarshal(enc, &got); err != nil {
+			t.Fatalf("AppendString(%q) does not unmarshal: %v", in, err)
+		}
+		if got != in {
+			t.Fatalf("round trip mismatch: %q -> %s -> %q", in, enc, got)
+		}
+	}
+}
+
+func TestAppendStringMatchesEncodingJSON(t *testing.T) {
+	// For strings with nothing to escape the bytes must match
+	// encoding/json exactly.
+	for _, in := range []string{"", "abc", "evt-123", "hospital.blood-test"} {
+		want, _ := json.Marshal(in)
+		if got := AppendString(nil, in); string(got) != string(want) {
+			t.Fatalf("AppendString(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package store
 
-import "errors"
-
 // Batch accumulates puts and deletes to be applied atomically by
 // Store.Apply: one lock acquisition and one checksummed WAL frame for
 // the whole set, so a crash can never persist a prefix of it. A Batch is
@@ -14,6 +12,15 @@ type Batch struct {
 // may reuse its slice immediately.
 func (b *Batch) Put(key string, value []byte) {
 	b.ops = append(b.ops, walRecord{op: opPut, key: key, value: append([]byte(nil), value...)})
+}
+
+// PutOwned queues storing value under key without copying it: ownership
+// of the slice transfers to the store, which keeps it in memory and in
+// the WAL frame. The caller must not read or write the slice afterwards.
+// Hot paths that build the value per call (so it is never reused) use
+// this to skip the defensive copy Put makes.
+func (b *Batch) PutOwned(key string, value []byte) {
+	b.ops = append(b.ops, walRecord{op: opPut, key: key, value: value})
 }
 
 // Delete queues removing key. Deleting an absent key is a no-op at apply
@@ -32,46 +39,13 @@ func (b *Batch) Reset() { b.ops = b.ops[:0] }
 // together, backed by a single WAL frame that replays all-or-nothing
 // after a crash. Mutations apply in order, so a later Put of a key wins
 // over an earlier one in the same batch. An empty batch is a no-op.
+//
+// Apply is StageApply followed immediately by the commit barrier; use
+// StageApply directly to overlap the fsync with other work.
 func (s *Store) Apply(b *Batch) error {
-	if b == nil || len(b.ops) == 0 {
-		return nil
-	}
-	for _, op := range b.ops {
-		if op.key == "" {
-			return errors.New("store: empty key in batch")
-		}
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
-	}
-	if s.log != nil {
-		if err := s.log.appendBatch(b.ops); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-	}
-	for _, op := range b.ops {
-		switch op.op {
-		case opPut:
-			if old, ok := s.list.get(op.key); ok {
-				s.liveBytes -= int64(len(op.key) + len(old))
-			}
-			s.list.put(op.key, op.value)
-			s.liveBytes += int64(len(op.key) + len(op.value))
-		case opDel:
-			if old, ok := s.list.get(op.key); ok {
-				s.liveBytes -= int64(len(op.key) + len(old))
-				s.list.del(op.key)
-			}
-		}
-	}
-	err := s.maybeCompactLocked()
-	lg, target := s.syncTargetLocked()
-	s.mu.Unlock()
+	c, err := s.StageApply(b)
 	if err != nil {
 		return err
 	}
-	return syncIfNeeded(lg, target)
+	return c.Wait()
 }

@@ -22,6 +22,10 @@ type skipNode struct {
 	key   string
 	value []byte
 	next  []*skipNode
+	// tower backs next for the common low levels, so inserting a node
+	// costs one allocation instead of two. With 1/4 promotion, fewer
+	// than 0.4% of nodes outgrow it.
+	tower [4]*skipNode
 }
 
 // skipList is an ordered string→[]byte map. It is not safe for concurrent
@@ -31,6 +35,11 @@ type skipList struct {
 	level int
 	size  int
 	rnd   *rand.Rand
+	// scratch is the predecessor buffer for put/del. Mutators are
+	// serialized by the Store's write lock, so one buffer suffices; it
+	// may pin a just-deleted node until the next mutation, which is
+	// harmless.
+	scratch [maxLevel]*skipNode
 }
 
 func newSkipList(seed int64) *skipList {
@@ -63,13 +72,16 @@ func (l *skipList) findPredecessors(key string, update []*skipNode) *skipNode {
 	return x.next[0]
 }
 
-// put inserts or overwrites key. It reports whether the key was new.
-func (l *skipList) put(key string, value []byte) bool {
-	update := make([]*skipNode, maxLevel)
+// put inserts or overwrites key. It returns the previous value (nil,
+// false when the key was new), so writers maintain size accounting from
+// the same traversal that placed the node.
+func (l *skipList) put(key string, value []byte) ([]byte, bool) {
+	update := l.scratch[:]
 	x := l.findPredecessors(key, update)
 	if x != nil && x.key == key {
+		old := x.value
 		x.value = value
-		return false
+		return old, true
 	}
 	level := l.randomLevel()
 	if level > l.level {
@@ -78,13 +90,18 @@ func (l *skipList) put(key string, value []byte) bool {
 		}
 		l.level = level
 	}
-	n := &skipNode{key: key, value: value, next: make([]*skipNode, level)}
+	n := &skipNode{key: key, value: value}
+	if level <= len(n.tower) {
+		n.next = n.tower[:level]
+	} else {
+		n.next = make([]*skipNode, level)
+	}
 	for i := 0; i < level; i++ {
 		n.next[i] = update[i].next[i]
 		update[i].next[i] = n
 	}
 	l.size++
-	return true
+	return nil, false
 }
 
 // get returns the value stored under key.
@@ -102,12 +119,13 @@ func (l *skipList) get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// del removes key and reports whether it was present.
-func (l *skipList) del(key string) bool {
-	update := make([]*skipNode, maxLevel)
+// del removes key and returns the removed value (nil, false when the
+// key was absent).
+func (l *skipList) del(key string) ([]byte, bool) {
+	update := l.scratch[:]
 	x := l.findPredecessors(key, update)
 	if x == nil || x.key != key {
-		return false
+		return nil, false
 	}
 	for i := 0; i < l.level; i++ {
 		if update[i].next[i] != x {
@@ -119,7 +137,7 @@ func (l *skipList) del(key string) bool {
 		l.level--
 	}
 	l.size--
-	return true
+	return x.value, true
 }
 
 // ascend visits keys ≥ from in order until fn returns false.

@@ -13,11 +13,11 @@ func TestSkipListBasic(t *testing.T) {
 	if _, ok := l.get("a"); ok {
 		t.Error("get on empty list reported present")
 	}
-	if !l.put("a", []byte("1")) {
-		t.Error("put of new key reported as overwrite")
+	if old, existed := l.put("a", []byte("1")); existed {
+		t.Errorf("put of new key reported overwrite of %q", old)
 	}
-	if l.put("a", []byte("2")) {
-		t.Error("overwrite reported as new key")
+	if old, existed := l.put("a", []byte("2")); !existed || string(old) != "1" {
+		t.Errorf("overwrite reported (%q, %v), want (1, true)", old, existed)
 	}
 	if v, ok := l.get("a"); !ok || string(v) != "2" {
 		t.Errorf("get = %q, %v", v, ok)
@@ -25,10 +25,10 @@ func TestSkipListBasic(t *testing.T) {
 	if l.size != 1 {
 		t.Errorf("size = %d", l.size)
 	}
-	if !l.del("a") {
-		t.Error("del of present key reported absent")
+	if v, ok := l.del("a"); !ok || string(v) != "2" {
+		t.Errorf("del of present key = (%q, %v), want (2, true)", v, ok)
 	}
-	if l.del("a") {
+	if _, ok := l.del("a"); ok {
 		t.Error("double del reported present")
 	}
 	if l.size != 0 {
@@ -157,7 +157,7 @@ func TestSkipListLargeSequential(t *testing.T) {
 	}
 	// Delete every other key and verify level shrink doesn't corrupt.
 	for i := 0; i < n; i += 2 {
-		if !l.del(fmt.Sprintf("key-%08d", i)) {
+		if _, ok := l.del(fmt.Sprintf("key-%08d", i)); !ok {
 			t.Fatalf("del(%d) failed", i)
 		}
 	}

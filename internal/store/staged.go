@@ -1,0 +1,116 @@
+package store
+
+import "errors"
+
+// Commit is the durability barrier returned by StageApply: the staged
+// mutations are already visible in memory and appended to the WAL, but
+// the fsync that makes them crash-durable may still be outstanding. Wait
+// blocks until the WAL is synced at least up to the staged frame.
+//
+// This splits group commit in two so callers can overlap the fsync with
+// other work (the controller runs bus fan-out while the index/audit
+// frame syncs) and still enforce ordering: ack only after Wait returns.
+// The zero Commit is valid and already durable (in-memory stores and
+// stores without SyncEvery have no fsync on the write path).
+type Commit struct {
+	lg     *wal
+	target int64
+}
+
+// Wait blocks until every byte of the staged frame is fsynced, sharing
+// the sync with any concurrent writer that got there first (group
+// commit). It is a no-op when nothing is pending.
+func (c Commit) Wait() error { return syncIfNeeded(c.lg, c.target) }
+
+// Pending reports whether an fsync barrier is still outstanding. Callers
+// use it to decide whether kicking the sync early (in a helper
+// goroutine) is worth anything.
+func (c Commit) Pending() bool {
+	return c.lg != nil && c.lg.synced.Load() < c.target
+}
+
+// StagePut is Put with the commit barrier made explicit and without the
+// defensive value copy: ownership of value transfers to the store (the
+// caller must not touch the slice afterwards). The returned Commit's
+// Wait is the durability barrier. Hot single-key writers (the audit
+// chain) use this to overlap the fsync with downstream work.
+func (s *Store) StagePut(key string, value []byte) (Commit, error) {
+	if key == "" {
+		return Commit{}, errors.New("store: empty key")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Commit{}, ErrClosed
+	}
+	if s.log != nil {
+		if err := s.log.append(walRecord{op: opPut, key: key, value: value}); err != nil {
+			s.mu.Unlock()
+			return Commit{}, err
+		}
+	}
+	if old, existed := s.list.put(key, value); existed {
+		s.liveBytes -= int64(len(key) + len(old))
+	}
+	s.liveBytes += int64(len(key) + len(value))
+	err := s.maybeCompactLocked()
+	lg, target := s.syncTargetLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return Commit{}, err
+	}
+	return Commit{lg: lg, target: target}, nil
+}
+
+// StageApply is Apply with the commit barrier made explicit: it appends
+// the batch as one checksummed WAL frame and applies it to memory under
+// the store lock, but returns before fsyncing. The returned Commit's
+// Wait is the durability barrier the caller must reach before acking
+// anything that depends on the batch.
+//
+// Crash semantics are unchanged from Apply: the frame replays
+// all-or-nothing, and a crash between StageApply and Wait may lose the
+// whole frame — which is why acks must wait.
+func (s *Store) StageApply(b *Batch) (Commit, error) {
+	if b == nil || len(b.ops) == 0 {
+		return Commit{}, nil
+	}
+	for _, op := range b.ops {
+		if op.key == "" {
+			return Commit{}, errors.New("store: empty key in batch")
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Commit{}, ErrClosed
+	}
+	if s.log != nil {
+		if err := s.log.appendBatch(b.ops); err != nil {
+			s.mu.Unlock()
+			return Commit{}, err
+		}
+	}
+	for _, op := range b.ops {
+		switch op.op {
+		case opPut:
+			// put reports the displaced value from the same traversal
+			// that placed the node — no separate lookup for accounting.
+			if old, existed := s.list.put(op.key, op.value); existed {
+				s.liveBytes -= int64(len(op.key) + len(old))
+			}
+			s.liveBytes += int64(len(op.key) + len(op.value))
+		case opDel:
+			if old, ok := s.list.del(op.key); ok {
+				s.liveBytes -= int64(len(op.key) + len(old))
+			}
+		}
+	}
+	err := s.maybeCompactLocked()
+	lg, target := s.syncTargetLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return Commit{}, err
+	}
+	return Commit{lg: lg, target: target}, nil
+}

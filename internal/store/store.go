@@ -55,12 +55,13 @@ func Open(path string, opts Options) (*Store, error) {
 	validLen, err := replayWAL(path, func(r walRecord) error {
 		switch r.op {
 		case opPut:
-			s.list.put(r.key, r.value)
+			if old, existed := s.list.put(r.key, r.value); existed {
+				s.liveBytes -= int64(len(r.key) + len(old))
+			}
 			s.liveBytes += int64(len(r.key) + len(r.value))
 		case opDel:
-			if v, ok := s.list.get(r.key); ok {
+			if v, ok := s.list.del(r.key); ok {
 				s.liveBytes -= int64(len(r.key) + len(v))
-				s.list.del(r.key)
 			}
 		}
 		return nil
@@ -104,10 +105,9 @@ func (s *Store) Put(key string, value []byte) error {
 			return err
 		}
 	}
-	if old, ok := s.list.get(key); ok {
+	if old, existed := s.list.put(key, append([]byte(nil), value...)); existed {
 		s.liveBytes -= int64(len(key) + len(old))
 	}
-	s.list.put(key, append([]byte(nil), value...))
 	s.liveBytes += int64(len(key) + len(value))
 	err := s.maybeCompactLocked()
 	lg, target := s.syncTargetLocked()
@@ -169,7 +169,7 @@ func (s *Store) Delete(key string) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	v, ok := s.list.get(key)
+	_, ok := s.list.get(key)
 	if !ok {
 		s.mu.Unlock()
 		return nil
@@ -180,8 +180,9 @@ func (s *Store) Delete(key string) error {
 			return err
 		}
 	}
-	s.liveBytes -= int64(len(key) + len(v))
-	s.list.del(key)
+	if v, deleted := s.list.del(key); deleted {
+		s.liveBytes -= int64(len(key) + len(v))
+	}
 	lg, target := s.syncTargetLocked()
 	s.mu.Unlock()
 	return syncIfNeeded(lg, target)

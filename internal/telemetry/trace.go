@@ -23,7 +23,9 @@ func NewTraceID() string {
 		// process-unique sequence rather than tracing nothing.
 		return "seq-" + hex.EncodeToString(fallbackSeq())
 	}
-	return hex.EncodeToString(b[:])
+	var dst [16]byte
+	hex.Encode(dst[:], b[:])
+	return string(dst[:])
 }
 
 var fallbackCounter atomic.Uint64

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/consent"
@@ -32,6 +33,36 @@ type clientOptions struct {
 	timeout  time.Duration
 	retrier  *resilience.Retrier
 	breakers *resilience.Group
+	codec    event.Codec
+}
+
+// NewTunedTransport returns an http.Transport configured for the
+// platform's steady-state traffic shape: many small requests to a
+// handful of hosts over persistent connections. The default transport's
+// 2 idle connections per host force a TCP handshake under any
+// concurrency; the platform clients (and the controller's callback
+// deliverer) keep a deep warm pool instead so a saturation publish run
+// never churns connections.
+func NewTunedTransport() *http.Transport {
+	var tr *http.Transport
+	if base, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr = base.Clone()
+	} else {
+		tr = &http.Transport{}
+	}
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	tr.IdleConnTimeout = 90 * time.Second
+	return tr
+}
+
+// WithCodec sets the wire codec the client encodes its hot-path
+// messages with (publish bodies, detail requests, subscribe requests)
+// and asks the server to answer in. Nil or unset means event.XML — the
+// default wire format; responses are sniffed by frame magic, so a
+// server that ignores the negotiation still interoperates.
+func WithCodec(c event.Codec) Option {
+	return func(o *clientOptions) { o.codec = c }
 }
 
 // WithTimeout sets the per-attempt HTTP timeout used when no custom
@@ -60,6 +91,9 @@ func applyOptions(opts []Option) clientOptions {
 	o := clientOptions{timeout: DefaultHTTPTimeout}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.codec == nil {
+		o.codec = event.XML
 	}
 	return o
 }
@@ -96,19 +130,21 @@ type Client struct {
 	base     string
 	http     *http.Client
 	token    string // optional bearer token (see WithToken)
+	codec    event.Codec
 	retrier  *resilience.Retrier
 	breakers *resilience.Group
 }
 
 // NewClient creates a client for the controller at base (e.g.
 // "http://controller:8080"). httpClient may be nil for a default whose
-// timeout is WithTimeout (10 seconds unless overridden).
+// timeout is WithTimeout (10 seconds unless overridden) and whose
+// transport keeps a deep keep-alive pool (NewTunedTransport).
 func NewClient(base string, httpClient *http.Client, opts ...Option) *Client {
 	o := applyOptions(opts)
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: o.timeout}
+		httpClient = &http.Client{Timeout: o.timeout, Transport: NewTunedTransport()}
 	}
-	return &Client{base: base, http: httpClient, retrier: o.retrier, breakers: o.breakers}
+	return &Client{base: base, http: httpClient, codec: o.codec, retrier: o.retrier, breakers: o.breakers}
 }
 
 // endpointOf strips the query so breaker names stay per-route.
@@ -121,7 +157,9 @@ func endpointOf(path string) string {
 
 // roundTrip performs one HTTP attempt and returns the raw 2xx body.
 // Connection-level failures are marked transient for the retrier.
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+// contentType labels the request body and doubles as the Accept
+// preference, so one header pair negotiates both directions.
+func (c *Client) roundTrip(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
 	var reader io.Reader
 	if body != nil {
 		// A fresh reader per attempt: retries must resend the full body.
@@ -132,7 +170,8 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		return nil, fmt.Errorf("transport: %s %s: %w", method, path, err)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/xml")
+		req.Header.Set("Content-Type", contentType)
+		req.Header.Set("Accept", contentType)
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
@@ -169,6 +208,12 @@ func setTraceHeaders(req *http.Request, ctx context.Context) {
 // truncated 2xx body is a transient transfer failure and must trigger a
 // fresh attempt, not a permanent error.
 func (c *Client) call(ctx context.Context, method, path string, body []byte, decode func([]byte) error) error {
+	return c.callCT(ctx, method, path, event.ContentTypeXML, body, decode)
+}
+
+// callCT is call with an explicit request content type (the negotiated
+// codec's on the hot routes, XML everywhere else).
+func (c *Client) callCT(ctx context.Context, method, path, contentType string, body []byte, decode func([]byte) error) error {
 	endpoint := endpointOf(path)
 	return c.retrier.Do(ctx, endpoint, func(ctx context.Context) error {
 		release, err := acquire(c.breakers, endpoint)
@@ -176,7 +221,7 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, dec
 			return err
 		}
 		err = func() error {
-			data, err := c.roundTrip(ctx, method, path, body)
+			data, err := c.roundTrip(ctx, method, path, contentType, body)
 			if err != nil {
 				return err
 			}
@@ -215,34 +260,102 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 }
 
 // Publish sends a notification and returns the assigned global event id.
+// The body travels in the client's negotiated codec (WithCodec); the ack
+// is decoded by frame sniffing, so either answer format works.
 func (c *Client) Publish(ctx context.Context, n *event.Notification) (event.GlobalID, error) {
 	if n.Trace != "" && telemetry.TraceFrom(ctx) == "" {
 		ctx = telemetry.WithTrace(ctx, n.Trace)
 	}
-	body, err := event.EncodeNotification(n)
+	body, err := c.codec.EncodeNotification(n)
 	if err != nil {
 		return "", err
 	}
-	var out publishResponse
-	if err := c.post(ctx, "/ws/publish", body, &out); err != nil {
+	var gid event.GlobalID
+	err = c.callCT(ctx, http.MethodPost, "/ws/publish", c.codec.ContentType(), body, func(data []byte) error {
+		g, derr := decodeAnyPublishResponse(data)
+		if derr != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode response: %w", derr))
+		}
+		gid = g
+		return nil
+	})
+	if err != nil {
 		return "", err
 	}
-	return out.EventID, nil
+	return gid, nil
+}
+
+// PublishBatch publishes the notifications concurrently over the
+// client's keep-alive connection pool — the request-pipelining form of
+// Publish for producers with a backlog (the saturation benchmark, the
+// outbox drain). Results are positional: ids[i] answers ns[i], and a
+// failed publish leaves its id empty with the first error returned
+// after every in-flight request settles. conns bounds the concurrent
+// requests (0 means 8, matched to the tuned transport's per-host pool).
+func (c *Client) PublishBatch(ctx context.Context, ns []*event.Notification, conns int) ([]event.GlobalID, error) {
+	if conns <= 0 {
+		conns = 8
+	}
+	if conns > len(ns) {
+		conns = len(ns)
+	}
+	ids := make([]event.GlobalID, len(ns))
+	errs := make([]error, len(ns))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ids[i], errs[i] = c.Publish(ctx, ns[i])
+			}
+		}()
+	}
+	for i := range ns {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ids, err
+		}
+	}
+	return ids, nil
 }
 
 // Subscribe registers a callback URL for the notifications of a class and
 // returns the subscription id. The caller must run a NotificationReceiver
-// (or equivalent endpoint) at the callback URL.
+// (or equivalent endpoint) at the callback URL. The subscription carries
+// the client's codec, so callback POSTs arrive in the same format the
+// consumer speaks.
 func (c *Client) Subscribe(ctx context.Context, actor event.Actor, class event.ClassID, callbackURL string) (string, error) {
-	body, err := encodeXML(&subscribeRequest{Actor: actor, Class: class, Callback: callbackURL})
+	req := subscribeRequest{Actor: actor, Class: class, Callback: callbackURL}
+	var body []byte
+	var err error
+	if c.codec == event.Binary {
+		req.Codec = c.codec.Name()
+		body = encodeSubscribeRequestFrame(&req)
+	} else {
+		body, err = encodeXML(&req)
+		if err != nil {
+			return "", err
+		}
+	}
+	var id string
+	err = c.callCT(ctx, http.MethodPost, "/ws/subscribe", c.codec.ContentType(), body, func(data []byte) error {
+		sid, derr := decodeAnySubscribeResponse(data)
+		if derr != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode response: %w", derr))
+		}
+		id = sid
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	var out subscribeResponse
-	if err := c.post(ctx, "/ws/subscribe", body, &out); err != nil {
-		return "", err
-	}
-	return out.ID, nil
+	return id, nil
 }
 
 // SubscriptionActive probes whether a subscription id is still live on
@@ -275,15 +388,27 @@ func (c *Client) RequestDetails(ctx context.Context, r *event.DetailRequest) (*e
 		// span joins the same trace instead of minting a fresh one.
 		ctx = telemetry.WithTrace(ctx, r.Trace)
 	}
-	body, err := encodeXML(r)
+	body, err := c.codec.EncodeDetailRequest(r)
 	if err != nil {
 		return nil, err
 	}
-	var d event.Detail
-	if err := c.post(ctx, "/ws/details", body, &d); err != nil {
+	var d *event.Detail
+	err = c.callCT(ctx, http.MethodPost, "/ws/details", c.codec.ContentType(), body, func(data []byte) error {
+		var derr error
+		if event.IsBinaryFrame(data) {
+			d, derr = event.Binary.DecodeDetail(data)
+		} else {
+			d, derr = event.XML.DecodeDetail(data)
+		}
+		if derr != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode response: %w", derr))
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &d, nil
+	return d, nil
 }
 
 // InquireIndex queries the remote events index.

@@ -268,7 +268,16 @@ func (s *GatewayServer) handleGetResponse(w http.ResponseWriter, r *http.Request
 		writeFault(w, err)
 		return
 	}
-	writeXML(w, http.StatusOK, d)
+	// Detail payloads honor the controller's Accept preference: the
+	// request stays XML (it is tiny), the response — the bulky part of
+	// Algorithm 2 — travels in the negotiated codec.
+	resp := responseCodec(r, event.XML)
+	out, err := resp.EncodeDetail(d)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, respContentType(resp), out)
 }
 
 // RemoteGateway is the controller-side client of a GatewayServer. It
@@ -290,6 +299,7 @@ type RemoteGateway struct {
 	base     string
 	http     *http.Client
 	token    string
+	codec    event.Codec
 	timeout  time.Duration
 	retrier  *resilience.Retrier
 	breakers *resilience.Group
@@ -316,6 +326,9 @@ func (g *RemoteGateway) postXML(ctx context.Context, path, trace string, body []
 		return nil, fmt.Errorf("transport: gateway request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/xml")
+	// The Accept preference asks the gateway for detail payloads in the
+	// negotiated codec; responses are sniffed, so either format decodes.
+	req.Header.Set("Accept", g.codec.ContentType())
 	if g.token != "" {
 		req.Header.Set("Authorization", "Bearer "+g.token)
 	}
@@ -346,11 +359,12 @@ func (g *RemoteGateway) postXML(ctx context.Context, path, trace string, body []
 func NewRemoteGateway(base string, httpClient *http.Client, opts ...Option) *RemoteGateway {
 	o := applyOptions(opts)
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: o.timeout}
+		httpClient = &http.Client{Timeout: o.timeout, Transport: NewTunedTransport()}
 	}
 	return &RemoteGateway{
 		base:     base,
 		http:     httpClient,
+		codec:    o.codec,
 		timeout:  o.timeout,
 		retrier:  o.retrier,
 		breakers: o.breakers,

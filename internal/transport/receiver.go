@@ -20,17 +20,23 @@ func NewNotificationReceiver(handle func(n *event.Notification)) *NotificationRe
 	return &NotificationReceiver{handle: handle}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The body format is sniffed, so
+// one receiver serves XML and binary-codec subscriptions alike.
 func (rc *NotificationReceiver) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	var n event.Notification
-	if err := readBody(r, &n); err != nil {
+	body, err := readRaw(r)
+	if err != nil {
 		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
-	rc.handle(&n)
+	n, err := requestCodec(r, body).DecodeNotification(body)
+	if err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	rc.handle(n)
 	w.WriteHeader(http.StatusNoContent)
 }

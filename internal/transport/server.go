@@ -98,9 +98,12 @@ func (s *Server) healthDetail() map[string]string {
 // NewServer wraps a controller.
 func NewServer(ctrl *core.Controller) *Server {
 	s := &Server{
-		ctrl:       ctrl,
-		mux:        http.NewServeMux(),
-		httpClient: &http.Client{Timeout: 10 * time.Second},
+		ctrl: ctrl,
+		mux:  http.NewServeMux(),
+		// Callback deliveries reuse one warm keep-alive pool: the same
+		// few subscriber hosts receive every notification, so connection
+		// churn here would dominate fan-out latency.
+		httpClient: &http.Client{Timeout: 10 * time.Second, Transport: NewTunedTransport()},
 		deliveriesFailed: ctrl.Metrics().Counter("css_deliveries_failed_total",
 			"Callback deliveries that failed to reach the subscriber, by reason.",
 			"reason"),
@@ -149,9 +152,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
-	var n event.Notification
-	if err := readBody(r, &n); err != nil {
+	body, err := readRaw(r)
+	if err != nil {
 		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	codec := requestCodec(r, body)
+	resp := responseCodec(r, codec)
+	n, err := codec.DecodeNotification(body)
+	if err != nil {
+		writeFaultStatusAs(w, resp, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
 	if err := s.authorizeActor(r, event.Actor(n.Producer)); err != nil {
@@ -163,22 +173,43 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		// middleware when the producer sent none) as the flow trace.
 		n.Trace = telemetry.TraceFrom(r.Context())
 	}
-	gid, err := s.ctrl.PublishContext(r.Context(), &n)
+	gid, err := s.ctrl.PublishContext(r.Context(), n)
 	if err != nil {
-		writeFault(w, err)
+		writeFaultAs(w, resp, err)
 		return
 	}
-	writeXML(w, http.StatusOK, &publishResponse{EventID: gid})
+	writePublishResponseAs(w, resp, http.StatusOK, gid)
 }
 
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	body, err := readRaw(r)
+	if err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	codec := requestCodec(r, body)
+	resp := responseCodec(r, codec)
 	var req subscribeRequest
-	if err := readBody(r, &req); err != nil {
+	if codec == event.Binary {
+		dec, derr := decodeSubscribeRequestFrame(body)
+		if derr != nil {
+			writeFaultStatusAs(w, resp, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: derr.Error()})
+			return
+		}
+		req = *dec
+	} else if err := xml.Unmarshal(body, &req); err != nil {
 		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
 	if req.Callback == "" {
-		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "missing callback URL"})
+		writeFaultStatusAs(w, resp, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "missing callback URL"})
+		return
+	}
+	// The callback codec is negotiated once here; every delivery to this
+	// subscriber reuses it without per-message negotiation.
+	cbCodec, err := event.CodecByName(req.Codec)
+	if err != nil {
+		writeFaultStatusAs(w, resp, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
 	if err := s.authorizeActor(r, req.Actor); err != nil {
@@ -188,13 +219,13 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	callback := req.Callback
 	subscriber := string(req.Actor)
 	sub, err := s.ctrl.SubscribeCtx(req.Actor, req.Class, func(ctx context.Context, n *event.Notification) {
-		s.deliverCallback(ctx, callback, subscriber, n)
+		s.deliverCallback(ctx, callback, subscriber, cbCodec, n)
 	})
 	if err != nil {
-		writeFault(w, err)
+		writeFaultAs(w, resp, err)
 		return
 	}
-	writeXML(w, http.StatusOK, &subscribeResponse{ID: sub.ID()})
+	writeSubscribeResponseAs(w, resp, sub.ID())
 }
 
 // deliverCallback POSTs the notification to the subscriber's endpoint,
@@ -207,14 +238,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 // failed delivery is never silent: it is logged with the trace ID and
 // counted in css_deliveries_failed_total so operators see subscriber
 // outages.
-func (s *Server) deliverCallback(ctx context.Context, url, subscriber string, n *event.Notification) {
+func (s *Server) deliverCallback(ctx context.Context, url, subscriber string, codec event.Codec, n *event.Notification) {
 	fail := func(reason string, err error) {
 		s.deliveriesFailed.Inc(reason)
 		telemetry.Logger().Error("callback delivery failed",
 			"trace", n.Trace, "event", string(n.ID), "class", string(n.Class),
 			"subscriber", subscriber, "callback", url, "reason", reason, "err", err)
 	}
-	body, err := event.EncodeNotification(n)
+	body, err := codec.EncodeNotification(n)
 	if err != nil {
 		fail("encode", err)
 		return
@@ -224,7 +255,7 @@ func (s *Server) deliverCallback(ctx context.Context, url, subscriber string, n 
 		fail("request", err)
 		return
 	}
-	req.Header.Set("Content-Type", "application/xml")
+	req.Header.Set("Content-Type", codec.ContentType())
 	req.Header.Set(telemetry.TraceHeader, n.Trace)
 	if trace := telemetry.TraceFrom(ctx); trace != "" {
 		req.Header.Set(telemetry.TraceparentHeader,
@@ -264,9 +295,16 @@ func (s *Server) handleSubscriptionProbe(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
-	var req event.DetailRequest
-	if err := readBody(r, &req); err != nil {
+	body, err := readRaw(r)
+	if err != nil {
 		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	codec := requestCodec(r, body)
+	resp := responseCodec(r, codec)
+	req, err := codec.DecodeDetailRequest(body)
+	if err != nil {
+		writeFaultStatusAs(w, resp, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
 	if err := s.authorizeActor(r, req.Requester); err != nil {
@@ -276,12 +314,26 @@ func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
 	if req.Trace == "" {
 		req.Trace = telemetry.TraceFrom(r.Context())
 	}
-	d, err := s.ctrl.RequestDetailsContext(r.Context(), &req)
+	d, err := s.ctrl.RequestDetailsContext(r.Context(), req)
 	if err != nil {
-		writeFault(w, err)
+		writeFaultAs(w, resp, err)
 		return
 	}
-	writeXML(w, http.StatusOK, d)
+	out, err := resp.EncodeDetail(d)
+	if err != nil {
+		writeFaultAs(w, resp, err)
+		return
+	}
+	writeBody(w, http.StatusOK, respContentType(resp), out)
+}
+
+// respContentType appends the charset hint to XML responses, keeping
+// the pre-negotiation header byte-for-byte.
+func respContentType(c event.Codec) string {
+	if c == event.Binary {
+		return event.ContentTypeBinary
+	}
+	return "application/xml; charset=utf-8"
 }
 
 func (s *Server) handleInquire(w http.ResponseWriter, r *http.Request) {

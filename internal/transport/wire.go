@@ -229,7 +229,13 @@ func readResult(resp *http.Response) ([]byte, error) {
 	}
 	var rerr error
 	var f Fault
-	if xmlErr := xml.Unmarshal(data, &f); xmlErr == nil && f.Code != "" {
+	var decErr error
+	if event.IsBinaryFrame(data) {
+		decErr = decodeFaultFrame(data, &f)
+	} else {
+		decErr = xml.Unmarshal(data, &f)
+	}
+	if decErr == nil && f.Code != "" {
 		rerr = errorFor(&f)
 	} else {
 		rerr = fmt.Errorf("transport: http %d: %s", resp.StatusCode, data)
@@ -252,6 +258,16 @@ func decodeResponse(resp *http.Response, v any) error {
 	if v == nil {
 		return nil
 	}
+	// Detail payloads may arrive in the negotiated binary framing (the
+	// remote gateway asks for it via Accept); everything else stays XML.
+	if d, ok := v.(*event.Detail); ok && event.IsBinaryFrame(data) {
+		dec, derr := event.Binary.DecodeDetail(data)
+		if derr != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode response: %w", derr))
+		}
+		*d = *dec
+		return nil
+	}
 	if err := xml.Unmarshal(data, v); err != nil {
 		return resilience.MarkRetryable(fmt.Errorf("transport: decode response: %w", err))
 	}
@@ -270,6 +286,11 @@ type subscribeRequest struct {
 	Actor    event.Actor   `xml:"actor"`
 	Class    event.ClassID `xml:"class"`
 	Callback string        `xml:"callback"`
+	// Codec names the format the subscriber wants its callback POSTs
+	// encoded in ("" or "xml" for the default, "binary" for the compact
+	// framing). Negotiated once at subscription time, so every delivery
+	// skips per-message negotiation.
+	Codec string `xml:"codec,omitempty"`
 }
 
 type subscribeResponse struct {
