@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_LABEL ?= local
 
-.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-gate bench-baseline bench-tables bench-quick chaos chaos-smoke overload-smoke trace-smoke lint-traceid lint-hotpath examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-publish bench-details bench-smoke bench-gate bench-baseline bench-sharded bench-tables bench-quick chaos chaos-smoke overload-smoke shard-smoke trace-smoke lint-traceid lint-hotpath examples fuzz clean
 
 all: check
 
@@ -13,9 +13,10 @@ all: check
 # flow across three processes must yield one parent-linked span tree;
 # also runs the mixed-codec fan-out check), a 1-iteration smoke of the
 # publish-path benchmarks (catches benchmarks broken by refactors
-# without the cost of a measured run), and the allocation-regression
-# gate over the E1 publish benchmarks.
-check: build vet lint-traceid lint-hotpath test race chaos-smoke overload-smoke trace-smoke bench-smoke bench-gate
+# without the cost of a measured run), the allocation-regression
+# gate over the E1 publish benchmarks, and the 3-shard cluster smoke
+# (cross-shard publish/inquire plus one live split).
+check: build vet lint-traceid lint-hotpath test race chaos-smoke overload-smoke trace-smoke shard-smoke bench-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,19 @@ bench-baseline:
 	$(GO) run ./cmd/css-benchgate -baseline BENCH_baseline.json -update < benchgate.out
 	@rm -f benchgate.out
 
+# Sharded saturation run plus the same-run rate gates: the 1-shard row
+# must stay within 5% of the unsharded binary saturation row (the
+# sharding tax), and — on machines with ≥4 CPUs — the 4-shard row must
+# clear 3x the 1-shard row (the scale-out claim). Not part of `check`:
+# a measured multi-minute run.
+bench-sharded:
+	$(GO) test -run '^$$' -bench 'E1_Saturation|E1_ShardedSaturation' -benchmem . > bench.out \
+		|| (cat bench.out; rm -f bench.out; exit 1)
+	@cat bench.out
+	$(GO) run ./cmd/css-benchgate -baseline BENCH_baseline.json -rates < bench.out
+	$(GO) run ./cmd/css-benchlog -label "$(BENCH_LABEL)" -out BENCH_publish.json < bench.out
+	@rm -f bench.out
+
 # Full experiment tables (EXPERIMENTS.md reference run). ~2 minutes.
 bench-tables:
 	$(GO) run ./cmd/css-bench
@@ -83,11 +97,12 @@ bench-quick:
 
 # Fault-injected integration suite under the race detector: 20%
 # connection failures on the consumer/producer hop, 10% on the
-# controller→gateway hop, plus a scripted 5-second controller blackout —
+# controller→gateway hop, a scripted 5-second controller blackout, a
+# 3-second asymmetric shard partition (kill-a-shard and mid-reshard) —
 # and the overload storm stretched to 5 fixed seeds with 12 hot
 # producers. Seeds are fixed and logged (-v), so a failure is replayable.
 chaos:
-	CHAOS_BLACKOUT=5s CHAOS_STORM_SEEDS=1,2,3,4,5 CHAOS_STORM_N=12 \
+	CHAOS_BLACKOUT=5s CHAOS_PARTITION=3s CHAOS_STORM_SEEDS=1,2,3,4,5 CHAOS_STORM_N=12 \
 		$(GO) test -race -count 1 -v -run 'TestChaos' ./internal/transport/
 
 # The same harness with its default sub-second blackout — fast enough
@@ -101,6 +116,13 @@ chaos-smoke:
 overload-smoke:
 	$(GO) test -race -count 1 -run 'TestChaosOverloadStorm' ./internal/transport/
 	$(GO) test -race -count 1 -run 'TestKillUnderLoad' ./integration/
+
+# Multi-shard cluster smoke: boots a 3-shard controller cluster in one
+# process, publishes across shards through the shard-routing client,
+# scatter-gathers an inquiry, and performs one live split onto a cold
+# fourth shard — the sharded bring-up path end to end.
+shard-smoke:
+	SHARD_SMOKE=1 $(GO) test -count 1 -run 'TestShardSmoke' ./integration/
 
 # Distributed-tracing smoke: a publish→notify→detail flow across
 # controller, gateway and consumer processes must produce ONE trace
@@ -154,6 +176,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBinaryDetail -fuzztime=15s ./internal/event/
 	$(GO) test -fuzz=FuzzBinaryDetailRequest -fuzztime=15s ./internal/event/
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=15s ./internal/store/
+	$(GO) test -fuzz=FuzzShardMapFrame -fuzztime=15s ./internal/cluster/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/xacml/
 
 # git clean keeps the committed seed corpus and removes only the

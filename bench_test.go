@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
 	"net/http/httptest"
 	"runtime"
 	"sort"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/event"
@@ -236,6 +238,151 @@ func BenchmarkE1_Saturation(b *testing.B) {
 				b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "pub/s")
 				b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
 				c.Flush(time.Minute)
+			})
+		}
+	}
+}
+
+// benchShardCluster boots n sharded controllers over one master key,
+// each behind its own HTTP server on a pre-bound port (the map must
+// name real addresses before the controllers exist), and returns a
+// sharded client that routes by locally computed pseudonym — the
+// harness stands in for a producer co-located with the cluster key.
+func benchShardCluster(b *testing.B, n int) *transport.ShardedClient {
+	b.Helper()
+	key := bytes.Repeat([]byte{9}, crypto.KeySize)
+	lns := make([]net.Listener, n)
+	shards := make([]cluster.ShardInfo, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = ln
+		shards[i] = cluster.ShardInfo{ID: cluster.ShardID(i), Addr: "http://" + ln.Addr().String()}
+	}
+	m, err := cluster.NewMap(1, 0, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrls := make([]*core.Controller, n)
+	for i := range ctrls {
+		c, err := core.New(core.Config{
+			DefaultConsent: true, Codec: event.Binary, MasterKey: key,
+			ShardID: cluster.ShardID(i), ShardMap: m,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		if err := c.RegisterProducer("hospital", "H"); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RegisterConsumer("org", "O"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.DefinePolicy(&policy.Policy{
+			Producer: "hospital", Actor: "org", Class: schema.ClassBloodTest,
+			Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 4; s++ {
+			if _, err := c.Subscribe(event.Actor(fmt.Sprintf("org/d%02d", s)), schema.ClassBloodTest,
+				func(*event.Notification) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv := httptest.NewUnstartedServer(transport.NewServer(c))
+		srv.Listener.Close()
+		srv.Listener = lns[i]
+		srv.Start()
+		b.Cleanup(srv.Close)
+		ctrls[i] = c
+	}
+	b.Cleanup(func() {
+		for _, c := range ctrls {
+			c.Flush(time.Minute)
+		}
+	})
+	sc, err := transport.NewShardedClient(m, func(info cluster.ShardInfo) *transport.Client {
+		return transport.NewClient(info.Addr, nil, transport.WithCodec(event.Binary))
+	}, transport.WithPseudonym(ctrls[0].Pseudonym))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// BenchmarkE1_ShardedSaturation is E1_Saturation over a horizontally
+// sharded controller: the binary-codec publish path swept over cluster
+// width × connection count, persons spread across the keyspace so the
+// consistent-hash ring distributes load. The shards=1 row is the
+// sharding tax (one extra ownership check per publish) against
+// E1_Saturation's codec=binary/conns=16 row; the shards=4 row is the
+// scale-out claim — both gated by css-benchgate.
+func BenchmarkE1_ShardedSaturation(b *testing.B) {
+	for _, nShards := range []int{1, 2, 4} {
+		for _, conns := range []int{4, 16} {
+			b.Run(fmt.Sprintf("shards=%d/conns=%d", nShards, conns), func(b *testing.B) {
+				sc := benchShardCluster(b, nShards)
+				publish := func() (time.Duration, error) {
+					i := satSeq.Add(1)
+					t0 := time.Now()
+					_, err := sc.Publish(context.Background(), &event.Notification{
+						SourceID: event.SourceID(fmt.Sprintf("shs-%012d", i)), Class: schema.ClassBloodTest,
+						PersonID: fmt.Sprintf("PRS-%03d", i%256), OccurredAt: time.Now(), Producer: "hospital",
+					})
+					return time.Since(t0), err
+				}
+				// Warm every shard's keep-alive pool before the timed region.
+				for w := 0; w < nShards; w++ {
+					if _, err := publish(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var (
+					mu   sync.Mutex
+					lats = make([]time.Duration, 0, b.N)
+					next atomic.Int64
+					wg   sync.WaitGroup
+				)
+				b.ResetTimer()
+				start := time.Now()
+				for w := 0; w < conns; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						local := make([]time.Duration, 0, b.N/conns+1)
+						for next.Add(1) <= int64(b.N) {
+							d, err := publish()
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							local = append(local, d)
+						}
+						mu.Lock()
+						lats = append(lats, local...)
+						mu.Unlock()
+					}()
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				if b.Failed() || len(lats) == 0 {
+					return
+				}
+				sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+				idx := len(lats) * 99 / 100
+				if idx >= len(lats) {
+					idx = len(lats) - 1
+				}
+				b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "pub/s")
+				b.ReportMetric(float64(lats[idx].Nanoseconds()), "p99-ns")
 			})
 		}
 	}

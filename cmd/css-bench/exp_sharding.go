@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/transport"
+)
+
+// runE18 measures publish scale-out across controller shards: the same
+// open-loop HTTP publish storm driven at clusters of growing width
+// through the shard-routing client (pseudonym-computed routing, so
+// every publish goes straight to its owner). The speedup column is the
+// scale-out claim of DESIGN.md §12; shards=1 is the sharding tax.
+func runE18(quick bool) {
+	events := pick(quick, 2000, 20000)
+	widths := pick(quick, []int{1, 2}, []int{1, 2, 4})
+	conns := 16
+
+	var base float64
+	tbl := metrics.NewTable("shards", "conns", "events", "pub k-ev/s", "speedup", "publish lat mean/p50/p95/p99")
+	for _, n := range widths {
+		sc, closeAll := shardedCluster(n)
+		lat := metrics.NewHistogram()
+		var (
+			mu   sync.Mutex
+			seq  atomic.Int64
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		start := time.Now()
+		for w := 0; w < conns; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(events) {
+					i := seq.Add(1)
+					t0 := time.Now()
+					_, err := sc.Publish(context.Background(), &event.Notification{
+						SourceID:   event.SourceID(fmt.Sprintf("e18-%d-%09d", n, i)),
+						Class:      schema.ClassBloodTest,
+						PersonID:   fmt.Sprintf("PRS-%04d", i%1000),
+						OccurredAt: time.Now(),
+						Producer:   "hospital",
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					d := time.Since(t0)
+					mu.Lock()
+					lat.Record(d)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		closeAll()
+
+		rate := metrics.Rate(events, elapsed)
+		if n == widths[0] {
+			base = rate
+		}
+		tbl.Row(n, conns, events, rate/1000, fmt.Sprintf("%.2fx", rate/base), lat.Summary())
+	}
+	tbl.Write(os.Stdout)
+	fmt.Println("shape: pub/s grows near-linearly with shards while p99 holds — the ring")
+	fmt.Println("spreads persons evenly and the client needs no cross-shard coordination.")
+}
+
+// shardedCluster boots n sharded controllers over one master key, each
+// behind its own HTTP server on a pre-bound listener (the shard map
+// must name real addresses before the controllers exist), and returns a
+// pseudonym-routing sharded client plus a teardown closure.
+func shardedCluster(n int) (*transport.ShardedClient, func()) {
+	key := bytes.Repeat([]byte{9}, crypto.KeySize)
+	lns := make([]net.Listener, n)
+	shards := make([]cluster.ShardInfo, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[i] = ln
+		shards[i] = cluster.ShardInfo{ID: cluster.ShardID(i), Addr: "http://" + ln.Addr().String()}
+	}
+	m, err := cluster.NewMap(1, 0, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrls := make([]*core.Controller, n)
+	srvs := make([]*httptest.Server, n)
+	for i := range ctrls {
+		c, err := core.New(core.Config{
+			DefaultConsent: true, Codec: event.Binary, MasterKey: key,
+			ShardID: cluster.ShardID(i), ShardMap: m,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.RegisterProducer("hospital", "H"); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.RegisterConsumer("org", "O"); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.DefinePolicy(&policy.Policy{
+			Producer: "hospital", Actor: "org", Class: schema.ClassBloodTest,
+			Purposes: []event.Purpose{"care"}, Fields: []event.FieldName{"patient-id"},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		for s := 0; s < 4; s++ {
+			if _, err := c.Subscribe(event.Actor(fmt.Sprintf("org/d%02d", s)), schema.ClassBloodTest,
+				func(*event.Notification) {}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		srv := httptest.NewUnstartedServer(transport.NewServer(c))
+		srv.Listener.Close()
+		srv.Listener = lns[i]
+		srv.Start()
+		ctrls[i], srvs[i] = c, srv
+	}
+	sc, err := transport.NewShardedClient(m, func(info cluster.ShardInfo) *transport.Client {
+		return transport.NewClient(info.Addr, nil, transport.WithCodec(event.Binary))
+	}, transport.WithPseudonym(ctrls[0].Pseudonym))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sc, func() {
+		for i := range ctrls {
+			ctrls[i].Flush(time.Minute)
+			srvs[i].Close()
+			ctrls[i].Close()
+		}
+	}
+}

@@ -42,6 +42,7 @@ var experiments = []experiment{
 	{"e14", "ablation — WAL durability modes and recovery", runE14},
 	{"e15", "§1 — process monitoring over the notification stream", runE15},
 	{"e16", "§2 — accountability aggregates for the governing body", runE16},
+	{"e18", "DESIGN §12 — sharded controller: publish scale-out across cluster widths", runE18},
 }
 
 func main() {
@@ -62,7 +63,7 @@ func main() {
 		fmt.Println()
 	}
 	if matched == 0 {
-		log.Printf("no experiment matches %q; known: e1..e16, all", *exp)
+		log.Printf("no experiment matches %q; known: e1..e18, all", *exp)
 		os.Exit(2)
 	}
 }

@@ -1,20 +1,33 @@
-// Command css-benchgate guards the publish path against allocation
-// regressions. It reads `go test -bench -benchmem` output on stdin,
-// extracts allocs/op for the benchmarks named in a committed baseline
-// file, and exits non-zero when any of them regressed beyond the
-// tolerance. Allocation counts — unlike wall-clock ns/op — are
-// deterministic for a fixed code path, so the gate is stable across
-// machines and load, and a single short `-benchtime 2000x` run is
-// enough to drive it.
+// Command css-benchgate guards the publish path against regressions.
+// It reads `go test -bench -benchmem` output on stdin and gates two
+// kinds of budgets named in a committed baseline file:
+//
+//   - allocation budgets (the default): allocs/op for the listed
+//     benchmarks must not exceed the baseline beyond the tolerance.
+//     Allocation counts — unlike wall-clock ns/op — are deterministic
+//     for a fixed code path, so the gate is stable across machines and
+//     load, and a single short `-benchtime 2000x` run is enough.
+//   - rate pairs (-rates): the `pub/s` custom metric of one benchmark
+//     compared against another benchmark FROM THE SAME RUN. Because
+//     both sides share the machine and the load, the ratio is stable
+//     where absolute rates are not: `withinPct` bounds a slowdown
+//     (e.g. the 1-shard sharding tax vs the unsharded saturation row)
+//     and `minRatio` demands a speedup (e.g. 4-shard scale-out vs
+//     1-shard). Pairs with `minCPU` are skipped on smaller machines —
+//     scale-out cannot manifest without cores to scale onto.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'E1_PublishRoute' -benchtime 2000x -benchmem . \
 //	    | css-benchgate -baseline BENCH_baseline.json
 //
-// Pass -update to rewrite the baseline from the measured run instead of
-// gating (after an intentional improvement or regression, reviewed in
-// the diff like any other change).
+//	go test -run '^$' -bench 'E1_Saturation|E1_ShardedSaturation' . \
+//	    | css-benchgate -baseline BENCH_baseline.json -rates
+//
+// Pass -update to rewrite the allocation baseline from the measured run
+// instead of gating (after an intentional improvement or regression,
+// reviewed in the diff like any other change). Rate pairs are relative,
+// so they have no measured baseline to update — edit them in the JSON.
 package main
 
 import (
@@ -24,52 +37,82 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 )
 
-// baseline is the committed allocation budget.
+// baseline is the committed benchmark budget.
 type baseline struct {
 	// TolerancePct is the allowed relative regression in percent.
 	TolerancePct float64 `json:"tolerancePct"`
 	// AllocsPerOp maps benchmark name (no -N GOMAXPROCS suffix) to the
 	// recorded allocs/op.
 	AllocsPerOp map[string]int64 `json:"allocsPerOp"`
+	// RatePairs are same-run pub/s comparisons gated by -rates.
+	RatePairs []ratePair `json:"ratePairs,omitempty"`
+}
+
+// ratePair compares the pub/s metric of two benchmarks from one run.
+type ratePair struct {
+	// Name and Against are benchmark names as printed (sub-benchmark
+	// path included, no GOMAXPROCS suffix).
+	Name    string `json:"name"`
+	Against string `json:"against"`
+	// WithinPct, when set, requires Name's rate to be no more than this
+	// many percent below Against's (faster is never a failure).
+	WithinPct float64 `json:"withinPct,omitempty"`
+	// MinRatio, when set, requires Name's rate ≥ MinRatio × Against's.
+	MinRatio float64 `json:"minRatio,omitempty"`
+	// MinCPU skips the pair when the machine has fewer logical CPUs —
+	// scale-out ratios are meaningless on a box with nothing to scale
+	// onto.
+	MinCPU int `json:"minCPU,omitempty"`
 }
 
 // benchLine matches one -benchmem result line.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op\s+\S+ B/op\s+(\d+) allocs/op`)
 
+// rateLine matches a result line carrying the custom pub/s metric.
+var rateLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?(\d+(?:\.\d+)?) pub/s`)
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed allocation baseline")
-	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed benchmark baseline")
+	update := flag.Bool("update", false, "rewrite the allocation baseline from this run instead of gating")
+	rates := flag.Bool("rates", false, "gate the baseline's ratePairs (same-run pub/s comparisons) instead of allocs/op")
 	flag.Parse()
 
-	measured := map[string]int64{}
+	allocs := map[string]int64{}
+	pubRate := map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
+		line := sc.Text()
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			if n, err := strconv.ParseInt(m[2], 10, 64); err == nil {
+				// Keep the worst (highest) sample when -count produced several.
+				if prev, ok := allocs[m[1]]; !ok || n > prev {
+					allocs[m[1]] = n
+				}
+			}
 		}
-		n, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
-		}
-		// Keep the worst (highest) sample when -count produced several.
-		if prev, ok := measured[m[1]]; !ok || n > prev {
-			measured[m[1]] = n
+		if m := rateLine.FindStringSubmatch(line); m != nil {
+			if r, err := strconv.ParseFloat(m[2], 64); err == nil {
+				// Keep the worst (lowest) rate when -count produced several.
+				if prev, ok := pubRate[m[1]]; !ok || r < prev {
+					pubRate[m[1]] = r
+				}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("read stdin: %v", err)
 	}
-	if len(measured) == 0 {
-		fatalf("no -benchmem result lines on stdin (run with -benchmem)")
-	}
 
 	if *update {
-		writeBaseline(*baselinePath, measured)
+		if len(allocs) == 0 {
+			fatalf("no -benchmem result lines on stdin (run with -benchmem)")
+		}
+		writeBaseline(*baselinePath, allocs)
 		return
 	}
 
@@ -85,6 +128,22 @@ func main() {
 		base.TolerancePct = 5
 	}
 
+	if *rates {
+		if gateRates(base.RatePairs, pubRate) {
+			os.Exit(1)
+		}
+		return
+	}
+	if len(allocs) == 0 {
+		fatalf("no -benchmem result lines on stdin (run with -benchmem)")
+	}
+	if gateAllocs(base, allocs) {
+		os.Exit(1)
+	}
+}
+
+// gateAllocs checks the allocation budgets; true means failure.
+func gateAllocs(base baseline, measured map[string]int64) bool {
 	names := make([]string, 0, len(base.AllocsPerOp))
 	for name := range base.AllocsPerOp {
 		names = append(names, name)
@@ -111,13 +170,68 @@ func main() {
 			fmt.Printf("ok   %s: %d allocs/op (baseline %d)\n", name, got, want)
 		}
 	}
-	if failed {
-		os.Exit(1)
+	return failed
+}
+
+// gateRates checks the same-run pub/s pairs; true means failure.
+func gateRates(pairs []ratePair, rates map[string]float64) bool {
+	if len(pairs) == 0 {
+		fatalf("-rates set but the baseline has no ratePairs")
 	}
+	failed := false
+	for _, p := range pairs {
+		if p.MinCPU > 0 && runtime.NumCPU() < p.MinCPU {
+			fmt.Printf("skip %s vs %s: needs %d CPUs, machine has %d\n",
+				p.Name, p.Against, p.MinCPU, runtime.NumCPU())
+			continue
+		}
+		got, ok := rates[p.Name]
+		ref, rok := rates[p.Against]
+		if !ok || !rok {
+			for want, have := range map[string]bool{p.Name: ok, p.Against: rok} {
+				if !have {
+					fmt.Fprintf(os.Stderr, "FAIL %s: no pub/s metric in the measured run\n", want)
+				}
+			}
+			failed = true
+			continue
+		}
+		switch {
+		case p.WithinPct > 0:
+			floor := ref * (1 - p.WithinPct/100)
+			if got < floor {
+				fmt.Fprintf(os.Stderr, "FAIL %s: %.0f pub/s is %.1f%% below %s (%.0f pub/s), tolerance %.0f%%\n",
+					p.Name, got, 100*(ref-got)/ref, p.Against, ref, p.WithinPct)
+				failed = true
+			} else {
+				fmt.Printf("ok   %s: %.0f pub/s within %.0f%% of %s (%.0f pub/s)\n",
+					p.Name, got, p.WithinPct, p.Against, ref)
+			}
+		case p.MinRatio > 0:
+			if got < ref*p.MinRatio {
+				fmt.Fprintf(os.Stderr, "FAIL %s: %.0f pub/s is only %.2fx %s (%.0f pub/s), want ≥%.1fx\n",
+					p.Name, got, got/ref, p.Against, ref, p.MinRatio)
+				failed = true
+			} else {
+				fmt.Printf("ok   %s: %.0f pub/s = %.2fx %s (%.0f pub/s, want ≥%.1fx)\n",
+					p.Name, got, got/ref, p.Against, ref, p.MinRatio)
+			}
+		default:
+			fatalf("ratePair %s vs %s sets neither withinPct nor minRatio", p.Name, p.Against)
+		}
+	}
+	return failed
 }
 
 func writeBaseline(path string, measured map[string]int64) {
+	// Preserve committed rate pairs across -update rewrites.
 	out := baseline{TolerancePct: 5, AllocsPerOp: measured}
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev baseline
+		if json.Unmarshal(raw, &prev) == nil {
+			out.RatePairs = prev.RatePairs
+		}
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fatalf("encode baseline: %v", err)

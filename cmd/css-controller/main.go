@@ -32,6 +32,16 @@
 //	-span-sample    head-sampling rate for span recording and export
 //	                (default 0.1; errors and slow spans are always kept)
 //	-span-slow      tail-keep threshold for exported spans (default 100ms)
+//	-shard-id       this controller's shard id within the cluster
+//	                (default -1: unsharded). An id absent from the map
+//	                boots cold and joins via a live reshard.
+//	-shard-map      cluster topology as "id=url,id=url,..." or "@file"
+//	                (one id=url per line, # comments); all shards must
+//	                share -key-file — pseudonym partitioning assumes one
+//	                HMAC keyspace
+//	-peers          shorthand topology: comma-separated shard base URLs
+//	                assigned ids 0..n-1 in order (alternative to
+//	                -shard-map)
 //
 // The controller always serves /metrics (Prometheus text format),
 // /healthz, /slo (latency-objective burn rates) and /debug/spans (the
@@ -54,10 +64,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/identity"
@@ -100,6 +112,9 @@ func main() {
 	spanFile := flag.String("span-file", "", "durable span export file (JSONL ring; empty: disabled)")
 	spanSample := flag.Float64("span-sample", telemetry.DefaultSampleRate, "head-sampling rate for span recording and export (0..1)")
 	spanSlow := flag.Duration("span-slow", telemetry.DefaultSlowTail, "tail-keep exported spans at least this slow (negative: disabled)")
+	shardID := flag.Int("shard-id", -1, "this controller's shard id (default: unsharded)")
+	shardMapSpec := flag.String("shard-map", "", `cluster topology: "id=url,..." or "@file" with one id=url per line`)
+	peersSpec := flag.String("peers", "", "comma-separated shard base URLs assigned ids 0..n-1 (alternative to -shard-map)")
 	gateways := gatewayFlags{}
 	flag.Var(gateways, "gateway", "attach a remote cooperation gateway as producer=URL (repeatable)")
 	gatewayToken := flag.String("gateway-token", "", "bearer token presented to remote gateways (auth-enabled gateways)")
@@ -143,11 +158,35 @@ func main() {
 		cfg.MasterKey = key
 	}
 
+	if *shardMapSpec != "" || *peersSpec != "" {
+		if *shardID < 0 {
+			log.Fatal("sharding: -shard-id is required with -shard-map/-peers")
+		}
+		if len(cfg.MasterKey) == 0 {
+			log.Fatal("sharding: -key-file is required (all shards must share one master key)")
+		}
+		m, err := parseShardTopology(*shardMapSpec, *peersSpec)
+		if err != nil {
+			log.Fatalf("sharding: %v", err)
+		}
+		cfg.ShardMap = m
+		cfg.ShardID = cluster.ShardID(*shardID)
+	} else if *shardID >= 0 {
+		log.Fatal("sharding: -shard-id needs a topology (-shard-map or -peers)")
+	}
+
 	ctrl, err := core.New(cfg)
 	if err != nil {
 		log.Fatalf("controller: %v", err)
 	}
 	defer ctrl.Close()
+
+	if m := ctrl.ShardMap(); m != nil {
+		self, _ := ctrl.ShardID()
+		telemetry.Logger().Info("controller is sharded",
+			"shard", self.String(), "map_version", m.Version(),
+			"shards", len(m.Shards()), "vnodes", m.VNodes())
+	}
 
 	// Durable span export: head-sampled plus error/latency tail, flushed
 	// and fsynced as a drain step so a post-mortem always has the spans
@@ -296,6 +335,55 @@ func main() {
 		telemetry.Logger().Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
+}
+
+// parseShardTopology builds the boot shard map (version 1, default
+// vnodes) from -shard-map — inline "id=url,..." or "@file" with one
+// id=url per line — or from -peers, whose URLs take ids in list order.
+func parseShardTopology(mapSpec, peers string) (*cluster.Map, error) {
+	if mapSpec != "" && peers != "" {
+		return nil, fmt.Errorf("-shard-map and -peers are mutually exclusive")
+	}
+	var entries []string
+	switch {
+	case peers != "":
+		next := 0
+		for _, u := range strings.Split(peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				entries = append(entries, fmt.Sprintf("%d=%s", next, u))
+				next++
+			}
+		}
+	case strings.HasPrefix(mapSpec, "@"):
+		data, err := os.ReadFile(strings.TrimPrefix(mapSpec, "@"))
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+				entries = append(entries, line)
+			}
+		}
+	default:
+		for _, e := range strings.Split(mapSpec, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				entries = append(entries, e)
+			}
+		}
+	}
+	shards := make([]cluster.ShardInfo, 0, len(entries))
+	for _, e := range entries {
+		ids, url, ok := strings.Cut(e, "=")
+		if !ok || url == "" {
+			return nil, fmt.Errorf("want id=url, got %q", e)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(ids))
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad shard id in %q", e)
+		}
+		shards = append(shards, cluster.ShardInfo{ID: cluster.ShardID(id), Addr: strings.TrimSpace(url)})
+	}
+	return cluster.NewMap(1, 0, shards)
 }
 
 func orMem(dir string) string {

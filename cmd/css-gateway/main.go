@@ -16,7 +16,9 @@
 //	             and mounts POST /gw/publish — a publish relay that
 //	             forwards notifications to the controller and parks them
 //	             in a durable outbox (outbox.wal under -data) while the
-//	             controller is unreachable
+//	             controller is unreachable. A sharded controller (one
+//	             serving GET /ws/shardmap) upgrades the relay to a
+//	             shard-routing client automatically
 //	-pprof       expose net/http/pprof under /debug/pprof/ (opt-in)
 //	-log-json    structured JSON logs on stderr (default: text)
 //	-max-inflight   global concurrent-request budget (default 256)
@@ -49,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/identity"
@@ -111,6 +114,7 @@ func main() {
 
 	var schemas gateway.SchemaSource
 	var client *transport.Client
+	var relay transport.EventPublisher
 	resMetrics := resilience.NewMetrics(telemetry.Default())
 	if *controller != "" {
 		breakers := resilience.NewGroup(resilience.BreakerConfig{Metrics: resMetrics})
@@ -131,6 +135,31 @@ func main() {
 		}
 		schemas = cat
 		log.Printf("validating against %d catalog classes", len(cat))
+
+		// A sharded controller answers GET /ws/shardmap with its cluster
+		// topology: upgrade the publish relay to a shard-routing client,
+		// so relayed notifications land on (or get redirected to) the
+		// owning shard. An unsharded controller answers not-found and the
+		// plain client stays.
+		relay = client
+		if m, merr := client.ShardMap(context.Background()); merr == nil {
+			sc, serr := transport.NewShardedClient(m, func(info cluster.ShardInfo) *transport.Client {
+				c := transport.NewClient(info.Addr, nil,
+					transport.WithCodec(codec),
+					transport.WithRetrier(resilience.NewRetrier(resilience.RetryPolicy{Metrics: resMetrics})),
+					transport.WithBreakerGroup(resilience.NewGroup(resilience.BreakerConfig{Metrics: resMetrics})))
+				if *token != "" {
+					c = c.WithToken(*token)
+				}
+				return c
+			})
+			if serr != nil {
+				log.Fatalf("sharded controller: %v", serr)
+			}
+			relay = sc
+			telemetry.Logger().Info("controller is sharded; publish relay routes by shard",
+				"map_version", m.Version(), "shards", len(m.Shards()))
+		}
 	}
 
 	gw, err := gateway.New(event.ProducerID(*producer), st, schemas)
@@ -177,7 +206,7 @@ func main() {
 			}
 		}
 		defer obStore.Close()
-		qp, err = transport.NewQueuedPublisher(client, obStore, resMetrics, 0)
+		qp, err = transport.NewQueuedPublisher(relay, obStore, resMetrics, 0)
 		if err != nil {
 			log.Fatalf("outbox: %v", err)
 		}

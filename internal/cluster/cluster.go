@@ -1,0 +1,211 @@
+// Package cluster partitions the data controller horizontally: N
+// controller shards each own a slice of the person-pseudonym space,
+// assigned by consistent hashing over a versioned vnode ring. The
+// events index, the bus routing and the audit chain of a person's
+// events all live on the shard that owns her pseudonym, so every
+// publish touches exactly one shard and the single-node publish path
+// (PR 7) is preserved per shard.
+//
+// The package is deliberately low-level: it knows nothing about the
+// controller or the transport. It provides
+//
+//   - the versioned shard map (ring layout + binary frame codec),
+//   - the typed routing errors (ErrWrongShard with the owner hint,
+//     ErrResharding for the freeze window),
+//   - the scatter-gather engine for cross-shard inquiries (per-shard
+//     deadline budgets, stable merge, typed partial results), and
+//   - the live-reshard coordinator (freeze → drain → ship → flip)
+//     over a small Node interface the controller implements.
+//
+// Higher layers compose it: internal/core enforces ownership on the
+// publish path, internal/registry serves the map, internal/transport
+// routes by it and honors the redirects.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ShardID identifies one controller shard. IDs are small dense
+// integers assigned by the operator; they never change across map
+// versions (a reshard adds or removes IDs, it does not renumber).
+type ShardID int
+
+// String renders the id for labels and log lines.
+func (id ShardID) String() string { return "shard-" + strconv.Itoa(int(id)) }
+
+// ShardInfo names one shard and where to reach it.
+type ShardInfo struct {
+	ID   ShardID
+	Addr string // base URL of the shard's web-service binding
+}
+
+// DefaultVNodes is the number of virtual nodes each shard contributes
+// to the ring. 64 vnodes keep the max/mean key imbalance under ~1.25
+// for small clusters while the ring stays tiny (N*64 points).
+const DefaultVNodes = 64
+
+// ErrWrongShard is the sentinel identity of WrongShardError: a request
+// landed on a shard that does not own the person key. errors.Is works
+// locally and across the wire (transport maps it to a fault code).
+var ErrWrongShard = errors.New("cluster: wrong shard for key")
+
+// ErrResharding reports a publish refused during the freeze window of
+// a live reshard: the key range is mid-handoff and writable nowhere
+// until the map version flips. It is transient by construction — the
+// transport marks it retryable and producers back off and retry.
+var ErrResharding = errors.New("cluster: key range frozen for resharding")
+
+// ErrStaleMap reports an attempt to install a shard map whose version
+// is not newer than the one already held.
+var ErrStaleMap = errors.New("cluster: stale shard map version")
+
+// WrongShardError carries the redirect hint: which shard owns the key
+// and under which map version, so the client refreshes its cached map
+// when it is behind and retries at the owner.
+type WrongShardError struct {
+	Owner   ShardID
+	Version uint64
+}
+
+// Error implements the error interface.
+func (e *WrongShardError) Error() string {
+	return "cluster: wrong shard for key (owner " + e.Owner.String() +
+		", map v" + strconv.FormatUint(e.Version, 10) + ")"
+}
+
+// Is makes errors.Is(err, ErrWrongShard) match the typed redirect.
+func (e *WrongShardError) Is(target error) bool { return target == ErrWrongShard }
+
+// Map is a versioned assignment of the pseudonym space to shards: a
+// consistent-hash ring of VNodes virtual points per shard. A Map is
+// immutable after construction (derive a successor with WithShards);
+// methods are safe for concurrent use.
+type Map struct {
+	version uint64
+	vnodes  int
+	shards  []ShardInfo // sorted by ID
+
+	ring []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard ShardID
+}
+
+// NewMap builds a shard map. vnodes <= 0 means DefaultVNodes. Shard
+// IDs must be unique and non-negative; at least one shard is required.
+func NewMap(version uint64, vnodes int, shards []ShardInfo) (*Map, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: shard map needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := make([]ShardInfo, len(shards))
+	copy(sorted, shards)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, s := range sorted {
+		if s.ID < 0 {
+			return nil, fmt.Errorf("cluster: negative shard id %d", s.ID)
+		}
+		if i > 0 && sorted[i-1].ID == s.ID {
+			return nil, fmt.Errorf("cluster: duplicate shard id %d", s.ID)
+		}
+	}
+	m := &Map{version: version, vnodes: vnodes, shards: sorted}
+	m.buildRing()
+	return m, nil
+}
+
+// buildRing places vnodes points per shard, hashed from the shard id
+// and vnode ordinal only — deterministic across processes, so every
+// node holding the same (version, vnodes, shard set) computes the
+// identical assignment without any coordination.
+func (m *Map) buildRing() {
+	m.ring = make([]ringPoint, 0, len(m.shards)*m.vnodes)
+	for _, s := range m.shards {
+		for v := 0; v < m.vnodes; v++ {
+			m.ring = append(m.ring, ringPoint{hash: vnodeHash(s.ID, v), shard: s.ID})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		// Hash ties (vanishingly rare) break by shard id so the ring
+		// order stays deterministic everywhere.
+		return m.ring[i].shard < m.ring[j].shard
+	})
+}
+
+func vnodeHash(id ShardID, vnode int) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	b := strconv.AppendInt(buf[:0], int64(id), 10)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(vnode), 10)
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Version returns the map version. Versions are strictly increasing
+// across reshards; a higher version always supersedes a lower one.
+func (m *Map) Version() uint64 { return m.version }
+
+// VNodes returns the per-shard virtual node count.
+func (m *Map) VNodes() int { return m.vnodes }
+
+// Shards returns the member shards, sorted by ID. The caller must not
+// mutate the returned slice.
+func (m *Map) Shards() []ShardInfo { return m.shards }
+
+// Shard returns the info for one shard id.
+func (m *Map) Shard(id ShardID) (ShardInfo, bool) {
+	i := sort.Search(len(m.shards), func(i int) bool { return m.shards[i].ID >= id })
+	if i < len(m.shards) && m.shards[i].ID == id {
+		return m.shards[i], true
+	}
+	return ShardInfo{}, false
+}
+
+// Owner returns the shard owning a person pseudonym: the first vnode
+// clockwise of the key's hash on the ring.
+func (m *Map) Owner(pseudonym string) ShardID {
+	h := fnv.New64a()
+	h.Write([]byte(pseudonym))
+	key := h.Sum64()
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= key })
+	if i == len(m.ring) {
+		i = 0 // wrap around
+	}
+	return m.ring[i].shard
+}
+
+// WithShards derives the successor map (version+1) over a new shard
+// set — the split (adding shards) or merge (removing shards) a live
+// reshard flips to.
+func (m *Map) WithShards(shards []ShardInfo) (*Map, error) {
+	return NewMap(m.version+1, m.vnodes, shards)
+}
+
+// Equal reports whether two maps describe the identical assignment.
+func (m *Map) Equal(o *Map) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if m.version != o.version || m.vnodes != o.vnodes || len(m.shards) != len(o.shards) {
+		return false
+	}
+	for i := range m.shards {
+		if m.shards[i] != o.shards[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+// Live resharding: split or merge the cluster by flipping from the
+// current map to a successor map without dropping or double-indexing a
+// publish. The protocol is freeze → drain → ship → flip → sweep:
+//
+//  1. Freeze. Every donor shard starts rejecting publishes whose
+//     pseudonym moves under the next map with ErrResharding — a
+//     transient fault the transport retries, so producers stall
+//     briefly instead of failing. Publishes for keys that stay put
+//     proceed untouched.
+//  2. Drain. The donor waits out publishes already in flight (a
+//     read-write barrier in the controller), so the export below sees
+//     every acknowledged write.
+//  3. Ship. The donor scans its index and id-map for moved keys and
+//     streams them to each recipient as store-tagged WAL batch frames
+//     (handoff frames wrapping store.Batch.EncodeFrame bytes). The
+//     recipient applies them through the same WAL apply path as a
+//     normal write — CRC-checked, torn frames rejected.
+//  4. Flip. Recipients adopt the next map first, then donors. From the
+//     donor's adoption on, a publish for a moved key answers with the
+//     ErrWrongShard redirect naming the new owner; because recipients
+//     adopted first, the redirected retry lands on a shard that
+//     accepts it. At every instant each key is writable on at most one
+//     shard, and producers retry the freeze window, so nothing is
+//     dropped and nothing indexes twice.
+//  5. Sweep. The donor deletes the moved keys it shipped, so scatter
+//     queries stop seeing them twice. (Until the sweep completes the
+//     scatter merge's id-dedupe hides the brief overlap.)
+//
+// The coordinator below drives in-process nodes — the form the smoke
+// and chaos suites exercise. Cross-process resharding ships the same
+// frames over the peer transport; the node protocol is identical.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Node is the per-shard surface the reshard coordinator drives. The
+// controller implements it.
+type Node interface {
+	// Self returns this node's shard id.
+	Self() ShardID
+	// CurrentMap returns the map the node is routing by.
+	CurrentMap() *Map
+	// BeginReshard freezes publishes for keys that move under next
+	// (they fail with ErrResharding until the flip) and drains
+	// in-flight publishes so a subsequent export is complete.
+	BeginReshard(next *Map) error
+	// ExportMoved scans the node's stores for keys whose owner changes
+	// under next and streams them as handoff frames to ship, tagged
+	// with the recipient shard. It returns the number of moved events.
+	ExportMoved(next *Map, ship func(target ShardID, frame []byte) error) (int, error)
+	// ImportFrame applies one handoff frame produced by ExportMoved on
+	// another node. Idempotent: re-applying a frame is harmless.
+	ImportFrame(frame []byte) error
+	// AdoptMap atomically switches the node to the next map and lifts
+	// the freeze. Moved keys answer with ErrWrongShard redirects after.
+	AdoptMap(next *Map) error
+	// AbortReshard lifts the freeze without adopting, restoring the
+	// pre-reshard state (shipped copies on recipients are inert — the
+	// map never flipped, so they are unreachable and re-shipped by a
+	// future attempt).
+	AbortReshard() error
+	// SweepMoved deletes keys this node no longer owns under its
+	// current map, returning how many events it removed. Called on
+	// donors after the flip.
+	SweepMoved() (int, error)
+}
+
+// ReshardStats summarizes one completed reshard.
+type ReshardStats struct {
+	// Moved counts events shipped donor→recipient.
+	Moved int
+	// Swept counts events deleted from donors after the flip.
+	Swept int
+}
+
+// Reshard drives a split or merge across the given nodes: every shard
+// of the current map and every shard of the next map must be present.
+// On error before the flip the donors are unfrozen and the cluster
+// stays on the current map; the flip itself is per-node-atomic and
+// ordered recipients-first so redirected publishes always land on a
+// shard that accepts them.
+func Reshard(ctx context.Context, nodes map[ShardID]Node, next *Map) (ReshardStats, error) {
+	var stats ReshardStats
+	if next == nil {
+		return stats, errors.New("cluster: reshard needs a next map")
+	}
+	var cur *Map
+	for _, n := range nodes {
+		m := n.CurrentMap()
+		if cur == nil {
+			cur = m
+		} else if !cur.Equal(m) {
+			return stats, fmt.Errorf("cluster: nodes disagree on current map (v%d vs v%d)", cur.Version(), m.Version())
+		}
+	}
+	if cur == nil {
+		return stats, errors.New("cluster: reshard needs at least one node")
+	}
+	if next.Version() <= cur.Version() {
+		return stats, ErrStaleMap
+	}
+	for _, s := range cur.Shards() {
+		if _, ok := nodes[s.ID]; !ok {
+			return stats, fmt.Errorf("cluster: reshard missing donor node %s", s.ID)
+		}
+	}
+	for _, s := range next.Shards() {
+		if _, ok := nodes[s.ID]; !ok {
+			return stats, fmt.Errorf("cluster: reshard missing recipient node %s", s.ID)
+		}
+	}
+
+	donors := cur.Shards()
+
+	// Freeze + drain every donor. On failure, unfreeze the ones already
+	// frozen and abort with the cluster unchanged.
+	frozen := make([]Node, 0, len(donors))
+	abort := func() {
+		for _, n := range frozen {
+			_ = n.AbortReshard()
+		}
+	}
+	for _, s := range donors {
+		if err := ctx.Err(); err != nil {
+			abort()
+			return stats, err
+		}
+		n := nodes[s.ID]
+		if err := n.BeginReshard(next); err != nil {
+			abort()
+			return stats, fmt.Errorf("cluster: freeze %s: %w", s.ID, err)
+		}
+		frozen = append(frozen, n)
+	}
+
+	// Ship moved keys donor→recipient while everything is quiescent.
+	for _, s := range donors {
+		if err := ctx.Err(); err != nil {
+			abort()
+			return stats, err
+		}
+		moved, err := nodes[s.ID].ExportMoved(next, func(target ShardID, frame []byte) error {
+			rec, ok := nodes[target]
+			if !ok {
+				return fmt.Errorf("cluster: handoff targets unknown shard %s", target)
+			}
+			return rec.ImportFrame(frame)
+		})
+		if err != nil {
+			abort()
+			return stats, fmt.Errorf("cluster: export from %s: %w", s.ID, err)
+		}
+		stats.Moved += moved
+	}
+
+	// Flip: recipients first, donors second. Past this point there is
+	// no rollback — the map version only moves forward.
+	isDonor := make(map[ShardID]bool, len(donors))
+	for _, s := range donors {
+		isDonor[s.ID] = true
+	}
+	for _, s := range next.Shards() {
+		if !isDonor[s.ID] {
+			if err := nodes[s.ID].AdoptMap(next); err != nil {
+				abort()
+				return stats, fmt.Errorf("cluster: adopt on %s: %w", s.ID, err)
+			}
+		}
+	}
+	for _, s := range donors {
+		if err := nodes[s.ID].AdoptMap(next); err != nil {
+			return stats, fmt.Errorf("cluster: adopt on donor %s: %w", s.ID, err)
+		}
+	}
+
+	// Sweep donors that remain in the cluster. Failures here leave
+	// duplicates the scatter merge dedupes; report them anyway.
+	for _, s := range next.Shards() {
+		if !isDonor[s.ID] {
+			continue
+		}
+		swept, err := nodes[s.ID].SweepMoved()
+		if err != nil {
+			return stats, fmt.Errorf("cluster: sweep on %s: %w", s.ID, err)
+		}
+		stats.Swept += swept
+	}
+	return stats, nil
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/bus"
+	"repro/internal/cluster"
 	"repro/internal/consent"
 	"repro/internal/crypto"
 	"repro/internal/enforcer"
@@ -95,6 +96,17 @@ type Config struct {
 	// format; daemons pass event.Binary via -codec=binary for the
 	// compact framing.
 	Codec event.Codec
+	// ShardMap makes this controller one shard of a cluster: publishes
+	// for person pseudonyms owned by other shards are redirected
+	// (cluster.ErrWrongShard), and the controller participates in live
+	// resharding. Nil (the default) runs unsharded with zero cluster
+	// overhead. All shards of one cluster must share MasterKey — the
+	// pseudonym partitioning assumes one HMAC keyspace.
+	ShardMap *cluster.Map
+	// ShardID is this controller's identity within ShardMap. Only
+	// meaningful when ShardMap is set. An id absent from the map boots
+	// cold — owning no keys until a reshard flips in a map naming it.
+	ShardID cluster.ShardID
 }
 
 // Stats aggregates controller counters. It is a compatibility view over
@@ -132,6 +144,11 @@ type instruments struct {
 	deliverySeconds *telemetry.HistogramChild // css_delivery_seconds
 	detailSeconds   *telemetry.Histogram      // css_detail_request_seconds{outcome}
 	stageSeconds    *telemetry.Histogram      // css_stage_seconds{stage}
+
+	clusterWrongShard     *telemetry.Counter // css_cluster_wrong_shard_total
+	clusterReshardRejects *telemetry.Counter // css_cluster_reshard_rejects_total
+	clusterHandoff        *telemetry.Counter // css_cluster_handoff_events_total{direction}
+	clusterMapVersion     *telemetry.Gauge   // css_cluster_map_version
 }
 
 // composeBusObserver chains a caller-supplied bus observer with the
@@ -211,6 +228,14 @@ func newInstruments(reg *telemetry.Registry) instruments {
 			"Detail-request latency in seconds, by outcome.", "outcome"),
 		stageSeconds: reg.Histogram("css_stage_seconds",
 			"Per-stage latency of traced flows in seconds, by stage.", "stage"),
+		clusterWrongShard: reg.Counter("css_cluster_wrong_shard_total",
+			"Publishes refused with a wrong-shard redirect to the owning shard."),
+		clusterReshardRejects: reg.Counter("css_cluster_reshard_rejects_total",
+			"Publishes refused transiently because their key range was frozen for resharding."),
+		clusterHandoff: reg.Counter("css_cluster_handoff_events_total",
+			"Reshard handoff progress, by direction (shipped/adopted/swept).", "direction"),
+		clusterMapVersion: reg.Gauge("css_cluster_map_version",
+			"Version of the shard map this controller routes by (0 = unsharded)."),
 	}
 }
 
@@ -235,6 +260,9 @@ type Controller struct {
 	tel    *telemetry.Registry
 	tracer *telemetry.Tracer
 	met    instruments
+
+	// shard is the cluster identity; nil when unsharded (see cluster.go).
+	shard *shardState
 
 	mu     sync.Mutex
 	subSeq int
@@ -353,6 +381,12 @@ func New(cfg Config) (*Controller, error) {
 	})
 	c.brk = bus.New(cfg.Bus)
 	c.pending = newPendingBook()
+
+	if cfg.ShardMap != nil {
+		if err := c.initCluster(cfg.ShardID, cfg.ShardMap); err != nil {
+			return nil, err
+		}
+	}
 
 	if cfg.DataDir != "" {
 		if c.persist.catalog, err = open("catalog"); err != nil {

@@ -56,6 +56,17 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	if decl.Producer != n.Producer {
 		return "", fmt.Errorf("%w: %s is owned by %s", ErrNotClassOwner, n.Class, decl.Producer)
 	}
+	// Clustered deployments enforce pseudonym ownership before any state
+	// changes (critically: before the global id is assigned), and hold
+	// the shard's drain barrier for the rest of the flow so a reshard
+	// freeze can wait this publish out. Unsharded: one nil check.
+	if c.shard != nil {
+		release, err := c.shardAdmit(n.PersonID)
+		if err != nil {
+			return "", err
+		}
+		defer release()
+	}
 
 	// Mint the flow's trace ID unless the producer supplied one; it rides
 	// on the stamped notification through the bus and onto every audit
@@ -72,6 +83,9 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 		parent = telemetry.SpanIDFrom(ctx)
 	}
 	pubSpan := c.tracer.StartDetached("publish", trace, parent)
+	if c.shard != nil {
+		pubSpan.SetAttr("shard", c.shard.label)
+	}
 	start := time.Now()
 	fail := func(err error) (event.GlobalID, error) {
 		pubSpan.SetError(err)

@@ -1,0 +1,75 @@
+// Reshard handoff support: exporting both directions of the id
+// mapping for the global ids that move shard, so the recipient can
+// resolve detail requests (g/ lookup) and keep publish retries
+// idempotent (r/ lookup) for the adopted events.
+package idmap
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/store"
+)
+
+// ExportFor builds one batch holding the g/ and r/ entries of the
+// given global ids. Unknown ids are an error: the index and the id
+// map are written in the same publish flow, so a gid present in the
+// index but absent here means a corrupt shard.
+func (m *Map) ExportFor(gids []event.GlobalID) (*store.Batch, error) {
+	var b store.Batch
+	for _, gid := range gids {
+		v, ok, err := m.st.Get(globalKey(gid))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: %s (index/id-map divergence)", ErrNotFound, gid)
+		}
+		producer, source, _, err := decodeMapping(string(v))
+		if err != nil {
+			return nil, err
+		}
+		b.Put(globalKey(gid), v)
+		b.Put(reverseKey(producer, source), []byte(gid))
+	}
+	return &b, nil
+}
+
+// ApplyHandoff applies a batch shipped by a donor's ExportFor.
+// Idempotent: the entries are immutable once minted.
+func (m *Map) ApplyHandoff(b *store.Batch) error {
+	return m.st.Apply(b)
+}
+
+// SweepFor deletes both directions of the mapping for the given global
+// ids — the donor's post-flip cleanup. Missing entries are skipped
+// (the sweep may retry).
+func (m *Map) SweepFor(gids []event.GlobalID) (int, error) {
+	var b store.Batch
+	swept := 0
+	for _, gid := range gids {
+		v, ok, err := m.st.Get(globalKey(gid))
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		producer, source, _, err := decodeMapping(string(v))
+		if err != nil {
+			return 0, err
+		}
+		b.Delete(globalKey(gid))
+		b.Delete(reverseKey(producer, source))
+		swept++
+	}
+	if b.Len() == 0 {
+		return 0, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.st.Apply(&b); err != nil {
+		return 0, err
+	}
+	return swept, nil
+}

@@ -12,8 +12,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/event"
 	"repro/internal/schema"
 )
@@ -54,12 +56,17 @@ type Declaration struct {
 }
 
 // Registry is the event catalog plus the membership roster. Safe for
-// concurrent use.
+// concurrent use. In a sharded deployment it additionally serves the
+// cluster's versioned shard map (shardmap.go) — the registry is the
+// component every participant already queries for platform metadata,
+// so the map rides the same channel.
 type Registry struct {
 	mu        sync.RWMutex
 	producers map[event.ProducerID]*Producer
 	consumers map[event.Actor]*Consumer
 	classes   map[event.ClassID]*Declaration
+
+	shardMap atomic.Pointer[cluster.Map]
 }
 
 // New creates an empty registry.

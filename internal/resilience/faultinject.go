@@ -59,10 +59,15 @@ type FaultInjector struct {
 	next http.RoundTripper
 	cfg  FaultConfig
 
-	mu            sync.Mutex // guards rng, counts, blackoutUntil
+	mu            sync.Mutex // guards rng, counts, blackoutUntil, partitioned
 	rng           *rand.Rand
 	counts        map[string]uint64
 	blackoutUntil time.Time
+	// partitioned maps a host (as it appears in request URLs) to the
+	// instant its scripted partition lifts — the asymmetric variant of
+	// a blackout: only requests TOWARD these hosts fail, traffic to
+	// every other host flows untouched.
+	partitioned map[string]time.Time
 }
 
 // NewFaultInjector wraps next (nil means http.DefaultTransport).
@@ -106,6 +111,38 @@ func (f *FaultInjector) blackedOut() bool {
 	return time.Now().Before(f.blackoutUntil)
 }
 
+// PartitionHosts cuts the network toward the named hosts (request URL
+// host, e.g. "127.0.0.1:9001") for the duration: requests addressed to
+// them fail at connect while every other destination keeps working —
+// an asymmetric partition, as opposed to BlackoutFor's total outage.
+// Calling again extends or adds hosts; HealPartition lifts them early.
+func (f *FaultInjector) PartitionHosts(d time.Duration, hosts ...string) {
+	until := time.Now().Add(d)
+	f.mu.Lock()
+	if f.partitioned == nil {
+		f.partitioned = make(map[string]time.Time, len(hosts))
+	}
+	for _, h := range hosts {
+		f.partitioned[h] = until
+	}
+	f.mu.Unlock()
+}
+
+// HealPartition lifts every scripted partition immediately.
+func (f *FaultInjector) HealPartition() {
+	f.mu.Lock()
+	f.partitioned = nil
+	f.mu.Unlock()
+}
+
+// partitionedFrom reports whether host is currently unreachable.
+func (f *FaultInjector) partitionedFrom(host string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	until, ok := f.partitioned[host]
+	return ok && time.Now().Before(until)
+}
+
 // roll draws one uniform [0,1) decision from the seeded stream.
 func (f *FaultInjector) roll() float64 {
 	f.mu.Lock()
@@ -144,6 +181,10 @@ func (f *FaultInjector) RoundTrip(req *http.Request) (*http.Response, error) {
 	if f.blackedOut() {
 		f.note("blackout")
 		return nil, fmt.Errorf("%w: %s %s (blackout)", ErrInjectedConnection, req.Method, req.URL.Path)
+	}
+	if f.partitionedFrom(req.URL.Host) {
+		f.note("partition")
+		return nil, fmt.Errorf("%w: %s %s (partitioned from %s)", ErrInjectedConnection, req.Method, req.URL.Path, req.URL.Host)
 	}
 	if p := f.cfg.ConnectFailure; p > 0 && f.roll() < p {
 		f.note("connect")

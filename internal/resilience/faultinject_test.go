@@ -111,6 +111,40 @@ func TestFaultInjectorBlackout(t *testing.T) {
 	}
 }
 
+func TestFaultInjectorPartitionIsAsymmetric(t *testing.T) {
+	srvA := newTarget(t, "alpha")
+	srvB := newTarget(t, "beta")
+	fi := NewFaultInjector(nil, FaultConfig{Seed: 3})
+	c := &http.Client{Transport: fi}
+
+	hostA := strings.TrimPrefix(srvA.URL, "http://")
+	fi.PartitionHosts(200*time.Millisecond, hostA)
+
+	if _, _, err := get(t, c, srvA.URL); !errors.Is(err, ErrInjectedConnection) {
+		t.Fatalf("partitioned host reachable: err = %v", err)
+	}
+	// The other side of the partition stays reachable — that is the
+	// asymmetry a blackout cannot express.
+	if _, body, err := get(t, c, srvB.URL); err != nil || body != "beta" {
+		t.Fatalf("unpartitioned host: %q, %v", body, err)
+	}
+	if fi.Injected()["partition"] == 0 {
+		t.Fatal("partition fault not counted")
+	}
+
+	fi.HealPartition()
+	if _, body, err := get(t, c, srvA.URL); err != nil || body != "alpha" {
+		t.Fatalf("after heal: %q, %v", body, err)
+	}
+
+	// Expiry lifts the partition without an explicit heal.
+	fi.PartitionHosts(50*time.Millisecond, hostA)
+	time.Sleep(80 * time.Millisecond)
+	if _, _, err := get(t, c, srvA.URL); err != nil {
+		t.Fatalf("after expiry: %v", err)
+	}
+}
+
 func TestFaultInjectorServerErrorCarriesRetryAfter(t *testing.T) {
 	srv := newTarget(t, "hello")
 	fi := NewFaultInjector(nil, FaultConfig{Seed: 1, ServerError: 1})

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	var b Batch
+	b.Put("e/evt-1", []byte("payload-1"))
+	b.Put("p/psn/0001/evt-1", nil)
+	b.Delete("e/evt-0")
+
+	frame := b.EncodeFrame()
+	got, err := DecodeBatchFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("decoded %d ops, want %d", got.Len(), b.Len())
+	}
+	for i := range b.ops {
+		if got.ops[i].op != b.ops[i].op || got.ops[i].key != b.ops[i].key ||
+			!bytes.Equal(got.ops[i].value, b.ops[i].value) {
+			t.Fatalf("op %d differs: %+v vs %+v", i, got.ops[i], b.ops[i])
+		}
+	}
+
+	// The decoded batch must apply like the original.
+	st := OpenMemory()
+	defer st.Close()
+	if err := st.Apply(got); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := st.Get("e/evt-1"); !ok || string(v) != "payload-1" {
+		t.Fatalf("applied batch lost data: %q %v", v, ok)
+	}
+}
+
+func TestBatchFrameRejectsTornAndTampered(t *testing.T) {
+	var b Batch
+	b.Put("k", []byte("v"))
+	frame := b.EncodeFrame()
+
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeBatchFrame(frame[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	if _, err := DecodeBatchFrame(append(bytes.Clone(frame), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+	flipped := bytes.Clone(frame)
+	flipped[len(flipped)-1] ^= 0xFF
+	if _, err := DecodeBatchFrame(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/consent"
 	"repro/internal/enforcer"
 	"repro/internal/event"
@@ -595,6 +596,25 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 		return Stats{}, err
 	}
 	return out, nil
+}
+
+// ShardMap fetches the controller's current shard map. A non-clustered
+// controller answers the not-found fault
+// (errors.Is(err, gateway.ErrNotFound)).
+func (c *Client) ShardMap(ctx context.Context) (*cluster.Map, error) {
+	var m *cluster.Map
+	err := c.call(ctx, http.MethodGet, "/ws/shardmap", nil, func(data []byte) error {
+		mm, derr := cluster.DecodeMapFrame(data)
+		if derr != nil {
+			return resilience.MarkRetryable(fmt.Errorf("transport: decode shard map: %w", derr))
+		}
+		m = mm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // RecordConsent submits a consent directive.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/event"
@@ -70,11 +71,19 @@ func writeBody(w http.ResponseWriter, status int, contentType string, body []byt
 
 // --- binary control frames -------------------------------------------------
 
-// fault frame: code, message.
+// fault frame: code, message, then (since the sharded transport) the
+// optional shard redirect pair — owner id and map version as decimal
+// strings, empty when absent. Decoders that predate the pair ignored
+// trailing bytes, and this decoder treats a frame ending after the
+// message as a pre-shard fault, so both directions stay compatible.
 func encodeFaultFrame(f *Fault) []byte {
 	out := event.AppendFrameHeader(nil, event.FrameFault)
 	out = event.AppendFrameString(out, f.Code)
 	out = event.AppendFrameString(out, f.Message)
+	if f.Shard != "" || f.MapVersion != 0 {
+		out = event.AppendFrameString(out, f.Shard)
+		out = event.AppendFrameString(out, strconv.FormatUint(f.MapVersion, 10))
+	}
 	return out
 }
 
@@ -86,9 +95,20 @@ func decodeFaultFrame(data []byte, f *Fault) error {
 	if f.Code, p, err = event.FrameString(p); err != nil {
 		return err
 	}
-	if f.Message, _, err = event.FrameString(p); err != nil {
+	if f.Message, p, err = event.FrameString(p); err != nil {
 		return err
 	}
+	if len(p) == 0 {
+		return nil // pre-shard fault: no redirect pair
+	}
+	if f.Shard, p, err = event.FrameString(p); err != nil {
+		return err
+	}
+	var ver string
+	if ver, _, err = event.FrameString(p); err != nil {
+		return err
+	}
+	f.MapVersion, _ = strconv.ParseUint(ver, 10, 64)
 	return nil
 }
 
@@ -163,11 +183,11 @@ func decodeSubscribeResponseFrame(data []byte) (string, error) {
 // writeFaultAs is writeFault in the negotiated codec; the Retry-After
 // hint survives negotiation unchanged.
 func writeFaultAs(w http.ResponseWriter, codec event.Codec, err error) {
-	code, status := faultFor(err)
+	f, status := faultOf(err)
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeFaultStatusAs(w, codec, status, &Fault{Code: code, Message: err.Error()})
+	writeFaultStatusAs(w, codec, status, f)
 }
 
 func writeFaultStatusAs(w http.ResponseWriter, codec event.Codec, status int, f *Fault) {

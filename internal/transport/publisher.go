@@ -30,7 +30,7 @@ const DefaultDrainInterval = 500 * time.Millisecond
 // system keeps emitting events during a controller outage, and the
 // platform catches up instead of losing them.
 type QueuedPublisher struct {
-	client   *Client
+	client   EventPublisher
 	outbox   *resilience.Outbox
 	interval time.Duration
 
@@ -42,10 +42,16 @@ type QueuedPublisher struct {
 	stopped bool
 }
 
+// EventPublisher is the publish surface the outbox drains into — a
+// single-controller *Client or a cluster-routing *ShardedClient.
+type EventPublisher interface {
+	Publish(ctx context.Context, n *event.Notification) (event.GlobalID, error)
+}
+
 // NewQueuedPublisher wraps client with the outbox persisted in st.
 // Entries surviving from a previous run begin draining immediately.
 // drainInterval ≤ 0 means DefaultDrainInterval. metrics may be nil.
-func NewQueuedPublisher(client *Client, st *store.Store, metrics *resilience.Metrics, drainInterval time.Duration) (*QueuedPublisher, error) {
+func NewQueuedPublisher(client EventPublisher, st *store.Store, metrics *resilience.Metrics, drainInterval time.Duration) (*QueuedPublisher, error) {
 	ob, err := resilience.OpenOutbox(st, metrics)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,8 @@ import (
 //	GET  /ws/stats       — operational counters
 //	GET  /ws/audit       — ?actor=&kind=&outcome=&event=&class=&trace=&limit= →
 //	                       audit records (guarantor role when auth is on)
+//	GET  /ws/shardmap    — the cluster's shard map as a binary frame
+//	                       (not-found fault when the controller is unsharded)
 //	GET  /metrics        — telemetry registry, Prometheus text format
 //	GET  /healthz        — liveness probe (200 ok / 503 when closed)
 //
@@ -120,6 +122,7 @@ func NewServer(ctrl *core.Controller) *Server {
 	s.mux.HandleFunc("GET /ws/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /ws/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /ws/subscription", s.handleSubscriptionProbe)
+	s.mux.HandleFunc("GET /ws/shardmap", s.handleShardMap)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(ctrl.Metrics()))
 	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(ctrl.Healthy, s.healthDetail))
 	s.mux.Handle("GET /debug/spans", telemetry.SpansHandler(ctrl.Tracer().Spans(), "controller"))
@@ -292,6 +295,24 @@ func (s *Server) handleSubscriptionProbe(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	writeXML(w, http.StatusOK, &subscribeResponse{ID: id})
+}
+
+// handleShardMap serves the controller's current shard map as a binary
+// frame — the shard-aware client's refresh path after a wrong-shard
+// redirect names a newer map version. The map carries shard ids and
+// addresses only, never personal data; any authenticated member may
+// fetch it.
+func (s *Server) handleShardMap(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authenticate(r); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	m := s.ctrl.ShardMap()
+	if m == nil {
+		writeXML(w, http.StatusNotFound, &Fault{Code: CodeNotFound, Message: "controller is not sharded"})
+		return
+	}
+	writeBody(w, http.StatusOK, event.ContentTypeBinary, m.EncodeFrame())
 }
 
 func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {

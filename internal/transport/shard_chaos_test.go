@@ -1,0 +1,259 @@
+package transport
+
+// Multi-shard chaos: the cluster invariants — every acknowledged
+// publish indexed exactly once, on exactly the owning shard, with
+// every shard's audit hash-chain intact — must survive a shard
+// dropping off the network mid-storm and a network partition striking
+// in the middle of a live reshard. Runs short by default; `make chaos`
+// stretches the partition window via CHAOS_PARTITION.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/index"
+	"repro/internal/resilience"
+)
+
+// chaosPartition returns the scripted partition window: short for
+// `go test ./...`, stretched by `make chaos` (CHAOS_PARTITION=3s).
+func chaosPartition() time.Duration {
+	if v := os.Getenv("CHAOS_PARTITION"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return 300 * time.Millisecond
+}
+
+// newShardChaosClient builds a fault-tolerant sharded client over the
+// rig: one fault injector in front of every shard (so PartitionHosts
+// can cut a single shard while the rest keep answering), retries, and
+// per-shard breaker groups.
+func newShardChaosClient(t *testing.T, r *shardRig, seed int64) (*ShardedClient, *resilience.FaultInjector) {
+	t.Helper()
+	fi := resilience.NewFaultInjector(nil, resilience.FaultConfig{
+		Seed:           seed,
+		ConnectFailure: 0.10,
+		ServerError:    0.03,
+		TruncateBody:   0.03,
+	})
+	sc, err := NewShardedClient(r.m, func(info cluster.ShardInfo) *Client {
+		return NewClient(info.Addr, &http.Client{Transport: fi, Timeout: 5 * time.Second},
+			WithRetrier(resilience.NewRetrier(resilience.RetryPolicy{
+				MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: seed,
+			})),
+			WithBreakerGroup(resilience.NewGroup(resilience.BreakerConfig{OpenFor: 150 * time.Millisecond})))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, fi
+}
+
+// stormPublish drives persons[i] through sc from a small worker pool,
+// retrying each publish past transient faults (open breakers included)
+// until it is acknowledged or the per-publish deadline expires. Fires
+// mid after half the persons have been handed to workers.
+func stormPublish(t *testing.T, sc *ShardedClient, r *shardRig, persons []string, mid func()) {
+	t.Helper()
+	ctx := context.Background()
+	idxCh := make(chan int)
+	errCh := make(chan error, len(persons))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					_, err := sc.Publish(ctx, r.note(persons[i], 0))
+					if err == nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						errCh <- fmt.Errorf("publish %s never acknowledged: %w", persons[i], err)
+						break
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	for i := range persons {
+		if i == len(persons)/2 && mid != nil {
+			mid()
+		}
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// assertClusterInvariants checks the acceptance conditions after a
+// storm: the cluster indexes exactly one event per person, each on the
+// shard the map owns it to, and every shard's audit chain verifies.
+func assertClusterInvariants(t *testing.T, r *shardRig, m *cluster.Map, persons []string) {
+	t.Helper()
+	if got := r.indexTotal(t); got != len(persons) {
+		t.Errorf("cluster index holds %d events, want exactly %d", got, len(persons))
+	}
+	for _, person := range persons {
+		owner := m.Owner(r.ctrls[0].Pseudonym(person))
+		for _, c := range r.ctrls {
+			self, _ := c.ShardID()
+			notes, err := c.InquireIndex("family-doctor", index.Inquiry{PersonID: person})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case self == owner && len(notes) != 1:
+				t.Errorf("owner %s holds %d events for %s, want 1", self, len(notes), person)
+			case self != owner && len(notes) != 0:
+				t.Errorf("non-owner %s holds %d events for %s", self, len(notes), person)
+			}
+		}
+	}
+	for _, c := range r.ctrls {
+		if err := c.Audit().Verify(); err != nil {
+			id, _ := c.ShardID()
+			t.Errorf("audit chain on %s broken: %v", id, err)
+		}
+	}
+}
+
+// TestChaosShardKill cuts one shard off the network in the middle of a
+// publish storm (with background connection failures, injected 503s
+// and truncated acks on every hop). Once the partition heals, every
+// publish must be indexed exactly once on its owning shard and every
+// per-shard audit chain must verify.
+func TestChaosShardKill(t *testing.T) {
+	window := chaosPartition()
+	for _, seed := range []int64{1, 2} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := newShardRig(t, 3)
+			sc, fi := newShardChaosClient(t, r, seed)
+
+			persons := make([]string, 24)
+			for i := range persons {
+				persons[i] = fmt.Sprintf("PRK-%03d", i)
+			}
+			// Partition the shard that owns the first post-window person,
+			// so the cut provably lands in the storm's path.
+			victim := r.m.Owner(r.ctrls[0].Pseudonym(persons[len(persons)/2]))
+			t.Logf("chaos seed=%d partition=%s victim=%s", fi.Seed(), window, victim)
+			stormPublish(t, sc, r, persons, func() {
+				fi.PartitionHosts(window, strings.TrimPrefix(r.shards[victim].Addr, "http://"))
+			})
+			assertClusterInvariants(t, r, r.m, persons)
+			if fi.Injected()["partition"] == 0 {
+				t.Error("the partition never bit — storm finished before the window opened")
+			}
+		})
+	}
+}
+
+// TestChaosShardReshard splits the cluster live — a cold fourth shard
+// joins via cluster.Reshard — while a publish storm runs and a
+// partition cuts one donor from the clients mid-reshard. No publish
+// may be dropped or double-indexed: pre-split events land once (moved
+// ones exactly once on their new owner), storm publishes ride the
+// freeze window via retries, and all four audit chains stay intact.
+func TestChaosShardReshard(t *testing.T) {
+	window := chaosPartition()
+	seed := int64(11)
+	r := newShardRigCold(t, 3, 1)
+	sc, fi := newShardChaosClient(t, r, seed)
+	t.Logf("chaos seed=%d partition=%s", fi.Seed(), window)
+
+	// Phase 1: seed the cluster before the split so the reshard has
+	// real data to move.
+	pre := make([]string, 20)
+	for i := range pre {
+		pre[i] = fmt.Sprintf("PRE-%03d", i)
+	}
+	stormPublish(t, sc, r, pre, nil)
+
+	next, err := r.m.WithShards(r.shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make(map[cluster.ShardID]cluster.Node, len(r.ctrls))
+	for _, c := range r.ctrls {
+		id, _ := c.ShardID()
+		nodes[id] = c
+	}
+
+	// Phase 2: storm while the reshard runs; mid-storm the partition
+	// cuts a donor from the clients (the reshard itself is unaffected —
+	// it is the data plane that must ride it out).
+	var reshardStats cluster.ReshardStats
+	var reshardErr error
+	done := make(chan struct{})
+	storm := make([]string, 30)
+	for i := range storm {
+		storm[i] = fmt.Sprintf("PRW-%03d", i)
+	}
+	victim := r.m.Owner(r.ctrls[0].Pseudonym(storm[len(storm)/2]))
+	stormPublish(t, sc, r, storm, func() {
+		fi.PartitionHosts(window, strings.TrimPrefix(r.shards[victim].Addr, "http://"))
+		go func() {
+			defer close(done)
+			reshardStats, reshardErr = cluster.Reshard(context.Background(), nodes, next)
+		}()
+	})
+	<-done
+	if reshardErr != nil {
+		t.Fatalf("reshard: %v", reshardErr)
+	}
+	if reshardStats.Moved == 0 {
+		t.Error("split moved nothing: the new shard owns no keys")
+	}
+	if reshardStats.Swept != reshardStats.Moved {
+		t.Errorf("swept %d != moved %d: donors leak moved events", reshardStats.Swept, reshardStats.Moved)
+	}
+	t.Logf("reshard moved=%d swept=%d", reshardStats.Moved, reshardStats.Swept)
+
+	all := append(append([]string{}, pre...), storm...)
+	assertClusterInvariants(t, r, next, all)
+
+	// The new shard must actually carry load after the split.
+	n3, err := r.ctrls[3].IndexLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 == 0 {
+		t.Error("shard-3 is empty after the split")
+	}
+
+	// The client followed the flip: its map must be the adopted one.
+	if sc.Map().Version() != next.Version() {
+		t.Logf("note: client still routes by map v%d (refresh is lazy; redirects keep it correct)", sc.Map().Version())
+	}
+
+	// One event published after the dust settles routes straight to the
+	// new topology.
+	if _, err := sc.Publish(context.Background(), r.note("POST-SPLIT", 0)); err != nil {
+		t.Fatalf("post-split publish: %v", err)
+	}
+	owner := next.Owner(r.ctrls[0].Pseudonym("POST-SPLIT"))
+	notes, err := r.ctrls[owner].InquireIndex("family-doctor", index.Inquiry{PersonID: "POST-SPLIT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("post-split event not on its owner %s (found %d)", owner, len(notes))
+	}
+}

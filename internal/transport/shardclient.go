@@ -1,0 +1,413 @@
+package transport
+
+// ShardedClient is the cluster-aware SDK: it speaks to every controller
+// shard behind one Client-shaped surface. Publishes route to the shard
+// that owns the person's pseudonym; a wrong-shard fault from a stale
+// map is followed (bounded hops, with a map refresh when the fault
+// names a newer version); person inquiries scatter across the shards
+// and merge with stable ordering under a per-shard deadline budget.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consent"
+	"repro/internal/enforcer"
+	"repro/internal/event"
+	"repro/internal/index"
+	"repro/internal/policy"
+)
+
+// maxRedirects bounds how many wrong-shard redirects one publish
+// follows before surfacing the routing error. Two hops suffice for any
+// single map change (stale guess → named owner); the third absorbs a
+// map flip racing the retry.
+const maxRedirects = 3
+
+// defaultRouteCacheSize bounds each learned-routing cache (person →
+// shard, event → shard). When full the cache is flushed wholesale —
+// entries are one redirect away from being relearned, so eviction
+// bookkeeping would cost more than the misses it prevents.
+const defaultRouteCacheSize = 4096
+
+// ShardedOption configures a ShardedClient.
+type ShardedOption func(*shardedOptions)
+
+type shardedOptions struct {
+	pseudonym func(string) string
+	budget    time.Duration
+	cacheSize int
+}
+
+// WithPseudonym supplies the pseudonym function (HMAC under the
+// cluster's shared master key) so the client computes a publish's
+// owning shard locally instead of learning it from redirects. Only
+// in-process callers that hold the key can use this — the benchmark
+// harness and the smoke suites; remote producers route by redirect.
+func WithPseudonym(fn func(personID string) string) ShardedOption {
+	return func(o *shardedOptions) { o.pseudonym = fn }
+}
+
+// WithShardBudget bounds each per-shard leg of a scatter-gather
+// inquiry. The parent context still caps the whole call — the budget
+// only tightens, so one slow shard cannot eat the entire deadline.
+// Zero (the default) means legs inherit the parent deadline unchanged.
+func WithShardBudget(d time.Duration) ShardedOption {
+	return func(o *shardedOptions) { o.budget = d }
+}
+
+// ShardedClient fans a Client per shard out of a factory (so each
+// shard gets its own breaker group and connection pool) and routes
+// between them by the cluster's consistent-hash map.
+type ShardedClient struct {
+	factory func(cluster.ShardInfo) *Client
+	opts    shardedOptions
+
+	mu      sync.RWMutex
+	m       *cluster.Map
+	clients map[cluster.ShardID]*Client
+
+	persons *routeCache // personID → owning shard, learned from acks/redirects
+	events  *routeCache // event gid → shard that acked the publish
+}
+
+// NewShardedClient builds a cluster client over the given map. factory
+// constructs the per-shard Client — callers install per-shard breaker
+// groups and retriers there, exactly as they would for a single
+// controller.
+func NewShardedClient(m *cluster.Map, factory func(cluster.ShardInfo) *Client, opts ...ShardedOption) (*ShardedClient, error) {
+	if m == nil {
+		return nil, errors.New("transport: sharded client needs a shard map")
+	}
+	if factory == nil {
+		return nil, errors.New("transport: sharded client needs a client factory")
+	}
+	o := shardedOptions{cacheSize: defaultRouteCacheSize}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &ShardedClient{
+		factory: factory,
+		opts:    o,
+		m:       m,
+		clients: make(map[cluster.ShardID]*Client, len(m.Shards())),
+		persons: newRouteCache(o.cacheSize),
+		events:  newRouteCache(o.cacheSize),
+	}, nil
+}
+
+// Map returns the shard map the client currently routes by.
+func (sc *ShardedClient) Map() *cluster.Map {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.m
+}
+
+// clientFor returns (building if needed) the Client of a shard id
+// under the current map.
+func (sc *ShardedClient) clientFor(id cluster.ShardID) (*Client, error) {
+	sc.mu.RLock()
+	cl, ok := sc.clients[id]
+	m := sc.m
+	sc.mu.RUnlock()
+	if ok {
+		return cl, nil
+	}
+	info, ok := m.Shard(id)
+	if !ok {
+		return nil, fmt.Errorf("transport: %w: shard %s not in map v%d", cluster.ErrStaleMap, id, m.Version())
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if cl, ok := sc.clients[id]; ok {
+		return cl, nil
+	}
+	cl = sc.factory(info)
+	sc.clients[id] = cl
+	return cl, nil
+}
+
+// adoptMap swaps in a newer map and flushes the learned routes (shard
+// clients persist — addresses do not change across a split).
+func (sc *ShardedClient) adoptMap(next *cluster.Map) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if next.Version() <= sc.m.Version() {
+		return
+	}
+	sc.m = next
+	sc.persons.reset()
+	sc.events.reset()
+}
+
+// RefreshMap fetches the shard map from the given shard (any member
+// serves it) and adopts it when newer.
+func (sc *ShardedClient) RefreshMap(ctx context.Context, from cluster.ShardID) error {
+	cl, err := sc.clientFor(from)
+	if err != nil {
+		return err
+	}
+	m, err := cl.ShardMap(ctx)
+	if err != nil {
+		return err
+	}
+	sc.adoptMap(m)
+	return nil
+}
+
+// ownerFor picks the shard a person's publishes should go to: computed
+// exactly when the pseudonym function is present, otherwise the cached
+// learned route, otherwise a deterministic guess (hash of the raw
+// person id over the same ring) that the first redirect corrects.
+func (sc *ShardedClient) ownerFor(personID string) cluster.ShardID {
+	sc.mu.RLock()
+	m := sc.m
+	sc.mu.RUnlock()
+	if sc.opts.pseudonym != nil {
+		return m.Owner(sc.opts.pseudonym(personID))
+	}
+	if id, ok := sc.persons.get(personID); ok {
+		return id
+	}
+	return m.Owner(personID)
+}
+
+// Publish routes the notification to the owning shard, following
+// wrong-shard redirects (the authoritative owner travels in the fault)
+// up to maxRedirects hops. A redirect naming a newer map version
+// triggers a map refresh from the shard that answered.
+func (sc *ShardedClient) Publish(ctx context.Context, n *event.Notification) (event.GlobalID, error) {
+	target := sc.ownerFor(n.PersonID)
+	var lastErr error
+	for hop := 0; hop <= maxRedirects; hop++ {
+		cl, err := sc.clientFor(target)
+		if err != nil {
+			return "", err
+		}
+		gid, err := cl.Publish(ctx, n)
+		if err == nil {
+			sc.persons.put(n.PersonID, target)
+			sc.events.put(string(gid), target)
+			return gid, nil
+		}
+		var ws *cluster.WrongShardError
+		if !errors.As(err, &ws) {
+			return "", err
+		}
+		lastErr = err
+		if ws.Version > sc.Map().Version() {
+			// The answering shard has a newer map than ours; refresh
+			// before the next hop so unrelated routes benefit too.
+			if rerr := sc.RefreshMap(ctx, target); rerr != nil && ctx.Err() != nil {
+				return "", rerr
+			}
+		}
+		sc.persons.put(n.PersonID, ws.Owner)
+		target = ws.Owner
+	}
+	return "", fmt.Errorf("transport: publish exceeded %d shard redirects: %w", maxRedirects, lastErr)
+}
+
+// RequestDetails resolves a detail request. The shard that acked the
+// event's publish is tried first (learned route); on a cache miss the
+// shards are asked in order, skipping unknown-event answers, so a
+// detail request never needs the pseudonym.
+func (sc *ShardedClient) RequestDetails(ctx context.Context, r *event.DetailRequest) (*event.Detail, error) {
+	if id, ok := sc.events.get(string(r.EventID)); ok {
+		if cl, err := sc.clientFor(id); err == nil {
+			d, err := cl.RequestDetails(ctx, r)
+			if !isUnknownEvent(err) {
+				return d, err
+			}
+			// The event moved in a reshard since the publish: fall
+			// through to the sweep and relearn its home.
+		}
+	}
+	var lastErr error = errUnknownEventAll
+	for _, info := range sc.Map().Shards() {
+		cl, err := sc.clientFor(info.ID)
+		if err != nil {
+			return nil, err
+		}
+		d, err := cl.RequestDetails(ctx, r)
+		if err == nil {
+			sc.events.put(string(r.EventID), info.ID)
+			return d, nil
+		}
+		if !isUnknownEvent(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// errUnknownEventAll is returned when every shard disclaims the event;
+// it unwraps to the single-controller sentinel so errors.Is keeps
+// working for cluster callers.
+var errUnknownEventAll = fmt.Errorf("transport: event unknown to every shard: %w", enforcer.ErrUnknownEvent)
+
+func isUnknownEvent(err error) bool {
+	return errors.Is(err, enforcer.ErrUnknownEvent)
+}
+
+// InquireIndex queries the events index across the cluster. When the
+// pseudonym function is present and the inquiry names a person, only
+// the owning shard is asked; otherwise the inquiry scatters to every
+// shard under the per-shard budget and the replies merge in stable
+// notification order (OccurredAt, then id), deduplicated, capped at
+// q.Limit. When some shards fail the merged partial result is returned
+// together with a *cluster.PartialError naming the failed shards.
+func (sc *ShardedClient) InquireIndex(ctx context.Context, actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
+	m := sc.Map()
+	if q.PersonID != "" && sc.opts.pseudonym != nil {
+		cl, err := sc.clientFor(m.Owner(sc.opts.pseudonym(q.PersonID)))
+		if err != nil {
+			return nil, err
+		}
+		return cl.InquireIndex(ctx, actor, q)
+	}
+	perShard, err := cluster.Gather(ctx, m.Shards(), sc.opts.budget,
+		func(ctx context.Context, info cluster.ShardInfo) ([]*event.Notification, error) {
+			cl, cerr := sc.clientFor(info.ID)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return cl.InquireIndex(ctx, actor, q)
+		})
+	return cluster.MergeNotifications(perShard, q.Limit), err
+}
+
+// Subscribe registers the callback on every shard — a class's events
+// land on the shard owning each person, so a consumer that wants the
+// class subscribes cluster-wide. The per-shard subscription ids are
+// returned for liveness probing; a failure on any shard unwinds
+// nothing (probe-and-resubscribe reconciles, as after a restart).
+func (sc *ShardedClient) Subscribe(ctx context.Context, actor event.Actor, class event.ClassID, callbackURL string) (map[cluster.ShardID]string, error) {
+	ids := make(map[cluster.ShardID]string)
+	for _, info := range sc.Map().Shards() {
+		cl, err := sc.clientFor(info.ID)
+		if err != nil {
+			return ids, err
+		}
+		id, err := cl.Subscribe(ctx, actor, class, callbackURL)
+		if err != nil {
+			return ids, fmt.Errorf("transport: subscribe on %s: %w", info.ID, err)
+		}
+		ids[info.ID] = id
+	}
+	return ids, nil
+}
+
+// RecordConsent broadcasts the directive to every shard: consent must
+// bind wherever the person's events land, including after a reshard
+// moves them.
+func (sc *ShardedClient) RecordConsent(ctx context.Context, d consent.Directive) (consent.Directive, error) {
+	var stored consent.Directive
+	for _, info := range sc.Map().Shards() {
+		cl, err := sc.clientFor(info.ID)
+		if err != nil {
+			return consent.Directive{}, err
+		}
+		stored, err = cl.RecordConsent(ctx, d)
+		if err != nil {
+			return consent.Directive{}, fmt.Errorf("transport: consent on %s: %w", info.ID, err)
+		}
+	}
+	return stored, nil
+}
+
+// DefinePolicy broadcasts the policy to every shard (policies are
+// producer-scoped, not person-scoped, so each shard enforces the same
+// corpus).
+func (sc *ShardedClient) DefinePolicy(ctx context.Context, p *policy.Policy) (*policy.Policy, error) {
+	var stored *policy.Policy
+	for _, info := range sc.Map().Shards() {
+		cl, err := sc.clientFor(info.ID)
+		if err != nil {
+			return nil, err
+		}
+		stored, err = cl.DefinePolicy(ctx, p)
+		if err != nil {
+			return nil, fmt.Errorf("transport: policy on %s: %w", info.ID, err)
+		}
+	}
+	return stored, nil
+}
+
+// Stats sums the operational counters across the shards, under the
+// scatter budget. Partial failures surface as *cluster.PartialError
+// alongside the counters that did arrive.
+func (sc *ShardedClient) Stats(ctx context.Context) (Stats, error) {
+	perShard, err := cluster.Gather(ctx, sc.Map().Shards(), sc.opts.budget,
+		func(ctx context.Context, info cluster.ShardInfo) (Stats, error) {
+			cl, cerr := sc.clientFor(info.ID)
+			if cerr != nil {
+				return Stats{}, cerr
+			}
+			return cl.Stats(ctx)
+		})
+	var sum Stats
+	for _, st := range perShard {
+		sum.Published += st.Published
+		sum.Delivered += st.Delivered
+		sum.ConsentDrops += st.ConsentDrops
+		sum.SubscriptionDenials += st.SubscriptionDenials
+		sum.DetailPermits += st.DetailPermits
+		sum.DetailDenials += st.DetailDenials
+		sum.Inquiries += st.Inquiries
+	}
+	return sum, err
+}
+
+// --- learned-route cache ---------------------------------------------------
+
+// routeCache is a bounded string → shard map with wholesale flush on
+// overflow and on map change. It deliberately holds person identifiers
+// only in hashed form — a client-side cache must not become a person
+// registry.
+type routeCache struct {
+	mu  sync.Mutex
+	m   map[uint64]cluster.ShardID
+	max int
+}
+
+func newRouteCache(max int) *routeCache {
+	if max <= 0 {
+		max = defaultRouteCacheSize
+	}
+	return &routeCache{m: make(map[uint64]cluster.ShardID), max: max}
+}
+
+func routeKey(k string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	return h.Sum64()
+}
+
+func (rc *routeCache) get(k string) (cluster.ShardID, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	id, ok := rc.m[routeKey(k)]
+	return id, ok
+}
+
+func (rc *routeCache) put(k string, id cluster.ShardID) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if len(rc.m) >= rc.max {
+		rc.m = make(map[uint64]cluster.ShardID)
+	}
+	rc.m[routeKey(k)] = id
+}
+
+func (rc *routeCache) reset() {
+	rc.mu.Lock()
+	rc.m = make(map[uint64]cluster.ShardID)
+	rc.mu.Unlock()
+}

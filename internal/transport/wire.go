@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/enforcer"
 	"repro/internal/event"
@@ -46,6 +47,14 @@ const (
 	CodeTimeout             = "timeout"
 	CodeCancelled           = "cancelled"
 	CodeInternal            = "internal"
+	// CodeWrongShard (HTTP 421): the request hit a shard that does not
+	// own the person key; the fault names the owner and map version so
+	// the client refreshes its shard map and retries there. Permanent
+	// for the generic retrier — only the shard-aware client follows it.
+	CodeWrongShard = "wrong-shard"
+	// CodeResharding (HTTP 503 + Retry-After): the key range is frozen
+	// mid-handoff; transient by construction.
+	CodeResharding = "resharding"
 )
 
 // StatusClientClosedRequest is the de-facto standard status (nginx's
@@ -63,11 +72,19 @@ var ErrUnknownSubscription = errors.New("transport: unknown subscription")
 // carries a Retry-After hint the client retriers honor.
 var ErrOverloaded = errors.New("transport: server overloaded")
 
-// Fault is the XML error payload.
+// Fault is the XML error payload. Wrong-shard faults additionally
+// carry the owning shard and the map version that assigned it, so a
+// routing client learns the redirect without a second round-trip.
 type Fault struct {
 	XMLName xml.Name `xml:"fault"`
 	Code    string   `xml:"code,attr"`
-	Message string   `xml:",chardata"`
+	// Shard is the decimal id of the shard that owns the key (only on
+	// wrong-shard faults; empty otherwise).
+	Shard string `xml:"shard,attr,omitempty"`
+	// MapVersion is the shard-map version the redirect was computed
+	// under (only on wrong-shard faults).
+	MapVersion uint64 `xml:"mapVersion,attr,omitempty"`
+	Message    string `xml:",chardata"`
 }
 
 // Error implements the error interface.
@@ -100,6 +117,12 @@ func faultFor(err error) (string, int) {
 		return CodeSourceUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownSubscription):
 		return CodeUnknownSubscription, http.StatusNotFound
+	case errors.Is(err, cluster.ErrWrongShard):
+		// 421 Misdirected Request: the canonical "this server is not
+		// able to produce a response for this request" status.
+		return CodeWrongShard, http.StatusMisdirectedRequest
+	case errors.Is(err, cluster.ErrResharding):
+		return CodeResharding, http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		// The per-endpoint deadline expired mid-flow: a gateway timeout,
 		// retryable (504 is transient for the client's retrier).
@@ -146,20 +169,43 @@ func errorFor(f *Fault) error {
 		base = context.DeadlineExceeded
 	case CodeCancelled:
 		base = core.ErrCancelled
+	case CodeResharding:
+		base = cluster.ErrResharding
+	case CodeWrongShard:
+		// Rebuild the typed redirect so errors.As recovers the owner
+		// hint client-side exactly as a local caller would.
+		owner, err := strconv.Atoi(f.Shard)
+		if err != nil {
+			owner = -1 // malformed hint: still ErrWrongShard, no owner
+		}
+		base = &cluster.WrongShardError{Owner: cluster.ShardID(owner), Version: f.MapVersion}
 	default:
 		return f
 	}
 	return fmt.Errorf("%w (remote: %s)", base, f.Message)
 }
 
+// faultOf renders err as a wire fault with its HTTP status, populating
+// the shard redirect attributes when the error carries them.
+func faultOf(err error) (*Fault, int) {
+	code, status := faultFor(err)
+	f := &Fault{Code: code, Message: err.Error()}
+	var wse *cluster.WrongShardError
+	if errors.As(err, &wse) {
+		f.Shard = strconv.Itoa(int(wse.Owner))
+		f.MapVersion = wse.Version
+	}
+	return f, status
+}
+
 // writeFault sends an error response. Unavailability faults (503) carry
 // a Retry-After hint so well-behaved clients pace their retries.
 func writeFault(w http.ResponseWriter, err error) {
-	code, status := faultFor(err)
+	f, status := faultOf(err)
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeXML(w, status, &Fault{Code: code, Message: err.Error()})
+	writeXML(w, status, f)
 }
 
 // writeXML serializes v as the response body.
