@@ -28,6 +28,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/policy"
 	"repro/internal/process"
+	"repro/internal/replication"
 	"repro/internal/reporting"
 	"repro/internal/schema"
 	"repro/internal/store"
@@ -468,6 +469,79 @@ func BenchmarkE1_PublishParallel(b *testing.B) {
 		}
 	})
 	wg.Wait()
+}
+
+// replSeq keeps replicated-publish source ids unique across modes and
+// across the framework's b.N growth reruns.
+var replSeq atomic.Int64
+
+// BenchmarkE1_ReplicatedPublish measures the publish pipeline cost of
+// WAL-shipping replication to one follower over a real TCP link, in
+// three modes: standalone (no replication attached, the floor), async
+// (shipping overlaps the ack — gated within 5% of standalone by
+// css-benchgate), and quorum (each ack waits for the follower's fsync,
+// buying durable failover for one overlapped round-trip).
+func BenchmarkE1_ReplicatedPublish(b *testing.B) {
+	for _, mode := range []string{"standalone", "async", "quorum"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			pri, err := core.New(core.Config{DefaultConsent: true, DataDir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pri.Close()
+			if err := pri.RegisterProducer("hospital", "H"); err != nil {
+				b.Fatal(err)
+			}
+			if err := pri.DeclareClass("hospital", schema.BloodTest()); err != nil {
+				b.Fatal(err)
+			}
+			if mode != "standalone" {
+				rep, err := core.New(core.Config{
+					DefaultConsent: true, DataDir: b.TempDir(), Replica: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer rep.Close()
+				rs, err := rep.ReplStores()
+				if err != nil {
+					b.Fatal(err)
+				}
+				fol, err := replication.NewFollower("127.0.0.1:0", replication.FollowerConfig{
+					Stores: rs, Epoch: 1, OnApply: rep.OnReplicatedApply(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer fol.Close()
+				ps, err := pri.ReplStores()
+				if err != nil {
+					b.Fatal(err)
+				}
+				shipper, err := replication.NewPrimary(replication.PrimaryConfig{
+					Stores: ps, Epoch: 1, Quorum: mode == "quorum",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer shipper.Close()
+				shipper.AddFollower(fol.Addr())
+				pri.AttachReplication(shipper)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := pri.Publish(&event.Notification{
+					SourceID: event.SourceID(fmt.Sprintf("repl-%012d", replSeq.Add(1))),
+					Class:    schema.ClassBloodTest, PersonID: "PRS-1",
+					OccurredAt: time.Now(), Producer: "hospital",
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "pub/s")
+		})
+	}
 }
 
 // BenchmarkE2_DetailRequest measures one end-to-end request for details

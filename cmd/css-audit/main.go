@@ -15,6 +15,10 @@
 //	-trace    filter by trace/correlation id (all records of one flow)
 //	-limit    max records (default 100)
 //	-verify   only verify chain integrity and exit
+//	-compare  second data directory: verify both audit chains and diff
+//	          them record by record, reporting the first divergent hash
+//	          (a forked replica) or the healthy prefix relation (a
+//	          replica that is merely behind). Exits 1 on divergence.
 //	-spans    span export file (JSONL); with -trace, also print the
 //	          flow's span-derived stage timings
 package main
@@ -43,6 +47,7 @@ func main() {
 	trace := flag.String("trace", "", "filter: trace/correlation id")
 	limit := flag.Int("limit", 100, "max records")
 	verifyOnly := flag.Bool("verify", false, "verify chain integrity and exit")
+	compareDir := flag.String("compare", "", "second data directory: diff the two audit chains and report the first divergence")
 	spansFile := flag.String("spans", "", "span export file (JSONL); with -trace, print the flow's stage timings after the audit records")
 	flag.Parse()
 	if *dataDir == "" {
@@ -63,6 +68,10 @@ func main() {
 		log.Fatalf("AUDIT CHAIN BROKEN: %v", err)
 	}
 	fmt.Printf("audit chain verified: %d records intact\n", logch.Len())
+	if *compareDir != "" {
+		compareChains(*dataDir, *compareDir)
+		return
+	}
 	if *verifyOnly {
 		return
 	}
@@ -100,6 +109,70 @@ func main() {
 	if *spansFile != "" && *trace != "" {
 		printStageTimings(*spansFile, *trace)
 	}
+}
+
+// compareChains diffs two audit chains record by record. A replicated
+// controller's audit store is a byte-identical prefix of its primary's,
+// so after a failover the guarantor runs this against the deposed and
+// the promoted data directories: a prefix relation means the replica
+// was merely behind (or the deposed node wrote dirty post-fence
+// records past the common prefix — also reported), while a hash
+// mismatch inside the common range is a forked chain and exits 1.
+func compareChains(dirA, dirB string) {
+	a := loadChain(dirA)
+	b := loadChain(dirB)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Seq != b[i].Seq || a[i].Hash != b[i].Hash {
+			fmt.Printf("CHAINS DIVERGE at seq %d:\n", a[i].Seq)
+			fmt.Printf("  %s: hash=%s kind=%s actor=%s outcome=%s\n",
+				dirA, a[i].Hash, a[i].Kind, a[i].Actor, a[i].Outcome)
+			fmt.Printf("  %s: hash=%s kind=%s actor=%s outcome=%s\n",
+				dirB, b[i].Hash, b[i].Kind, b[i].Actor, b[i].Outcome)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case len(a) == len(b):
+		fmt.Printf("chains identical: %d records, head hash %s\n", n, headHash(a))
+	case len(a) > len(b):
+		fmt.Printf("chains agree through seq %d; %s holds %d further records\n", n, dirA, len(a)-n)
+	default:
+		fmt.Printf("chains agree through seq %d; %s holds %d further records\n", n, dirB, len(b)-n)
+	}
+}
+
+func headHash(recs []audit.Record) string {
+	if len(recs) == 0 {
+		return "(empty chain)"
+	}
+	return recs[len(recs)-1].Hash
+}
+
+// loadChain opens a controller's audit store read-only, verifies the
+// chain, and returns its records in sequence order.
+func loadChain(dir string) []audit.Record {
+	st, err := store.Open(filepath.Join(dir, "audit.wal"), store.Options{})
+	if err != nil {
+		log.Fatalf("open audit store %s: %v", dir, err)
+	}
+	defer st.Close()
+	logch, err := audit.Open(st)
+	if err != nil {
+		log.Fatalf("open audit log %s: %v", dir, err)
+	}
+	if err := logch.Verify(); err != nil {
+		log.Fatalf("AUDIT CHAIN BROKEN in %s: %v", dir, err)
+	}
+	recs, err := logch.Search(audit.Query{})
+	if err != nil {
+		log.Fatalf("read chain %s: %v", dir, err)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs
 }
 
 // printStageTimings joins the audit view with the distributed trace:

@@ -42,6 +42,22 @@
 //	-peers          shorthand topology: comma-separated shard base URLs
 //	                assigned ids 0..n-1 in order (alternative to
 //	                -shard-map)
+//	-role           "primary" (default) or "replica". A replica requires
+//	                -data and -repl-listen, applies a primary's WAL
+//	                stream, serves index inquiries locally, refuses
+//	                writes with the not-primary redirect, and flips to
+//	                primary on POST /ws/promote
+//	-repl-listen    replica only: TCP address the WAL-stream follower
+//	                listens on (e.g. 127.0.0.1:9301)
+//	-replicate-to   comma-separated follower addresses this node ships
+//	                its WALs to. On a primary, shipping starts at boot;
+//	                on a replica it starts at promotion, so a promoted
+//	                node feeds the surviving replicas
+//	-quorum         wait for a majority of followers to fsync before
+//	                acknowledging each publish (durable failover; adds
+//	                one network round-trip overlapped with fan-out)
+//	-repl-epoch     fencing epoch this node ships/accepts at (default 1);
+//	                the shard map's epoch after a manual failover
 //
 // The controller always serves /metrics (Prometheus text format),
 // /healthz, /slo (latency-objective burn rates) and /debug/spans (the
@@ -66,6 +82,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -74,6 +91,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/identity"
 	"repro/internal/overload"
+	"repro/internal/replication"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -112,6 +130,11 @@ func main() {
 	spanFile := flag.String("span-file", "", "durable span export file (JSONL ring; empty: disabled)")
 	spanSample := flag.Float64("span-sample", telemetry.DefaultSampleRate, "head-sampling rate for span recording and export (0..1)")
 	spanSlow := flag.Duration("span-slow", telemetry.DefaultSlowTail, "tail-keep exported spans at least this slow (negative: disabled)")
+	role := flag.String("role", "primary", `replication role: "primary" or "replica"`)
+	replListen := flag.String("repl-listen", "", "replica: TCP address the WAL-stream follower listens on")
+	replicateTo := flag.String("replicate-to", "", "comma-separated follower addresses to ship WALs to")
+	quorum := flag.Bool("quorum", false, "wait for a follower fsync quorum before acknowledging publishes")
+	replEpoch := flag.Uint64("repl-epoch", 1, "replication fencing epoch")
 	shardID := flag.Int("shard-id", -1, "this controller's shard id (default: unsharded)")
 	shardMapSpec := flag.String("shard-map", "", `cluster topology: "id=url,..." or "@file" with one id=url per line`)
 	peersSpec := flag.String("peers", "", "comma-separated shard base URLs assigned ids 0..n-1 (alternative to -shard-map)")
@@ -175,6 +198,26 @@ func main() {
 		log.Fatal("sharding: -shard-id needs a topology (-shard-map or -peers)")
 	}
 
+	switch *role {
+	case "primary":
+		if *replListen != "" {
+			log.Fatal("replication: -repl-listen is a replica flag")
+		}
+		if *replicateTo != "" && *dataDir == "" {
+			log.Fatal("replication: WAL shipping requires -data")
+		}
+	case "replica":
+		if *dataDir == "" {
+			log.Fatal("replication: a replica requires -data (WAL shipping needs WALs)")
+		}
+		if *replListen == "" {
+			log.Fatal("replication: -repl-listen is required for a replica")
+		}
+		cfg.Replica = true
+	default:
+		log.Fatalf("replication: unknown -role %q (want primary or replica)", *role)
+	}
+
 	ctrl, err := core.New(cfg)
 	if err != nil {
 		log.Fatalf("controller: %v", err)
@@ -221,6 +264,83 @@ func main() {
 	}
 
 	srv := transport.NewServer(ctrl)
+
+	// Replication wiring. A primary with -replicate-to ships its WALs
+	// from boot; a replica runs the stream follower and installs a
+	// promote hook that fences the old epoch, flips the controller to
+	// primary, and (with -replicate-to) starts shipping to the surviving
+	// replicas.
+	var follower *replication.Follower
+	var shipper atomic.Pointer[replication.Primary]
+	replLogf := func(format string, args ...any) {
+		telemetry.Logger().Info("repl: " + fmt.Sprintf(format, args...))
+	}
+	startShipping := func(epoch uint64) (*replication.Primary, error) {
+		stores, err := ctrl.ReplStores()
+		if err != nil {
+			return nil, err
+		}
+		p, err := replication.NewPrimary(replication.PrimaryConfig{
+			Stores: stores, Epoch: epoch, Quorum: *quorum,
+			Metrics: telemetry.Default(), Logf: replLogf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range strings.Split(*replicateTo, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				p.AddFollower(a)
+			}
+		}
+		return p, nil
+	}
+	switch {
+	case *role == "primary" && *replicateTo != "":
+		p, err := startShipping(*replEpoch)
+		if err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		shipper.Store(p)
+		ctrl.AttachReplication(p)
+		srv.SetReplication(p)
+		telemetry.Logger().Info("WAL shipping enabled",
+			"followers", *replicateTo, "quorum", *quorum, "epoch", *replEpoch)
+	case *role == "replica":
+		stores, err := ctrl.ReplStores()
+		if err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		follower, err = replication.NewFollower(*replListen, replication.FollowerConfig{
+			Stores: stores, Epoch: *replEpoch, OnApply: ctrl.OnReplicatedApply(),
+			Metrics: telemetry.Default(), Logf: replLogf,
+		})
+		if err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		srv.SetFollower(follower)
+		srv.SetPromoteHook(func(epoch uint64) error {
+			// Fence first: once the follower holds the new epoch, the
+			// deposed primary's frames are denied even if it is still up.
+			follower.SetEpoch(epoch)
+			if err := ctrl.Promote(epoch); err != nil {
+				return err
+			}
+			if *replicateTo != "" {
+				p, err := startShipping(epoch)
+				if err != nil {
+					return err
+				}
+				shipper.Store(p)
+				ctrl.AttachReplication(p)
+				srv.SetReplication(p)
+			}
+			telemetry.Logger().Info("promoted to primary", "epoch", epoch)
+			return nil
+		})
+		telemetry.Logger().Info("replica following",
+			"listen", follower.Addr(), "epoch", *replEpoch)
+	}
+
 	if len(gateways) > 0 {
 		// Remote detail sources get a shared retry policy and one circuit
 		// breaker per gateway; breaker states show up on /healthz so an
@@ -323,6 +443,15 @@ func main() {
 	steps := []overload.Step{
 		{Name: "http-shutdown", Run: httpSrv.Shutdown},
 		{Name: "bus-flush", Run: ctrl.FlushContext},
+		{Name: "repl-close", Run: func(context.Context) error {
+			if p := shipper.Load(); p != nil {
+				p.Close()
+			}
+			if follower != nil {
+				follower.Close()
+			}
+			return nil
+		}},
 	}
 	if spanExporter != nil {
 		steps = append(steps, overload.Step{Name: "span-flush", Run: func(context.Context) error {

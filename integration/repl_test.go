@@ -1,0 +1,219 @@
+package integration
+
+// Replicated bring-up smoke (make repl-smoke, part of `make check`):
+// one primary ships its WALs to two replica processes in quorum mode,
+// the primary is killed without warning, one replica is promoted over
+// the HTTP API and must serve both reads and writes — feeding the
+// surviving replica — and css-audit -compare must show the deposed
+// primary's audit chain as an intact prefix of the promoted one's.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/index"
+	"repro/internal/schema"
+	"repro/internal/transport"
+)
+
+// startController launches a css-controller process with the given
+// flags, returning the command and its combined log.
+func startController(t *testing.T, args ...string) (*exec.Cmd, *lockedBuffer) {
+	t.Helper()
+	cmd := exec.Command(bin("css-controller"), args...)
+	var buf lockedBuffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd, &buf
+}
+
+// waitCaughtUp polls the primary's replication status until every
+// follower is connected with zero lag.
+func waitCaughtUp(t *testing.T, c *transport.Client, followers int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, err := c.ReplStatus(context.Background())
+		if err == nil && len(st.Followers) == followers {
+			caught := true
+			for _, f := range st.Followers {
+				if !f.Connected || f.LagBytes != 0 {
+					caught = false
+					break
+				}
+			}
+			if caught {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never caught up (last status %+v, err %v)", st, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestReplSmoke is the make repl-smoke entry point: the 1-primary /
+// 2-replica failover drill against the built binaries.
+func TestReplSmoke(t *testing.T) {
+	if os.Getenv("REPL_SMOKE") == "" {
+		t.Skip("set REPL_SMOKE=1 (or run `make repl-smoke`)")
+	}
+	root := t.TempDir()
+	dirP := filepath.Join(root, "primary")
+	dirR1 := filepath.Join(root, "replica1")
+	dirR2 := filepath.Join(root, "replica2")
+
+	// All three nodes must share one master key: the replicas serve
+	// pseudonym-keyed inquiries over the replicated index.
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	keyFile := filepath.Join(root, "master.hex")
+	if err := os.WriteFile(keyFile, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	pAddr, r1Addr, r2Addr := freePort(t), freePort(t), freePort(t)
+	rl1, rl2 := freePort(t), freePort(t)
+	pURL, r1URL, r2URL := "http://"+pAddr, "http://"+r1Addr, "http://"+r2Addr
+
+	// Replicas first, so the primary's shipper finds their followers
+	// listening. Replica 1 carries -replicate-to for the other replica:
+	// shipping starts only at its promotion.
+	_, r1Log := startController(t,
+		"-addr", r1Addr, "-data", dirR1, "-key-file", keyFile,
+		"-role", "replica", "-repl-listen", rl1,
+		"-replicate-to", rl2, "-quorum")
+	_, r2Log := startController(t,
+		"-addr", r2Addr, "-data", dirR2, "-key-file", keyFile,
+		"-role", "replica", "-repl-listen", rl2)
+	waitReady(t, r1URL)
+	waitReady(t, r2URL)
+
+	pCmd, pLog := startController(t,
+		"-addr", pAddr, "-data", dirP, "-key-file", keyFile, "-scenario",
+		"-role", "primary", "-replicate-to", rl1+","+rl2, "-quorum")
+	waitReady(t, pURL)
+
+	ctx := context.Background()
+	pc := transport.NewClient(pURL, nil)
+	r1c := transport.NewClient(r1URL, nil)
+	r2c := transport.NewClient(r2URL, nil)
+
+	// The scenario provisioning must replicate before the storm of
+	// asserts: wait for both followers to drain the catch-up stream.
+	waitCaughtUp(t, pc, 2)
+	if st, err := pc.ReplStatus(ctx); err != nil || st.Role != "primary" || st.Quorum != true {
+		t.Fatalf("primary replstatus = %+v, %v", st, err)
+	}
+	if st, err := r1c.ReplStatus(ctx); err != nil || st.Role != "replica" || st.Epoch != 1 {
+		t.Fatalf("replica replstatus = %+v, %v; want replica at epoch 1", st, err)
+	}
+
+	// Quorum-acknowledged publishes through the primary.
+	persons := make([]string, 5)
+	base := time.Date(2010, 5, 30, 9, 0, 0, 0, time.UTC)
+	for i := range persons {
+		persons[i] = fmt.Sprintf("REPL-%03d", i)
+		if _, err := pc.Publish(ctx, &event.Notification{
+			Producer: "hospital-s-maria", SourceID: event.SourceID(fmt.Sprintf("repl-src-%03d", i)),
+			Class: schema.ClassBloodTest, PersonID: persons[i], Summary: "blood test",
+			OccurredAt: base.Add(time.Duration(i) * time.Minute),
+		}); err != nil {
+			t.Fatalf("publish %s: %v\nprimary log:\n%s", persons[i], err, pLog.String())
+		}
+	}
+	waitCaughtUp(t, pc, 2)
+
+	// Replicas answer index inquiries locally; writes are refused with
+	// the not-primary redirect.
+	for name, rc := range map[string]*transport.Client{"replica1": r1c, "replica2": r2c} {
+		notes, err := rc.InquireIndex(ctx, "family-doctor", index.Inquiry{Class: schema.ClassBloodTest})
+		if err != nil {
+			t.Fatalf("%s inquiry: %v", name, err)
+		}
+		if len(notes) != len(persons) {
+			t.Fatalf("%s serves %d events, want %d", name, len(notes), len(persons))
+		}
+	}
+	if _, err := r1c.Publish(ctx, &event.Notification{
+		Producer: "hospital-s-maria", SourceID: "repl-src-refused",
+		Class: schema.ClassBloodTest, PersonID: "REPL-REFUSED", OccurredAt: base,
+	}); err == nil {
+		t.Fatal("replica accepted a write")
+	}
+
+	// Kill the primary without warning and promote replica 1 at the
+	// next epoch over the HTTP API.
+	pCmd.Process.Kill()
+	pCmd.Wait()
+	st, err := r1c.Promote(ctx, 2)
+	if err != nil {
+		t.Fatalf("promote: %v\nreplica1 log:\n%s", err, r1Log.String())
+	}
+	if st.Role != "primary" || st.Epoch != 2 {
+		t.Fatalf("promoted status = %+v, want primary at epoch 2", st)
+	}
+
+	// The promoted node serves reads and writes, and feeds the
+	// surviving replica from its own WALs.
+	notes, err := r1c.InquireIndex(ctx, "family-doctor", index.Inquiry{Class: schema.ClassBloodTest})
+	if err != nil || len(notes) != len(persons) {
+		t.Fatalf("promoted inquiry = %d events, %v; want %d", len(notes), err, len(persons))
+	}
+	if _, err := r1c.Publish(ctx, &event.Notification{
+		Producer: "hospital-s-maria", SourceID: "repl-src-post",
+		Class: schema.ClassBloodTest, PersonID: "REPL-POST", Summary: "after failover",
+		OccurredAt: base.Add(time.Hour),
+	}); err != nil {
+		t.Fatalf("post-failover publish: %v\nreplica1 log:\n%s", err, r1Log.String())
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		got, err := r2c.InquireIndex(ctx, "family-doctor", index.Inquiry{PersonID: "REPL-POST"})
+		if err == nil && len(got) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-failover event never reached the surviving replica (err %v)\nreplica2 log:\n%s",
+				err, r2Log.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st, err := r2c.ReplStatus(ctx); err != nil || st.Role != "replica" {
+		t.Fatalf("survivor replstatus = %+v, %v", st, err)
+	}
+
+	// The guarantor's post-mortem: the deposed primary's audit chain
+	// must verify and be an intact prefix of the promoted node's —
+	// anything else is a fork.
+	var out, errOut bytes.Buffer
+	audit := exec.Command(bin("css-audit"), "-data", dirP, "-compare", dirR1)
+	audit.Stdout, audit.Stderr = &out, &errOut
+	if err := audit.Run(); err != nil {
+		t.Fatalf("css-audit -compare: %v\n%s%s", err, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "chains agree through seq") &&
+		!strings.Contains(out.String(), "chains identical") {
+		t.Fatalf("css-audit -compare output: %s", out.String())
+	}
+	t.Logf("css-audit -compare:\n%s", out.String())
+}

@@ -112,6 +112,34 @@ func Open(st *store.Store) (*Log, error) {
 	return l, nil
 }
 
+// Recover advances the in-memory chain head over records that reached
+// the store behind the log's back — a read replica's audit store is fed
+// by the replication stream, not by Append. It scans only forward from
+// the current head ("a0" is the first key past the "a/" prefix), so
+// calling it after every applied segment stays cheap; promotion calls it
+// once more before the node starts appending.
+func (l *Log) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var innerErr error
+	err := l.st.AscendRange(key(l.seq+1), "a0", func(k string, v []byte) bool {
+		var r Record
+		if err := json.Unmarshal(v, &r); err != nil {
+			innerErr = fmt.Errorf("audit: corrupt record %s: %w", k, err)
+			return false
+		}
+		if r.Seq > l.seq {
+			l.seq = r.Seq
+			l.last = r.Hash
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return innerErr
+}
+
 // bufPool recycles the scratch buffer used to build hash inputs and the
 // JSON body, so a steady-state append does not allocate for either.
 var bufPool = sync.Pool{

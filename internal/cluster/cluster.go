@@ -38,10 +38,34 @@ type ShardID int
 // String renders the id for labels and log lines.
 func (id ShardID) String() string { return "shard-" + strconv.Itoa(int(id)) }
 
-// ShardInfo names one shard and where to reach it.
+// ShardInfo names one shard and where to reach it. With replication
+// enabled it also records the shard's read replicas and the fencing
+// epoch of the current primary: every promotion installs a successor
+// map whose entry carries Epoch+1, and replicated frames stamped with
+// an older epoch are rejected by followers, so a deposed primary that
+// keeps running cannot overwrite history (see internal/replication).
 type ShardInfo struct {
 	ID   ShardID
-	Addr string // base URL of the shard's web-service binding
+	Addr string // base URL of the shard's primary web-service binding
+	// Replicas are base URLs of the shard's read replicas (may be empty).
+	Replicas []string
+	// Epoch is the fencing token of the primary at Addr. Zero in
+	// unreplicated deployments.
+	Epoch uint64
+}
+
+// equalInfo compares two entries field-wise (ShardInfo holds a slice,
+// so == does not apply).
+func equalInfo(a, b ShardInfo) bool {
+	if a.ID != b.ID || a.Addr != b.Addr || a.Epoch != b.Epoch || len(a.Replicas) != len(b.Replicas) {
+		return false
+	}
+	for i := range a.Replicas {
+		if a.Replicas[i] != b.Replicas[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // DefaultVNodes is the number of virtual nodes each shard contributes
@@ -203,9 +227,65 @@ func (m *Map) Equal(o *Map) bool {
 		return false
 	}
 	for i := range m.shards {
-		if m.shards[i] != o.shards[i] {
+		if !equalInfo(m.shards[i], o.shards[i]) {
 			return false
 		}
 	}
 	return true
+}
+
+// ErrNotPrimary is the sentinel identity of NotPrimaryError: a write
+// reached a read replica (or a deposed primary refusing writes). Like
+// ErrWrongShard it survives the wire as a typed fault, and the client
+// reacts the same way — refresh the map and retry at the shard's
+// current primary.
+var ErrNotPrimary = errors.New("cluster: not the primary for writes")
+
+// NotPrimaryError carries the redirect hint for a write that landed on
+// a replica: the shard it belongs to and the replica's map version, so
+// a client that is behind refreshes before retrying.
+type NotPrimaryError struct {
+	Shard   ShardID
+	Version uint64
+}
+
+// Error implements the error interface.
+func (e *NotPrimaryError) Error() string {
+	return "cluster: not the primary for writes (" + e.Shard.String() +
+		", map v" + strconv.FormatUint(e.Version, 10) + ")"
+}
+
+// Is makes errors.Is(err, ErrNotPrimary) match the typed redirect.
+func (e *NotPrimaryError) Is(target error) bool { return target == ErrNotPrimary }
+
+// WithPromotedReplica derives the successor map a failover installs:
+// shard id's primary becomes promoted (which must be one of its
+// replicas), the dead primary's address is dropped, the remaining
+// replicas are kept, and the shard's fencing epoch is bumped by one.
+// Exactly one version bump covers the whole transition.
+func (m *Map) WithPromotedReplica(id ShardID, promoted string) (*Map, error) {
+	cur, ok := m.Shard(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: promote: unknown shard %d", id)
+	}
+	rest := make([]string, 0, len(cur.Replicas))
+	found := false
+	for _, r := range cur.Replicas {
+		if r == promoted {
+			found = true
+			continue
+		}
+		rest = append(rest, r)
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: promote: %s is not a replica of shard %d", promoted, id)
+	}
+	shards := make([]ShardInfo, len(m.shards))
+	copy(shards, m.shards)
+	for i := range shards {
+		if shards[i].ID == id {
+			shards[i] = ShardInfo{ID: id, Addr: promoted, Replicas: rest, Epoch: cur.Epoch + 1}
+		}
+	}
+	return NewMap(m.version+1, m.vnodes, shards)
 }

@@ -5,7 +5,13 @@
 // Shard-map frame (type 8):
 //
 //	header | uvarint version | uvarint vnodes | uvarint count |
-//	count × (uvarint shardID, string addr)
+//	count × (uvarint shardID, string addr, uvarint epoch,
+//	         uvarint replicaCount, replicaCount × string)
+//
+// The per-shard epoch and replica list (both zero/empty outside
+// replicated deployments) ride in the same versioned frame, so the
+// failover protocol's primary claim is published through the exact
+// channel clients already refresh from.
 //
 // Handoff frame (type 9) wraps one WAL-encoded store.Batch together
 // with the name of the store it applies to — the index and idmap
@@ -51,7 +57,11 @@ func (m *Map) EncodeFrame() []byte {
 		uvarintLen(uint64(m.vnodes)) +
 		uvarintLen(uint64(len(m.shards)))
 	for _, s := range m.shards {
-		size += uvarintLen(uint64(s.ID)) + uvarintLen(uint64(len(s.Addr))) + len(s.Addr)
+		size += uvarintLen(uint64(s.ID)) + uvarintLen(uint64(len(s.Addr))) + len(s.Addr) +
+			uvarintLen(s.Epoch) + uvarintLen(uint64(len(s.Replicas)))
+		for _, r := range s.Replicas {
+			size += uvarintLen(uint64(len(r))) + len(r)
+		}
 	}
 	dst := make([]byte, 0, size)
 	dst = event.AppendFrameHeader(dst, FrameShardMap)
@@ -61,6 +71,11 @@ func (m *Map) EncodeFrame() []byte {
 	for _, s := range m.shards {
 		dst = binary.AppendUvarint(dst, uint64(s.ID))
 		dst = event.AppendFrameString(dst, s.Addr)
+		dst = binary.AppendUvarint(dst, s.Epoch)
+		dst = binary.AppendUvarint(dst, uint64(len(s.Replicas)))
+		for _, r := range s.Replicas {
+			dst = event.AppendFrameString(dst, r)
+		}
 	}
 	return dst
 }
@@ -100,10 +115,11 @@ func DecodeMapFrame(data []byte) (*Map, error) {
 		return nil, errCodecVarint
 	}
 	p = p[n:]
-	// Each shard entry needs at least two bytes (one-byte id varint plus
-	// a zero-length addr), so a count beyond len(p)/2 cannot be
-	// satisfied: reject before sizing the slice from wire input.
-	if count > uint64(len(p))/2 {
+	// Each shard entry needs at least four bytes (one-byte id varint, a
+	// zero-length addr, a zero epoch and a zero replica count), so a
+	// count beyond len(p)/4 cannot be satisfied: reject before sizing
+	// the slice from wire input.
+	if count > uint64(len(p))/4 {
 		return nil, errCodecBomb
 	}
 	shards := make([]ShardInfo, 0, count)
@@ -120,7 +136,29 @@ func DecodeMapFrame(data []byte) (*Map, error) {
 		if addr, p, err = event.FrameString(p); err != nil {
 			return nil, err
 		}
-		shards = append(shards, ShardInfo{ID: ShardID(id), Addr: addr})
+		epoch, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, errCodecVarint
+		}
+		p = p[n:]
+		rcount, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, errCodecVarint
+		}
+		p = p[n:]
+		// A replica entry needs at least its one-byte length varint.
+		if rcount > uint64(len(p)) {
+			return nil, errCodecBomb
+		}
+		var replicas []string
+		for j := uint64(0); j < rcount; j++ {
+			var r string
+			if r, p, err = event.FrameString(p); err != nil {
+				return nil, err
+			}
+			replicas = append(replicas, r)
+		}
+		shards = append(shards, ShardInfo{ID: ShardID(id), Addr: addr, Epoch: epoch, Replicas: replicas})
 	}
 	if len(p) != 0 {
 		return nil, errCodecTrail

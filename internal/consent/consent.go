@@ -122,6 +122,39 @@ func Open(st *store.Store, defaultAllow bool) (*Registry, error) {
 	return r, nil
 }
 
+// Reload replaces the in-memory view with a fresh scan of the persisted
+// directives. A read replica calls this after its replication follower
+// applies a consent write, so directives recorded on the primary govern
+// the replica's filtering without a restart.
+func (r *Registry) Reload() error {
+	byID := make(map[string][]*Directive)
+	var seq uint64
+	var derr error
+	err := r.st.AscendPrefix("d/", func(k string, v []byte) bool {
+		var d Directive
+		if err := json.Unmarshal(v, &d); err != nil {
+			derr = fmt.Errorf("consent: corrupt directive %s: %w", k, err)
+			return false
+		}
+		byID[d.PersonID] = append(byID[d.PersonID], &d)
+		if d.Seq > seq {
+			seq = d.Seq
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	r.mu.Lock()
+	r.byID = byID
+	r.seq = seq
+	r.mu.Unlock()
+	return nil
+}
+
 // Record stores a directive. Seq and RecordedAt are assigned if unset.
 func (r *Registry) Record(d Directive) (Directive, error) {
 	if d.PersonID == "" {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/policy"
 	"repro/internal/registry"
+	"repro/internal/replication"
 	"repro/internal/schema"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -107,6 +109,12 @@ type Config struct {
 	// meaningful when ShardMap is set. An id absent from the map boots
 	// cold — owning no keys until a reshard flips in a map naming it.
 	ShardID cluster.ShardID
+	// Replica starts the controller as a read replica: its stores are
+	// fed by a replication follower applying the primary's WAL stream,
+	// index inquiries are served locally, and every write flow answers
+	// cluster.NotPrimaryError until Promote. Requires DataDir (WAL
+	// shipping needs WALs).
+	Replica bool
 }
 
 // Stats aggregates controller counters. It is a compatibility view over
@@ -264,6 +272,15 @@ type Controller struct {
 	// shard is the cluster identity; nil when unsharded (see cluster.go).
 	shard *shardState
 
+	// Replication role (see replica.go): replica gates the write flows,
+	// repl carries the attached shipping primary for the quorum barrier,
+	// replStores lists the persistent stores in write-path dependency
+	// order for replication wiring.
+	replica    atomic.Bool
+	replEpoch  atomic.Uint64
+	repl       atomic.Pointer[replication.Primary]
+	replStores []replication.NamedStore
+
 	mu     sync.Mutex
 	subSeq int
 	subs   map[string]*Subscription
@@ -276,7 +293,11 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.PlaintextIndex && cfg.MasterKey != nil {
 		return nil, ErrPlaintextConflict
 	}
+	if cfg.Replica && cfg.DataDir == "" {
+		return nil, ErrNotPersistent
+	}
 	c := &Controller{cfg: cfg, subs: make(map[string]*Subscription)}
+	c.replica.Store(cfg.Replica)
 	c.now = cfg.Now
 	if c.now == nil {
 		c.now = time.Now
@@ -334,6 +355,10 @@ func New(cfg Config) (*Controller, error) {
 			return nil, err
 		}
 		c.stores = append(c.stores, st)
+		// The open order below (idmap, index, audit, consent, catalog,
+		// policies) is the write-path dependency order replication ships
+		// in; see ReplStores.
+		c.replStores = append(c.replStores, replication.NamedStore{Name: name, Store: st})
 		return st, nil
 	}
 
@@ -444,6 +469,9 @@ func (c *Controller) RegisterProducer(id event.ProducerID, name string) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
+	if c.replica.Load() {
+		return c.notPrimary()
+	}
 	if err := c.reg.RegisterProducer(id, name); err != nil {
 		if registryDuplicate(err) {
 			return nil
@@ -458,6 +486,9 @@ func (c *Controller) RegisterProducer(id event.ProducerID, name string) error {
 func (c *Controller) RegisterConsumer(actor event.Actor, name string) error {
 	if c.isClosed() {
 		return ErrClosed
+	}
+	if c.replica.Load() {
+		return c.notPrimary()
 	}
 	if err := c.reg.RegisterConsumer(actor, name); err != nil {
 		if registryDuplicate(err) {
@@ -474,6 +505,9 @@ func (c *Controller) RegisterConsumer(actor event.Actor, name string) error {
 func (c *Controller) DeclareClass(producer event.ProducerID, s *schema.Schema) error {
 	if c.isClosed() {
 		return ErrClosed
+	}
+	if c.replica.Load() {
+		return c.notPrimary()
 	}
 	if err := c.reg.DeclareClass(producer, s); err != nil {
 		if s != nil {
@@ -523,6 +557,9 @@ func (c *Controller) DefinePolicy(p *policy.Policy) (*policy.Policy, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
+	if c.replica.Load() {
+		return nil, c.notPrimary()
+	}
 	decl, err := c.reg.Class(p.Class)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownClass, p.Class)
@@ -552,6 +589,9 @@ func (c *Controller) RevokePolicy(id policy.ID) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
+	if c.replica.Load() {
+		return c.notPrimary()
+	}
 	if err := c.enf.RemovePolicy(id); err != nil {
 		return err
 	}
@@ -572,6 +612,9 @@ func (c *Controller) Policies(producer event.ProducerID) []*policy.Policy {
 func (c *Controller) RecordConsent(d consent.Directive) (consent.Directive, error) {
 	if c.isClosed() {
 		return consent.Directive{}, ErrClosed
+	}
+	if c.replica.Load() {
+		return consent.Directive{}, c.notPrimary()
 	}
 	stored, err := c.con.Record(d)
 	if err == nil {

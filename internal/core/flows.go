@@ -43,6 +43,9 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	if c.isClosed() {
 		return "", ErrClosed
 	}
+	if c.replica.Load() {
+		return "", c.notPrimary()
+	}
 	if err := n.Validate(); err != nil {
 		return "", err
 	}
@@ -141,6 +144,15 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	if audCommit.Pending() {
 		go audCommit.Wait()
 	}
+	// Quorum replication: the follower fsync barrier is kicked here and
+	// joined after the local commit barrier below, so the follower round
+	// trip overlaps encoding and bus fan-out exactly like the group
+	// commit does — replicated durability rides the same latency window.
+	var replDone chan error
+	if p := c.repl.Load(); p != nil && p.Quorum() {
+		replDone = make(chan error, 1)
+		go func() { replDone <- p.Barrier(ctx) }()
+	}
 	// Route the redacted notification. Per-subscriber consent is applied
 	// at delivery time by each subscription's handler wrapper. The decoded
 	// form rides the bus alongside the wire bytes: it is encoded (and
@@ -172,6 +184,11 @@ func (c *Controller) PublishContext(ctx context.Context, n *event.Notification) 
 	}
 	if err := audCommit.Wait(); err != nil {
 		return fail(err)
+	}
+	if replDone != nil {
+		if err := <-replDone; err != nil {
+			return fail(err)
+		}
 	}
 	pubSpan.End()
 	c.met.published.Inc()
@@ -278,6 +295,10 @@ func (c *Controller) SubscribeCtx(actor event.Actor, class event.ClassID, h Hand
 func (c *Controller) subscribe(actor event.Actor, class event.ClassID, h HandlerCtx, ctxFree bool) (*Subscription, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
+	}
+	if c.replica.Load() {
+		// Subscriptions audit and deliver; both are primary duties.
+		return nil, c.notPrimary()
 	}
 	if err := actor.Validate(); err != nil {
 		return nil, err
@@ -412,6 +433,11 @@ func (c *Controller) RequestDetailsContext(ctx context.Context, r *event.DetailR
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
+	if c.replica.Load() {
+		// Detail disclosure must be audited on the chain of record (the
+		// primary's); replicas serve only index reads.
+		return nil, c.notPrimary()
+	}
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -531,6 +557,9 @@ func (c *Controller) PrefetchDetailsContext(ctx context.Context, r *event.Detail
 	if c.isClosed() {
 		return ErrClosed
 	}
+	if c.replica.Load() {
+		return c.notPrimary()
+	}
 	if err := r.Validate(); err != nil {
 		return err
 	}
@@ -602,7 +631,7 @@ func (c *Controller) InquireIndexContext(ctx context.Context, actor event.Actor,
 	// inquiry of the event index is managed in the same way").
 	trace := telemetry.NewTraceID()
 	if q.Class != "" && !c.enf.Repository().AllowsSubscription(actor, q.Class, now) {
-		c.aud.Append(audit.Record{
+		c.auditRead(audit.Record{
 			Kind: audit.KindIndexInquiry, Actor: string(actor), Class: q.Class, Outcome: "deny",
 			Note: "no authorizing policy", Trace: trace,
 		})
@@ -631,7 +660,7 @@ func (c *Controller) InquireIndexContext(ctx context.Context, actor event.Actor,
 			break
 		}
 	}
-	c.aud.Append(audit.Record{
+	c.auditRead(audit.Record{
 		Kind: audit.KindIndexInquiry, Actor: string(actor), Class: q.Class, Outcome: "permit",
 		Note: strconv.Itoa(len(out)) + " notifications", Trace: trace,
 	})
@@ -660,7 +689,7 @@ func (c *Controller) InquireOwn(personID string, q index.Inquiry) ([]*event.Noti
 	for _, n := range raw {
 		out = append(out, n.Redact())
 	}
-	c.aud.Append(audit.Record{
+	c.auditRead(audit.Record{
 		Kind: audit.KindIndexInquiry, Actor: "citizen:" + personID, Outcome: "permit",
 		Note: strconv.Itoa(len(out)) + " own notifications", Trace: telemetry.NewTraceID(),
 	})

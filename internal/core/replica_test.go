@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consent"
+	"repro/internal/crypto"
+	"repro/internal/event"
+	"repro/internal/index"
+	"repro/internal/policy"
+	"repro/internal/replication"
+	"repro/internal/schema"
+)
+
+// replRig wires a primary controller to a replica controller over a
+// real replication link.
+type replRig struct {
+	primary *Controller
+	replica *Controller
+	pri     *replication.Primary
+	fol     *replication.Follower
+}
+
+func newReplRig(t *testing.T, quorum bool) *replRig {
+	t.Helper()
+	key := bytes.Repeat([]byte{7}, crypto.KeySize)
+	primary, err := New(Config{DataDir: t.TempDir(), MasterKey: key, DefaultConsent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	replica, err := New(Config{DataDir: t.TempDir(), MasterKey: key, DefaultConsent: true, Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+
+	rs, err := replica.ReplStores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := replication.NewFollower("127.0.0.1:0", replication.FollowerConfig{
+		Stores:  rs,
+		Epoch:   1,
+		OnApply: replica.OnReplicatedApply(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fol.Close() })
+
+	ps, err := primary.ReplStores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri, err := replication.NewPrimary(replication.PrimaryConfig{
+		Stores: ps,
+		Epoch:  1,
+		Quorum: quorum,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pri.Close() })
+	primary.AttachReplication(pri)
+	pri.AddFollower(fol.Addr())
+	return &replRig{primary: primary, replica: replica, pri: pri, fol: fol}
+}
+
+// waitReplicated blocks until the replica's stores hold everything the
+// primary's do.
+func (r *replRig) waitReplicated(t *testing.T) {
+	t.Helper()
+	ps, _ := r.primary.ReplStores()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		caught := true
+		offs := r.fol.Offsets()
+		for _, ns := range ps {
+			if offs[ns.Name] != ns.Store.WALOffset() {
+				caught = false
+				break
+			}
+		}
+		if caught {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func provision(t *testing.T, c *Controller) {
+	t.Helper()
+	if err := c.RegisterProducer("hospital", "Hospital"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterConsumer("family-doctor", "Family doctors"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclareClass("hospital", schema.BloodTest()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefinePolicy(&policy.Policy{
+		Producer: "hospital",
+		Actor:    "family-doctor",
+		Class:    schema.ClassBloodTest,
+		Purposes: []event.Purpose{event.PurposeHealthcareTreatment},
+		Fields:   []event.FieldName{"patient-id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func publishN(t *testing.T, c *Controller, n int) []event.GlobalID {
+	t.Helper()
+	gids := make([]event.GlobalID, 0, n)
+	for i := 0; i < n; i++ {
+		gid, err := c.Publish(&event.Notification{
+			Producer: "hospital", SourceID: event.SourceID(fmt.Sprintf("src-%03d", i)),
+			Class: schema.ClassBloodTest, PersonID: fmt.Sprintf("person-%02d", i%7),
+			OccurredAt: time.Now(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids = append(gids, gid)
+	}
+	return gids
+}
+
+func TestReplicaServesReadsRefusesWrites(t *testing.T) {
+	rig := newReplRig(t, true)
+	provision(t, rig.primary)
+	publishN(t, rig.primary, 25)
+	rig.waitReplicated(t)
+
+	// The replicated catalog and policies authorize the consumer on the
+	// replica, so index inquiries are served locally.
+	got, err := rig.replica.InquireIndex("family-doctor", index.Inquiry{Class: schema.ClassBloodTest})
+	if err != nil {
+		t.Fatalf("replica inquiry: %v", err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("replica inquiry returned %d notifications, want 25", len(got))
+	}
+	own, err := rig.replica.InquireOwn("person-03", index.Inquiry{})
+	if err != nil || len(own) == 0 {
+		t.Fatalf("replica own inquiry: %d, %v", len(own), err)
+	}
+	// Replica reads never touch the replicated audit chain.
+	primLen := rig.primary.Audit().Len()
+	rig.waitReplicated(t)
+	if err := rig.replica.Audit().Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if rl := rig.replica.Audit().Len(); rl != primLen {
+		t.Fatalf("replica audit len %d != primary %d (replica reads must not append)", rl, primLen)
+	}
+
+	// Every write flow answers the not-primary redirect.
+	var np *cluster.NotPrimaryError
+	if _, err := rig.replica.Publish(&event.Notification{
+		Producer: "hospital", SourceID: "x", Class: schema.ClassBloodTest, PersonID: "p", OccurredAt: time.Now(),
+	}); !errors.As(err, &np) {
+		t.Fatalf("replica publish = %v, want NotPrimaryError", err)
+	}
+	if _, err := rig.replica.RecordConsent(consent.Directive{PersonID: "p"}); !errors.As(err, &np) {
+		t.Fatalf("replica consent = %v, want NotPrimaryError", err)
+	}
+	if err := rig.replica.RegisterProducer("lab", "Lab"); !errors.As(err, &np) {
+		t.Fatalf("replica register = %v, want NotPrimaryError", err)
+	}
+	if _, err := rig.replica.Subscribe("family-doctor", schema.ClassBloodTest, func(*event.Notification) {}); !errors.As(err, &np) {
+		t.Fatalf("replica subscribe = %v, want NotPrimaryError", err)
+	}
+	if _, err := rig.replica.RequestDetails(&event.DetailRequest{
+		Requester: "family-doctor", EventID: "e", Class: schema.ClassBloodTest,
+		Purpose: event.PurposeHealthcareTreatment,
+	}); !errors.As(err, &np) {
+		t.Fatalf("replica details = %v, want NotPrimaryError", err)
+	}
+
+	// Consent recorded on the primary reaches the replica's filtering.
+	if _, err := rig.primary.RecordConsent(consent.Directive{
+		PersonID: "person-03", Allow: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rig.waitReplicated(t)
+	got, err = rig.replica.InquireIndex("family-doctor", index.Inquiry{Class: schema.ClassBloodTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range got {
+		if n.PersonID == "person-03" {
+			t.Fatal("opted-out subject still visible on replica")
+		}
+	}
+}
+
+func TestPromoteReplicaAcceptsWritesWithIntactChain(t *testing.T) {
+	rig := newReplRig(t, false)
+	provision(t, rig.primary)
+	gids := publishN(t, rig.primary, 40)
+	rig.waitReplicated(t)
+
+	// Primary dies; the surviving replica is promoted at the next epoch.
+	rig.pri.Close()
+	rig.primary.Close()
+	if err := rig.replica.Promote(2); err != nil {
+		t.Fatal(err)
+	}
+	if rig.replica.IsReplica() {
+		t.Fatal("promoted node still reports replica")
+	}
+	if rig.replica.ReplicationEpoch() != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", rig.replica.ReplicationEpoch())
+	}
+
+	// The replicated audit chain verifies end-to-end on the promoted
+	// node, and new appends extend it without a fork.
+	if err := rig.replica.Audit().Verify(); err != nil {
+		t.Fatalf("audit chain on promoted node: %v", err)
+	}
+	before := rig.replica.Audit().Len()
+	gid, err := rig.replica.Publish(&event.Notification{
+		Producer: "hospital", SourceID: "post-failover", Class: schema.ClassBloodTest,
+		PersonID: "person-99", OccurredAt: time.Now(),
+	})
+	if err != nil {
+		t.Fatalf("publish on promoted node: %v", err)
+	}
+	if err := rig.replica.Audit().Verify(); err != nil {
+		t.Fatalf("audit chain after post-failover publish: %v", err)
+	}
+	if rig.replica.Audit().Len() != before+1 {
+		t.Fatal("post-failover publish did not extend the chain")
+	}
+
+	// Exactly-once across failover: every pre-failover event is present
+	// exactly once, and a producer retry of an old source id gets its
+	// original global id back.
+	n, err := rig.replica.IndexLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(gids)+1 {
+		t.Fatalf("promoted index holds %d events, want %d", n, len(gids)+1)
+	}
+	retry, err := rig.replica.Publish(&event.Notification{
+		Producer: "hospital", SourceID: "src-005", Class: schema.ClassBloodTest,
+		PersonID: "person-05", OccurredAt: time.Now(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry != gids[5] {
+		t.Fatalf("retried publish minted a new id %s (want %s)", retry, gids[5])
+	}
+	if gid == retry {
+		t.Fatal("fresh publish reused an old id")
+	}
+
+	// Promote is a one-way door.
+	if err := rig.replica.Promote(3); !errors.Is(err, ErrNotReplica) {
+		t.Fatalf("second promote = %v, want ErrNotReplica", err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package replication ships a primary controller's write-ahead logs to
+// follower replicas and promotes the most-caught-up follower when the
+// primary dies.
+//
+// The unit of replication is the raw CRC'd WAL record the store already
+// writes (PR 2): the primary tails each of its stores' logs and streams
+// byte ranges to every follower, which appends the identical bytes to
+// its own log and applies the decoded mutations — a follower's WAL is
+// at all times a byte-identical prefix of the primary's, so a cursor is
+// just (store, byte offset) and catch-up after a reconnect starts from
+// the offsets the follower announces in its hello.
+//
+// Durability modes:
+//
+//   - async: the publish path never waits for followers; the bounded
+//     loss window is visible as css_repl_lag_bytes per follower.
+//   - quorum: Primary.Barrier blocks until ⌈N/2⌉ followers have fsynced
+//     everything staged before the barrier. The controller overlaps the
+//     barrier with bus fan-out exactly like the PR 7 group-commit wait,
+//     so it costs one network round trip off the latency path.
+//
+// Fencing: every data frame carries the primary's epoch. A follower
+// that has seen a higher epoch (because a promoted primary reached it
+// first, or the operator raised it during failover) answers with a deny
+// frame and drops the connection, so a deposed primary's late writes
+// can never land. Epochs are recorded per shard in the versioned shard
+// map (cluster.ShardInfo.Epoch) — the promotion that bumps the map
+// version is the lease claim.
+//
+// Cross-store consistency: a publish touches idmap, then index, then
+// audit. The shipper captures per-store targets in *reverse* dependency
+// order and ships segments in forward order, so any record visible in a
+// later store implies its prerequisites in earlier stores were captured
+// in the same round — a follower cut never holds an index entry without
+// its pseudonym mapping, or an audit record without its index entry.
+//
+// Wire format: each message is a 4-byte little-endian length followed
+// by one binary frame using the event package's header conventions
+// (same magic/version as the PR 7 codec; the cluster layer owns frame
+// types 8-9, replication claims 10-13):
+//
+//	hello (10):  uvarint epoch | uvarint count | count × (string store, uvarint offset)
+//	data  (11):  string store | uvarint epoch | uvarint offset | uvarint len | raw WAL records
+//	ack   (12):  string store | uvarint offset fsynced through
+//	deny  (13):  uvarint epoch the follower holds (fencing rejection)
+package replication
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+)
+
+// Frame types claimed by the replication layer (event owns 1-7,
+// cluster owns 8-9).
+const (
+	// FrameHello announces a follower's epoch and per-store cursors.
+	FrameHello = event.FrameType(10)
+	// FrameData carries one raw WAL segment for one store.
+	FrameData = event.FrameType(11)
+	// FrameAck acknowledges a follower fsync through an offset.
+	FrameAck = event.FrameType(12)
+	// FrameDeny rejects a stale-epoch primary (fencing).
+	FrameDeny = event.FrameType(13)
+)
+
+// maxMessage bounds a wire message; segments are shipped in chunks far
+// below it, so anything larger is corruption, not load.
+const maxMessage = 64 << 20
+
+var (
+	errCodecVarint = errors.New("replication: frame has malformed varint")
+	errCodecTrail  = errors.New("replication: frame has trailing garbage")
+	errCodecBomb   = errors.New("replication: frame claims more than the payload holds")
+)
+
+// writeMsg frames and writes one message: 4-byte LE length + frame.
+func writeMsg(w io.Writer, frame []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// readMsg reads one length-prefixed message.
+func readMsg(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxMessage {
+		return nil, fmt.Errorf("replication: message of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(br, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// storeOffset is one (store, byte offset) cursor in a hello frame.
+type storeOffset struct {
+	name   string
+	offset int64
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func encodeHello(epoch uint64, offsets []storeOffset) []byte {
+	size := event.FrameHeaderLen + uvarintLen(epoch) + uvarintLen(uint64(len(offsets)))
+	for _, o := range offsets {
+		size += uvarintLen(uint64(len(o.name))) + len(o.name) + uvarintLen(uint64(o.offset))
+	}
+	dst := make([]byte, 0, size)
+	dst = event.AppendFrameHeader(dst, FrameHello)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(offsets)))
+	for _, o := range offsets {
+		dst = event.AppendFrameString(dst, o.name)
+		dst = binary.AppendUvarint(dst, uint64(o.offset))
+	}
+	return dst
+}
+
+func decodeHello(data []byte) (epoch uint64, offsets []storeOffset, err error) {
+	p, err := event.FrameBody(data, FrameHello)
+	if err != nil {
+		return 0, nil, err
+	}
+	epoch, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errCodecVarint
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errCodecVarint
+	}
+	p = p[n:]
+	// Each entry needs at least a one-byte name length and a one-byte
+	// offset varint.
+	if count > uint64(len(p))/2 {
+		return 0, nil, errCodecBomb
+	}
+	offsets = make([]storeOffset, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var name string
+		if name, p, err = event.FrameString(p); err != nil {
+			return 0, nil, err
+		}
+		off, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, nil, errCodecVarint
+		}
+		p = p[n:]
+		offsets = append(offsets, storeOffset{name: name, offset: int64(off)})
+	}
+	if len(p) != 0 {
+		return 0, nil, errCodecTrail
+	}
+	return epoch, offsets, nil
+}
+
+func encodeData(store string, epoch uint64, offset int64, seg []byte) []byte {
+	size := event.FrameHeaderLen +
+		uvarintLen(uint64(len(store))) + len(store) +
+		uvarintLen(epoch) + uvarintLen(uint64(offset)) +
+		uvarintLen(uint64(len(seg))) + len(seg)
+	dst := make([]byte, 0, size)
+	dst = event.AppendFrameHeader(dst, FrameData)
+	dst = event.AppendFrameString(dst, store)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, uint64(offset))
+	dst = binary.AppendUvarint(dst, uint64(len(seg)))
+	return append(dst, seg...)
+}
+
+func decodeData(data []byte) (store string, epoch uint64, offset int64, seg []byte, err error) {
+	p, err := event.FrameBody(data, FrameData)
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	if store, p, err = event.FrameString(p); err != nil {
+		return "", 0, 0, nil, err
+	}
+	epoch, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, 0, nil, errCodecVarint
+	}
+	p = p[n:]
+	off, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, 0, nil, errCodecVarint
+	}
+	p = p[n:]
+	l, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, 0, nil, errCodecVarint
+	}
+	p = p[n:]
+	if l != uint64(len(p)) {
+		return "", 0, 0, nil, errCodecBomb
+	}
+	return store, epoch, int64(off), p, nil
+}
+
+func encodeAck(store string, offset int64) []byte {
+	size := event.FrameHeaderLen + uvarintLen(uint64(len(store))) + len(store) + uvarintLen(uint64(offset))
+	dst := make([]byte, 0, size)
+	dst = event.AppendFrameHeader(dst, FrameAck)
+	dst = event.AppendFrameString(dst, store)
+	return binary.AppendUvarint(dst, uint64(offset))
+}
+
+func decodeAck(data []byte) (store string, offset int64, err error) {
+	p, err := event.FrameBody(data, FrameAck)
+	if err != nil {
+		return "", 0, err
+	}
+	if store, p, err = event.FrameString(p); err != nil {
+		return "", 0, err
+	}
+	off, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, errCodecVarint
+	}
+	if len(p[n:]) != 0 {
+		return "", 0, errCodecTrail
+	}
+	return store, int64(off), nil
+}
+
+func encodeDeny(epoch uint64) []byte {
+	dst := make([]byte, 0, event.FrameHeaderLen+uvarintLen(epoch))
+	dst = event.AppendFrameHeader(dst, FrameDeny)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+func decodeDeny(data []byte) (epoch uint64, err error) {
+	p, err := event.FrameBody(data, FrameDeny)
+	if err != nil {
+		return 0, err
+	}
+	epoch, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, errCodecVarint
+	}
+	if len(p[n:]) != 0 {
+		return 0, errCodecTrail
+	}
+	return epoch, nil
+}

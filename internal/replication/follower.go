@@ -1,0 +1,240 @@
+package replication
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// FollowerConfig configures the applying side.
+type FollowerConfig struct {
+	// Stores to apply into, in the same order as the primary's.
+	Stores []NamedStore
+	// Epoch is the highest primary epoch this follower has seen; data
+	// frames stamped lower are denied (fencing).
+	Epoch uint64
+	// OnApply, when set, runs after every applied segment with the
+	// store's name — the controller refreshes derived in-memory state
+	// (consent directives, catalog, policies) here.
+	OnApply func(storeName string)
+	// Metrics registers css_repl_* instruments when set.
+	Metrics *telemetry.Registry
+	// Logf receives replication lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Follower listens for a primary's replication stream and applies the
+// shipped WAL segments into its local stores, fsyncing before every
+// acknowledgement. It holds the node's fencing epoch: a frame from an
+// older epoch is denied and the connection dropped.
+type Follower struct {
+	cfg   FollowerConfig
+	ln    net.Listener
+	epoch atomic.Uint64
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	applied    *telemetry.Counter
+	fenced     *telemetry.Counter
+	epochGauge *telemetry.Gauge
+}
+
+// NewFollower listens on addr (host:port, port 0 for ephemeral) and
+// serves replication connections until Close.
+func NewFollower(addr string, cfg FollowerConfig) (*Follower, error) {
+	if len(cfg.Stores) == 0 {
+		return nil, errors.New("replication: follower needs at least one store")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("replication: listen %s: %w", addr, err)
+	}
+	f := &Follower{cfg: cfg, ln: ln, logf: cfg.Logf, conns: make(map[net.Conn]struct{})}
+	f.epoch.Store(cfg.Epoch)
+	if f.logf == nil {
+		f.logf = func(string, ...any) {}
+	}
+	if m := cfg.Metrics; m != nil {
+		f.applied = m.Counter("css_repl_applied_bytes_total", "Replicated WAL bytes applied, per store.", "store")
+		f.fenced = m.Counter("css_repl_fenced_total", "Frames or connections rejected for a stale epoch.")
+		f.epochGauge = m.Gauge("css_repl_epoch", "Fencing epoch this node ships or applies under.")
+		f.epochGauge.Set(float64(cfg.Epoch))
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the bound listen address (for -replicate-to flags and
+// test wiring).
+func (f *Follower) Addr() string { return f.ln.Addr().String() }
+
+// Epoch returns the highest primary epoch seen.
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
+// SetEpoch raises the fencing epoch — promotion calls this on the
+// surviving followers (directly or via the promoted primary's first
+// frame) so the deposed primary is denied everywhere.
+func (f *Follower) SetEpoch(e uint64) {
+	for {
+		cur := f.epoch.Load()
+		if e <= cur || f.epoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	if f.epochGauge != nil {
+		f.epochGauge.Set(float64(f.epoch.Load()))
+	}
+}
+
+// Offsets snapshots the per-store WAL offsets — the catch-up cursor
+// this follower would announce, and the measure of "most caught up"
+// during failover.
+func (f *Follower) Offsets() map[string]int64 {
+	out := make(map[string]int64, len(f.cfg.Stores))
+	for _, ns := range f.cfg.Stores {
+		out[ns.Name] = ns.Store.WALOffset()
+	}
+	return out
+}
+
+func (f *Follower) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			conn.Close()
+			return
+		}
+		f.conns[conn] = struct{}{}
+		f.wg.Add(1)
+		f.mu.Unlock()
+		go func() {
+			defer f.wg.Done()
+			err := f.handleConn(conn)
+			conn.Close()
+			f.mu.Lock()
+			delete(f.conns, conn)
+			f.mu.Unlock()
+			if err != nil && !errors.Is(err, net.ErrClosed) {
+				f.logf("repl: primary %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// handleConn serves one primary connection: announce cursors, then
+// apply data frames, fsync, acknowledge.
+func (f *Follower) handleConn(conn net.Conn) error {
+	offsets := make([]storeOffset, len(f.cfg.Stores))
+	for i, ns := range f.cfg.Stores {
+		offsets[i] = storeOffset{name: ns.Name, offset: ns.Store.WALOffset()}
+	}
+	if err := writeMsg(conn, encodeHello(f.epoch.Load(), offsets)); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	// Certify the pre-existing prefix: fsync everything and ack every
+	// store once, so quorum accounting on the primary starts from the
+	// true durable state instead of waiting for each store's next write.
+	for _, ns := range f.cfg.Stores {
+		if err := ns.Store.SyncWAL(); err != nil {
+			return err
+		}
+		if err := writeMsg(conn, encodeAck(ns.Name, ns.Store.WALOffset())); err != nil {
+			return err
+		}
+	}
+
+	br := bufio.NewReader(conn)
+	touched := make(map[int]struct{})
+	for {
+		msg, err := readMsg(br)
+		if err != nil {
+			return err
+		}
+		name, epoch, offset, seg, err := decodeData(msg)
+		if err != nil {
+			return fmt.Errorf("data: %w", err)
+		}
+		cur := f.epoch.Load()
+		if epoch < cur {
+			// Fencing: a deposed primary is still shipping. Deny and
+			// drop the stream; nothing from it is applied.
+			if f.fenced != nil {
+				f.fenced.Inc()
+			}
+			writeMsg(conn, encodeDeny(cur))
+			return fmt.Errorf("denied stale epoch %d (holding %d)", epoch, cur)
+		}
+		if epoch > cur {
+			f.SetEpoch(epoch)
+		}
+		idx := -1
+		for i, ns := range f.cfg.Stores {
+			if ns.Name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("data for unknown store %q", name)
+		}
+		if _, err := f.cfg.Stores[idx].Store.ApplyWALSegment(offset, seg); err != nil {
+			return fmt.Errorf("apply %s at %d: %w", name, offset, err)
+		}
+		if f.applied != nil {
+			f.applied.Add(uint64(len(seg)), name)
+		}
+		if f.cfg.OnApply != nil {
+			f.cfg.OnApply(name)
+		}
+		touched[idx] = struct{}{}
+		// Batch the fsync+ack over every frame already buffered: under
+		// a storm one fsync covers many segments (group commit shape).
+		if br.Buffered() > 0 {
+			continue
+		}
+		for i := range touched {
+			ns := f.cfg.Stores[i]
+			if err := ns.Store.SyncWAL(); err != nil {
+				return err
+			}
+			if err := writeMsg(conn, encodeAck(ns.Name, ns.Store.WALOffset())); err != nil {
+				return err
+			}
+		}
+		clear(touched)
+	}
+}
+
+// Close stops accepting and drops every primary connection.
+// Idempotent.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	for c := range f.conns {
+		c.Close()
+	}
+	f.mu.Unlock()
+	err := f.ln.Close()
+	f.wg.Wait()
+	return err
+}

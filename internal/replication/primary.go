@@ -1,0 +1,527 @@
+package replication
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// NamedStore pairs a store with the name it replicates under. The
+// slice order given to PrimaryConfig/FollowerConfig is the dependency
+// order of the write path (idmap before index before audit): the
+// shipper relies on it for cross-store consistency, and both ends must
+// agree on it.
+type NamedStore struct {
+	Name  string
+	Store *store.Store
+}
+
+// ErrClosed reports an operation on a closed Primary.
+var ErrClosed = errors.New("replication: closed")
+
+// ErrFenced reports that a follower denied this primary's epoch — a
+// newer primary has been promoted and this one must stop claiming the
+// role.
+var ErrFenced = errors.New("replication: fenced by a newer epoch")
+
+// segmentBytes is the shipping chunk size; a single WAL record larger
+// than this still ships whole.
+const segmentBytes = 256 << 10
+
+// PrimaryConfig configures the shipping side.
+type PrimaryConfig struct {
+	// Stores to replicate, in write-path dependency order.
+	Stores []NamedStore
+	// Epoch is the fencing token stamped on every shipped frame.
+	Epoch uint64
+	// Quorum makes Barrier wait for ⌈N/2⌉ follower fsyncs (N = number
+	// of registered followers); false means async shipping and Barrier
+	// is a no-op.
+	Quorum bool
+	// Metrics registers css_repl_* instruments when set.
+	Metrics *telemetry.Registry
+	// Dial overrides the follower dialer (chaos tests inject faults
+	// here); nil means plain TCP with a 5s connect timeout.
+	Dial func(addr string) (net.Conn, error)
+	// Logf receives replication lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Primary tails the configured stores' WALs and streams them to every
+// registered follower, tracking per-follower fsync cursors for the
+// quorum barrier and the lag gauge.
+type Primary struct {
+	cfg   PrimaryConfig
+	epoch atomic.Uint64
+	dial  func(addr string) (net.Conn, error)
+	logf  func(format string, args ...any)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	followers []*followerLink
+	closed    bool
+	wg        sync.WaitGroup
+
+	lag        *telemetry.Gauge
+	acks       *telemetry.Counter
+	fenced     *telemetry.Counter
+	epochGauge *telemetry.Gauge
+	quorumWait *telemetry.Histogram
+}
+
+// followerLink is one follower's replication state. acked offsets are
+// guarded by Primary.mu; the ship loop runs in its own goroutine.
+type followerLink struct {
+	addr      string
+	acked     []int64 // per store, parallel to cfg.Stores; fsynced through
+	connected bool
+	denied    bool // follower fenced us (saw a newer epoch)
+	conn      net.Conn
+	stop      chan struct{}
+}
+
+// NewPrimary builds the shipping side. Followers are added with
+// AddFollower; Close stops everything.
+func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
+	if len(cfg.Stores) == 0 {
+		return nil, errors.New("replication: primary needs at least one store")
+	}
+	p := &Primary{cfg: cfg, dial: cfg.Dial, logf: cfg.Logf}
+	p.cond = sync.NewCond(&p.mu)
+	p.epoch.Store(cfg.Epoch)
+	if p.dial == nil {
+		p.dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if p.logf == nil {
+		p.logf = func(string, ...any) {}
+	}
+	if m := cfg.Metrics; m != nil {
+		p.lag = m.Gauge("css_repl_lag_bytes", "Unacked WAL bytes per follower (primary view).", "follower")
+		p.acks = m.Counter("css_repl_acks_total", "Follower fsync acknowledgements received.", "follower")
+		p.fenced = m.Counter("css_repl_fenced_total", "Frames or connections rejected for a stale epoch.")
+		p.epochGauge = m.Gauge("css_repl_epoch", "Fencing epoch this node ships or applies under.")
+		p.quorumWait = m.Histogram("css_repl_quorum_wait_seconds", "Time publishes spent in the quorum barrier.")
+		p.epochGauge.Set(float64(cfg.Epoch))
+	}
+	return p, nil
+}
+
+// Epoch returns the fencing token currently stamped on shipped frames.
+func (p *Primary) Epoch() uint64 { return p.epoch.Load() }
+
+// Quorum reports whether Barrier waits for follower fsyncs. The publish
+// path checks it before spending a goroutine on the overlapped barrier.
+func (p *Primary) Quorum() bool { return p.cfg.Quorum }
+
+// SetEpoch changes the stamped epoch — promotion raises it; a deposed
+// primary in tests keeps its stale one.
+func (p *Primary) SetEpoch(e uint64) {
+	p.epoch.Store(e)
+	if p.epochGauge != nil {
+		p.epochGauge.Set(float64(e))
+	}
+}
+
+// AddFollower registers a follower address and starts shipping to it
+// (connecting, catching up from the follower's announced offsets, and
+// reconnecting with backoff for as long as the Primary lives).
+func (p *Primary) AddFollower(addr string) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	link := &followerLink{
+		addr:  addr,
+		acked: make([]int64, len(p.cfg.Stores)),
+		stop:  make(chan struct{}),
+	}
+	p.followers = append(p.followers, link)
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go p.runFollower(link)
+}
+
+// Followers returns the registered follower count (the N in ⌈N/2⌉).
+func (p *Primary) Followers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.followers)
+}
+
+// runFollower is the per-follower connect/ship/reconnect loop.
+func (p *Primary) runFollower(link *followerLink) {
+	defer p.wg.Done()
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-link.stop:
+			return
+		default:
+		}
+		conn, err := p.dial(link.addr)
+		if err == nil {
+			backoff = 50 * time.Millisecond
+			p.mu.Lock()
+			link.conn = conn
+			link.connected = true
+			p.mu.Unlock()
+			err = p.serve(link, conn)
+			conn.Close()
+			p.mu.Lock()
+			link.conn = nil
+			link.connected = false
+			p.mu.Unlock()
+		}
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			p.logf("repl: follower %s: %v", link.addr, err)
+		}
+		select {
+		case <-link.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// serve runs one connection: read the follower's hello, then ship WAL
+// segments as the stores grow, while a sibling goroutine folds acks
+// into the link state.
+func (p *Primary) serve(link *followerLink, conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	msg, err := readMsg(br)
+	if err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	theirEpoch, offsets, err := decodeHello(msg)
+	if err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	if theirEpoch > p.epoch.Load() {
+		p.markFenced(link)
+		return fmt.Errorf("%w (follower at epoch %d, we ship %d)", ErrFenced, theirEpoch, p.epoch.Load())
+	}
+
+	n := len(p.cfg.Stores)
+	cursors := make([]int64, n)
+	gens := make([]uint64, n)
+	for i, ns := range p.cfg.Stores {
+		gens[i] = ns.Store.WALGen()
+		for _, o := range offsets {
+			if o.name == ns.Name {
+				cursors[i] = o.offset
+			}
+		}
+	}
+	// Reset the ack state: the hello only proves the follower *applied*
+	// those bytes, not that they are fsynced. Quorum counts only acks
+	// received on this connection, each of which certifies an fsync.
+	p.mu.Lock()
+	for i := range link.acked {
+		link.acked[i] = 0
+	}
+	p.mu.Unlock()
+
+	wake := make(chan struct{}, 1)
+	for _, ns := range p.cfg.Stores {
+		ns.Store.WatchWAL(wake)
+	}
+	defer func() {
+		for _, ns := range p.cfg.Stores {
+			ns.Store.UnwatchWAL(wake)
+		}
+	}()
+
+	ackErr := make(chan error, 1)
+	go func() {
+		ackErr <- p.readAcks(link, br)
+		conn.Close() // unblock a ship-loop write
+	}()
+
+	targets := make([]int64, n)
+	for {
+		select {
+		case <-link.stop:
+			return nil
+		case err := <-ackErr:
+			return err
+		default:
+		}
+		progress := false
+		// Capture targets in reverse dependency order, ship in forward
+		// order: a record visible in a later store was staged before
+		// that store's capture, so its prerequisites in earlier stores
+		// fall under their (later) captures — every shipped round is a
+		// consistent cut.
+		for i := n - 1; i >= 0; i-- {
+			targets[i] = p.cfg.Stores[i].Store.WALOffset()
+		}
+		for i, ns := range p.cfg.Stores {
+			for cursors[i] < targets[i] {
+				seg, err := ns.Store.ReadWAL(gens[i], cursors[i], segmentBytes)
+				if err != nil {
+					return fmt.Errorf("read %s wal at %d: %w", ns.Name, cursors[i], err)
+				}
+				if seg == nil {
+					break
+				}
+				frame := encodeData(ns.Name, p.epoch.Load(), cursors[i], seg)
+				if err := writeMsg(conn, frame); err != nil {
+					return fmt.Errorf("ship %s: %w", ns.Name, err)
+				}
+				cursors[i] += int64(len(seg))
+				progress = true
+			}
+		}
+		p.updateLag(link, targets)
+		if !progress {
+			select {
+			case <-wake:
+			case <-link.stop:
+				return nil
+			case err := <-ackErr:
+				return err
+			case <-time.After(500 * time.Millisecond):
+				// Periodic pass so the lag gauge stays fresh even when
+				// idle and a missed edge trigger cannot wedge the loop.
+			}
+		}
+	}
+}
+
+// readAcks folds the follower's ack stream into the link state until
+// the connection breaks or the follower fences us.
+func (p *Primary) readAcks(link *followerLink, br *bufio.Reader) error {
+	for {
+		msg, err := readMsg(br)
+		if err != nil {
+			return err
+		}
+		if ep, derr := decodeDeny(msg); derr == nil {
+			p.markFenced(link)
+			return fmt.Errorf("%w (follower %s holds epoch %d)", ErrFenced, link.addr, ep)
+		}
+		name, offset, err := decodeAck(msg)
+		if err != nil {
+			return fmt.Errorf("ack: %w", err)
+		}
+		idx := -1
+		for i, ns := range p.cfg.Stores {
+			if ns.Name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("ack for unknown store %q", name)
+		}
+		p.mu.Lock()
+		if offset > link.acked[idx] {
+			link.acked[idx] = offset
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if p.acks != nil {
+			p.acks.Inc(link.addr)
+		}
+	}
+}
+
+func (p *Primary) markFenced(link *followerLink) {
+	p.mu.Lock()
+	link.denied = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if p.fenced != nil {
+		p.fenced.Inc()
+	}
+}
+
+// Fenced reports whether any follower rejected this primary's epoch —
+// the signal a deposed primary uses to stand down.
+func (p *Primary) Fenced() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, l := range p.followers {
+		if l.denied {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Primary) updateLag(link *followerLink, targets []int64) {
+	if p.lag == nil {
+		return
+	}
+	var total, acked int64
+	p.mu.Lock()
+	for i := range targets {
+		total += targets[i]
+		acked += link.acked[i]
+	}
+	p.mu.Unlock()
+	lag := total - acked
+	if lag < 0 {
+		lag = 0
+	}
+	p.lag.Set(float64(lag), link.addr)
+}
+
+// Barrier implements the quorum durability mode: it blocks until
+// ⌈N/2⌉ followers have fsynced every byte staged in every store before
+// the call, then returns. In async mode (or with no followers) it
+// returns immediately. The publish path overlaps it with bus fan-out,
+// so in the common case the acks have already arrived by the time the
+// barrier is reached.
+func (p *Primary) Barrier(ctx context.Context) error {
+	if !p.cfg.Quorum {
+		return nil
+	}
+	n := len(p.cfg.Stores)
+	targets := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		targets[i] = p.cfg.Stores[i].Store.WALOffset()
+	}
+	p.mu.Lock()
+	need := (len(p.followers) + 1) / 2
+	p.mu.Unlock()
+	if need == 0 {
+		return nil
+	}
+	start := time.Now()
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		case <-stopWatch:
+		}
+	}()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return ErrClosed
+		}
+		covered := 0
+		for _, l := range p.followers {
+			ok := true
+			for i := range targets {
+				if l.acked[i] < targets[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				covered++
+			}
+		}
+		if covered >= need {
+			if p.quorumWait != nil {
+				p.quorumWait.ObserveDuration(time.Since(start))
+			}
+			return nil
+		}
+		// Followers that denied this primary's epoch will never ack: when
+		// the survivors cannot reach quorum, the barrier cannot complete.
+		// Failing fast here is what actually rejects a deposed primary's
+		// writes — waiting out the caller's deadline would just stall the
+		// split brain instead of stopping it.
+		denied := 0
+		for _, l := range p.followers {
+			if l.denied {
+				denied++
+			}
+		}
+		if len(p.followers)-denied < need {
+			return fmt.Errorf("replication: quorum barrier: %w", ErrFenced)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("replication: quorum barrier: %w", err)
+		}
+		p.cond.Wait()
+	}
+}
+
+// FollowerStatus is one follower's view for Status.
+type FollowerStatus struct {
+	Addr      string
+	Connected bool
+	Fenced    bool
+	Acked     map[string]int64
+	LagBytes  int64
+}
+
+// Status is a point-in-time snapshot for operators (served by the
+// transport's replication-status endpoint).
+type Status struct {
+	Epoch     uint64
+	Quorum    bool
+	Offsets   map[string]int64
+	Followers []FollowerStatus
+}
+
+// Status snapshots the primary's shipping state.
+func (p *Primary) Status() Status {
+	st := Status{Epoch: p.epoch.Load(), Quorum: p.cfg.Quorum, Offsets: make(map[string]int64, len(p.cfg.Stores))}
+	var total int64
+	for _, ns := range p.cfg.Stores {
+		off := ns.Store.WALOffset()
+		st.Offsets[ns.Name] = off
+		total += off
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, l := range p.followers {
+		fs := FollowerStatus{Addr: l.addr, Connected: l.connected, Fenced: l.denied, Acked: make(map[string]int64, len(l.acked))}
+		var acked int64
+		for i, ns := range p.cfg.Stores {
+			fs.Acked[ns.Name] = l.acked[i]
+			acked += l.acked[i]
+		}
+		fs.LagBytes = total - acked
+		if fs.LagBytes < 0 {
+			fs.LagBytes = 0
+		}
+		st.Followers = append(st.Followers, fs)
+	}
+	return st
+}
+
+// Close stops every follower loop and wakes barrier waiters with
+// ErrClosed. Idempotent.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for _, l := range p.followers {
+		close(l.stop)
+		if l.conn != nil {
+			l.conn.Close()
+		}
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,294 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// openStores opens the canonical three-store set (write-path dependency
+// order) under dir.
+func openStores(t *testing.T, dir string) []NamedStore {
+	t.Helper()
+	out := make([]NamedStore, 0, 3)
+	for _, name := range []string{"idmap", "index", "audit"} {
+		st, err := store.Open(filepath.Join(dir, name+".wal"), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		out = append(out, NamedStore{Name: name, Store: st})
+	}
+	return out
+}
+
+func get(t *testing.T, ns []NamedStore, store, key string) (string, bool) {
+	t.Helper()
+	for _, s := range ns {
+		if s.Name == store {
+			v, ok, err := s.Store.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(v), ok
+		}
+	}
+	t.Fatalf("no store %q", store)
+	return "", false
+}
+
+func waitCaughtUp(t *testing.T, primary []NamedStore, follower []NamedStore, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		ok := true
+		for i := range primary {
+			if follower[i].Store.WALOffset() != primary[i].Store.WALOffset() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i := range primary {
+				t.Logf("%s: primary %d follower %d", primary[i].Name,
+					primary[i].Store.WALOffset(), follower[i].Store.WALOffset())
+			}
+			t.Fatal("follower never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestShipAndCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	ps := openStores(t, filepath.Join(dir, "p"))
+	fs := openStores(t, filepath.Join(dir, "f"))
+
+	// Data written before the follower even exists must catch up from
+	// offset zero.
+	for i := 0; i < 20; i++ {
+		ps[0].Store.Put(fmt.Sprintf("pre-%03d", i), []byte("before"))
+	}
+
+	applied := make(chan string, 256)
+	fol, err := NewFollower("127.0.0.1:0", FollowerConfig{
+		Stores:  fs,
+		OnApply: func(name string) { applied <- name },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	pri, err := NewPrimary(PrimaryConfig{Stores: ps, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pri.Close()
+	pri.AddFollower(fol.Addr())
+
+	waitCaughtUp(t, ps, fs, 5*time.Second)
+	if v, ok := get(t, fs, "idmap", "pre-007"); !ok || v != "before" {
+		t.Fatalf("follower idmap pre-007 = %q %v", v, ok)
+	}
+	select {
+	case <-applied:
+	default:
+		t.Fatal("OnApply never ran")
+	}
+
+	// Live writes across all stores, including batches.
+	for i := 0; i < 30; i++ {
+		ps[0].Store.Put(fmt.Sprintf("id-%03d", i), []byte("x"))
+		var b store.Batch
+		b.Put(fmt.Sprintf("ev-%03d", i), bytes.Repeat([]byte{byte(i)}, 50))
+		b.Put(fmt.Sprintf("pe-%03d", i), []byte("y"))
+		if _, err := ps[1].Store.StageApply(&b); err != nil {
+			t.Fatal(err)
+		}
+		ps[2].Store.Put(fmt.Sprintf("a-%03d", i), []byte("audit"))
+	}
+	waitCaughtUp(t, ps, fs, 5*time.Second)
+	if v, ok := get(t, fs, "index", "ev-029"); !ok || len(v) != 50 {
+		t.Fatalf("follower index ev-029 = %d bytes, %v", len(v), ok)
+	}
+	if v, ok := get(t, fs, "audit", "a-029"); !ok || v != "audit" {
+		t.Fatalf("follower audit a-029 = %q %v", v, ok)
+	}
+
+	// The WALs are byte-identical prefixes (here: fully equal).
+	for i := range ps {
+		if ps[i].Store.WALOffset() != fs[i].Store.WALOffset() {
+			t.Fatalf("%s offsets diverge", ps[i].Name)
+		}
+	}
+}
+
+func TestQuorumBarrier(t *testing.T) {
+	dir := t.TempDir()
+	ps := openStores(t, filepath.Join(dir, "p"))
+	fs1 := openStores(t, filepath.Join(dir, "f1"))
+	fs2 := openStores(t, filepath.Join(dir, "f2"))
+
+	f1, err := NewFollower("127.0.0.1:0", FollowerConfig{Stores: fs1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+
+	pri, err := NewPrimary(PrimaryConfig{Stores: ps, Epoch: 1, Quorum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pri.Close()
+	pri.AddFollower(f1.Addr())
+	// Second follower not yet listening: quorum of 2 followers is 1, so
+	// barriers must pass on f1 alone.
+	deadAddr := "127.0.0.1:1"
+	pri.AddFollower(deadAddr)
+
+	for i := 0; i < 10; i++ {
+		ps[0].Store.Put(fmt.Sprintf("k-%d", i), []byte("v"))
+		ps[2].Store.Put(fmt.Sprintf("a-%d", i), []byte("v"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := pri.Barrier(ctx); err != nil {
+		t.Fatalf("Barrier with one live follower: %v", err)
+	}
+	// Everything covered by the barrier is fsynced on f1.
+	for i := range ps {
+		if fs1[i].Store.WALOffset() < ps[i].Store.WALOffset() {
+			t.Fatalf("%s: barrier returned before follower held the bytes", ps[i].Name)
+		}
+	}
+
+	// Kill the only live follower: the next barrier must block until
+	// its context expires.
+	f1.Close()
+	time.Sleep(50 * time.Millisecond)
+	ps[0].Store.Put("after-death", []byte("v"))
+	short, cancel2 := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel2()
+	if err := pri.Barrier(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Barrier with no live followers = %v, want deadline exceeded", err)
+	}
+	_ = fs2
+}
+
+func TestFencingRejectsDeposedPrimary(t *testing.T) {
+	dir := t.TempDir()
+	ps := openStores(t, filepath.Join(dir, "p"))
+	fs := openStores(t, filepath.Join(dir, "f"))
+
+	fol, err := NewFollower("127.0.0.1:0", FollowerConfig{Stores: fs, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	old, err := NewPrimary(PrimaryConfig{Stores: ps, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	old.AddFollower(fol.Addr())
+
+	ps[0].Store.Put("legit", []byte("v"))
+	waitCaughtUp(t, ps, fs, 5*time.Second)
+
+	// Failover happened elsewhere: the follower learns the promoted
+	// primary's epoch. The deposed primary keeps shipping at epoch 1.
+	fol.SetEpoch(2)
+	before := fs[0].Store.WALOffset()
+
+	ps[0].Store.Put("late-write", []byte("poison"))
+	deadline := time.Now().Add(5 * time.Second)
+	for !old.Fenced() {
+		if time.Now().After(deadline) {
+			t.Fatal("deposed primary never observed the fence")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The late write never lands, no matter how long the deposed
+	// primary retries.
+	time.Sleep(100 * time.Millisecond)
+	if fs[0].Store.WALOffset() != before {
+		t.Fatal("fenced primary's late write was applied")
+	}
+	if _, ok := get(t, fs, "idmap", "late-write"); ok {
+		t.Fatal("poison key visible on fenced follower")
+	}
+
+	// A promoted primary at the new epoch is accepted and the follower
+	// converges on its log.
+	fol2dir := filepath.Join(dir, "p2")
+	p2s := openStores(t, fol2dir)
+	// Rebuild the new primary's state from the follower's bytes (the
+	// promoted node IS a follower in real failover; here a fresh one).
+	for i, ns := range fs {
+		seg, err := ns.Store.ReadWAL(ns.Store.WALGen(), 0, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg != nil {
+			if _, err := p2s[i].Store.ApplyWALSegment(0, seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	neo, err := NewPrimary(PrimaryConfig{Stores: p2s, Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer neo.Close()
+	neo.AddFollower(fol.Addr())
+	p2s[0].Store.Put("new-era", []byte("v"))
+	waitCaughtUp(t, p2s, fs, 5*time.Second)
+	if v, ok := get(t, fs, "idmap", "new-era"); !ok || v != "v" {
+		t.Fatalf("follower missing promoted primary's write: %q %v", v, ok)
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	he := encodeHello(7, []storeOffset{{name: "idmap", offset: 123}, {name: "audit", offset: 0}})
+	ep, offs, err := decodeHello(he)
+	if err != nil || ep != 7 || len(offs) != 2 || offs[0].offset != 123 || offs[1].name != "audit" {
+		t.Fatalf("hello round-trip: %v %d %+v", err, ep, offs)
+	}
+	seg := bytes.Repeat([]byte{0xAB}, 37)
+	da := encodeData("index", 9, 456, seg)
+	name, ep2, off, got, err := decodeData(da)
+	if err != nil || name != "index" || ep2 != 9 || off != 456 || !bytes.Equal(got, seg) {
+		t.Fatalf("data round-trip: %v %s %d %d", err, name, ep2, off)
+	}
+	ak := encodeAck("audit", 789)
+	aname, aoff, err := decodeAck(ak)
+	if err != nil || aname != "audit" || aoff != 789 {
+		t.Fatalf("ack round-trip: %v %s %d", err, aname, aoff)
+	}
+	de := encodeDeny(4)
+	dep, err := decodeDeny(de)
+	if err != nil || dep != 4 {
+		t.Fatalf("deny round-trip: %v %d", err, dep)
+	}
+	// Cross-type decode must fail loudly.
+	if _, _, err := decodeAck(he); err == nil {
+		t.Fatal("hello decoded as ack")
+	}
+	// Truncations fail cleanly.
+	for cut := 0; cut < len(da); cut++ {
+		if _, _, _, _, err := decodeData(da[:cut]); err == nil {
+			t.Fatalf("truncated data frame (%d bytes) decoded", cut)
+		}
+	}
+}

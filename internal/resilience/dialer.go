@@ -1,0 +1,28 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FlakyDialer wraps a connection dialer with seeded failures: each
+// attempt rolls against rate and answers a synthetic refusal instead of
+// dialing when it loses. The replication chaos tests feed it to the WAL
+// shipper's Dial so follower links drop and reconnect deterministically
+// mid-storm; the generic type keeps it usable for any string-addressed
+// transport.
+func FlakyDialer[C any](seed int64, rate float64, dial func(addr string) (C, error)) func(addr string) (C, error) {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(addr string) (C, error) {
+		mu.Lock()
+		roll := rng.Float64()
+		mu.Unlock()
+		if roll < rate {
+			var zero C
+			return zero, fmt.Errorf("resilience: injected dial failure to %s", addr)
+		}
+		return dial(addr)
+	}
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Replication support: a primary's WAL is shipped to followers as the
+// raw checksummed records it already writes, identified by (generation,
+// byte offset). The follower appends the same bytes to its own log and
+// applies the mutations to memory, so its WAL stays a byte-identical
+// prefix of the primary's — catch-up after a reconnect is just "resume
+// from my offset". Compaction rewrites the log file and would silently
+// invalidate every shipped offset, so it bumps a generation counter and
+// readers holding the old generation get ErrWALRotated instead of
+// garbage (replicated stores are expected to run with compaction off).
+
+// ErrWALRotated reports that the WAL file was rewritten (compacted)
+// since the reader captured its generation, invalidating byte offsets.
+var ErrWALRotated = errors.New("store: wal rotated under replication reader")
+
+// ErrNoWAL reports a replication operation on an in-memory store.
+var ErrNoWAL = errors.New("store: in-memory store has no wal")
+
+// WALOffset returns the current end of the WAL in bytes — everything
+// below it is readable via ReadWAL. Offsets always fall on record
+// boundaries. In-memory stores report 0.
+func (s *Store) WALOffset() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.log == nil {
+		return 0
+	}
+	return s.log.flushed.Load()
+}
+
+// WALGen returns the WAL file generation, bumped on every compaction.
+// Pair it with WALOffset when establishing a replication cursor.
+func (s *Store) WALGen() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// WatchWAL registers ch for edge-triggered append notifications: after
+// every durable append a token is sent without blocking (ch should have
+// capacity 1; a full channel means a wakeup is already pending, which
+// is all an edge trigger needs). The watcher reads ReadWAL until empty
+// and then waits on ch again.
+func (s *Store) WatchWAL(ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchers = append(s.watchers, ch)
+}
+
+// UnwatchWAL removes a channel registered with WatchWAL.
+func (s *Store) UnwatchWAL(ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, w := range s.watchers {
+		if w == ch {
+			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// notifyWatchersLocked wakes registered WAL watchers; the store lock
+// must be held. Sends never block: a full channel already carries the
+// wakeup.
+func (s *Store) notifyWatchersLocked() {
+	for _, ch := range s.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ReadWAL returns raw WAL bytes starting at byte offset from, trimmed
+// to whole records and at most maxBytes long (a single record larger
+// than maxBytes is returned whole). A nil slice with nil error means
+// the reader is caught up. gen must be the generation the cursor was
+// established under; a compaction since then yields ErrWALRotated, as
+// does an offset beyond the log end.
+func (s *Store) ReadWAL(gen uint64, from int64, maxBytes int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.log == nil {
+		return nil, ErrNoWAL
+	}
+	if gen != s.gen || from > s.log.flushed.Load() {
+		return nil, ErrWALRotated
+	}
+	limit := s.log.flushed.Load()
+	if from == limit {
+		return nil, nil
+	}
+	n := limit - from
+	if int64(maxBytes) < n {
+		n = int64(maxBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := s.log.f.ReadAt(buf, from); err != nil {
+		return nil, fmt.Errorf("store: wal read at %d: %w", from, err)
+	}
+	// Trim to whole records; flushed is always a record boundary, so a
+	// short cut can only come from the maxBytes cap.
+	var end int64
+	for end+8 <= int64(len(buf)) {
+		rl := int64(binary.LittleEndian.Uint32(buf[end : end+4]))
+		if rl <= 0 || end+8+rl > int64(len(buf)) {
+			break
+		}
+		end += 8 + rl
+	}
+	if end > 0 {
+		return buf[:end], nil
+	}
+	// First record alone exceeds maxBytes: return it whole.
+	rl := int64(binary.LittleEndian.Uint32(buf[0:4]))
+	if rl <= 0 || from+8+rl > limit {
+		return nil, fmt.Errorf("%w at offset %d: record overruns flushed boundary", ErrCorrupt, from)
+	}
+	big := make([]byte, 8+rl)
+	if _, err := s.log.f.ReadAt(big, from); err != nil {
+		return nil, fmt.Errorf("store: wal read at %d: %w", from, err)
+	}
+	return big, nil
+}
+
+// ApplyWALSegment applies a replicated segment — whole records read by
+// ReadWAL from a primary's log at the same offset — to this store: the
+// raw bytes are appended to the local WAL verbatim and the decoded
+// mutations applied to memory, keeping the local log a byte-identical
+// prefix of the primary's. from must equal the current WAL offset
+// (contiguity); every record's checksum is verified before anything is
+// applied, and a failure rejects the whole segment with ErrCorrupt.
+// Returns the new WAL offset.
+func (s *Store) ApplyWALSegment(from int64, seg []byte) (int64, error) {
+	if len(seg) == 0 {
+		return s.WALOffset(), nil
+	}
+	var muts []walRecord
+	off := 0
+	for off < len(seg) {
+		if off+8 > len(seg) {
+			return 0, fmt.Errorf("%w: truncated segment header", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(seg[off : off+4]))
+		want := binary.LittleEndian.Uint32(seg[off+4 : off+8])
+		if n <= 0 || off+8+n > len(seg) {
+			return 0, fmt.Errorf("%w: segment record overruns segment", ErrCorrupt)
+		}
+		payload := seg[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			return 0, fmt.Errorf("%w: replicated record checksum at segment offset %d", ErrCorrupt, off)
+		}
+		if err := replayPayload(payload, func(r walRecord) error {
+			muts = append(muts, r)
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+		off += 8 + n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.log == nil {
+		return 0, ErrNoWAL
+	}
+	if from != s.log.size {
+		return 0, fmt.Errorf("store: wal apply at offset %d, log is at %d", from, s.log.size)
+	}
+	if _, err := s.log.w.Write(seg); err != nil {
+		return 0, fmt.Errorf("store: wal apply: %w", err)
+	}
+	if err := s.log.w.Flush(); err != nil {
+		return 0, fmt.Errorf("store: wal apply flush: %w", err)
+	}
+	s.log.size += int64(len(seg))
+	s.log.flushed.Store(s.log.size)
+	for _, r := range muts {
+		switch r.op {
+		case opPut:
+			if old, existed := s.list.put(r.key, r.value); existed {
+				s.liveBytes -= int64(len(r.key) + len(old))
+			}
+			s.liveBytes += int64(len(r.key) + len(r.value))
+		case opDel:
+			if v, ok := s.list.del(r.key); ok {
+				s.liveBytes -= int64(len(r.key) + len(v))
+			}
+		}
+	}
+	s.notifyWatchersLocked()
+	return s.log.size, nil
+}
+
+// SyncWAL fsyncs the log through its current end — the follower's
+// durability point before acknowledging replicated segments. Uses the
+// same group commit as the write path, so concurrent callers share one
+// fsync.
+func (s *Store) SyncWAL() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	lg := s.log
+	var target int64
+	if lg != nil {
+		target = lg.flushed.Load()
+	}
+	s.mu.RUnlock()
+	if lg == nil {
+		return nil
+	}
+	return lg.syncTo(target)
+}

@@ -53,6 +53,7 @@ func (s *Store) StagePut(key string, value []byte) (Commit, error) {
 		s.liveBytes -= int64(len(key) + len(old))
 	}
 	s.liveBytes += int64(len(key) + len(value))
+	s.notifyWatchersLocked()
 	err := s.maybeCompactLocked()
 	lg, target := s.syncTargetLocked()
 	s.mu.Unlock()
@@ -106,6 +107,7 @@ func (s *Store) StageApply(b *Batch) (Commit, error) {
 			}
 		}
 	}
+	s.notifyWatchersLocked()
 	err := s.maybeCompactLocked()
 	lg, target := s.syncTargetLocked()
 	s.mu.Unlock()

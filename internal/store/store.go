@@ -39,6 +39,12 @@ type Store struct {
 	// liveBytes approximates the size of live data for the compaction
 	// heuristic.
 	liveBytes int64
+	// gen counts WAL file rewrites (compactions); replication cursors
+	// carry it so a rewrite invalidates their byte offsets loudly.
+	gen uint64
+	// watchers receive non-blocking edge-triggered tokens after every
+	// append (see WatchWAL).
+	watchers []chan struct{}
 }
 
 // Open opens (creating if necessary) the store persisted at path.
@@ -109,6 +115,7 @@ func (s *Store) Put(key string, value []byte) error {
 		s.liveBytes -= int64(len(key) + len(old))
 	}
 	s.liveBytes += int64(len(key) + len(value))
+	s.notifyWatchersLocked()
 	err := s.maybeCompactLocked()
 	lg, target := s.syncTargetLocked()
 	s.mu.Unlock()
@@ -183,6 +190,7 @@ func (s *Store) Delete(key string) error {
 	if v, deleted := s.list.del(key); deleted {
 		s.liveBytes -= int64(len(key) + len(v))
 	}
+	s.notifyWatchersLocked()
 	lg, target := s.syncTargetLocked()
 	s.mu.Unlock()
 	return syncIfNeeded(lg, target)
@@ -330,6 +338,7 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	s.log = log
+	s.gen++
 	return nil
 }
 

@@ -33,10 +33,18 @@ import (
 //	[4] mutation count
 //	followed by the single-mutation encodings back to back
 //
-// A torn tail (partial record after a crash) is detected by length/CRC
-// mismatch and truncated away on recovery; everything before it replays.
-// Because a batch frame is one checksummed record, a crash mid-batch
-// truncates the whole frame: replay applies all of its mutations or none.
+// A torn tail (partial record after a crash) is detected by the record
+// overrunning the end of the file and truncated away on recovery;
+// everything before it replays. Because a batch frame is one checksummed
+// record, a crash mid-batch truncates the whole frame: replay applies all
+// of its mutations or none.
+//
+// A record that is *fully present* but fails its checksum is never
+// forgiven — not even at the tail. A torn append leaves the file short; a
+// complete record with a bad CRC means the bytes changed after they were
+// written, and silently truncating it would let a restarted node (or a
+// replica catching up from this log) adopt a corrupt prefix as if it were
+// the whole history. Replay fails hard with ErrCorrupt instead.
 
 const (
 	opPut   byte = 1
@@ -280,11 +288,17 @@ func (l *wal) close() error {
 }
 
 // replay reads all intact records from path, invoking fn for each. It
-// returns the byte offset of the first torn/corrupt tail record (== file
-// size when the log is clean) so the caller can truncate it away. A
-// checksum failure that is *followed by further intact data* is reported
-// as ErrCorrupt instead, since that indicates real corruption rather than
-// a torn tail.
+// returns the byte offset of the first torn tail record (== file size
+// when the log is clean) so the caller can truncate it away.
+//
+// Only the shapes a crashed append can actually produce are forgiven as
+// torn tails: a record whose claimed extent overruns the end of the file,
+// or trailing zero fill (a preallocated region the append never reached).
+// A record that is fully present but fails its checksum — or a zero
+// length header with non-zero data behind it — is hard ErrCorrupt: those
+// bytes were durably written and then damaged, and truncating them would
+// silently rewrite history out from under the audit chain and any replica
+// shipping this log.
 func replayWAL(path string, fn func(walRecord) error) (validLen int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -312,8 +326,14 @@ func replayWAL(path string, fn func(walRecord) error) (validLen int64, err error
 		}
 		n := int64(binary.LittleEndian.Uint32(header[0:4]))
 		want := binary.LittleEndian.Uint32(header[4:8])
-		if n <= 0 || offset+8+n > fileSize {
-			// Impossible length: treat as torn tail.
+		if n <= 0 {
+			if zeroTail(f, offset) {
+				return offset, nil // preallocated zero fill, never written
+			}
+			return offset, fmt.Errorf("%w at offset %d: zero-length record with data behind it", ErrCorrupt, offset)
+		}
+		if offset+8+n > fileSize {
+			// Record extends past EOF: the append was cut short.
 			return offset, nil
 		}
 		payload := make([]byte, n)
@@ -321,14 +341,29 @@ func replayWAL(path string, fn func(walRecord) error) (validLen int64, err error
 			return offset, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			if offset+8+n == fileSize {
-				return offset, nil // torn final record
-			}
 			return offset, fmt.Errorf("%w at offset %d", ErrCorrupt, offset)
 		}
 		if err := replayPayload(payload, fn); err != nil {
 			return offset, err
 		}
 		offset += 8 + n
+	}
+}
+
+// zeroTail reports whether every byte of f from offset to EOF is zero —
+// the shape of a preallocated region an append never reached.
+func zeroTail(f *os.File, offset int64) bool {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := f.ReadAt(buf, offset)
+		for _, b := range buf[:n] {
+			if b != 0 {
+				return false
+			}
+		}
+		offset += int64(n)
+		if err != nil {
+			return err == io.EOF
+		}
 	}
 }

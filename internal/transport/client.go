@@ -617,6 +617,33 @@ func (c *Client) ShardMap(ctx context.Context) (*cluster.Map, error) {
 	return m, nil
 }
 
+// ReplStatus fetches the node's replication snapshot: role, fencing
+// epoch, and (on a primary with an attached shipper) follower lag. The
+// failover runbook reads it to pick the most caught-up replica.
+func (c *Client) ReplStatus(ctx context.Context) (ReplStatus, error) {
+	var out ReplStatus
+	if err := c.get(ctx, "/ws/replstatus", &out); err != nil {
+		return ReplStatus{}, err
+	}
+	return out, nil
+}
+
+// Promote asks a read replica to assume the primary role at the given
+// fencing epoch. A node already primary answers a conflict
+// (errors.Is(err, core.ErrNotReplica) does not survive the wire — the
+// fault is a plain bad-request conflict).
+func (c *Client) Promote(ctx context.Context, epoch uint64) (ReplStatus, error) {
+	body, err := encodeXML(&promoteRequest{Epoch: epoch})
+	if err != nil {
+		return ReplStatus{}, err
+	}
+	var out ReplStatus
+	if err := c.post(ctx, "/ws/promote", body, &out); err != nil {
+		return ReplStatus{}, err
+	}
+	return out, nil
+}
+
 // RecordConsent submits a consent directive.
 func (c *Client) RecordConsent(ctx context.Context, d consent.Directive) (consent.Directive, error) {
 	body, err := encodeXML(&consentDirectiveXML{

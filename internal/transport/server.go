@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/overload"
 	"repro/internal/policy"
+	"repro/internal/replication"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
 )
@@ -40,6 +42,9 @@ import (
 //	                       audit records (guarantor role when auth is on)
 //	GET  /ws/shardmap    — the cluster's shard map as a binary frame
 //	                       (not-found fault when the controller is unsharded)
+//	GET  /ws/replstatus  — replication role, fencing epoch, follower lag
+//	POST /ws/promote     — flip a read replica into the primary role at a
+//	                       named epoch (the failover runbook's lease claim)
 //	GET  /metrics        — telemetry registry, Prometheus text format
 //	GET  /healthz        — liveness probe (200 ok / 503 when closed)
 //
@@ -70,6 +75,17 @@ type Server struct {
 	// healthDetails contribute key/value lines to /healthz (breaker
 	// states of attached remote gateways, outbox depths, …).
 	healthDetails []func() map[string]string
+	// repl, when set via SetReplication, enriches /ws/replstatus with
+	// the WAL shipper's per-follower state.
+	repl atomic.Pointer[replication.Primary]
+	// follower, when set via SetFollower, supplies the fencing epoch a
+	// replica reports on /ws/replstatus (the controller's own epoch is
+	// only assigned at promotion).
+	follower atomic.Pointer[replication.Follower]
+	// onPromote, when set via SetPromoteHook, replaces the default
+	// controller Promote for POST /ws/promote — daemons use it to also
+	// start shipping their own WALs after assuming the primary role.
+	onPromote atomic.Pointer[func(epoch uint64) error]
 }
 
 // AddHealthDetail registers a detail contributor for /healthz: its
@@ -123,6 +139,8 @@ func NewServer(ctrl *core.Controller) *Server {
 	s.mux.HandleFunc("GET /ws/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /ws/subscription", s.handleSubscriptionProbe)
 	s.mux.HandleFunc("GET /ws/shardmap", s.handleShardMap)
+	s.mux.HandleFunc("GET /ws/replstatus", s.handleReplStatus)
+	s.mux.HandleFunc("POST /ws/promote", s.handlePromote)
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(ctrl.Metrics()))
 	s.mux.Handle("GET /healthz", telemetry.HealthzDetailHandler(ctrl.Healthy, s.healthDetail))
 	s.mux.Handle("GET /debug/spans", telemetry.SpansHandler(ctrl.Tracer().Spans(), "controller"))
@@ -313,6 +331,87 @@ func (s *Server) handleShardMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeBody(w, http.StatusOK, event.ContentTypeBinary, m.EncodeFrame())
+}
+
+// SetReplication attaches the WAL shipper whose follower state the
+// replication-status endpoint reports. Call when (re)wiring a primary;
+// a replica leaves it unset until promotion.
+func (s *Server) SetReplication(p *replication.Primary) *Server {
+	s.repl.Store(p)
+	return s
+}
+
+// SetFollower attaches the WAL-stream follower whose fencing epoch the
+// replication-status endpoint reports while the node is a replica.
+func (s *Server) SetFollower(f *replication.Follower) *Server {
+	s.follower.Store(f)
+	return s
+}
+
+// SetPromoteHook replaces the default promote action (the wrapped
+// controller's Promote) for POST /ws/promote. The css-controller daemon
+// installs a hook that also brings up its own replication primary so the
+// promoted node starts shipping to the surviving replicas.
+func (s *Server) SetPromoteHook(fn func(epoch uint64) error) *Server {
+	s.onPromote.Store(&fn)
+	return s
+}
+
+// handleReplStatus reports the node's replication role, fencing epoch,
+// and (on a primary with an attached shipper) per-follower lag. The
+// payload carries operational state only, never personal data, but it
+// still sits behind authentication like every other /ws route.
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authenticate(r); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	resp := &ReplStatus{Role: "primary", Epoch: s.ctrl.ReplicationEpoch()}
+	if s.ctrl.IsReplica() {
+		resp.Role = "replica"
+		if f := s.follower.Load(); f != nil {
+			resp.Epoch = f.Epoch()
+		}
+	}
+	if p := s.repl.Load(); p != nil {
+		st := p.Status()
+		resp.Epoch = st.Epoch
+		resp.Quorum = st.Quorum
+		resp.Fenced = p.Fenced()
+		for _, f := range st.Followers {
+			resp.Followers = append(resp.Followers, ReplFollower{
+				Addr: f.Addr, Connected: f.Connected, Fenced: f.Fenced, LagBytes: f.LagBytes,
+			})
+		}
+	}
+	writeXML(w, http.StatusOK, resp)
+}
+
+// handlePromote flips a read replica into the primary role at the
+// epoch named in the request (the failover runbook's lease claim).
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authenticate(r); err != nil {
+		writeAuthFault(w, err)
+		return
+	}
+	var req promoteRequest
+	if err := readBody(r, &req); err != nil {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if req.Epoch == 0 {
+		writeXML(w, http.StatusBadRequest, &Fault{Code: CodeBadRequest, Message: "promote needs a nonzero epoch"})
+		return
+	}
+	promote := s.ctrl.Promote
+	if fn := s.onPromote.Load(); fn != nil {
+		promote = *fn
+	}
+	if err := promote(req.Epoch); err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeXML(w, http.StatusOK, &ReplStatus{Role: "primary", Epoch: s.ctrl.ReplicationEpoch()})
 }
 
 func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -61,19 +62,26 @@ func WithShardBudget(d time.Duration) ShardedOption {
 	return func(o *shardedOptions) { o.budget = d }
 }
 
-// ShardedClient fans a Client per shard out of a factory (so each
-// shard gets its own breaker group and connection pool) and routes
-// between them by the cluster's consistent-hash map.
+// ShardedClient fans a Client per cluster member out of a factory (so
+// each member gets its own breaker group and connection pool) and
+// routes between them by the cluster's consistent-hash map: writes go
+// to each shard's primary, index inquiries to its read replicas
+// (round-robin, primary fallback).
 type ShardedClient struct {
 	factory func(cluster.ShardInfo) *Client
 	opts    shardedOptions
 
-	mu      sync.RWMutex
-	m       *cluster.Map
-	clients map[cluster.ShardID]*Client
+	mu sync.RWMutex
+	m  *cluster.Map
+	// clients is keyed by member address, not shard id: a failover
+	// changes a shard's primary address, and the address key makes the
+	// next write route to a fresh client for the promoted node while
+	// the old one ages out with its breaker state intact.
+	clients map[string]*Client
 
-	persons *routeCache // personID → owning shard, learned from acks/redirects
-	events  *routeCache // event gid → shard that acked the publish
+	rr      atomic.Uint32 // round-robin cursor over a shard's read replicas
+	persons *routeCache   // personID → owning shard, learned from acks/redirects
+	events  *routeCache   // event gid → shard that acked the publish
 }
 
 // NewShardedClient builds a cluster client over the given map. factory
@@ -95,7 +103,7 @@ func NewShardedClient(m *cluster.Map, factory func(cluster.ShardInfo) *Client, o
 		factory: factory,
 		opts:    o,
 		m:       m,
-		clients: make(map[cluster.ShardID]*Client, len(m.Shards())),
+		clients: make(map[string]*Client, len(m.Shards())),
 		persons: newRouteCache(o.cacheSize),
 		events:  newRouteCache(o.cacheSize),
 	}, nil
@@ -108,32 +116,60 @@ func (sc *ShardedClient) Map() *cluster.Map {
 	return sc.m
 }
 
-// clientFor returns (building if needed) the Client of a shard id
-// under the current map.
-func (sc *ShardedClient) clientFor(id cluster.ShardID) (*Client, error) {
+// clientAt returns (building if needed) the Client for one cluster
+// member. Replica clients are synthesized from the owning shard's info
+// with the replica's address substituted — the factory sees the same
+// shard id either way.
+func (sc *ShardedClient) clientAt(info cluster.ShardInfo) *Client {
 	sc.mu.RLock()
-	cl, ok := sc.clients[id]
-	m := sc.m
+	cl, ok := sc.clients[info.Addr]
 	sc.mu.RUnlock()
 	if ok {
-		return cl, nil
+		return cl
 	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if cl, ok := sc.clients[info.Addr]; ok {
+		return cl
+	}
+	cl = sc.factory(info)
+	sc.clients[info.Addr] = cl
+	return cl
+}
+
+// clientFor returns the Client of a shard's primary under the current
+// map — the write-path target.
+func (sc *ShardedClient) clientFor(id cluster.ShardID) (*Client, error) {
+	m := sc.Map()
 	info, ok := m.Shard(id)
 	if !ok {
 		return nil, fmt.Errorf("transport: %w: shard %s not in map v%d", cluster.ErrStaleMap, id, m.Version())
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if cl, ok := sc.clients[id]; ok {
-		return cl, nil
-	}
-	cl = sc.factory(info)
-	sc.clients[id] = cl
-	return cl, nil
+	return sc.clientAt(info), nil
 }
 
-// adoptMap swaps in a newer map and flushes the learned routes (shard
-// clients persist — addresses do not change across a split).
+// readClientFor returns a Client for one of the shard's read replicas,
+// rotating between them, or the primary when the shard has none. The
+// second result reports whether a replica was picked, so callers know
+// a failure still has the primary to fall back to.
+func (sc *ShardedClient) readClientFor(id cluster.ShardID) (*Client, bool, error) {
+	m := sc.Map()
+	info, ok := m.Shard(id)
+	if !ok {
+		return nil, false, fmt.Errorf("transport: %w: shard %s not in map v%d", cluster.ErrStaleMap, id, m.Version())
+	}
+	if len(info.Replicas) == 0 {
+		return sc.clientAt(info), false, nil
+	}
+	i := int(sc.rr.Add(1)-1) % len(info.Replicas)
+	replica := info
+	replica.Addr = info.Replicas[i]
+	return sc.clientAt(replica), true, nil
+}
+
+// adoptMap swaps in a newer map and flushes the learned routes (member
+// clients persist — they are keyed by address, so a failover's primary
+// change routes to the promoted node's client on the next write).
 func (sc *ShardedClient) adoptMap(next *cluster.Map) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -177,10 +213,14 @@ func (sc *ShardedClient) ownerFor(personID string) cluster.ShardID {
 	return m.Owner(personID)
 }
 
-// Publish routes the notification to the owning shard, following
-// wrong-shard redirects (the authoritative owner travels in the fault)
-// up to maxRedirects hops. A redirect naming a newer map version
-// triggers a map refresh from the shard that answered.
+// Publish routes the notification to the owning shard's primary,
+// following wrong-shard redirects (the authoritative owner travels in
+// the fault) and not-primary redirects (a failover moved the shard's
+// primary) up to maxRedirects hops. A redirect naming a newer map
+// version triggers a map refresh from the node that answered — after a
+// failover that is the deposed primary, which holds the successor map
+// naming its replacement, so one refresh converges the route without a
+// redirect loop.
 func (sc *ShardedClient) Publish(ctx context.Context, n *event.Notification) (event.GlobalID, error) {
 	target := sc.ownerFor(n.PersonID)
 	var lastErr error
@@ -195,22 +235,89 @@ func (sc *ShardedClient) Publish(ctx context.Context, n *event.Notification) (ev
 			sc.events.put(string(gid), target)
 			return gid, nil
 		}
+		var np *cluster.NotPrimaryError
+		if errors.As(err, &np) {
+			// Right shard, wrong role: refresh the map when the answering
+			// node's is newer and retry the same shard — clientFor then
+			// resolves the promoted primary's address.
+			lastErr = err
+			sc.refreshIfNewer(ctx, target, np.Version)
+			continue
+		}
 		var ws *cluster.WrongShardError
 		if !errors.As(err, &ws) {
+			// A dead primary answers nothing at all — no fault to follow.
+			// Ask the shard's read replicas for a newer map (a failover
+			// bumps the version and names the promoted primary) and retry
+			// when one arrives; otherwise the error stands.
+			if ctx.Err() == nil && sc.refreshFromReplicas(ctx, target) {
+				lastErr = err
+				continue
+			}
 			return "", err
 		}
 		lastErr = err
-		if ws.Version > sc.Map().Version() {
-			// The answering shard has a newer map than ours; refresh
-			// before the next hop so unrelated routes benefit too.
-			if rerr := sc.RefreshMap(ctx, target); rerr != nil && ctx.Err() != nil {
-				return "", rerr
-			}
-		}
+		sc.refreshIfNewer(ctx, target, ws.Version)
 		sc.persons.put(n.PersonID, ws.Owner)
 		target = ws.Owner
 	}
 	return "", fmt.Errorf("transport: publish exceeded %d shard redirects: %w", maxRedirects, lastErr)
+}
+
+// refreshIfNewer refreshes the shard map from the given shard when a
+// fault named a version newer than the one routed by — unrelated routes
+// benefit from the refresh too. Refresh failures are swallowed: the
+// bounded redirect loop surfaces the routing error if the stale map
+// never improves.
+func (sc *ShardedClient) refreshIfNewer(ctx context.Context, from cluster.ShardID, version uint64) {
+	if version > sc.Map().Version() {
+		sc.RefreshMap(ctx, from)
+	}
+}
+
+// refreshFromReplicas asks a shard's read replicas for a newer shard
+// map when its primary stopped answering entirely — after a failover
+// the survivors carry the successor map naming the promoted primary.
+// Reports whether a newer map was adopted (so the caller retries).
+func (sc *ShardedClient) refreshFromReplicas(ctx context.Context, id cluster.ShardID) bool {
+	m := sc.Map()
+	info, ok := m.Shard(id)
+	if !ok {
+		return false
+	}
+	for _, addr := range info.Replicas {
+		replica := info
+		replica.Addr = addr
+		nm, err := sc.clientAt(replica).ShardMap(ctx)
+		if err != nil || nm.Version() <= m.Version() {
+			continue
+		}
+		sc.adoptMap(nm)
+		return sc.Map().Version() > m.Version()
+	}
+	return false
+}
+
+// writeRetry runs one write against a shard's primary, following
+// not-primary redirects (refresh, then retry at the shard's current
+// primary) up to maxRedirects attempts. Broadcast writes wrap each
+// per-shard leg in it so a mid-broadcast failover is absorbed.
+func (sc *ShardedClient) writeRetry(ctx context.Context, id cluster.ShardID, call func(cl *Client) error) error {
+	var lastErr error
+	for hop := 0; hop <= maxRedirects; hop++ {
+		cl, err := sc.clientFor(id)
+		if err != nil {
+			return err
+		}
+		err = call(cl)
+		var np *cluster.NotPrimaryError
+		if !errors.As(err, &np) {
+			return err
+		}
+		lastErr = err
+		sc.refreshIfNewer(ctx, id, np.Version)
+	}
+	return fmt.Errorf("transport: write exceeded %d not-primary retries: %w", maxRedirects, lastErr)
 }
 
 // RequestDetails resolves a detail request. The shard that acked the
@@ -263,24 +370,38 @@ func isUnknownEvent(err error) bool {
 // notification order (OccurredAt, then id), deduplicated, capped at
 // q.Limit. When some shards fail the merged partial result is returned
 // together with a *cluster.PartialError naming the failed shards.
+// Index inquiries prefer each shard's read replicas (rotating between
+// them) so the primaries' write capacity is not spent on reads; a
+// replica failure falls back to the shard's primary within the same
+// call.
 func (sc *ShardedClient) InquireIndex(ctx context.Context, actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
 	m := sc.Map()
 	if q.PersonID != "" && sc.opts.pseudonym != nil {
-		cl, err := sc.clientFor(m.Owner(sc.opts.pseudonym(q.PersonID)))
-		if err != nil {
-			return nil, err
-		}
-		return cl.InquireIndex(ctx, actor, q)
+		return sc.inquireShard(ctx, m.Owner(sc.opts.pseudonym(q.PersonID)), actor, q)
 	}
 	perShard, err := cluster.Gather(ctx, m.Shards(), sc.opts.budget,
 		func(ctx context.Context, info cluster.ShardInfo) ([]*event.Notification, error) {
-			cl, cerr := sc.clientFor(info.ID)
-			if cerr != nil {
-				return nil, cerr
-			}
-			return cl.InquireIndex(ctx, actor, q)
+			return sc.inquireShard(ctx, info.ID, actor, q)
 		})
 	return cluster.MergeNotifications(perShard, q.Limit), err
+}
+
+// inquireShard runs one shard's leg of an index inquiry against a read
+// replica when the shard has one, retrying the primary on any replica
+// failure — a lagging or dead replica must not fail a read the primary
+// can serve.
+func (sc *ShardedClient) inquireShard(ctx context.Context, id cluster.ShardID, actor event.Actor, q index.Inquiry) ([]*event.Notification, error) {
+	cl, replica, err := sc.readClientFor(id)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cl.InquireIndex(ctx, actor, q)
+	if err != nil && replica && ctx.Err() == nil {
+		if pcl, perr := sc.clientFor(id); perr == nil {
+			return pcl.InquireIndex(ctx, actor, q)
+		}
+	}
+	return out, err
 }
 
 // Subscribe registers the callback on every shard — a class's events
@@ -291,11 +412,12 @@ func (sc *ShardedClient) InquireIndex(ctx context.Context, actor event.Actor, q 
 func (sc *ShardedClient) Subscribe(ctx context.Context, actor event.Actor, class event.ClassID, callbackURL string) (map[cluster.ShardID]string, error) {
 	ids := make(map[cluster.ShardID]string)
 	for _, info := range sc.Map().Shards() {
-		cl, err := sc.clientFor(info.ID)
-		if err != nil {
-			return ids, err
-		}
-		id, err := cl.Subscribe(ctx, actor, class, callbackURL)
+		var id string
+		err := sc.writeRetry(ctx, info.ID, func(cl *Client) error {
+			var serr error
+			id, serr = cl.Subscribe(ctx, actor, class, callbackURL)
+			return serr
+		})
 		if err != nil {
 			return ids, fmt.Errorf("transport: subscribe on %s: %w", info.ID, err)
 		}
@@ -310,11 +432,11 @@ func (sc *ShardedClient) Subscribe(ctx context.Context, actor event.Actor, class
 func (sc *ShardedClient) RecordConsent(ctx context.Context, d consent.Directive) (consent.Directive, error) {
 	var stored consent.Directive
 	for _, info := range sc.Map().Shards() {
-		cl, err := sc.clientFor(info.ID)
-		if err != nil {
-			return consent.Directive{}, err
-		}
-		stored, err = cl.RecordConsent(ctx, d)
+		err := sc.writeRetry(ctx, info.ID, func(cl *Client) error {
+			var cerr error
+			stored, cerr = cl.RecordConsent(ctx, d)
+			return cerr
+		})
 		if err != nil {
 			return consent.Directive{}, fmt.Errorf("transport: consent on %s: %w", info.ID, err)
 		}
@@ -328,11 +450,11 @@ func (sc *ShardedClient) RecordConsent(ctx context.Context, d consent.Directive)
 func (sc *ShardedClient) DefinePolicy(ctx context.Context, p *policy.Policy) (*policy.Policy, error) {
 	var stored *policy.Policy
 	for _, info := range sc.Map().Shards() {
-		cl, err := sc.clientFor(info.ID)
-		if err != nil {
-			return nil, err
-		}
-		stored, err = cl.DefinePolicy(ctx, p)
+		err := sc.writeRetry(ctx, info.ID, func(cl *Client) error {
+			var perr error
+			stored, perr = cl.DefinePolicy(ctx, p)
+			return perr
+		})
 		if err != nil {
 			return nil, fmt.Errorf("transport: policy on %s: %w", info.ID, err)
 		}

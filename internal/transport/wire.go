@@ -26,6 +26,7 @@ import (
 	"repro/internal/enforcer"
 	"repro/internal/event"
 	"repro/internal/gateway"
+	"repro/internal/replication"
 	"repro/internal/resilience"
 )
 
@@ -55,6 +56,13 @@ const (
 	// CodeResharding (HTTP 503 + Retry-After): the key range is frozen
 	// mid-handoff; transient by construction.
 	CodeResharding = "resharding"
+	// CodeNotPrimary (HTTP 421): a write reached a read replica (or a
+	// deposed primary refusing writes after failover). The fault names
+	// the shard and the answering node's map version so the client
+	// refreshes its shard map and retries at the current primary.
+	// Permanent for the generic retrier — only the shard-aware client
+	// follows it.
+	CodeNotPrimary = "not-primary"
 )
 
 // StatusClientClosedRequest is the de-facto standard status (nginx's
@@ -123,6 +131,19 @@ func faultFor(err error) (string, int) {
 		return CodeWrongShard, http.StatusMisdirectedRequest
 	case errors.Is(err, cluster.ErrResharding):
 		return CodeResharding, http.StatusServiceUnavailable
+	case errors.Is(err, cluster.ErrNotPrimary):
+		// Same 421 as wrong-shard: this server cannot produce the
+		// response, but another member of the cluster can.
+		return CodeNotPrimary, http.StatusMisdirectedRequest
+	case errors.Is(err, replication.ErrFenced):
+		// A deposed primary whose followers deny its epoch: it is no
+		// longer the primary, whatever it believes — steer the client to
+		// refresh its map and find the promoted node.
+		return CodeNotPrimary, http.StatusMisdirectedRequest
+	case errors.Is(err, core.ErrNotReplica):
+		// Promote on a node already primary: the transition already
+		// happened, a conflict rather than a server failure.
+		return CodeBadRequest, http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		// The per-endpoint deadline expired mid-flow: a gateway timeout,
 		// retryable (504 is transient for the client's retrier).
@@ -179,6 +200,11 @@ func errorFor(f *Fault) error {
 			owner = -1 // malformed hint: still ErrWrongShard, no owner
 		}
 		base = &cluster.WrongShardError{Owner: cluster.ShardID(owner), Version: f.MapVersion}
+	case CodeNotPrimary:
+		// Rebuild the typed redirect; a missing shard attribute (an
+		// unsharded replica answered) leaves the zero-valued hint.
+		shard, _ := strconv.Atoi(f.Shard)
+		base = &cluster.NotPrimaryError{Shard: cluster.ShardID(shard), Version: f.MapVersion}
 	default:
 		return f
 	}
@@ -194,6 +220,11 @@ func faultOf(err error) (*Fault, int) {
 	if errors.As(err, &wse) {
 		f.Shard = strconv.Itoa(int(wse.Owner))
 		f.MapVersion = wse.Version
+	}
+	var npe *cluster.NotPrimaryError
+	if errors.As(err, &npe) {
+		f.Shard = strconv.Itoa(int(npe.Shard))
+		f.MapVersion = npe.Version
 	}
 	return f, status
 }
@@ -364,4 +395,38 @@ type getResponseRequest struct {
 	XMLName xml.Name          `xml:"getResponseRequest"`
 	Source  event.SourceID    `xml:"sourceId"`
 	Fields  []event.FieldName `xml:"fields>field"`
+}
+
+// ReplStatus is the replication snapshot served at GET /ws/replstatus:
+// the node's role, its fencing epoch, and — on a primary with an
+// attached shipper — per-follower connectivity and lag. Operators and
+// the failover runbook read it to pick the most caught-up replica.
+type ReplStatus struct {
+	XMLName xml.Name `xml:"replication"`
+	// Role is "primary" or "replica".
+	Role string `xml:"role,attr"`
+	// Epoch is the fencing epoch this node last adopted or was
+	// promoted at (zero until either happens).
+	Epoch uint64 `xml:"epoch,attr"`
+	// Quorum reports whether publishes wait for follower fsyncs.
+	Quorum bool `xml:"quorum,attr,omitempty"`
+	// Fenced reports a primary that has been denied by a follower at a
+	// higher epoch — it must stop accepting writes.
+	Fenced    bool           `xml:"fenced,attr,omitempty"`
+	Followers []ReplFollower `xml:"follower"`
+}
+
+// ReplFollower is one follower's shipping state within a ReplStatus.
+type ReplFollower struct {
+	Addr      string `xml:"addr,attr"`
+	Connected bool   `xml:"connected,attr"`
+	Fenced    bool   `xml:"fenced,attr,omitempty"`
+	LagBytes  int64  `xml:"lagBytes,attr"`
+}
+
+// promoteRequest asks a replica to assume the primary role at the
+// given fencing epoch (POST /ws/promote).
+type promoteRequest struct {
+	XMLName xml.Name `xml:"promote"`
+	Epoch   uint64   `xml:"epoch,attr"`
 }
