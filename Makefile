@@ -83,9 +83,11 @@ bench-baseline:
 # the 1-shard row (the scale-out claim), and — also ≥4 CPUs, since the
 # follower's apply+fsync work needs a core to overlap onto — async WAL
 # shipping must stay within 5% of the standalone publish path (the
-# replication tax; quorum mode is measured but not gated: its fsync
-# round-trip is the price of durable failover, not a regression). Not
-# part of `check`: a measured multi-minute run.
+# replication tax), and the heartbeat-active async row must stay within
+# 5% of plain async (failure detection must be free on the publish
+# path; quorum mode is measured but not gated: its fsync round-trip is
+# the price of durable failover, not a regression). Not part of
+# `check`: a measured multi-minute run.
 bench-sharded:
 	$(GO) test -run '^$$' -bench 'E1_Saturation|E1_ShardedSaturation|E1_ReplicatedPublish' -benchmem . > bench.out \
 		|| (cat bench.out; rm -f bench.out; exit 1)
@@ -104,9 +106,13 @@ bench-quick:
 # Fault-injected integration suite under the race detector: 20%
 # connection failures on the consumer/producer hop, 10% on the
 # controller→gateway hop, a scripted 5-second controller blackout, a
-# 3-second asymmetric shard partition (kill-a-shard and mid-reshard) —
-# and the overload storm stretched to 5 fixed seeds with 12 hot
-# producers. Seeds are fixed and logged (-v), so a failure is replayable.
+# 3-second asymmetric shard partition (kill-a-shard and mid-reshard),
+# the overload storm stretched to 5 fixed seeds with 12 hot producers —
+# plus the self-healing failover storms: kill-primary auto-election
+# (exactly one winner, exactly-once on it, deposed shipper fenced,
+# byte-identical rejoin) and partition-during-campaign (zero promotions
+# until the partition heals). Seeds are fixed and logged (-v), so a
+# failure is replayable.
 chaos:
 	CHAOS_BLACKOUT=5s CHAOS_PARTITION=3s CHAOS_STORM_SEEDS=1,2,3,4,5 CHAOS_STORM_N=12 \
 		$(GO) test -race -count 1 -v -run 'TestChaos' ./internal/transport/
@@ -131,10 +137,12 @@ shard-smoke:
 	SHARD_SMOKE=1 $(GO) test -count 1 -run 'TestShardSmoke' ./integration/
 
 # Replication failover smoke: one primary ships WALs in quorum mode to
-# two replica processes; the primary is killed without warning, one
-# replica is promoted over the HTTP API and must serve reads and writes
-# while feeding the survivor, and css-audit -compare must show the
-# deposed chain as an intact prefix of the promoted one.
+# two replica processes running election managers; the primary is
+# killed without warning and NO promote call is made — the replicas
+# must auto-elect exactly one winner, which serves reads and writes
+# while feeding the survivor; the deposed primary then restarts as a
+# replica, rejoins the winner's fan-out, and css-audit -compare must
+# show the chains converged.
 repl-smoke:
 	REPL_SMOKE=1 $(GO) test -count 1 -run 'TestReplSmoke' ./integration/
 

@@ -477,12 +477,15 @@ var replSeq atomic.Int64
 
 // BenchmarkE1_ReplicatedPublish measures the publish pipeline cost of
 // WAL-shipping replication to one follower over a real TCP link, in
-// three modes: standalone (no replication attached, the floor), async
+// four modes: standalone (no replication attached, the floor), async
 // (shipping overlaps the ack — gated within 5% of standalone by
-// css-benchgate), and quorum (each ack waits for the follower's fsync,
-// buying durable failover for one overlapped round-trip).
+// css-benchgate), async-heartbeat (async plus the failure detector's
+// heartbeat loop on the link — gated within 5% of async, proving
+// liveness beacons cost nothing on the write path), and quorum (each
+// ack waits for the follower's fsync, buying durable failover for one
+// overlapped round-trip).
 func BenchmarkE1_ReplicatedPublish(b *testing.B) {
-	for _, mode := range []string{"standalone", "async", "quorum"} {
+	for _, mode := range []string{"standalone", "async", "async-heartbeat", "quorum"} {
 		b.Run("mode="+mode, func(b *testing.B) {
 			pri, err := core.New(core.Config{DefaultConsent: true, DataDir: b.TempDir()})
 			if err != nil {
@@ -518,8 +521,13 @@ func BenchmarkE1_ReplicatedPublish(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				var beat time.Duration
+				if mode == "async-heartbeat" {
+					beat = 100 * time.Millisecond
+				}
 				shipper, err := replication.NewPrimary(replication.PrimaryConfig{
 					Stores: ps, Epoch: 1, Quorum: mode == "quorum",
+					HeartbeatEvery: beat,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -58,6 +58,21 @@
 //	                one network round-trip overlapped with fan-out)
 //	-repl-epoch     fencing epoch this node ships/accepts at (default 1);
 //	                the shard map's epoch after a manual failover
+//	-election       replica only: self-healing failover. The replica
+//	                watches the primary's heartbeats (plus -primary-url
+//	                as an HTTP probe), and when both channels go silent
+//	                it campaigns among the -replicate-to peers for the
+//	                next fencing epoch; a quorum of durable grants
+//	                promotes it with no operator involvement. POST
+//	                /ws/promote stays available as a manual override
+//	-heartbeat-interval  primary heartbeat cadence on idle replication
+//	                links, and the detector's expected interval on
+//	                replicas (default 100ms)
+//	-suspect-after  minimum primary silence before a replica may
+//	                campaign, however high suspicion climbs (default 2s)
+//	-primary-url    replica only: the primary's HTTP base URL, probed
+//	                via GET /ws/replstatus to confirm a suspected death
+//	                before campaigning
 //
 // The controller always serves /metrics (Prometheus text format),
 // /healthz, /slo (latency-objective burn rates) and /debug/spans (the
@@ -88,6 +103,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/election"
 	"repro/internal/event"
 	"repro/internal/identity"
 	"repro/internal/overload"
@@ -135,6 +151,10 @@ func main() {
 	replicateTo := flag.String("replicate-to", "", "comma-separated follower addresses to ship WALs to")
 	quorum := flag.Bool("quorum", false, "wait for a follower fsync quorum before acknowledging publishes")
 	replEpoch := flag.Uint64("repl-epoch", 1, "replication fencing epoch")
+	electionOn := flag.Bool("election", false, "replica: campaign for promotion when the primary goes silent")
+	heartbeatEvery := flag.Duration("heartbeat-interval", 100*time.Millisecond, "primary heartbeat cadence on idle replication links")
+	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "minimum primary silence before a replica campaigns")
+	primaryURL := flag.String("primary-url", "", "replica: primary's HTTP base URL, probed before campaigning")
 	shardID := flag.Int("shard-id", -1, "this controller's shard id (default: unsharded)")
 	shardMapSpec := flag.String("shard-map", "", `cluster topology: "id=url,..." or "@file" with one id=url per line`)
 	peersSpec := flag.String("peers", "", "comma-separated shard base URLs assigned ids 0..n-1 (alternative to -shard-map)")
@@ -203,6 +223,9 @@ func main() {
 		if *replListen != "" {
 			log.Fatal("replication: -repl-listen is a replica flag")
 		}
+		if *electionOn {
+			log.Fatal("election: -election is a replica flag (a primary is campaigned against, not for)")
+		}
 		if *replicateTo != "" && *dataDir == "" {
 			log.Fatal("replication: WAL shipping requires -data")
 		}
@@ -212,6 +235,9 @@ func main() {
 		}
 		if *replListen == "" {
 			log.Fatal("replication: -repl-listen is required for a replica")
+		}
+		if *electionOn && *replicateTo == "" {
+			log.Fatal("election: -election needs -replicate-to (the voting peers)")
 		}
 		cfg.Replica = true
 	default:
@@ -271,6 +297,7 @@ func main() {
 	// primary, and (with -replicate-to) starts shipping to the surviving
 	// replicas.
 	var follower *replication.Follower
+	var manager *election.Manager
 	var shipper atomic.Pointer[replication.Primary]
 	replLogf := func(format string, args ...any) {
 		telemetry.Logger().Info("repl: " + fmt.Sprintf(format, args...))
@@ -282,7 +309,8 @@ func main() {
 		}
 		p, err := replication.NewPrimary(replication.PrimaryConfig{
 			Stores: stores, Epoch: epoch, Quorum: *quorum,
-			Metrics: telemetry.Default(), Logf: replLogf,
+			HeartbeatEvery: *heartbeatEvery,
+			Metrics:        telemetry.Default(), Logf: replLogf,
 		})
 		if err != nil {
 			return nil, err
@@ -310,15 +338,26 @@ func main() {
 		if err != nil {
 			log.Fatalf("replication: %v", err)
 		}
+		// A node that granted (or claimed) a fencing epoch before a
+		// crash must not come back below it: the durable promise floor
+		// overrides -repl-epoch.
+		epochs, err := election.OpenEpochStore(filepath.Join(*dataDir, "election.epoch"))
+		if err != nil {
+			log.Fatalf("election: %v", err)
+		}
+		startEpoch := *replEpoch
+		if p := epochs.Promised(); p > startEpoch {
+			startEpoch = p
+		}
 		follower, err = replication.NewFollower(*replListen, replication.FollowerConfig{
-			Stores: stores, Epoch: *replEpoch, OnApply: ctrl.OnReplicatedApply(),
+			Stores: stores, Epoch: startEpoch, OnApply: ctrl.OnReplicatedApply(),
 			Metrics: telemetry.Default(), Logf: replLogf,
 		})
 		if err != nil {
 			log.Fatalf("replication: %v", err)
 		}
 		srv.SetFollower(follower)
-		srv.SetPromoteHook(func(epoch uint64) error {
+		promote := func(epoch uint64) error {
 			// Fence first: once the follower holds the new epoch, the
 			// deposed primary's frames are denied even if it is still up.
 			follower.SetEpoch(epoch)
@@ -336,9 +375,55 @@ func main() {
 			}
 			telemetry.Logger().Info("promoted to primary", "epoch", epoch)
 			return nil
-		})
+		}
+		srv.SetPromoteHook(promote)
+		if *electionOn {
+			// The shipping targets double as the electorate: every
+			// address this node would feed after winning is a voter.
+			var peers []string
+			for _, a := range strings.Split(*replicateTo, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					peers = append(peers, a)
+				}
+			}
+			var probe func(ctx context.Context) error
+			if *primaryURL != "" {
+				probeClient := transport.NewClient(*primaryURL, nil)
+				probe = func(ctx context.Context) error {
+					_, err := probeClient.ReplStatus(ctx)
+					return err
+				}
+			}
+			mgr, err := election.NewManager(election.Config{
+				Peers:          peers,
+				HeartbeatEvery: *heartbeatEvery,
+				SuspectAfter:   *suspectAfter,
+				Epochs:         epochs,
+				CurrentEpoch:   follower.Epoch,
+				Offsets:        follower.Offsets,
+				Campaign: func(ctx context.Context, addr string, epoch uint64, cursors map[string]int64) (bool, uint64, error) {
+					return replication.Campaign(ctx, nil, addr, epoch, cursors)
+				},
+				Promote:  promote,
+				Probe:    probe,
+				Promoted: func() bool { return !ctrl.IsReplica() },
+				Metrics:  telemetry.Default(),
+				Tracer:   ctrl.Tracer(),
+				Logf:     replLogf,
+			})
+			if err != nil {
+				log.Fatalf("election: %v", err)
+			}
+			manager = mgr
+			follower.SetContactHook(mgr.Observe)
+			follower.SetVoteHook(mgr.Vote)
+			srv.SetElection(mgr.Status)
+			telemetry.Logger().Info("election manager armed",
+				"peers", *replicateTo, "suspect_after", suspectAfter.String(),
+				"heartbeat", heartbeatEvery.String())
+		}
 		telemetry.Logger().Info("replica following",
-			"listen", follower.Addr(), "epoch", *replEpoch)
+			"listen", follower.Addr(), "epoch", startEpoch)
 	}
 
 	if len(gateways) > 0 {
@@ -444,6 +529,9 @@ func main() {
 		{Name: "http-shutdown", Run: httpSrv.Shutdown},
 		{Name: "bus-flush", Run: ctrl.FlushContext},
 		{Name: "repl-close", Run: func(context.Context) error {
+			if manager != nil {
+				manager.Close()
+			}
 			if p := shipper.Load(); p != nil {
 				p.Close()
 			}

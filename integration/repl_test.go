@@ -2,10 +2,15 @@ package integration
 
 // Replicated bring-up smoke (make repl-smoke, part of `make check`):
 // one primary ships its WALs to two replica processes in quorum mode,
-// the primary is killed without warning, one replica is promoted over
-// the HTTP API and must serve both reads and writes — feeding the
-// surviving replica — and css-audit -compare must show the deposed
-// primary's audit chain as an intact prefix of the promoted one's.
+// each replica running the self-healing election manager. The primary
+// is killed without warning and NO promote call is made: the replicas
+// must detect the death (silent heartbeats + failing HTTP probe),
+// elect exactly one of themselves at the next epoch, and serve reads
+// and writes — feeding the survivor. The deposed primary then restarts
+// as a replica, rejoins the winner's shipping fan-out, and css-audit
+// -compare must show its audit chain converged with the winner's.
+// POST /ws/promote remains available as a manual override, but the
+// happy path never touches it.
 
 import (
 	"bytes"
@@ -70,7 +75,7 @@ func waitCaughtUp(t *testing.T, c *transport.Client, followers int) {
 }
 
 // TestReplSmoke is the make repl-smoke entry point: the 1-primary /
-// 2-replica failover drill against the built binaries.
+// 2-replica self-healing failover drill against the built binaries.
 func TestReplSmoke(t *testing.T) {
 	if os.Getenv("REPL_SMOKE") == "" {
 		t.Skip("set REPL_SMOKE=1 (or run `make repl-smoke`)")
@@ -92,26 +97,38 @@ func TestReplSmoke(t *testing.T) {
 	}
 
 	pAddr, r1Addr, r2Addr := freePort(t), freePort(t), freePort(t)
-	rl1, rl2 := freePort(t), freePort(t)
+	// Three follower listen addresses are pre-arranged: rl3 is where the
+	// deposed primary will come back as a replica, so every node's
+	// -replicate-to (shipping targets = electorate) can name it from the
+	// start.
+	rl1, rl2, rl3 := freePort(t), freePort(t), freePort(t)
 	pURL, r1URL, r2URL := "http://"+pAddr, "http://"+r1Addr, "http://"+r2Addr
 
-	// Replicas first, so the primary's shipper finds their followers
-	// listening. Replica 1 carries -replicate-to for the other replica:
-	// shipping starts only at its promotion.
-	_, r1Log := startController(t,
-		"-addr", r1Addr, "-data", dirR1, "-key-file", keyFile,
-		"-role", "replica", "-repl-listen", rl1,
-		"-replicate-to", rl2, "-quorum")
-	_, r2Log := startController(t,
-		"-addr", r2Addr, "-data", dirR2, "-key-file", keyFile,
-		"-role", "replica", "-repl-listen", rl2)
-	waitReady(t, r1URL)
-	waitReady(t, r2URL)
-
+	// The primary boots first (its shipper redials followers with
+	// backoff), so the replicas' HTTP probe of -primary-url answers from
+	// the first tick — the probe channel is what keeps a freshly booted
+	// replica from campaigning against a primary whose replication link
+	// is merely still connecting.
 	pCmd, pLog := startController(t,
 		"-addr", pAddr, "-data", dirP, "-key-file", keyFile, "-scenario",
-		"-role", "primary", "-replicate-to", rl1+","+rl2, "-quorum")
+		"-role", "primary", "-replicate-to", rl1+","+rl2, "-quorum",
+		"-heartbeat-interval", "50ms")
 	waitReady(t, pURL)
+
+	electionArgs := []string{
+		"-election", "-primary-url", pURL,
+		"-heartbeat-interval", "50ms", "-suspect-after", "750ms",
+	}
+	_, r1Log := startController(t, append([]string{
+		"-addr", r1Addr, "-data", dirR1, "-key-file", keyFile,
+		"-role", "replica", "-repl-listen", rl1,
+		"-replicate-to", rl2 + "," + rl3, "-quorum"}, electionArgs...)...)
+	_, r2Log := startController(t, append([]string{
+		"-addr", r2Addr, "-data", dirR2, "-key-file", keyFile,
+		"-role", "replica", "-repl-listen", rl2,
+		"-replicate-to", rl1 + "," + rl3, "-quorum"}, electionArgs...)...)
+	waitReady(t, r1URL)
+	waitReady(t, r2URL)
 
 	ctx := context.Background()
 	pc := transport.NewClient(pURL, nil)
@@ -124,8 +141,8 @@ func TestReplSmoke(t *testing.T) {
 	if st, err := pc.ReplStatus(ctx); err != nil || st.Role != "primary" || st.Quorum != true {
 		t.Fatalf("primary replstatus = %+v, %v", st, err)
 	}
-	if st, err := r1c.ReplStatus(ctx); err != nil || st.Role != "replica" || st.Epoch != 1 {
-		t.Fatalf("replica replstatus = %+v, %v; want replica at epoch 1", st, err)
+	if st, err := r1c.ReplStatus(ctx); err != nil || st.Role != "replica" || st.Epoch != 1 || st.Election != "watching" {
+		t.Fatalf("replica replstatus = %+v, %v; want watching replica at epoch 1", st, err)
 	}
 
 	// Quorum-acknowledged publishes through the primary.
@@ -161,52 +178,85 @@ func TestReplSmoke(t *testing.T) {
 		t.Fatal("replica accepted a write")
 	}
 
-	// Kill the primary without warning and promote replica 1 at the
-	// next epoch over the HTTP API.
+	// Kill the primary without warning — and call nothing. The managers
+	// must detect the silence, confirm over the dead HTTP probe, and
+	// elect exactly one of the replicas at an epoch above the fenced one.
 	pCmd.Process.Kill()
 	pCmd.Wait()
-	st, err := r1c.Promote(ctx, 2)
-	if err != nil {
-		t.Fatalf("promote: %v\nreplica1 log:\n%s", err, r1Log.String())
-	}
-	if st.Role != "primary" || st.Epoch != 2 {
-		t.Fatalf("promoted status = %+v, want primary at epoch 2", st)
-	}
 
-	// The promoted node serves reads and writes, and feeds the
-	// surviving replica from its own WALs.
-	notes, err := r1c.InquireIndex(ctx, "family-doctor", index.Inquiry{Class: schema.ClassBloodTest})
-	if err != nil || len(notes) != len(persons) {
-		t.Fatalf("promoted inquiry = %d events, %v; want %d", len(notes), err, len(persons))
+	var wc, sc *transport.Client // winner / survivor clients
+	var wDir string
+	var wLog, sLog *lockedBuffer
+	electDeadline := time.Now().Add(30 * time.Second)
+	for {
+		st1, err1 := r1c.ReplStatus(ctx)
+		st2, err2 := r2c.ReplStatus(ctx)
+		if err1 == nil && st1.Role == "primary" && st1.Epoch >= 2 {
+			wc, sc, wDir, wLog, sLog = r1c, r2c, dirR1, r1Log, r2Log
+			break
+		}
+		if err2 == nil && st2.Role == "primary" && st2.Epoch >= 2 {
+			wc, sc, wDir, wLog, sLog = r2c, r1c, dirR2, r2Log, r1Log
+			break
+		}
+		if time.Now().After(electDeadline) {
+			t.Fatalf("no replica auto-elected itself (r1 %+v %v; r2 %+v %v)\nreplica1 log:\n%s\nreplica2 log:\n%s",
+				st1, err1, st2, err2, r1Log.String(), r2Log.String())
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
-	if _, err := r1c.Publish(ctx, &event.Notification{
+	wst, err := wc.ReplStatus(ctx)
+	if err != nil || wst.Election != "leader" || wst.Promised == 0 {
+		t.Fatalf("winner replstatus = %+v, %v; want leader with a durable promise", wst, err)
+	}
+	winnerEpoch := wst.Epoch
+
+	// The winner serves reads and writes, feeding the survivor from its
+	// own WALs — which must have stood down as its follower.
+	notes, err := wc.InquireIndex(ctx, "family-doctor", index.Inquiry{Class: schema.ClassBloodTest})
+	if err != nil || len(notes) != len(persons) {
+		t.Fatalf("winner inquiry = %d events, %v; want %d", len(notes), err, len(persons))
+	}
+	if _, err := wc.Publish(ctx, &event.Notification{
 		Producer: "hospital-s-maria", SourceID: "repl-src-post",
 		Class: schema.ClassBloodTest, PersonID: "REPL-POST", Summary: "after failover",
 		OccurredAt: base.Add(time.Hour),
 	}); err != nil {
-		t.Fatalf("post-failover publish: %v\nreplica1 log:\n%s", err, r1Log.String())
+		t.Fatalf("post-failover publish: %v\nwinner log:\n%s", err, wLog.String())
 	}
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		got, err := r2c.InquireIndex(ctx, "family-doctor", index.Inquiry{PersonID: "REPL-POST"})
+		got, err := sc.InquireIndex(ctx, "family-doctor", index.Inquiry{PersonID: "REPL-POST"})
 		if err == nil && len(got) == 1 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("post-failover event never reached the surviving replica (err %v)\nreplica2 log:\n%s",
-				err, r2Log.String())
+			t.Fatalf("post-failover event never reached the surviving replica (err %v)\nsurvivor log:\n%s",
+				err, sLog.String())
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	if st, err := r2c.ReplStatus(ctx); err != nil || st.Role != "replica" {
-		t.Fatalf("survivor replstatus = %+v, %v", st, err)
+	if st, err := sc.ReplStatus(ctx); err != nil || st.Role != "replica" || st.Epoch != winnerEpoch {
+		t.Fatalf("survivor replstatus = %+v, %v; want replica fenced at epoch %d", st, err, winnerEpoch)
 	}
 
-	// The guarantor's post-mortem: the deposed primary's audit chain
-	// must verify and be an intact prefix of the promoted node's —
-	// anything else is a fork.
+	// The deposed primary restarts as a replica on the pre-arranged
+	// listener: it must discover the higher epoch, shed any unreplicated
+	// old-epoch suffix, and converge as a follower of the winner.
+	_, r3Log := startController(t,
+		"-addr", pAddr, "-data", dirP, "-key-file", keyFile,
+		"-role", "replica", "-repl-listen", rl3)
+	waitReady(t, pURL)
+	waitCaughtUp(t, wc, 2) // survivor + rejoined node, both at zero lag
+	if st, err := pc.ReplStatus(ctx); err != nil || st.Role != "replica" || st.Epoch != winnerEpoch {
+		t.Fatalf("rejoined replstatus = %+v, %v; want replica at epoch %d\nrejoined log:\n%s",
+			st, err, winnerEpoch, r3Log.String())
+	}
+
+	// The guarantor's post-mortem: the rejoined node's audit chain must
+	// verify and match the winner's — anything else is a fork.
 	var out, errOut bytes.Buffer
-	audit := exec.Command(bin("css-audit"), "-data", dirP, "-compare", dirR1)
+	audit := exec.Command(bin("css-audit"), "-data", dirP, "-compare", wDir)
 	audit.Stdout, audit.Stderr = &out, &errOut
 	if err := audit.Run(); err != nil {
 		t.Fatalf("css-audit -compare: %v\n%s%s", err, out.String(), errOut.String())

@@ -1,0 +1,349 @@
+package election
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/replication"
+	"repro/internal/store"
+)
+
+func TestDetectorPhiGrowsWithSilence(t *testing.T) {
+	d := NewDetector(100 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	if got := d.Phi(base); got != 0 {
+		t.Fatalf("phi before first contact = %v, want 0", got)
+	}
+	// Steady 100ms heartbeats: phi right after a beat is tiny.
+	now := base
+	for i := 0; i < 20; i++ {
+		d.Observe(now)
+		now = now.Add(100 * time.Millisecond)
+	}
+	last := now.Add(-100 * time.Millisecond)
+	if phi := d.Phi(last.Add(10 * time.Millisecond)); phi > 1 {
+		t.Fatalf("phi 10ms after a beat = %v, want small", phi)
+	}
+	short := d.Phi(last.Add(200 * time.Millisecond))
+	long := d.Phi(last.Add(2 * time.Second))
+	if !(long > short && short > 0) {
+		t.Fatalf("phi not monotone in silence: %v then %v", short, long)
+	}
+	if long < 8 {
+		t.Fatalf("phi after 20 missed beats = %v, want well past threshold 8", long)
+	}
+	if el := d.Elapsed(last.Add(2 * time.Second)); el != 2*time.Second {
+		t.Fatalf("elapsed = %v, want 2s", el)
+	}
+}
+
+func TestDetectorAdaptsToSlowCadence(t *testing.T) {
+	d := NewDetector(100 * time.Millisecond)
+	base := time.Unix(1000, 0)
+	now := base
+	// The link is actually beating once per second: the same 2s of
+	// silence that damned the fast link must look mild here.
+	for i := 0; i < 20; i++ {
+		d.Observe(now)
+		now = now.Add(time.Second)
+	}
+	last := now.Add(-time.Second)
+	if phi := d.Phi(last.Add(2 * time.Second)); phi > 2 {
+		t.Fatalf("phi after one missed slow beat = %v, want < 2", phi)
+	}
+}
+
+func TestEpochStorePersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "election.epoch")
+	es, err := OpenEpochStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Promised() != 0 {
+		t.Fatalf("fresh store promised %d", es.Promised())
+	}
+	for _, tc := range []struct {
+		epoch uint64
+		want  bool
+	}{{3, true}, {3, false}, {2, false}, {7, true}, {7, false}} {
+		got, err := es.Promise(tc.epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("Promise(%d) = %v, want %v", tc.epoch, got, tc.want)
+		}
+	}
+	// Crash-restart: the promise file must come back.
+	re, err := OpenEpochStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Promised() != 7 {
+		t.Fatalf("reopened store promised %d, want 7", re.Promised())
+	}
+}
+
+// managerConfig is a fast deterministic base config; tests override the
+// campaign/promote hooks.
+func managerConfig(t *testing.T, peers int) Config {
+	t.Helper()
+	es, err := OpenEpochStore(filepath.Join(t.TempDir(), "election.epoch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, peers)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("peer-%d", i)
+	}
+	return Config{
+		Peers:          addrs,
+		HeartbeatEvery: 10 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+		Phi:            0.01, // silence floor does the gating in tests
+		LeaseFor:       80 * time.Millisecond,
+		Backoff:        10 * time.Millisecond,
+		Epochs:         es,
+		CurrentEpoch:   func() uint64 { return 1 },
+		Offsets:        func() map[string]int64 { return nil },
+		Seed:           42,
+	}
+}
+
+// TestLeaseExpiryDiscardsLateGrant is the satellite-3 lease case: a
+// grant that arrives after the lease window must never count, so a
+// candidate whose voters all answer late deterministically loses.
+func TestLeaseExpiryDiscardsLateGrant(t *testing.T) {
+	cfg := managerConfig(t, 2) // cluster of 3: needs 1 peer grant
+	var calls atomic.Int64
+	cfg.Campaign = func(ctx context.Context, addr string, epoch uint64, cursors map[string]int64) (bool, uint64, error) {
+		calls.Add(1)
+		<-ctx.Done() // the grant "arrives" only after the lease closed
+		return true, epoch, nil
+	}
+	promoted := make(chan uint64, 1)
+	cfg.Promote = func(epoch uint64) error {
+		promoted <- epoch
+		return nil
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Status().Campaigns < 2 {
+		select {
+		case epoch := <-promoted:
+			t.Fatalf("promoted at epoch %d on grants that arrived after the lease", epoch)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d campaigns in 5s", m.Status().Campaigns)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if won := m.Status().Won; won != 0 {
+		t.Fatalf("won %d campaigns with only late grants", won)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("campaign hook never called")
+	}
+
+	// Control: the identical cluster with prompt grants elects.
+	cfg2 := managerConfig(t, 2)
+	cfg2.Campaign = func(ctx context.Context, addr string, epoch uint64, cursors map[string]int64) (bool, uint64, error) {
+		return true, epoch, nil
+	}
+	promoted2 := make(chan uint64, 1)
+	cfg2.Promote = func(epoch uint64) error {
+		promoted2 <- epoch
+		return nil
+	}
+	m2, err := NewManager(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	select {
+	case epoch := <-promoted2:
+		if epoch < 2 {
+			t.Fatalf("promoted at epoch %d, want >= 2", epoch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("prompt grants never elected a leader")
+	}
+	if st := m2.Status(); st.State != StateLeader || st.Won != 1 {
+		t.Fatalf("winner status = %+v", st)
+	}
+}
+
+// TestProbeSuppressesCampaign: a silent heartbeat channel alone must not
+// trigger an election while the primary still answers the HTTP probe.
+func TestProbeSuppressesCampaign(t *testing.T) {
+	cfg := managerConfig(t, 2)
+	var probes atomic.Int64
+	cfg.Probe = func(ctx context.Context) error {
+		probes.Add(1)
+		return nil // the primary is reachable over HTTP
+	}
+	cfg.Campaign = func(ctx context.Context, addr string, epoch uint64, cursors map[string]int64) (bool, uint64, error) {
+		t.Error("campaigned despite a healthy probe channel")
+		return false, 0, errors.New("no")
+	}
+	cfg.Promote = func(epoch uint64) error { return nil }
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for probes.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if probes.Load() < 3 {
+		t.Fatalf("only %d probes fired", probes.Load())
+	}
+	if st := m.Status(); st.Campaigns != 0 || st.State != StateWatching {
+		t.Fatalf("status = %+v, want watching with 0 campaigns", st)
+	}
+}
+
+// TestExternalPromotionStandsDown: a manual /ws/promote that races the
+// manager must make it stand down as leader instead of campaigning.
+func TestExternalPromotionStandsDown(t *testing.T) {
+	cfg := managerConfig(t, 2)
+	cfg.Promoted = func() bool { return true }
+	cfg.Campaign = func(ctx context.Context, addr string, epoch uint64, cursors map[string]int64) (bool, uint64, error) {
+		t.Error("campaigned after external promotion")
+		return false, 0, nil
+	}
+	cfg.Promote = func(epoch uint64) error { return nil }
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Status().State != StateLeader {
+		if time.Now().After(deadline) {
+			t.Fatalf("state = %s, want leader", m.Status().State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestManagerElectsOverWire is the end-to-end loop against real
+// replication followers: the primary dies silently, the manager detects
+// it, collects durable grants from a quorum over the campaign frames,
+// and promotes — and the grants raise the voters' fencing epochs.
+func TestManagerElectsOverWire(t *testing.T) {
+	dir := t.TempDir()
+	openSet := func(sub string) []replication.NamedStore {
+		out := make([]replication.NamedStore, 0, 3)
+		for _, name := range []string{"idmap", "index", "audit"} {
+			st, err := store.Open(filepath.Join(dir, sub, name+".wal"), store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { st.Close() })
+			out = append(out, replication.NamedStore{Name: name, Store: st})
+		}
+		return out
+	}
+
+	// Two voter replicas, each with its own durable promise store.
+	voters := make([]*replication.Follower, 2)
+	voterEpochs := make([]*EpochStore, 2)
+	for i := range voters {
+		fol, err := replication.NewFollower("127.0.0.1:0", replication.FollowerConfig{
+			Stores: openSet(fmt.Sprintf("v%d", i)),
+			Epoch:  1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fol.Close() })
+		es, err := OpenEpochStore(filepath.Join(dir, fmt.Sprintf("v%d.epoch", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		esi := es
+		fol.SetVoteHook(func(epoch uint64) bool {
+			ok, err := esi.Promise(epoch)
+			return err == nil && ok
+		})
+		voters[i] = fol
+		voterEpochs[i] = es
+	}
+
+	// The candidate replica (its own follower stores feed the cursors).
+	cand := openSet("cand")
+	candFol, err := replication.NewFollower("127.0.0.1:0", replication.FollowerConfig{Stores: cand, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer candFol.Close()
+
+	es, err := OpenEpochStore(filepath.Join(dir, "cand.epoch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := make(chan uint64, 1)
+	mgr, err := NewManager(Config{
+		Peers:          []string{voters[0].Addr(), voters[1].Addr()},
+		HeartbeatEvery: 10 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+		Phi:            0.01,
+		LeaseFor:       500 * time.Millisecond,
+		Backoff:        10 * time.Millisecond,
+		Epochs:         es,
+		CurrentEpoch:   candFol.Epoch,
+		Offsets:        candFol.Offsets,
+		Campaign: func(ctx context.Context, addr string, epoch uint64, cursors map[string]int64) (bool, uint64, error) {
+			return replication.Campaign(ctx, nil, addr, epoch, cursors)
+		},
+		Promote: func(epoch uint64) error {
+			promoted <- epoch
+			return nil
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	var epoch uint64
+	select {
+	case epoch = <-promoted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no election within 10s of primary silence")
+	}
+	if epoch != 2 {
+		t.Fatalf("elected at epoch %d, want 2", epoch)
+	}
+	if st := mgr.Status(); st.State != StateLeader || st.Won != 1 || st.Promised != epoch {
+		t.Fatalf("winner status = %+v", st)
+	}
+	// At least a quorum's worth of voters durably promised the epoch,
+	// and every voter that granted also raised its fencing epoch.
+	durable := 0
+	for i, ves := range voterEpochs {
+		if ves.Promised() == epoch {
+			durable++
+			if voters[i].Epoch() != epoch {
+				t.Fatalf("voter %d granted %d but fences at %d", i, epoch, voters[i].Epoch())
+			}
+		}
+	}
+	if durable < 1 {
+		t.Fatalf("no voter holds a durable promise for epoch %d", epoch)
+	}
+}

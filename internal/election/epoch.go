@@ -1,0 +1,85 @@
+package election
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// EpochStore durably records the highest epoch this node has promised —
+// by granting a vote or by claiming an epoch for its own campaign. The
+// promise must survive a crash: a voter that forgot a grant could vote
+// twice in the same epoch and hand two candidates a majority. The store
+// is a single 8-byte big-endian file, replaced atomically (write to a
+// temp file, fsync, rename, fsync the directory).
+type EpochStore struct {
+	path string
+
+	mu       sync.Mutex
+	promised uint64
+}
+
+// OpenEpochStore opens (creating if absent) the promise file at path.
+func OpenEpochStore(path string) (*EpochStore, error) {
+	s := &EpochStore{path: path}
+	raw, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// First boot: nothing promised yet.
+	case err != nil:
+		return nil, fmt.Errorf("election: read epoch store: %w", err)
+	case len(raw) != 8:
+		return nil, fmt.Errorf("election: epoch store %s is %d bytes, want 8", path, len(raw))
+	default:
+		s.promised = binary.BigEndian.Uint64(raw)
+	}
+	return s, nil
+}
+
+// Promised returns the highest durably promised epoch.
+func (s *EpochStore) Promised() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promised
+}
+
+// Promise durably records epoch if it is strictly above every earlier
+// promise, returning whether the promise was made. The fsync completes
+// before Promise returns true — the caller may only then grant the vote
+// (or count its own self-grant).
+func (s *EpochStore) Promise(epoch uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch <= s.promised {
+		return false, nil
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], epoch)
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return false, fmt.Errorf("election: promise: %w", err)
+	}
+	if _, err := f.Write(buf[:]); err != nil {
+		f.Close()
+		return false, fmt.Errorf("election: promise: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return false, fmt.Errorf("election: promise: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return false, fmt.Errorf("election: promise: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return false, fmt.Errorf("election: promise: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(s.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	s.promised = epoch
+	return true, nil
+}

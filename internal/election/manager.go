@@ -1,0 +1,446 @@
+package election
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config wires a Manager to its node. Campaign, Promote, CurrentEpoch,
+// Offsets and Epochs are required; everything else has defaults.
+type Config struct {
+	// Peers are the other voting replicas' replication listener
+	// addresses — the electorate besides this node.
+	Peers []string
+	// ClusterSize is the number of voting replicas including this node;
+	// a candidate needs floor(ClusterSize/2)+1 grants, its own durable
+	// self-grant included. Defaults to len(Peers)+1. The floor form is
+	// a strict majority for every N — for odd N it equals the issue's
+	// ⌈N/2⌉, and for even N it is one more, closing the 2-replica hole
+	// where ⌈N/2⌉ = N/2 grants would let both sides win.
+	ClusterSize int
+	// HeartbeatEvery is the expected primary heartbeat cadence (the
+	// detector's prior mean). Default 100ms.
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the silence floor: suspicion never fires before
+	// this much time since the last contact, however high phi climbs.
+	// Default 2s.
+	SuspectAfter time.Duration
+	// Phi is the accrual suspicion threshold. Default 8.
+	Phi float64
+	// LeaseFor bounds one campaign: grants that arrive after the lease
+	// window are discarded, never counted. Default 1s.
+	LeaseFor time.Duration
+	// Backoff is the base for the jittered pre-campaign delay and the
+	// post-loss retry delay (Raft-style randomized timeouts, so two
+	// candidates that tied at epoch E diverge at E+1). Default
+	// LeaseFor/2.
+	Backoff time.Duration
+	// Epochs durably records promises (grants and own claims). Required.
+	Epochs *EpochStore
+	// CurrentEpoch returns the node's replication fencing epoch.
+	CurrentEpoch func() uint64
+	// Offsets snapshots the node's per-store WAL cursors — shipped in
+	// the campaign for the voters' up-to-date check.
+	Offsets func() map[string]int64
+	// Campaign submits one claim to one peer within ctx's lease window
+	// (replication.Campaign adapted; chaos tests inject partitions
+	// here). Required.
+	Campaign func(ctx context.Context, addr string, epoch uint64, cursors map[string]int64) (granted bool, voterEpoch uint64, err error)
+	// Promote turns this node into the primary at the given epoch once
+	// a majority granted it — the same path the manual /ws/promote
+	// override drives. Required.
+	Promote func(epoch uint64) error
+	// Probe, when set, is the second failure-detection channel: an HTTP
+	// check of the primary (GET /ws/replstatus). It runs only once the
+	// heartbeat channel is already suspect, and a success counts as
+	// contact — the manager campaigns only when both channels are
+	// silent.
+	Probe func(ctx context.Context) error
+	// Promoted, when set, reports that the node already holds the
+	// primary role (e.g. a manual promotion raced us); the manager then
+	// stands down.
+	Promoted func() bool
+	// Seed fixes the jitter source for deterministic tests; 0 seeds
+	// from the clock.
+	Seed int64
+	// Metrics registers css_election_* instruments when set.
+	Metrics *telemetry.Registry
+	// Tracer, when set, records one span per campaign with grant/outcome
+	// events, linked into the exported span stream.
+	Tracer *telemetry.Tracer
+	// Logf receives election lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Manager states, exported through Status for the replstatus surface.
+const (
+	StateWatching    = "watching"
+	StateCampaigning = "campaigning"
+	StateLeader      = "leader"
+)
+
+var stateNames = [...]string{StateWatching, StateCampaigning, StateLeader}
+
+// Manager runs the failure-detection → campaign → promote loop for one
+// replica. Wire its Observe method into the Follower's contact hook and
+// its Vote method into the Follower's vote hook, then it runs until the
+// node wins an election (and promotes), is promoted externally, or is
+// closed.
+type Manager struct {
+	cfg  Config
+	det  *Detector
+	logf func(format string, args ...any)
+
+	state atomic.Int32
+	won   atomic.Uint64 // campaigns won (0 or 1 in practice)
+	lost  atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	stateGauge *telemetry.Gauge
+	campaigns  *telemetry.Counter
+	suspicions *telemetry.Counter
+	grants     *telemetry.Counter
+}
+
+// NewManager validates cfg, applies defaults, and starts the loop.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Epochs == nil {
+		return nil, errors.New("election: config needs an EpochStore")
+	}
+	if cfg.Campaign == nil || cfg.Promote == nil || cfg.CurrentEpoch == nil || cfg.Offsets == nil {
+		return nil, errors.New("election: config needs Campaign, Promote, CurrentEpoch and Offsets")
+	}
+	if cfg.ClusterSize <= 0 {
+		cfg.ClusterSize = len(cfg.Peers) + 1
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2 * time.Second
+	}
+	if cfg.Phi <= 0 {
+		cfg.Phi = 8
+	}
+	if cfg.LeaseFor <= 0 {
+		cfg.LeaseFor = time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = cfg.LeaseFor / 2
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	m := &Manager{
+		cfg:  cfg,
+		det:  NewDetector(cfg.HeartbeatEvery),
+		logf: cfg.Logf,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+	}
+	if m.logf == nil {
+		m.logf = func(string, ...any) {}
+	}
+	// Prime the detector at boot: a primary that never makes contact is
+	// suspect once the boot silence crosses the threshold, so a replica
+	// restarted into a dead cluster can still call the election.
+	m.det.Observe(time.Now())
+	if reg := cfg.Metrics; reg != nil {
+		m.stateGauge = reg.Gauge("css_election_state", "Election state: 0 watching, 1 campaigning, 2 leader.")
+		m.campaigns = reg.Counter("css_election_campaigns_total", "Campaigns run, by outcome.", "outcome")
+		m.suspicions = reg.Counter("css_election_suspicions_total", "Times the failure detector crossed the suspicion threshold.")
+		m.grants = reg.Counter("css_election_grants_total", "Votes this node granted to campaigning candidates.")
+	}
+	m.wg.Add(1)
+	go m.run()
+	return m, nil
+}
+
+// Observe is the Follower contact hook: every heartbeat or data frame
+// from a live primary feeds the detector.
+func (m *Manager) Observe(epoch uint64) {
+	_ = epoch
+	m.det.Observe(time.Now())
+}
+
+// Vote is the Follower vote hook: durably promise the epoch (raise-only)
+// and grant. The Follower has already checked the candidate's cursors
+// and fencing epoch; this adds the at-most-one-grant-per-epoch rule,
+// shared with the node's own campaign claims so a candidate can never
+// also grant a rival at its claimed epoch. A node that holds the leader
+// role refuses outright: the cluster already has a primary, and a
+// partitioned rival must not be voted into a second one — operators
+// keep POST /ws/promote for deliberate depositions.
+func (m *Manager) Vote(epoch uint64) bool {
+	if m.state.Load() == 2 {
+		return false
+	}
+	ok, err := m.cfg.Epochs.Promise(epoch)
+	if err != nil {
+		m.logf("election: persisting promise for epoch %d: %v", epoch, err)
+		return false
+	}
+	if ok && m.grants != nil {
+		m.grants.Inc()
+	}
+	return ok
+}
+
+// Status is the operator surface, merged into /ws/replstatus.
+type Status struct {
+	State     string
+	Phi       float64
+	Promised  uint64
+	Campaigns uint64 // total campaigns run
+	Won       uint64
+}
+
+// Status snapshots the manager.
+func (m *Manager) Status() Status {
+	return Status{
+		State:     stateNames[m.state.Load()],
+		Phi:       m.det.Phi(time.Now()),
+		Promised:  m.cfg.Epochs.Promised(),
+		Campaigns: m.won.Load() + m.lost.Load(),
+		Won:       m.won.Load(),
+	}
+}
+
+// Close stops the loop. Idempotent is not required; call once.
+func (m *Manager) Close() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+func (m *Manager) setState(s int32) {
+	m.state.Store(s)
+	if m.stateGauge != nil {
+		m.stateGauge.Set(float64(s))
+	}
+}
+
+// jitter returns a uniformly random duration in [0, d).
+func (m *Manager) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return time.Duration(m.rng.Int63n(int64(d)))
+}
+
+// sleep waits for d or until Close; it reports false when closing.
+func (m *Manager) sleep(d time.Duration) bool {
+	select {
+	case <-m.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// suspect reports whether the heartbeat channel is silent past both the
+// phi threshold and the hard floor.
+func (m *Manager) suspect(now time.Time) bool {
+	return m.det.Elapsed(now) >= m.cfg.SuspectAfter && m.det.Phi(now) >= m.cfg.Phi
+}
+
+// run is the detection loop: tick at half the heartbeat cadence
+// (jittered), and when the primary is suspect on the heartbeat channel,
+// confirm over the probe channel before campaigning.
+func (m *Manager) run() {
+	defer m.wg.Done()
+	for {
+		tick := m.cfg.HeartbeatEvery/2 + m.jitter(m.cfg.HeartbeatEvery/4)
+		if tick < 5*time.Millisecond {
+			tick = 5 * time.Millisecond
+		}
+		if !m.sleep(tick) {
+			return
+		}
+		if m.cfg.Promoted != nil && m.cfg.Promoted() {
+			m.setState(2)
+			m.logf("election: node was promoted externally; standing down")
+			return
+		}
+		if !m.suspect(time.Now()) {
+			continue
+		}
+		if m.cfg.Probe != nil {
+			pctx, cancel := context.WithTimeout(context.Background(), m.probeTimeout())
+			err := m.cfg.Probe(pctx)
+			cancel()
+			if err == nil {
+				// The primary answers HTTP: only the repl link is hurt.
+				// Count it as contact so phi resets.
+				m.det.Observe(time.Now())
+				continue
+			}
+		}
+		if m.suspicions != nil {
+			m.suspicions.Inc()
+		}
+		m.logf("election: primary suspect (phi %.1f, silent %s); campaigning",
+			m.det.Phi(time.Now()), m.det.Elapsed(time.Now()).Round(time.Millisecond))
+		if m.campaign() {
+			return // won and promoted: this node is the primary now
+		}
+	}
+}
+
+func (m *Manager) probeTimeout() time.Duration {
+	t := m.cfg.SuspectAfter / 2
+	if t > time.Second {
+		t = time.Second
+	}
+	if t < 50*time.Millisecond {
+		t = 50 * time.Millisecond
+	}
+	return t
+}
+
+// campaign runs one election round. Returns true when this node won and
+// promoted itself.
+func (m *Manager) campaign() bool {
+	// Randomized pre-campaign delay so simultaneous suspicions diverge;
+	// if the primary comes back during it, stand down.
+	if !m.sleep(m.jitter(m.cfg.Backoff)) {
+		return false
+	}
+	if !m.suspect(time.Now()) {
+		return false
+	}
+
+	epoch := m.cfg.CurrentEpoch()
+	if p := m.cfg.Epochs.Promised(); p > epoch {
+		epoch = p
+	}
+	epoch++
+	// The self-grant: durably claim the epoch before asking anyone.
+	// Through the shared EpochStore this also blocks this node from
+	// granting any rival the same epoch.
+	ok, err := m.cfg.Epochs.Promise(epoch)
+	if err != nil {
+		m.logf("election: claiming epoch %d: %v", epoch, err)
+		m.outcome("error")
+		m.sleep(m.cfg.Backoff + m.jitter(m.cfg.Backoff))
+		return false
+	}
+	if !ok {
+		// A rival's campaign reached us between reading Promised and
+		// claiming: retry from the higher promise next round.
+		m.outcome("lost")
+		m.sleep(m.jitter(m.cfg.Backoff))
+		return false
+	}
+
+	m.setState(1)
+	wonRound := false
+	defer func() {
+		if !wonRound {
+			m.setState(0)
+		}
+	}()
+	_, span := m.cfg.Tracer.StartSpan(context.Background(), "election.campaign")
+	if span != nil {
+		span.SetAttr("epoch", fmt.Sprint(epoch))
+		defer span.End()
+	}
+
+	cursors := m.cfg.Offsets()
+	need := m.cfg.ClusterSize/2 + 1
+	votes := 1 // self, durably promised above
+	m.logf("election: campaigning for epoch %d (%d grants needed of %d voters)", epoch, need, m.cfg.ClusterSize)
+
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.LeaseFor)
+	defer cancel()
+	results := make(chan bool, len(m.cfg.Peers))
+	for _, addr := range m.cfg.Peers {
+		go func(addr string) {
+			granted, voterEpoch, err := m.cfg.Campaign(ctx, addr, epoch, cursors)
+			if err != nil {
+				m.logf("election: peer %s: %v", addr, err)
+			} else if !granted {
+				m.logf("election: peer %s denied epoch %d (holds %d)", addr, epoch, voterEpoch)
+				if span != nil {
+					span.AddEvent("election.denied", telemetry.Attr{Key: "peer", Value: addr})
+				}
+			}
+			results <- err == nil && granted
+		}(addr)
+	}
+
+	// The lease window: grants still in flight when it closes are
+	// discarded — they never count, deterministically.
+	lease := time.NewTimer(m.cfg.LeaseFor)
+	defer lease.Stop()
+	pending := len(m.cfg.Peers)
+	for votes < need && pending > 0 {
+		select {
+		case g := <-results:
+			pending--
+			if g {
+				votes++
+			}
+		case <-lease.C:
+			pending = 0
+		case <-m.stop:
+			return false
+		}
+	}
+
+	if votes < need {
+		m.logf("election: lost epoch %d (%d/%d grants)", epoch, votes, need)
+		m.outcome("lost")
+		if span != nil {
+			span.AddEvent("election.lost", telemetry.Attr{Key: "votes", Value: fmt.Sprint(votes)})
+		}
+		m.sleep(m.jitter(m.cfg.Backoff))
+		return false
+	}
+
+	m.logf("election: won epoch %d with %d/%d grants; promoting", epoch, votes, m.cfg.ClusterSize)
+	if span != nil {
+		span.AddEvent("election.won", telemetry.Attr{Key: "votes", Value: fmt.Sprint(votes)})
+	}
+	// Assume the leader role before promoting: from here the Vote hook
+	// refuses rivals, so the window where a freshly won quorum could
+	// still be voted against closes before shipping starts. A failed
+	// promote reverts through the deferred state reset.
+	m.setState(2)
+	if err := m.cfg.Promote(epoch); err != nil {
+		m.logf("election: promote at epoch %d: %v", epoch, err)
+		m.outcome("error")
+		if span != nil {
+			span.SetError(err)
+		}
+		m.sleep(m.cfg.Backoff + m.jitter(m.cfg.Backoff))
+		return false
+	}
+	m.outcome("won")
+	m.won.Add(1)
+	wonRound = true
+	return true
+}
+
+func (m *Manager) outcome(o string) {
+	if o == "lost" {
+		m.lost.Add(1)
+	}
+	if m.campaigns != nil {
+		m.campaigns.Inc(o)
+	}
+}

@@ -39,10 +39,24 @@
 // (same magic/version as the PR 7 codec; the cluster layer owns frame
 // types 8-9, replication claims 10-13):
 //
-//	hello (10):  uvarint epoch | uvarint count | count × (string store, uvarint offset)
+//	hello (10):  uvarint epoch | uvarint count | count × (string store, uvarint offset, [4]crc32 of the WAL prefix)
 //	data  (11):  string store | uvarint epoch | uvarint offset | uvarint len | raw WAL records
 //	ack   (12):  string store | uvarint offset fsynced through
 //	deny  (13):  uvarint epoch the follower holds (fencing rejection)
+//
+// PR 10 adds self-healing failover frames (14-20). The hello's per-store
+// CRC lets the primary spot a diverged rejoiner (a deposed primary whose
+// log carries an unreplicated old-epoch suffix) in one round trip; the
+// digest frames then walk the log record by record to the first
+// divergence, and truncate cuts the rejoiner back to the common prefix:
+//
+//	heartbeat (14): uvarint epoch — primary liveness, feeds the failure detector
+//	campaign  (15): uvarint epoch | uvarint count | count × (string store, uvarint offset) — candidate's claim + cursors
+//	grant     (16): uvarint granted (0|1) | uvarint epoch the voter now holds
+//	digestreq (17): string store | uvarint from | uvarint max
+//	digests   (18): string store | uvarint done (0|1) | uvarint count | count × (uvarint end, [4]crc32 of the record)
+//	truncate  (19): string store | uvarint offset — cut the log back to offset (acked)
+//	syncstart (20): (empty) — negotiation over; follower certifies its prefix and the data stream begins
 package replication
 
 import (
@@ -66,6 +80,25 @@ const (
 	FrameAck = event.FrameType(12)
 	// FrameDeny rejects a stale-epoch primary (fencing).
 	FrameDeny = event.FrameType(13)
+	// FrameHeartbeat is a primary liveness beacon carrying its epoch.
+	FrameHeartbeat = event.FrameType(14)
+	// FrameCampaign is a candidate's election claim: the epoch it wants
+	// plus its per-store cursors (the voter's up-to-date check).
+	FrameCampaign = event.FrameType(15)
+	// FrameGrant answers a campaign: granted or not, and the epoch the
+	// voter holds after deciding.
+	FrameGrant = event.FrameType(16)
+	// FrameDigestReq asks a rejoining follower for per-record WAL
+	// digests starting at an offset.
+	FrameDigestReq = event.FrameType(17)
+	// FrameDigests carries a batch of per-record WAL digests.
+	FrameDigests = event.FrameType(18)
+	// FrameTruncate orders a rejoining follower to cut a store's WAL
+	// back to the common prefix.
+	FrameTruncate = event.FrameType(19)
+	// FrameSyncStart ends rejoin negotiation: the follower certifies its
+	// (possibly truncated) prefix and the data stream begins.
+	FrameSyncStart = event.FrameType(20)
 )
 
 // maxMessage bounds a wire message; segments are shipped in chunks far
@@ -106,10 +139,23 @@ func readMsg(br *bufio.Reader) ([]byte, error) {
 	return msg, nil
 }
 
-// storeOffset is one (store, byte offset) cursor in a hello frame.
+// frameKind peeks the frame type of a raw message without validating
+// the body (0 when the message is too short to carry a header).
+func frameKind(msg []byte) event.FrameType {
+	if len(msg) < event.FrameHeaderLen {
+		return 0
+	}
+	return event.FrameType(msg[3])
+}
+
+// storeOffset is one (store, byte offset) cursor in a hello or campaign
+// frame. In a hello, crc is the CRC-32 of the follower's whole WAL
+// prefix [0, offset) — the primary's one-round-trip divergence check;
+// campaigns carry offsets only (crc is zero and unused).
 type storeOffset struct {
 	name   string
 	offset int64
+	crc    uint32
 }
 
 func uvarintLen(x uint64) int {
@@ -124,7 +170,7 @@ func uvarintLen(x uint64) int {
 func encodeHello(epoch uint64, offsets []storeOffset) []byte {
 	size := event.FrameHeaderLen + uvarintLen(epoch) + uvarintLen(uint64(len(offsets)))
 	for _, o := range offsets {
-		size += uvarintLen(uint64(len(o.name))) + len(o.name) + uvarintLen(uint64(o.offset))
+		size += uvarintLen(uint64(len(o.name))) + len(o.name) + uvarintLen(uint64(o.offset)) + 4
 	}
 	dst := make([]byte, 0, size)
 	dst = event.AppendFrameHeader(dst, FrameHello)
@@ -133,6 +179,7 @@ func encodeHello(epoch uint64, offsets []storeOffset) []byte {
 	for _, o := range offsets {
 		dst = event.AppendFrameString(dst, o.name)
 		dst = binary.AppendUvarint(dst, uint64(o.offset))
+		dst = binary.LittleEndian.AppendUint32(dst, o.crc)
 	}
 	return dst
 }
@@ -168,7 +215,12 @@ func decodeHello(data []byte) (epoch uint64, offsets []storeOffset, err error) {
 			return 0, nil, errCodecVarint
 		}
 		p = p[n:]
-		offsets = append(offsets, storeOffset{name: name, offset: int64(off)})
+		if len(p) < 4 {
+			return 0, nil, errCodecBomb
+		}
+		crc := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		offsets = append(offsets, storeOffset{name: name, offset: int64(off), crc: crc})
 	}
 	if len(p) != 0 {
 		return 0, nil, errCodecTrail
@@ -264,4 +316,254 @@ func decodeDeny(data []byte) (epoch uint64, err error) {
 		return 0, errCodecTrail
 	}
 	return epoch, nil
+}
+
+func encodeHeartbeat(epoch uint64) []byte {
+	dst := make([]byte, 0, event.FrameHeaderLen+uvarintLen(epoch))
+	dst = event.AppendFrameHeader(dst, FrameHeartbeat)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+func decodeHeartbeat(data []byte) (epoch uint64, err error) {
+	p, err := event.FrameBody(data, FrameHeartbeat)
+	if err != nil {
+		return 0, err
+	}
+	epoch, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, errCodecVarint
+	}
+	if len(p[n:]) != 0 {
+		return 0, errCodecTrail
+	}
+	return epoch, nil
+}
+
+func encodeCampaign(epoch uint64, offsets []storeOffset) []byte {
+	size := event.FrameHeaderLen + uvarintLen(epoch) + uvarintLen(uint64(len(offsets)))
+	for _, o := range offsets {
+		size += uvarintLen(uint64(len(o.name))) + len(o.name) + uvarintLen(uint64(o.offset))
+	}
+	dst := make([]byte, 0, size)
+	dst = event.AppendFrameHeader(dst, FrameCampaign)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(offsets)))
+	for _, o := range offsets {
+		dst = event.AppendFrameString(dst, o.name)
+		dst = binary.AppendUvarint(dst, uint64(o.offset))
+	}
+	return dst
+}
+
+func decodeCampaign(data []byte) (epoch uint64, offsets []storeOffset, err error) {
+	p, err := event.FrameBody(data, FrameCampaign)
+	if err != nil {
+		return 0, nil, err
+	}
+	epoch, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errCodecVarint
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errCodecVarint
+	}
+	p = p[n:]
+	if count > uint64(len(p))/2 {
+		return 0, nil, errCodecBomb
+	}
+	offsets = make([]storeOffset, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var name string
+		if name, p, err = event.FrameString(p); err != nil {
+			return 0, nil, err
+		}
+		off, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, nil, errCodecVarint
+		}
+		p = p[n:]
+		offsets = append(offsets, storeOffset{name: name, offset: int64(off)})
+	}
+	if len(p) != 0 {
+		return 0, nil, errCodecTrail
+	}
+	return epoch, offsets, nil
+}
+
+func encodeGrant(granted bool, epoch uint64) []byte {
+	g := uint64(0)
+	if granted {
+		g = 1
+	}
+	dst := make([]byte, 0, event.FrameHeaderLen+1+uvarintLen(epoch))
+	dst = event.AppendFrameHeader(dst, FrameGrant)
+	dst = binary.AppendUvarint(dst, g)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+func decodeGrant(data []byte) (granted bool, epoch uint64, err error) {
+	p, err := event.FrameBody(data, FrameGrant)
+	if err != nil {
+		return false, 0, err
+	}
+	g, n := binary.Uvarint(p)
+	if n <= 0 {
+		return false, 0, errCodecVarint
+	}
+	p = p[n:]
+	epoch, n = binary.Uvarint(p)
+	if n <= 0 {
+		return false, 0, errCodecVarint
+	}
+	if len(p[n:]) != 0 {
+		return false, 0, errCodecTrail
+	}
+	return g == 1, epoch, nil
+}
+
+func encodeDigestReq(store string, from int64, max int) []byte {
+	size := event.FrameHeaderLen + uvarintLen(uint64(len(store))) + len(store) +
+		uvarintLen(uint64(from)) + uvarintLen(uint64(max))
+	dst := make([]byte, 0, size)
+	dst = event.AppendFrameHeader(dst, FrameDigestReq)
+	dst = event.AppendFrameString(dst, store)
+	dst = binary.AppendUvarint(dst, uint64(from))
+	return binary.AppendUvarint(dst, uint64(max))
+}
+
+func decodeDigestReq(data []byte) (store string, from int64, max int, err error) {
+	p, err := event.FrameBody(data, FrameDigestReq)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if store, p, err = event.FrameString(p); err != nil {
+		return "", 0, 0, err
+	}
+	f, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, 0, errCodecVarint
+	}
+	p = p[n:]
+	m, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, 0, errCodecVarint
+	}
+	if len(p[n:]) != 0 {
+		return "", 0, 0, errCodecTrail
+	}
+	return store, int64(f), int(m), nil
+}
+
+// recordDigest mirrors store.WALRecordDigest on the wire: the byte
+// offset just past one record and the CRC-32 of its framed bytes.
+type recordDigest struct {
+	end int64
+	crc uint32
+}
+
+func encodeDigests(store string, done bool, ds []recordDigest) []byte {
+	d := uint64(0)
+	if done {
+		d = 1
+	}
+	size := event.FrameHeaderLen + uvarintLen(uint64(len(store))) + len(store) +
+		1 + uvarintLen(uint64(len(ds)))
+	for _, r := range ds {
+		size += uvarintLen(uint64(r.end)) + 4
+	}
+	dst := make([]byte, 0, size)
+	dst = event.AppendFrameHeader(dst, FrameDigests)
+	dst = event.AppendFrameString(dst, store)
+	dst = binary.AppendUvarint(dst, d)
+	dst = binary.AppendUvarint(dst, uint64(len(ds)))
+	for _, r := range ds {
+		dst = binary.AppendUvarint(dst, uint64(r.end))
+		dst = binary.LittleEndian.AppendUint32(dst, r.crc)
+	}
+	return dst
+}
+
+func decodeDigests(data []byte) (store string, done bool, ds []recordDigest, err error) {
+	p, err := event.FrameBody(data, FrameDigests)
+	if err != nil {
+		return "", false, nil, err
+	}
+	if store, p, err = event.FrameString(p); err != nil {
+		return "", false, nil, err
+	}
+	d, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", false, nil, errCodecVarint
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", false, nil, errCodecVarint
+	}
+	p = p[n:]
+	// Each entry needs at least a one-byte end varint and a 4-byte CRC.
+	if count > uint64(len(p))/5 {
+		return "", false, nil, errCodecBomb
+	}
+	ds = make([]recordDigest, 0, count)
+	for i := uint64(0); i < count; i++ {
+		end, n := binary.Uvarint(p)
+		if n <= 0 {
+			return "", false, nil, errCodecVarint
+		}
+		p = p[n:]
+		if len(p) < 4 {
+			return "", false, nil, errCodecBomb
+		}
+		crc := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		ds = append(ds, recordDigest{end: int64(end), crc: crc})
+	}
+	if len(p) != 0 {
+		return "", false, nil, errCodecTrail
+	}
+	return store, d == 1, ds, nil
+}
+
+func encodeTruncate(store string, offset int64) []byte {
+	size := event.FrameHeaderLen + uvarintLen(uint64(len(store))) + len(store) + uvarintLen(uint64(offset))
+	dst := make([]byte, 0, size)
+	dst = event.AppendFrameHeader(dst, FrameTruncate)
+	dst = event.AppendFrameString(dst, store)
+	return binary.AppendUvarint(dst, uint64(offset))
+}
+
+func decodeTruncate(data []byte) (store string, offset int64, err error) {
+	p, err := event.FrameBody(data, FrameTruncate)
+	if err != nil {
+		return "", 0, err
+	}
+	if store, p, err = event.FrameString(p); err != nil {
+		return "", 0, err
+	}
+	off, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, errCodecVarint
+	}
+	if len(p[n:]) != 0 {
+		return "", 0, errCodecTrail
+	}
+	return store, int64(off), nil
+}
+
+func encodeSyncStart() []byte {
+	return event.AppendFrameHeader(make([]byte, 0, event.FrameHeaderLen), FrameSyncStart)
+}
+
+func decodeSyncStart(data []byte) error {
+	p, err := event.FrameBody(data, FrameSyncStart)
+	if err != nil {
+		return err
+	}
+	if len(p) != 0 {
+		return errCodecTrail
+	}
+	return nil
 }

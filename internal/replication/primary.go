@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,11 @@ type PrimaryConfig struct {
 	// of registered followers); false means async shipping and Barrier
 	// is a no-op.
 	Quorum bool
+	// HeartbeatEvery, when positive, sends liveness heartbeats on every
+	// follower link at roughly this interval (±20% jitter so a fleet's
+	// beats never synchronize). Heartbeats carry the epoch and feed the
+	// followers' failure detectors; zero disables them.
+	HeartbeatEvery time.Duration
 	// Metrics registers css_repl_* instruments when set.
 	Metrics *telemetry.Registry
 	// Dial overrides the follower dialer (chaos tests inject faults
@@ -197,9 +203,11 @@ func (p *Primary) runFollower(link *followerLink) {
 	}
 }
 
-// serve runs one connection: read the follower's hello, then ship WAL
-// segments as the stores grow, while a sibling goroutine folds acks
-// into the link state.
+// serve runs one connection: read the follower's hello, negotiate the
+// resume point for every store (ordering a truncate when the follower's
+// log diverged — a rejoining deposed primary), then ship WAL segments
+// as the stores grow, while a sibling goroutine folds acks into the
+// link state.
 func (p *Primary) serve(link *followerLink, conn net.Conn) error {
 	br := bufio.NewReader(conn)
 	msg, err := readMsg(br)
@@ -216,15 +224,13 @@ func (p *Primary) serve(link *followerLink, conn net.Conn) error {
 	}
 
 	n := len(p.cfg.Stores)
-	cursors := make([]int64, n)
 	gens := make([]uint64, n)
 	for i, ns := range p.cfg.Stores {
 		gens[i] = ns.Store.WALGen()
-		for _, o := range offsets {
-			if o.name == ns.Name {
-				cursors[i] = o.offset
-			}
-		}
+	}
+	cursors, err := p.negotiate(link, conn, br, gens, offsets)
+	if err != nil {
+		return err
 	}
 	// Reset the ack state: the hello only proves the follower *applied*
 	// those bytes, not that they are fsynced. Quorum counts only acks
@@ -234,6 +240,11 @@ func (p *Primary) serve(link *followerLink, conn net.Conn) error {
 		link.acked[i] = 0
 	}
 	p.mu.Unlock()
+	// Negotiation over: the follower certifies its (possibly truncated)
+	// prefix and the data stream begins.
+	if err := writeMsg(conn, encodeSyncStart()); err != nil {
+		return fmt.Errorf("syncstart: %w", err)
+	}
 
 	wake := make(chan struct{}, 1)
 	for _, ns := range p.cfg.Stores {
@@ -251,6 +262,15 @@ func (p *Primary) serve(link *followerLink, conn net.Conn) error {
 		conn.Close() // unblock a ship-loop write
 	}()
 
+	// Heartbeat cadence: first beat immediately (the follower's detector
+	// should start sampling as soon as the link is up), then every
+	// HeartbeatEvery ±20% jitter.
+	var nextBeat time.Time
+	hb := p.cfg.HeartbeatEvery
+	jittered := func() time.Duration {
+		return time.Duration(float64(hb) * (0.8 + 0.4*rand.Float64()))
+	}
+
 	targets := make([]int64, n)
 	for {
 		select {
@@ -259,6 +279,12 @@ func (p *Primary) serve(link *followerLink, conn net.Conn) error {
 		case err := <-ackErr:
 			return err
 		default:
+		}
+		if hb > 0 && !time.Now().Before(nextBeat) {
+			if err := writeMsg(conn, encodeHeartbeat(p.epoch.Load())); err != nil {
+				return fmt.Errorf("heartbeat: %w", err)
+			}
+			nextBeat = time.Now().Add(jittered())
 		}
 		progress := false
 		// Capture targets in reverse dependency order, ship in forward
@@ -288,18 +314,154 @@ func (p *Primary) serve(link *followerLink, conn net.Conn) error {
 		}
 		p.updateLag(link, targets)
 		if !progress {
+			idle := 500 * time.Millisecond
+			if hb > 0 {
+				if until := time.Until(nextBeat); until < idle {
+					idle = until
+				}
+				if idle < time.Millisecond {
+					idle = time.Millisecond
+				}
+			}
 			select {
 			case <-wake:
 			case <-link.stop:
 				return nil
 			case err := <-ackErr:
 				return err
-			case <-time.After(500 * time.Millisecond):
-				// Periodic pass so the lag gauge stays fresh even when
-				// idle and a missed edge trigger cannot wedge the loop.
+			case <-time.After(idle):
+				// Periodic pass so the lag gauge stays fresh (and the
+				// heartbeat fires) even when idle, and a missed edge
+				// trigger cannot wedge the loop.
 			}
 		}
 	}
+}
+
+// digestBatch bounds one digest request during rejoin negotiation.
+const digestBatch = 1024
+
+// negotiate derives the shipping resume point for every store from the
+// follower's hello. The fast path is one CRC comparison: when the
+// follower's whole-prefix CRC matches the same range of our log, its
+// log is a clean prefix and shipping resumes at its offset. Otherwise
+// the follower is a rejoining deposed primary whose log carries an
+// unreplicated old-epoch suffix: walk its per-record digests against
+// our own to the first divergent record — exactly the comparison
+// `css-audit -compare` runs over audit chains — and order a truncate
+// back to the common prefix before shipping.
+func (p *Primary) negotiate(link *followerLink, conn net.Conn, br *bufio.Reader, gens []uint64, offsets []storeOffset) ([]int64, error) {
+	cursors := make([]int64, len(p.cfg.Stores))
+	for i, ns := range p.cfg.Stores {
+		var theirs storeOffset
+		for _, o := range offsets {
+			if o.name == ns.Name {
+				theirs = o
+				break
+			}
+		}
+		if theirs.offset == 0 {
+			continue // empty follower log: ship from the start
+		}
+		ourOff := ns.Store.WALOffset()
+		if theirs.offset <= ourOff {
+			ourCRC, err := ns.Store.CRCWAL(gens[i], 0, theirs.offset)
+			if err != nil {
+				return nil, fmt.Errorf("crc %s: %w", ns.Name, err)
+			}
+			if ourCRC == theirs.crc {
+				cursors[i] = theirs.offset
+				continue
+			}
+		}
+		common, err := p.firstDivergence(conn, br, ns, gens[i], min64(theirs.offset, ourOff))
+		if err != nil {
+			return nil, fmt.Errorf("digest walk %s: %w", ns.Name, err)
+		}
+		if common < theirs.offset {
+			p.logf("repl: follower %s diverged on %s at %d (its log ends at %d): ordering truncate",
+				link.addr, ns.Name, common, theirs.offset)
+			if err := writeMsg(conn, encodeTruncate(ns.Name, common)); err != nil {
+				return nil, fmt.Errorf("truncate %s: %w", ns.Name, err)
+			}
+			name, acked, err := p.readAck(br)
+			if err != nil {
+				return nil, fmt.Errorf("truncate ack %s: %w", ns.Name, err)
+			}
+			if name != ns.Name || acked != common {
+				return nil, fmt.Errorf("truncate %s to %d acknowledged as (%s, %d)", ns.Name, common, name, acked)
+			}
+		}
+		cursors[i] = common
+	}
+	return cursors, nil
+}
+
+// firstDivergence walks the follower's per-record digests against our
+// own log and returns the end offset of the last record both sides
+// agree on (the truncation point), never past limit.
+func (p *Primary) firstDivergence(conn net.Conn, br *bufio.Reader, ns NamedStore, gen uint64, limit int64) (int64, error) {
+	var common int64
+	pos := int64(0)
+	for pos < limit {
+		if err := writeMsg(conn, encodeDigestReq(ns.Name, pos, digestBatch)); err != nil {
+			return 0, err
+		}
+		msg, err := readMsg(br)
+		if err != nil {
+			return 0, err
+		}
+		name, done, theirs, err := decodeDigests(msg)
+		if err != nil {
+			return 0, err
+		}
+		if name != ns.Name {
+			return 0, fmt.Errorf("digests for %q while walking %q", name, ns.Name)
+		}
+		if len(theirs) == 0 {
+			return common, nil
+		}
+		ours, err := ns.Store.DigestWAL(gen, pos, len(theirs))
+		if err != nil {
+			return 0, err
+		}
+		for j := range theirs {
+			if j >= len(ours) || theirs[j].end != ours[j].End || theirs[j].crc != ours[j].CRC {
+				return common, nil
+			}
+			common = ours[j].End
+		}
+		pos = common
+		if done {
+			return common, nil
+		}
+	}
+	return common, nil
+}
+
+// readAck reads one frame and expects it to be an ack — the truncate
+// confirmation during rejoin negotiation. A deny frame fences us;
+// anything else is a protocol error.
+func (p *Primary) readAck(br *bufio.Reader) (string, int64, error) {
+	msg, err := readMsg(br)
+	if err != nil {
+		return "", 0, err
+	}
+	if ep, derr := decodeDeny(msg); derr == nil {
+		return "", 0, fmt.Errorf("%w (follower holds epoch %d)", ErrFenced, ep)
+	}
+	name, offset, err := decodeAck(msg)
+	if err != nil {
+		return "", 0, err
+	}
+	return name, offset, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // readAcks folds the follower's ack stream into the link state until

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
 )
 
 // Replication support: a primary's WAL is shipped to followers as the
@@ -203,6 +204,183 @@ func (s *Store) ApplyWALSegment(from int64, seg []byte) (int64, error) {
 	}
 	s.notifyWatchersLocked()
 	return s.log.size, nil
+}
+
+// WALSynced returns the number of WAL bytes known durable (fsynced) —
+// the follower's crash-safe applied-offset checkpoint. Always ≤
+// WALOffset; in-memory stores report 0.
+func (s *Store) WALSynced() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.log == nil {
+		return 0
+	}
+	synced := s.log.synced.Load()
+	if flushed := s.log.flushed.Load(); synced > flushed {
+		// close() parks synced at MaxInt64; never report past the log end.
+		synced = flushed
+	}
+	return synced
+}
+
+// CRCWAL returns the CRC-32 (IEEE) of the raw WAL bytes [from, to) —
+// the cheap whole-prefix comparison a rejoining node's handshake runs
+// before falling back to the record-by-record digest walk. Offsets need
+// not be record boundaries (the CRC is over raw bytes), but to must not
+// exceed the flushed end.
+func (s *Store) CRCWAL(gen uint64, from, to int64) (uint32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.log == nil {
+		return 0, ErrNoWAL
+	}
+	if gen != s.gen || from < 0 || to < from || to > s.log.flushed.Load() {
+		return 0, ErrWALRotated
+	}
+	crc := uint32(0)
+	buf := make([]byte, 256<<10)
+	for off := from; off < to; {
+		n := to - off
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if _, err := s.log.f.ReadAt(buf[:n], off); err != nil {
+			return 0, fmt.Errorf("store: wal crc read at %d: %w", off, err)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+		off += n
+	}
+	return crc, nil
+}
+
+// WALRecordDigest identifies one WAL record by the byte offset just
+// past it and the CRC-32 of its framed bytes (header + payload). Two
+// logs whose digest sequences agree through offset X are byte-identical
+// through X.
+type WALRecordDigest struct {
+	End int64
+	CRC uint32
+}
+
+// DigestWAL scans whole records starting at byte offset from (a record
+// boundary), returning at most max digests. A short or empty result
+// means the scan reached the flushed end of the log. The new primary
+// walks a rejoining node's digests against its own to locate the first
+// divergent record — the same record-by-record comparison `css-audit
+// -compare` runs over audit chains.
+func (s *Store) DigestWAL(gen uint64, from int64, max int) ([]WALRecordDigest, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.log == nil {
+		return nil, ErrNoWAL
+	}
+	limit := s.log.flushed.Load()
+	if gen != s.gen || from < 0 || from > limit {
+		return nil, ErrWALRotated
+	}
+	var out []WALRecordDigest
+	header := make([]byte, 8)
+	var payload []byte
+	for off := from; off < limit && len(out) < max; {
+		if _, err := s.log.f.ReadAt(header, off); err != nil {
+			return nil, fmt.Errorf("store: wal digest read at %d: %w", off, err)
+		}
+		n := int64(binary.LittleEndian.Uint32(header[0:4]))
+		if n <= 0 || off+8+n > limit {
+			return nil, fmt.Errorf("%w at offset %d: record overruns flushed boundary", ErrCorrupt, off)
+		}
+		payload = sizedBuf(payload, int(n))
+		if _, err := s.log.f.ReadAt(payload, off+8); err != nil {
+			return nil, fmt.Errorf("store: wal digest read at %d: %w", off+8, err)
+		}
+		crc := crc32.Update(crc32.ChecksumIEEE(header), crc32.IEEETable, payload)
+		off += 8 + n
+		out = append(out, WALRecordDigest{End: off, CRC: crc})
+	}
+	return out, nil
+}
+
+// TruncateWAL discards every WAL byte at or beyond offset — a record
+// boundary — and rebuilds the in-memory state from the surviving
+// prefix. This is the rejoin path for a deposed primary: the suffix it
+// wrote under its old epoch was never replicated, the new primary's
+// history has diverged from it, and the only safe move is to cut back
+// to the common prefix and re-follow. The truncation is fsynced before
+// returning and the WAL generation is bumped so replication cursors
+// established before the cut fail with ErrWALRotated instead of reading
+// rewritten history.
+func (s *Store) TruncateWAL(offset int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.log == nil {
+		return ErrNoWAL
+	}
+	if offset < 0 || offset > s.log.size {
+		return fmt.Errorf("store: truncate wal to %d, log is at %d", offset, s.log.size)
+	}
+	if offset == s.log.size {
+		return nil
+	}
+	if err := s.log.close(); err != nil {
+		s.closed = true
+		return fmt.Errorf("store: truncate wal: close: %w", err)
+	}
+	s.log = nil
+	if err := os.Truncate(s.path, offset); err != nil {
+		s.closed = true
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
+	// Rebuild memory from the surviving prefix, exactly like Open.
+	s.list = newSkipList(nextSeed())
+	s.liveBytes = 0
+	validLen, err := replayWAL(s.path, func(r walRecord) error {
+		switch r.op {
+		case opPut:
+			if old, existed := s.list.put(r.key, r.value); existed {
+				s.liveBytes -= int64(len(r.key) + len(old))
+			}
+			s.liveBytes += int64(len(r.key) + len(r.value))
+		case opDel:
+			if v, ok := s.list.del(r.key); ok {
+				s.liveBytes -= int64(len(r.key) + len(v))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		s.closed = true
+		return fmt.Errorf("store: truncate wal: replay: %w", err)
+	}
+	if validLen != offset {
+		s.closed = true
+		return fmt.Errorf("%w: truncate target %d is not a record boundary (replay stops at %d)", ErrCorrupt, offset, validLen)
+	}
+	log, err := openWAL(s.path, s.opts.SyncEvery)
+	if err != nil {
+		s.closed = true
+		return err
+	}
+	if err := log.f.Sync(); err != nil {
+		log.close()
+		s.closed = true
+		return fmt.Errorf("store: truncate wal: sync: %w", err)
+	}
+	log.synced.Store(offset)
+	s.log = log
+	s.gen++
+	return nil
 }
 
 // SyncWAL fsyncs the log through its current end — the follower's

@@ -1,0 +1,197 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// openAt fills a fresh store with n sequential puts and returns it plus
+// the record-boundary offsets after each put (offsets[i] is the WAL end
+// after put i).
+func openAt(t *testing.T, path string, n int) (*Store, []int64) {
+	t.Helper()
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := make([]int64, n)
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("value-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		offsets[i] = s.WALOffset()
+	}
+	return s, offsets
+}
+
+func TestTruncateWALRebuildsState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, offsets := openAt(t, path, 8)
+	defer s.Close()
+	genBefore := s.WALGen()
+
+	// Cut back to just after put 4: puts 5..7 must vanish from memory
+	// and from the file.
+	if err := s.TruncateWAL(offsets[4]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WALOffset(); got != offsets[4] {
+		t.Fatalf("WALOffset after truncate = %d, want %d", got, offsets[4])
+	}
+	if got := s.WALSynced(); got != offsets[4] {
+		t.Fatalf("WALSynced after truncate = %d, want %d", got, offsets[4])
+	}
+	if gen := s.WALGen(); gen != genBefore+1 {
+		t.Fatalf("WALGen = %d, want %d (truncation must invalidate cursors)", gen, genBefore+1)
+	}
+	for i := 0; i < 8; i++ {
+		_, ok, err := s.Get(fmt.Sprintf("key-%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i <= 4; ok != want {
+			t.Fatalf("key-%03d present = %v, want %v", i, ok, want)
+		}
+	}
+	// A stale-generation reader must fail loudly, not read rewritten bytes.
+	if _, err := s.ReadWAL(genBefore, 0, 1<<20); !errors.Is(err, ErrWALRotated) {
+		t.Fatalf("stale ReadWAL err = %v, want ErrWALRotated", err)
+	}
+
+	// New appends land after the cut and survive a reopen.
+	if err := s.Put("post-truncate", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.Get("key-007"); ok {
+		t.Fatal("truncated key resurrected after reopen")
+	}
+	if _, ok, _ := re.Get("post-truncate"); !ok {
+		t.Fatal("post-truncate append lost after reopen")
+	}
+}
+
+func TestTruncateWALRejectsMidRecordOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, offsets := openAt(t, path, 3)
+	defer s.Close()
+	if err := s.TruncateWAL(offsets[1] + 3); err == nil {
+		t.Fatal("TruncateWAL accepted a mid-record offset")
+	}
+	if err := s.TruncateWAL(offsets[2] + 10); err == nil {
+		t.Fatal("TruncateWAL accepted an offset past the log end")
+	}
+}
+
+func TestDigestWALLocatesFirstDivergence(t *testing.T) {
+	dir := t.TempDir()
+	a, offsetsA := openAt(t, filepath.Join(dir, "a.wal"), 6)
+	defer a.Close()
+	b, err := Open(filepath.Join(dir, "b.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// b replicates a's first 4 records verbatim, then diverges with its
+	// own writes — the deposed-primary shape.
+	seg, err := a.ReadWAL(a.WALGen(), 0, int(offsetsA[3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ApplyWALSegment(0, seg); err != nil {
+		t.Fatal(err)
+	}
+	divergeAt := b.WALOffset()
+	if divergeAt != offsetsA[3] {
+		t.Fatalf("replicated prefix ends at %d, want %d", divergeAt, offsetsA[3])
+	}
+	if err := b.Put("rogue", []byte("unreplicated suffix")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole-prefix CRC over the common range agrees; over b's full log
+	// it cannot be computed against a shorter... both logs happen to be
+	// comparable over [0, divergeAt) only.
+	ca, err := a.CRCWAL(a.WALGen(), 0, divergeAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CRCWAL(b.WALGen(), 0, divergeAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("prefix CRCs differ over identical bytes: %08x vs %08x", ca, cb)
+	}
+
+	// The digest walk pinpoints the divergence at record granularity.
+	da, err := a.DigestWAL(a.WALGen(), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.DigestWAL(b.WALGen(), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common := int64(0)
+	for i := 0; i < len(da) && i < len(db); i++ {
+		if da[i].End != db[i].End || da[i].CRC != db[i].CRC {
+			break
+		}
+		common = da[i].End
+	}
+	if common != divergeAt {
+		t.Fatalf("digest walk found common prefix %d, want %d", common, divergeAt)
+	}
+
+	// Truncating b to the common prefix and re-shipping from there makes
+	// the logs byte-identical.
+	if err := b.TruncateWAL(common); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := a.ReadWAL(a.WALGen(), common, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ApplyWALSegment(common, rest); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := a.CRCWAL(a.WALGen(), 0, a.WALOffset())
+	fb, _ := b.CRCWAL(b.WALGen(), 0, b.WALOffset())
+	if a.WALOffset() != b.WALOffset() || fa != fb {
+		t.Fatalf("logs not identical after rejoin: a=(%d,%08x) b=(%d,%08x)",
+			a.WALOffset(), fa, b.WALOffset(), fb)
+	}
+	if _, ok, _ := b.Get("rogue"); ok {
+		t.Fatal("unreplicated suffix survived the truncate")
+	}
+}
+
+func TestDigestWALMaxCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.wal")
+	s, offsets := openAt(t, path, 5)
+	defer s.Close()
+	ds, err := s.DigestWAL(s.WALGen(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[1].End != offsets[1] {
+		t.Fatalf("capped digest walk = %+v, want 2 records through %d", ds, offsets[1])
+	}
+	// Resume from the last end; the remainder is short.
+	rest, err := s.DigestWAL(s.WALGen(), ds[1].End, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 3 || rest[2].End != offsets[4] {
+		t.Fatalf("resumed digest walk = %+v, want 3 records through %d", rest, offsets[4])
+	}
+}

@@ -146,6 +146,86 @@ func TestShardedClientFailoverRefresh(t *testing.T) {
 	}
 }
 
+// TestShardedClientStaleReplicaRescue drives the other stale-client
+// failover shape: the node the map names as primary answers
+// not-primary, but with a map no newer than the client's own (a deposed
+// primary restarted as a replica before learning its successor). The
+// fault's version can teach the client nothing, so the rescue must come
+// from the shard's read replicas — one of which holds the successor
+// map — instead of retrying the same stale address until the redirect
+// budget dies.
+func TestShardedClientStaleReplicaRescue(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, crypto.KeySize)
+
+	deposedSrv := httptest.NewUnstartedServer(nil)
+	promotedSrv := httptest.NewUnstartedServer(nil)
+	deposedURL := "http://" + deposedSrv.Listener.Addr().String()
+	promotedURL := "http://" + promotedSrv.Listener.Addr().String()
+
+	v1, err := cluster.NewMap(1, 0, []cluster.ShardInfo{
+		{ID: 0, Addr: deposedURL, Replicas: []string{promotedURL}, Epoch: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := v1.WithPromotedReplica(0, promotedURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The deposed node rejoined as a replica still holding the OLD map:
+	// its not-primary faults carry version 1, same as the client's.
+	deposed, err := core.New(core.Config{
+		DataDir: t.TempDir(), MasterKey: key, DefaultConsent: true,
+		Replica: true, ShardID: 0, ShardMap: v1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { deposed.Close() })
+	deposedSrv.Config = &http.Server{Handler: NewServer(deposed)}
+	deposedSrv.Start()
+	t.Cleanup(deposedSrv.Close)
+
+	// The promoted node holds the successor map naming itself.
+	promoted, err := core.New(core.Config{
+		MasterKey: key, DefaultConsent: true, ShardID: 0, ShardMap: v2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { promoted.Close() })
+	if err := promoted.RegisterProducer("hospital", "Hospital"); err != nil {
+		t.Fatal(err)
+	}
+	if err := promoted.DeclareClass("hospital", schema.BloodTest()); err != nil {
+		t.Fatal(err)
+	}
+	promotedSrv.Config = &http.Server{Handler: NewServer(promoted)}
+	promotedSrv.Start()
+	t.Cleanup(promotedSrv.Close)
+
+	sc, err := NewShardedClient(v1, func(info cluster.ShardInfo) *Client {
+		return NewClient(info.Addr, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sc.Publish(context.Background(), &event.Notification{
+		Producer: "hospital", SourceID: "src-stale-1", Class: schema.ClassBloodTest,
+		PersonID: "person-1", OccurredAt: time.Now(),
+	}); err != nil {
+		t.Fatalf("publish across stale-replica failover: %v", err)
+	}
+	if v := sc.Map().Version(); v != 2 {
+		t.Fatalf("client map version = %d, want 2 (rescued from the replica)", v)
+	}
+	if n, err := promoted.IndexLen(); err != nil || n != 1 {
+		t.Fatalf("promoted node holds %d events (%v), want 1", n, err)
+	}
+}
+
 // replicatedPair wires a primary and a read-replica controller over a
 // real replication link, each behind an HTTP server that counts its
 // /ws/inquire hits.

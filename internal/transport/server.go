@@ -14,6 +14,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/consent"
 	"repro/internal/core"
+	"repro/internal/election"
 	"repro/internal/event"
 	"repro/internal/identity"
 	"repro/internal/index"
@@ -86,6 +87,9 @@ type Server struct {
 	// controller Promote for POST /ws/promote — daemons use it to also
 	// start shipping their own WALs after assuming the primary role.
 	onPromote atomic.Pointer[func(epoch uint64) error]
+	// election, when set via SetElection, enriches /ws/replstatus with
+	// the self-healing election manager's state.
+	election atomic.Pointer[func() election.Status]
 }
 
 // AddHealthDetail registers a detail contributor for /healthz: its
@@ -348,6 +352,14 @@ func (s *Server) SetFollower(f *replication.Follower) *Server {
 	return s
 }
 
+// SetElection attaches the election manager's status snapshot, merged
+// into /ws/replstatus so operators (and the probe channel of peer
+// detectors) can see each node's detection and campaign state.
+func (s *Server) SetElection(fn func() election.Status) *Server {
+	s.election.Store(&fn)
+	return s
+}
+
 // SetPromoteHook replaces the default promote action (the wrapped
 // controller's Promote) for POST /ws/promote. The css-controller daemon
 // installs a hook that also brings up its own replication primary so the
@@ -383,6 +395,12 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 				Addr: f.Addr, Connected: f.Connected, Fenced: f.Fenced, LagBytes: f.LagBytes,
 			})
 		}
+	}
+	if fn := s.election.Load(); fn != nil {
+		st := (*fn)()
+		resp.Election = st.State
+		resp.Promised = st.Promised
+		resp.Phi = st.Phi
 	}
 	writeXML(w, http.StatusOK, resp)
 }

@@ -237,11 +237,11 @@ func (sc *ShardedClient) Publish(ctx context.Context, n *event.Notification) (ev
 		}
 		var np *cluster.NotPrimaryError
 		if errors.As(err, &np) {
-			// Right shard, wrong role: refresh the map when the answering
-			// node's is newer and retry the same shard — clientFor then
-			// resolves the promoted primary's address.
+			// Right shard, wrong role: converge the route and retry the
+			// same shard — clientFor then resolves the promoted
+			// primary's address.
 			lastErr = err
-			sc.refreshIfNewer(ctx, target, np.Version)
+			sc.refreshOnNotPrimary(ctx, target, np.Version)
 			continue
 		}
 		var ws *cluster.WrongShardError
@@ -275,9 +275,27 @@ func (sc *ShardedClient) refreshIfNewer(ctx context.Context, from cluster.ShardI
 	}
 }
 
+// refreshOnNotPrimary converges the route after a not-primary answer.
+// A fault naming a newer map version pulls the map from the answering
+// node — after a failover that is the deposed primary holding the
+// successor map. But a node that answers not-primary with a stale,
+// lower-or-equal version (a deposed primary restarted as a replica
+// before learning who replaced it) cannot teach us anything: refreshing
+// from it would spin the bounded retry loop against the same stale
+// address. Fall back to the shard's other replicas, which carry the
+// successor map once the election commits.
+func (sc *ShardedClient) refreshOnNotPrimary(ctx context.Context, id cluster.ShardID, version uint64) {
+	if version > sc.Map().Version() {
+		sc.RefreshMap(ctx, id)
+		return
+	}
+	sc.refreshFromReplicas(ctx, id)
+}
+
 // refreshFromReplicas asks a shard's read replicas for a newer shard
-// map when its primary stopped answering entirely — after a failover
-// the survivors carry the successor map naming the promoted primary.
+// map when its named primary stopped answering — or answered
+// not-primary without a newer map to offer. After a failover the
+// survivors carry the successor map naming the promoted primary.
 // Reports whether a newer map was adopted (so the caller retries).
 func (sc *ShardedClient) refreshFromReplicas(ctx context.Context, id cluster.ShardID) bool {
 	m := sc.Map()
@@ -315,7 +333,7 @@ func (sc *ShardedClient) writeRetry(ctx context.Context, id cluster.ShardID, cal
 			return err
 		}
 		lastErr = err
-		sc.refreshIfNewer(ctx, id, np.Version)
+		sc.refreshOnNotPrimary(ctx, id, np.Version)
 	}
 	return fmt.Errorf("transport: write exceeded %d not-primary retries: %w", maxRedirects, lastErr)
 }

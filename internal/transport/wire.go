@@ -412,7 +412,17 @@ type ReplStatus struct {
 	Quorum bool `xml:"quorum,attr,omitempty"`
 	// Fenced reports a primary that has been denied by a follower at a
 	// higher epoch — it must stop accepting writes.
-	Fenced    bool           `xml:"fenced,attr,omitempty"`
+	Fenced bool `xml:"fenced,attr,omitempty"`
+	// Election is the self-healing manager's state ("watching",
+	// "campaigning", "leader") when one runs on this node; empty under
+	// manual-failover-only deployments.
+	Election string `xml:"election,attr,omitempty"`
+	// Promised is the highest epoch this node has durably promised — by
+	// granting a vote or claiming an epoch for its own campaign.
+	Promised uint64 `xml:"promised,attr,omitempty"`
+	// Phi is the failure detector's current suspicion level for the
+	// primary (0 while this node is itself the primary).
+	Phi       float64        `xml:"phi,attr,omitempty"`
 	Followers []ReplFollower `xml:"follower"`
 }
 
